@@ -1,0 +1,83 @@
+// Command datagen generates the synthetic benchmark datasets (the stand-ins
+// for the paper's deep-feature corpora) as CSV or binary files.
+//
+// Usage:
+//
+//	datagen -dataset mnist -n 10000 -seed 1 -out train.csv
+//	datagen -dataset regression -n 5000 -dim 8 -noise 0.2 -out reg.bin -format bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	knnshapley "knnshapley"
+	"knnshapley/internal/dataset"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "mnist", "mnist|cifar10|imagenet|yahoo|dogfish|deep|gist|iris|regression")
+		n      = flag.Int("n", 1000, "number of rows")
+		dim    = flag.Int("dim", 8, "feature dimension (regression only)")
+		noise  = flag.Float64("noise", 0.1, "observation noise (regression only)")
+		seed   = flag.Uint64("seed", 1, "sampling seed")
+		out    = flag.String("out", "", "output path (default stdout)")
+		format = flag.String("format", "csv", "csv|bin")
+	)
+	flag.Parse()
+
+	var d *knnshapley.Dataset
+	switch *name {
+	case "mnist":
+		d = knnshapley.SynthMNIST(*n, *seed)
+	case "cifar10":
+		d = knnshapley.SynthCIFAR10(*n, *seed)
+	case "imagenet":
+		d = knnshapley.SynthImageNet(*n, *seed)
+	case "yahoo":
+		d = knnshapley.SynthYahoo(*n, *seed)
+	case "dogfish":
+		d = knnshapley.SynthDogFish(*n, *seed)
+	case "deep":
+		d = knnshapley.SynthDeep(*n, *seed)
+	case "gist":
+		d = knnshapley.SynthGist(*n, *seed)
+	case "iris":
+		d = knnshapley.SynthIris(*n, *seed)
+	case "regression":
+		d = knnshapley.SynthRegression(*n, *dim, *noise, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *name)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "csv":
+		err = dataset.WriteCSV(w, d)
+	case "bin":
+		err = dataset.WriteBinary(w, d)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d rows x %d dims to %s\n", d.N(), d.Dim(), *out)
+	}
+}

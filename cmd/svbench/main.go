@@ -1,0 +1,52 @@
+// Command svbench regenerates the tables and figures of the paper's
+// evaluation (Section 6 and Appendix A) on synthetic stand-ins of the
+// benchmark datasets.
+//
+// Usage:
+//
+//	svbench -exp fig7            # one experiment
+//	svbench -exp all             # everything (minutes)
+//	svbench -exp fig7 -scale 0.1 # 10% of the paper's dataset sizes
+//
+// See DESIGN.md for the experiment-to-module index and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"knnshapley/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment name or 'all'")
+		scale = flag.Float64("scale", 0, "dataset size multiplier for fig7/fig8/fig17 (default 0.01 of the paper's sizes)")
+		list  = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		tbl, err := experiments.Run(name, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,31 @@
+// Package knnshapley computes task-specific data valuations — Shapley values
+// of individual training points (or data sellers) — for K-nearest-neighbor
+// models, implementing "Efficient Task-Specific Data Valuation for Nearest
+// Neighbor Algorithms" (Jia et al., VLDB 2019).
+//
+// # Why KNN Shapley values
+//
+// The Shapley value is the unique revenue-division scheme satisfying group
+// rationality, fairness and additivity, but for general models it takes
+// O(2^N) utility evaluations. For KNN utilities this package computes it
+//
+//   - exactly in O(N log N) for unweighted KNN classification and regression
+//     (Theorems 1 and 6 — the paper's headline result),
+//   - approximately in sublinear time via locality-sensitive hashing when an
+//     (ε,δ) error is acceptable (Theorems 2–4),
+//   - exactly in polynomial time for weighted KNN and seller-level games
+//     (Theorems 7–8), with a fast Monte-Carlo estimator (Algorithm 2,
+//     Theorem 5) for when the polynomial cost is still too high,
+//   - and for composite games that value the computation provider (the
+//     "analyst") alongside the data sellers (Theorems 9–12).
+//
+// # Quick start
+//
+//	train, test := /* your data */, /* held-out queries */
+//	sv, err := knnshapley.Exact(train, test, knnshapley.Config{K: 5})
+//	// sv[i] is the value of training point i; Σ sv = ν(I) − ν(∅).
+//
+// See the examples/ directory for runnable end-to-end scenarios (data
+// debugging, data markets, streaming valuation) and cmd/svbench for the
+// harness that regenerates every table and figure of the paper's evaluation.
+package knnshapley

@@ -1,0 +1,70 @@
+package knnshapley_test
+
+import (
+	"fmt"
+	"math"
+
+	knnshapley "knnshapley"
+)
+
+// Exact valuation of a tiny 1-NN game: the training point closest to the
+// query with the right label carries all the value.
+func ExampleExact() {
+	train, _ := knnshapley.NewClassificationDataset(
+		[][]float64{{0}, {1}, {4}}, []int{1, 0, 1})
+	test, _ := knnshapley.NewClassificationDataset(
+		[][]float64{{0.1}}, []int{1})
+	sv, _ := knnshapley.Exact(train, test, knnshapley.Config{K: 1})
+	for i, v := range sv {
+		fmt.Printf("point %d: %+.3f\n", i, v)
+	}
+	// Output:
+	// point 0: +0.833
+	// point 1: -0.167
+	// point 2: +0.333
+}
+
+// Group rationality: the values always sum to ν(I) − ν(∅).
+func ExampleUtility() {
+	train, _ := knnshapley.NewClassificationDataset(
+		[][]float64{{0}, {1}, {2}, {3}}, []int{0, 0, 1, 1})
+	test, _ := knnshapley.NewClassificationDataset([][]float64{{0.2}}, []int{0})
+	cfg := knnshapley.Config{K: 2}
+	sv, _ := knnshapley.Exact(train, test, cfg)
+	full, _ := knnshapley.Utility(train, test, cfg, []int{0, 1, 2, 3})
+	var total float64
+	for _, v := range sv {
+		total += v
+	}
+	fmt.Printf("sum of values %.3f equals utility %.3f: %v\n",
+		total, full, math.Abs(total-full) < 1e-12)
+	// Output:
+	// sum of values 1.000 equals utility 1.000: true
+}
+
+// Monetize converts relative values to payments under an affine revenue
+// model.
+func ExampleMonetize() {
+	payments := knnshapley.Monetize([]float64{0.5, 0.3, 0.2}, 1000, 0)
+	fmt.Println(payments)
+	// Output:
+	// [500 300 200]
+}
+
+// The truncated approximation zeroes everything beyond the K* nearest
+// neighbors while keeping an eps error guarantee.
+func ExampleTruncated() {
+	train, _ := knnshapley.NewClassificationDataset(
+		[][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}}, []int{1, 0, 0, 0, 1, 0, 1, 0})
+	test, _ := knnshapley.NewClassificationDataset([][]float64{{0}}, []int{1})
+	sv, _ := knnshapley.Truncated(train, test, knnshapley.Config{K: 1}, 0.5) // K* = 2
+	nonzero := 0
+	for _, v := range sv {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	fmt.Printf("non-zero values: %d of %d\n", nonzero, len(sv))
+	// Output:
+	// non-zero values: 1 of 8
+}

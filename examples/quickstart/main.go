@@ -1,0 +1,61 @@
+// Quickstart: compute exact KNN Shapley values for a small training set and
+// inspect the most and least valuable points.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	knnshapley "knnshapley"
+)
+
+func main() {
+	// A synthetic stand-in for MNIST deep features: 500 training points,
+	// 50 test queries, 10 classes.
+	train := knnshapley.SynthMNIST(500, 1)
+	test := knnshapley.SynthMNIST(50, 2)
+
+	cfg := knnshapley.Config{K: 5}
+	sv, err := knnshapley.Exact(train, test, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Group rationality audit: values must sum to ν(I) − ν(∅).
+	all := make([]int, train.N())
+	for i := range all {
+		all[i] = i
+	}
+	full, err := knnshapley.Utility(train, test, cfg, all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total float64
+	for _, v := range sv {
+		total += v
+	}
+	fmt.Printf("training points: %d   test queries: %d   K: %d\n", train.N(), test.N(), cfg.K)
+	fmt.Printf("model utility ν(I) = %.4f   Σ Shapley values = %.4f\n", full, total)
+
+	idx := make([]int, len(sv))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return sv[idx[a]] > sv[idx[b]] })
+
+	fmt.Println("\nmost valuable training points:")
+	for _, i := range idx[:5] {
+		fmt.Printf("  point %3d (class %d): %+.6f\n", i, train.Labels[i], sv[i])
+	}
+	fmt.Println("least valuable training points:")
+	for _, i := range idx[len(idx)-5:] {
+		fmt.Printf("  point %3d (class %d): %+.6f\n", i, train.Labels[i], sv[i])
+	}
+
+	// Convert the relative values into payments for a $1000 training job.
+	payments := knnshapley.Monetize(sv, 1000/full, 0)
+	fmt.Printf("\ntop point's share of a $1000 payment: $%.2f\n", payments[idx[0]])
+}

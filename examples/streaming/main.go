@@ -1,0 +1,65 @@
+// Streaming valuation: test queries arrive one at a time (the document-
+// retrieval scenario of Section 1/C1.2) and each training point's value is
+// updated on the fly. Sorting the full training set per query would be too
+// slow, so the LSH valuer retrieves only the K* = max{K, ⌈1/ε⌉} nearest
+// neighbors per query (Theorems 2–4).
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	knnshapley "knnshapley"
+)
+
+func main() {
+	train := knnshapley.SynthDeep(20000, 1)
+	queries := knnshapley.SynthDeep(100, 2)
+
+	cfg := knnshapley.Config{K: 2}
+	const eps, delta = 0.1, 0.1
+	start := time.Now()
+	valuer, err := knnshapley.NewLSHValuer(train, cfg, eps, delta, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d points in %v (K* = %d, estimated contrast %.3f)\n",
+		train.N(), time.Since(start).Round(time.Millisecond), valuer.KStar(), valuer.EstimatedContrast())
+
+	// Stream the queries, accumulating values as they arrive.
+	acc := make([]float64, train.N())
+	start = time.Now()
+	for i := range queries.X {
+		sv := valuer.ValueOne(queries.X[i], queries.Labels[i])
+		for j, v := range sv {
+			acc[j] += v
+		}
+	}
+	perQuery := time.Since(start) / time.Duration(len(queries.X))
+	for j := range acc {
+		acc[j] /= float64(len(queries.X))
+	}
+	fmt.Printf("valued %d streaming queries, %v per query\n", len(queries.X), perQuery.Round(time.Microsecond))
+
+	// Compare against the exact (full-sort) values on the same stream.
+	start = time.Now()
+	exact, err := knnshapley.Exact(train, queries, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactTime := time.Since(start) / time.Duration(len(queries.X))
+	var maxErr float64
+	for j := range acc {
+		if d := acc[j] - exact[j]; d > maxErr {
+			maxErr = d
+		} else if -d > maxErr {
+			maxErr = -d
+		}
+	}
+	fmt.Printf("exact valuation: %v per query\n", exactTime.Round(time.Microsecond))
+	fmt.Printf("max |ŝ−s| = %.4f (ε budget %.2f), speed-up ×%.1f\n",
+		maxErr, eps, float64(exactTime)/float64(perQuery))
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"knnshapley/internal/game"
+	"knnshapley/internal/knn"
+	"knnshapley/internal/stats"
+)
+
+// BaselineMC is the Section 2.2 baseline estimator: permutation sampling
+// with a from-scratch utility evaluation per prefix (each evaluation sorts
+// the prefix's K nearest neighbors out of the whole prefix), giving
+// O(T·N²·log K) work where Algorithm 2 spends O(T·N·log K). Its permutation
+// budget comes from the Hoeffding bound and therefore grows with log N.
+//
+// It exists as the evaluation baseline of Figures 5–6 and 11; use ImprovedMC
+// for real workloads.
+func BaselineMC(tps []*knn.TestPoint, eps, delta float64, capT int, seed uint64) (MCResult, error) {
+	if len(tps) == 0 {
+		return MCResult{}, fmt.Errorf("core: no test points")
+	}
+	tp0 := tps[0]
+	if tp0.Kind != knn.UnweightedClass {
+		return MCResult{}, fmt.Errorf("core: baseline budget is defined for the unweighted classification utility")
+	}
+	width := 2 / float64(tp0.K)
+	budget := stats.HoeffdingPermutations(width, eps, delta, tp0.N())
+	if capT > 0 && budget > capT {
+		budget = capT
+	}
+	u := game.Func{Players: tp0.N(), F: func(s []int) float64 {
+		return knn.AverageUtility(tps, s)
+	}}
+	rng := rand.New(rand.NewPCG(seed, 0xabcdef0123456789))
+	sv := game.MonteCarloShapley(u, budget, rng)
+	return MCResult{SV: sv, Permutations: budget, Budget: budget, UtilityEvals: budget * tp0.N() * len(tps)}, nil
+}

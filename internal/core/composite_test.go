@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"knnshapley/internal/game"
+	"knnshapley/internal/knn"
+)
+
+// compositeOracle brute-forces the composite game of Eq. (28) over N+1
+// players and returns (seller values, analyst value).
+func compositeOracle(tp *knn.TestPoint) ([]float64, float64) {
+	c := game.Composite{Base: tpGame(tp)}
+	sv := game.ExactShapley(c)
+	return sv[:tp.N()], sv[tp.N()]
+}
+
+func TestCompositeClassSVMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(707, 7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(8)
+		k := 1 + rng.IntN(4)
+		tp := randomClassTP(n, 3, k, rng)
+		got := CompositeClassSV(tp)
+		wantSellers, wantAnalyst := compositeOracle(tp)
+		assertClose(t, got.Sellers, wantSellers, 1e-9, "composite class sellers")
+		if math.Abs(got.Analyst-wantAnalyst) > 1e-9 {
+			t.Fatalf("analyst = %v want %v (n=%d k=%d)", got.Analyst, wantAnalyst, n, k)
+		}
+	}
+}
+
+func TestCompositeRegressSVMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(808, 8))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(8)
+		k := 1 + rng.IntN(4)
+		tp := randomRegressTP(n, k, rng)
+		got := CompositeRegressSV(tp)
+		wantSellers, wantAnalyst := compositeOracle(tp)
+		assertClose(t, got.Sellers, wantSellers, 1e-8, "composite regress sellers")
+		if math.Abs(got.Analyst-wantAnalyst) > 1e-8 {
+			t.Fatalf("analyst = %v want %v (n=%d k=%d)", got.Analyst, wantAnalyst, n, k)
+		}
+	}
+}
+
+func TestCompositeWeightedSVMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(909, 9))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(7)
+		k := 1 + rng.IntN(3)
+		for _, regression := range []bool{false, true} {
+			tp := randomWeightedTP(n, k, regression, rng)
+			got := CompositeWeightedSV(tp)
+			wantSellers, wantAnalyst := compositeOracle(tp)
+			assertClose(t, got.Sellers, wantSellers, 1e-8, "composite weighted sellers")
+			if math.Abs(got.Analyst-wantAnalyst) > 1e-8 {
+				t.Fatalf("analyst = %v want %v", got.Analyst, wantAnalyst)
+			}
+		}
+	}
+}
+
+// Eq. (88)/(89): each seller's composite value is at most half its data-only
+// value difference structure; in particular the analyst takes at least half
+// of the total utility on classification games.
+func TestCompositeAnalystTakesMajorityShare(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1010, 10))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.IntN(40)
+		k := 1 + rng.IntN(5)
+		tp := randomClassTP(n, 3, k, rng)
+		res := CompositeClassSV(tp)
+		total := tp.FullUtility()
+		if total <= 0 {
+			continue
+		}
+		if res.Analyst < total/2-1e-9 {
+			t.Fatalf("analyst %v < half of total %v (n=%d k=%d)", res.Analyst, total, n, k)
+		}
+	}
+}
+
+// The composite seller recursion is the data-only recursion damped by
+// (min{i,K}+1)/(2(i+1)) (Eq. 89) — verify the ratio of differences.
+func TestCompositeVsDataOnlyDifferenceRatio(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1111, 11))
+	tp := randomClassTP(30, 2, 3, rng)
+	data := ExactClassSV(tp)
+	comp := CompositeClassSV(tp).Sellers
+	order := tp.Order()
+	for r := 0; r < len(order)-1; r++ {
+		i := r + 1 // 1-based rank
+		dd := data[order[r]] - data[order[r+1]]
+		dc := comp[order[r]] - comp[order[r+1]]
+		if math.Abs(dd) < 1e-12 {
+			if math.Abs(dc) > 1e-12 {
+				t.Fatalf("rank %d: composite difference %v for zero data-only difference", i, dc)
+			}
+			continue
+		}
+		wantRatio := float64(min(tp.K, i)+1) / (2 * float64(i+1))
+		if got := dc / dd; math.Abs(got-wantRatio) > 1e-9 {
+			t.Fatalf("rank %d: ratio %v want %v", i, got, wantRatio)
+		}
+	}
+}
+
+func TestCompositeEmptyInstance(t *testing.T) {
+	tp := &knn.TestPoint{Kind: knn.UnweightedClass, K: 1}
+	res := CompositeClassSV(tp)
+	if len(res.Sellers) != 0 || res.Analyst != 0 {
+		t.Fatalf("empty composite = %+v", res)
+	}
+}

@@ -1,0 +1,22 @@
+// Package core implements the paper's valuation algorithms: the exact
+// O(N log N) Shapley value for unweighted KNN classification (Theorem 1,
+// Algorithm 1) and regression (Theorem 6), the truncated (ε,0)-approximation
+// (Theorem 2) and its sublinear LSH-backed variant (Theorem 4), exact
+// polynomial algorithms for weighted KNN (Theorem 7) and
+// multiple-data-per-curator games (Theorem 8), the composite games that value
+// the analyst alongside the curators (Theorems 9–12), the improved
+// Monte-Carlo estimator with heap-incremental utilities and the Bennett
+// permutation bound (Theorem 5, Algorithm 2), and the baseline Monte-Carlo
+// estimator of Section 2.2.
+//
+// All functions operate on knn.TestPoint values (per-query precomputed
+// distances and responses); multi-test-point Shapley values are averages of
+// single-test-point values by the additivity property (Eq. 8).
+//
+// One convention note: the paper's regression derivations implicitly take
+// ν(∅) = 0, while Eq. (25) evaluated literally on the empty set gives
+// ν(∅) = −y_test². This package uses the literal Eq. (25) everywhere (so
+// group rationality Σs_i = ν(I) − ν(∅) holds against the same utility the
+// Monte-Carlo estimators see) and therefore adds the constant y_test²/N to
+// the paper's Eq. (62) base case; pairwise differences are unaffected.
+package core

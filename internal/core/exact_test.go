@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"knnshapley/internal/game"
+	"knnshapley/internal/knn"
+	"knnshapley/internal/vec"
+)
+
+// randomClassTP builds a random single-test-point classification instance.
+func randomClassTP(n, classes, k int, rng *rand.Rand) *knn.TestPoint {
+	X := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+		labels[i] = rng.IntN(classes)
+	}
+	q := []float64{rng.Float64() * 10, rng.Float64() * 10}
+	return knn.BuildTestPoint(knn.UnweightedClass, k, nil, vec.L2, X, labels, nil, q, rng.IntN(classes), 0)
+}
+
+// randomRegressTP builds a random single-test-point regression instance.
+func randomRegressTP(n, k int, rng *rand.Rand) *knn.TestPoint {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+		y[i] = rng.NormFloat64() * 2
+	}
+	q := []float64{rng.Float64() * 10, rng.Float64() * 10}
+	return knn.BuildTestPoint(knn.UnweightedRegress, k, nil, vec.L2, X, nil, y, q, 0, rng.NormFloat64())
+}
+
+// tpGame adapts a TestPoint to the brute-force game oracle.
+func tpGame(tp *knn.TestPoint) game.Utility {
+	return game.Func{Players: tp.N(), F: tp.SubsetUtility}
+}
+
+func assertClose(t *testing.T, got, want []float64, tol float64, msg string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", msg, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s: sv[%d] = %v want %v (diff %v)\n got: %v\nwant: %v",
+				msg, i, got[i], want[i], got[i]-want[i], got, want)
+		}
+	}
+}
+
+// Theorem 1 must agree with the 2^N brute-force Shapley enumeration.
+func TestExactClassSVMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 1))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.IntN(9)
+		k := 1 + rng.IntN(4)
+		classes := 2 + rng.IntN(3)
+		tp := randomClassTP(n, classes, k, rng)
+		got := ExactClassSV(tp)
+		want := game.ExactShapley(tpGame(tp))
+		assertClose(t, got, want, 1e-9, "exact class")
+	}
+}
+
+// Theorem 6 must agree with brute force, including the ν(∅) correction.
+func TestExactRegressSVMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(202, 2))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.IntN(9)
+		k := 1 + rng.IntN(4)
+		tp := randomRegressTP(n, k, rng)
+		got := ExactRegressSV(tp)
+		want := game.ExactShapley(tpGame(tp))
+		assertClose(t, got, want, 1e-8, "exact regress")
+	}
+}
+
+// Group rationality: Σ s_i = ν(I) − ν(∅).
+func TestExactSVGroupRationality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(303, 3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(40)
+		k := 1 + rng.IntN(5)
+		tpC := randomClassTP(n, 3, k, rng)
+		svC := ExactClassSV(tpC)
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		if got, want := vec.Sum(svC), tpC.SubsetUtility(all)-tpC.EmptyUtility(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("class efficiency: Σ=%v want %v (n=%d k=%d)", got, want, n, k)
+		}
+		tpR := randomRegressTP(n, k, rng)
+		svR := ExactRegressSV(tpR)
+		if got, want := vec.Sum(svR), tpR.SubsetUtility(all)-tpR.EmptyUtility(); math.Abs(got-want) > 1e-8 {
+			t.Fatalf("regress efficiency: Σ=%v want %v (n=%d k=%d)", got, want, n, k)
+		}
+	}
+}

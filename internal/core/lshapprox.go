@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/lsh"
+	"knnshapley/internal/vec"
+)
+
+// LSHConfig configures the sublinear (eps, delta)-approximation of
+// Theorem 4.
+type LSHConfig struct {
+	// K is the KNN parameter of the utility.
+	K int
+	// Eps is the target max-error of the Shapley approximation.
+	Eps float64
+	// Delta is the allowed failure probability of the underlying
+	// K*-nearest-neighbor retrieval.
+	Delta float64
+	// Alpha scales the number of hash bits per table (Section 6.1 tunes it
+	// per dataset; 1 is a sensible default).
+	Alpha float64
+	// MaxTables caps the table count on low-contrast data (0 = 512).
+	MaxTables int
+	// Seed drives index construction and tuning samples.
+	Seed uint64
+	// Workers bounds the test-point fan-out (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c LSHConfig) withDefaults() LSHConfig {
+	if c.Alpha <= 0 {
+		c.Alpha = 1
+	}
+	if c.MaxTables <= 0 {
+		c.MaxTables = 512
+	}
+	return c
+}
+
+// LSHValuer computes approximate Shapley values for unweighted KNN
+// classification by retrieving only the K* = max{K, ⌈1/Eps⌉} nearest
+// neighbors per test point from a p-stable LSH index (Theorems 2–4), instead
+// of sorting the full training set. Build once, then value any number of
+// (possibly streaming) test points.
+type LSHValuer struct {
+	cfg   LSHConfig
+	train *dataset.Dataset
+	index *lsh.Index
+	tuned lsh.Tuned
+	kStar int
+}
+
+// NewLSHValuer tunes LSH parameters on the training set and builds the
+// index.
+func NewLSHValuer(train *dataset.Dataset, cfg LSHConfig) (*LSHValuer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 || cfg.Eps <= 0 || cfg.Delta <= 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("core: invalid LSH config %+v", cfg)
+	}
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if train.IsRegression() {
+		return nil, fmt.Errorf("core: the LSH approximation applies to classification only (Section 3.2)")
+	}
+	kStar := KStar(cfg.K, cfg.Eps)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x94d049bb133111eb))
+	tuned := lsh.Tune(train.X, train.X, kStar, cfg.Delta, cfg.Alpha, cfg.MaxTables, cfg.Seed, rng)
+	index, err := lsh.Build(train.X, tuned.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &LSHValuer{cfg: cfg, train: train, index: index, tuned: tuned, kStar: kStar}, nil
+}
+
+// Tuned reports the selected LSH parameters and estimated contrast.
+func (v *LSHValuer) Tuned() lsh.Tuned { return v.tuned }
+
+// KStar returns the retrieval depth max{K, ⌈1/Eps⌉}.
+func (v *LSHValuer) KStar() int { return v.kStar }
+
+// ValueOne returns the approximate Shapley values for a single test query:
+// the K* retrieved neighbors carry the Theorem 2 recursion, everyone else
+// gets zero.
+func (v *LSHValuer) ValueOne(q []float64, label int) []float64 {
+	res := v.index.Query(q, v.kStar)
+	correct := make([]bool, len(res.IDs))
+	for r, id := range res.IDs {
+		correct[r] = v.train.Labels[id] == label
+	}
+	return truncatedFromRanking(res.IDs, correct, v.train.N(), v.cfg.K, v.cfg.Eps)
+}
+
+// Value averages ValueOne over a test set (Eq. 8 / Theorem 4).
+func (v *LSHValuer) Value(test *dataset.Dataset) ([]float64, error) {
+	if test.IsRegression() {
+		return nil, fmt.Errorf("core: classification test set required")
+	}
+	if test.Dim() != v.train.Dim() {
+		return nil, fmt.Errorf("core: test dim %d != train dim %d", test.Dim(), v.train.Dim())
+	}
+	if test.N() == 0 {
+		return make([]float64, v.train.N()), nil
+	}
+	sv := make([]float64, v.train.N())
+	results := make([][]float64, test.N())
+	parallelFor(test.N(), Options{Workers: v.cfg.Workers}.workers(), func(j int) {
+		results[j] = v.ValueOne(test.X[j], test.Labels[j])
+	})
+	for _, r := range results {
+		vec.AXPY(sv, 1, r)
+	}
+	vec.Scale(sv, 1/float64(test.N()))
+	return sv, nil
+}
+
+// parallelFor runs f(0..n-1) on up to workers goroutines.
+func parallelFor(n, workers int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	ch := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range ch {
+				f(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

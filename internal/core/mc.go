@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"knnshapley/internal/knn"
+	"knnshapley/internal/stats"
+)
+
+// BoundKind selects how the improved Monte-Carlo estimator picks its
+// permutation budget.
+type BoundKind int
+
+const (
+	// BoundBennett solves Theorem 5's Eq. (32) numerically — the paper's
+	// improved bound, roughly flat in N.
+	BoundBennett BoundKind = iota
+	// BoundBennettApprox uses the closed-form T̃ = r²/ε²·log(2K/δ) (Eq. 34).
+	BoundBennettApprox
+	// BoundHoeffding uses the Section 2.2 baseline budget
+	// T = width²/(2ε²)·log(2N/δ), which grows with log N.
+	BoundHoeffding
+	// BoundFixed runs exactly MCConfig.T permutations.
+	BoundFixed
+)
+
+// String names the bound.
+func (b BoundKind) String() string {
+	switch b {
+	case BoundBennett:
+		return "bennett"
+	case BoundBennettApprox:
+		return "bennett-approx"
+	case BoundHoeffding:
+		return "hoeffding"
+	case BoundFixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("BoundKind(%d)", int(b))
+	}
+}
+
+// MCConfig configures the improved Monte-Carlo estimator (Algorithm 2).
+type MCConfig struct {
+	// Eps and Delta define the (ε,δ)-approximation target.
+	Eps, Delta float64
+	// Bound selects the permutation budget rule.
+	Bound BoundKind
+	// T is the fixed budget when Bound == BoundFixed; otherwise it caps the
+	// budget when positive.
+	T int
+	// RangeHalfWidth is the half-width r of the utility-difference range
+	// [−r, r]; zero selects 1/K for unweighted classification and requires
+	// an explicit value for other utilities.
+	RangeHalfWidth float64
+	// Heuristic, when true, stops early once the max change of the running
+	// estimates stays below Eps/50 for HeuristicPatience consecutive
+	// permutations (the stopping rule evaluated in Figure 11).
+	Heuristic bool
+	// HeuristicPatience defaults to 5.
+	HeuristicPatience int
+	// MinPermutations floors the budget (default 10).
+	MinPermutations int
+	// Seed drives the permutation stream.
+	Seed uint64
+}
+
+func (c MCConfig) withDefaults(tp *knn.TestPoint) (MCConfig, error) {
+	if c.Bound != BoundFixed {
+		if c.Eps <= 0 || c.Delta <= 0 || c.Delta >= 1 {
+			return c, fmt.Errorf("core: MC bound %v needs eps in (0,inf), delta in (0,1); got eps=%v delta=%v",
+				c.Bound, c.Eps, c.Delta)
+		}
+	} else if c.T <= 0 {
+		return c, fmt.Errorf("core: BoundFixed needs T > 0")
+	}
+	if c.RangeHalfWidth <= 0 {
+		if tp.Kind == knn.UnweightedClass {
+			c.RangeHalfWidth = 1 / float64(tp.K)
+		} else if c.Bound != BoundFixed {
+			return c, fmt.Errorf("core: RangeHalfWidth required for utility kind %v", tp.Kind)
+		}
+	}
+	if c.HeuristicPatience <= 0 {
+		c.HeuristicPatience = 5
+	}
+	if c.MinPermutations <= 0 {
+		c.MinPermutations = 10
+	}
+	return c, nil
+}
+
+// Budget returns the permutation budget the configuration implies for a
+// problem with n training points and KNN parameter k.
+func (c MCConfig) Budget(n, k int) int {
+	switch c.Bound {
+	case BoundHoeffding:
+		t := stats.HoeffdingPermutations(2*c.RangeHalfWidth, c.Eps, c.Delta, n)
+		return c.capT(t)
+	case BoundBennettApprox:
+		t := stats.BennettApproxPermutations(c.RangeHalfWidth, c.Eps, c.Delta, k)
+		return c.capT(t)
+	case BoundBennett:
+		t := stats.BennettPermutations(stats.KNNNonzeroProb(n, k), c.RangeHalfWidth, c.Eps, c.Delta)
+		return c.capT(t)
+	default:
+		return c.T
+	}
+}
+
+func (c MCConfig) capT(t int) int {
+	if c.T > 0 && t > c.T {
+		return c.T
+	}
+	return t
+}
+
+// MCResult reports the estimate and how it was obtained.
+type MCResult struct {
+	SV []float64
+	// Permutations actually executed (≤ budget under the heuristic).
+	Permutations int
+	// Budget is the bound-implied permutation count.
+	Budget int
+	// UtilityEvals counts incremental utility updates (heap hits), the
+	// cost driver Algorithm 2 minimizes.
+	UtilityEvals int
+}
+
+// ImprovedMC is Algorithm 2: permutation sampling with a bounded max-heap
+// per test point, so a step costs O(log K) unless the KNN set changes, plus
+// the Bennett-style budget of Theorem 5 and the optional Eps/50 stopping
+// heuristic. It applies to every utility kind, which is what makes it the
+// practical choice for weighted KNN and multi-data-per-curator games.
+func ImprovedMC(tps []*knn.TestPoint, cfg MCConfig) (MCResult, error) {
+	if len(tps) == 0 {
+		return MCResult{}, fmt.Errorf("core: no test points")
+	}
+	cfg, err := cfg.withDefaults(tps[0])
+	if err != nil {
+		return MCResult{}, err
+	}
+	n := tps[0].N()
+	budget := cfg.Budget(n, tps[0].K)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xc0ffee123456789a))
+
+	sumSV := make([]float64, n)   // Σ_t φ^t
+	prevEst := make([]float64, n) // running estimate after t−1 permutations
+	incs := make([]*knn.Incremental, len(tps))
+	for j, tp := range tps {
+		if tp.N() != n {
+			return MCResult{}, fmt.Errorf("core: test points disagree on training size")
+		}
+		incs[j] = knn.NewIncremental(tp)
+	}
+	invTest := 1 / float64(len(tps))
+	evals := 0
+	calm := 0
+	t := 0
+	for ; t < budget; t++ {
+		perm := rng.Perm(n)
+		prev := 0.0
+		for j := range incs {
+			incs[j].Reset()
+			prev += incs[j].Utility()
+		}
+		prev *= invTest
+		for _, i := range perm {
+			cur := 0.0
+			for j := range incs {
+				u, changed := incs[j].Add(i)
+				if changed {
+					evals++
+				}
+				cur += u
+			}
+			cur *= invTest
+			sumSV[i] += cur - prev
+			prev = cur
+		}
+		if cfg.Heuristic && t+1 >= cfg.MinPermutations {
+			// Compare the running means before and after this permutation.
+			maxChange := 0.0
+			inv := 1 / float64(t+1)
+			for i := range sumSV {
+				est := sumSV[i] * inv
+				if d := est - prevEst[i]; d > maxChange {
+					maxChange = d
+				} else if -d > maxChange {
+					maxChange = -d
+				}
+				prevEst[i] = est
+			}
+			if maxChange < cfg.Eps/50 {
+				calm++
+				if calm >= cfg.HeuristicPatience {
+					t++
+					break
+				}
+			} else {
+				calm = 0
+			}
+		} else if cfg.Heuristic {
+			inv := 1 / float64(t+1)
+			for i := range sumSV {
+				prevEst[i] = sumSV[i] * inv
+			}
+		}
+	}
+	sv := make([]float64, n)
+	inv := 1 / float64(t)
+	for i := range sv {
+		sv[i] = sumSV[i] * inv
+	}
+	return MCResult{SV: sv, Permutations: t, Budget: budget, UtilityEvals: evals}, nil
+}
+
+// MultiSellerMC estimates seller-level Shapley values by permutation
+// sampling over sellers with the same heap-incremental trick: inserting a
+// seller streams all its points into the per-test-point heaps (the
+// Section 6.2.2 comparison for Figure 13).
+func MultiSellerMC(tps []*knn.TestPoint, owners []int, m int, cfg MCConfig) (MCResult, error) {
+	if len(tps) == 0 {
+		return MCResult{}, fmt.Errorf("core: no test points")
+	}
+	cfg, err := cfg.withDefaults(tps[0])
+	if err != nil {
+		return MCResult{}, err
+	}
+	n := tps[0].N()
+	if len(owners) != n {
+		return MCResult{}, fmt.Errorf("core: %d owners for %d points", len(owners), n)
+	}
+	points := make([][]int, m)
+	for i, o := range owners {
+		if o < 0 || o >= m {
+			return MCResult{}, fmt.Errorf("core: owner %d outside [0,%d)", o, m)
+		}
+		points[o] = append(points[o], i)
+	}
+	budget := cfg.Budget(m, tps[0].K)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xfeedface87654321))
+	incs := make([]*knn.Incremental, len(tps))
+	for j, tp := range tps {
+		incs[j] = knn.NewIncremental(tp)
+	}
+	invTest := 1 / float64(len(tps))
+	sumSV := make([]float64, m)
+	prevEst := make([]float64, m)
+	evals := 0
+	calm := 0
+	t := 0
+	for ; t < budget; t++ {
+		perm := rng.Perm(m)
+		prev := 0.0
+		for j := range incs {
+			incs[j].Reset()
+			prev += incs[j].Utility()
+		}
+		prev *= invTest
+		for _, s := range perm {
+			cur := 0.0
+			for j := range incs {
+				u := incs[j].Utility()
+				for _, i := range points[s] {
+					var changed bool
+					u, changed = incs[j].Add(i)
+					if changed {
+						evals++
+					}
+				}
+				cur += u
+			}
+			cur *= invTest
+			sumSV[s] += cur - prev
+			prev = cur
+		}
+		if cfg.Heuristic && t+1 >= cfg.MinPermutations {
+			maxChange := 0.0
+			inv := 1 / float64(t+1)
+			for i := range sumSV {
+				est := sumSV[i] * inv
+				if d := est - prevEst[i]; d > maxChange {
+					maxChange = d
+				} else if -d > maxChange {
+					maxChange = -d
+				}
+				prevEst[i] = est
+			}
+			if maxChange < cfg.Eps/50 {
+				calm++
+				if calm >= cfg.HeuristicPatience {
+					t++
+					break
+				}
+			} else {
+				calm = 0
+			}
+		} else if cfg.Heuristic {
+			inv := 1 / float64(t+1)
+			for i := range sumSV {
+				prevEst[i] = sumSV[i] * inv
+			}
+		}
+	}
+	sv := make([]float64, m)
+	inv := 1 / float64(t)
+	for i := range sv {
+		sv[i] = sumSV[i] * inv
+	}
+	return MCResult{SV: sv, Permutations: t, Budget: budget, UtilityEvals: evals}, nil
+}

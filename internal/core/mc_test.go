@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"knnshapley/internal/knn"
+	"knnshapley/internal/stats"
+)
+
+func TestImprovedMCConvergesToExactClass(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1616, 16))
+	tp := randomClassTP(30, 3, 3, rng)
+	want := ExactClassSV(tp)
+	res, err := ImprovedMC([]*knn.TestPoint{tp}, MCConfig{Bound: BoundFixed, T: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.MaxAbsDiff(res.SV, want); got > 0.03 {
+		t.Fatalf("max error %v after %d permutations", got, res.Permutations)
+	}
+}
+
+func TestImprovedMCConvergesToExactWeighted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1717, 17))
+	tp := randomWeightedTP(12, 3, false, rng)
+	want := ExactWeightedSV(tp)
+	res, err := ImprovedMC([]*knn.TestPoint{tp}, MCConfig{Bound: BoundFixed, T: 6000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.MaxAbsDiff(res.SV, want); got > 0.05 {
+		t.Fatalf("max error %v", got)
+	}
+}
+
+func TestImprovedMCRegression(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1818, 18))
+	tp := randomRegressTP(15, 2, rng)
+	want := ExactRegressSV(tp)
+	res, err := ImprovedMC([]*knn.TestPoint{tp}, MCConfig{Bound: BoundFixed, T: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.MaxAbsDiff(res.SV, want); got > 0.25 {
+		t.Fatalf("max error %v (values %v vs %v)", got, res.SV[:3], want[:3])
+	}
+}
+
+// The (eps, delta) contract: with the Bennett budget the estimate should be
+// eps-close to the exact values (with margin, since delta > 0).
+func TestImprovedMCBennettContract(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1919, 19))
+	tp := randomClassTP(200, 3, 5, rng)
+	want := ExactClassSV(tp)
+	cfg := MCConfig{Eps: 0.05, Delta: 0.1, Bound: BoundBennett, Seed: 4}
+	res, err := ImprovedMC([]*knn.TestPoint{tp}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Permutations != res.Budget {
+		t.Fatalf("no heuristic: ran %d of %d", res.Permutations, res.Budget)
+	}
+	if got := stats.MaxAbsDiff(res.SV, want); got > cfg.Eps {
+		t.Fatalf("max error %v > eps %v (T=%d)", got, cfg.Eps, res.Permutations)
+	}
+}
+
+func TestImprovedMCHeuristicStopsEarly(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2020, 20))
+	tp := randomClassTP(100, 3, 1, rng)
+	full := MCConfig{Eps: 0.1, Delta: 0.01, Bound: BoundBennett, Seed: 5}
+	withStop := full
+	withStop.Heuristic = true
+	a, err := ImprovedMC([]*knn.TestPoint{tp}, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ImprovedMC([]*knn.TestPoint{tp}, withStop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Permutations >= a.Permutations {
+		t.Fatalf("heuristic did not stop early: %d vs %d", b.Permutations, a.Permutations)
+	}
+	want := ExactClassSV(tp)
+	if got := stats.MaxAbsDiff(b.SV, want); got > full.Eps {
+		t.Fatalf("heuristic estimate error %v > eps", got)
+	}
+}
+
+func TestMCBudgetOrdering(t *testing.T) {
+	// Hoeffding > Bennett for large N; both capped by T.
+	base := MCConfig{Eps: 0.05, Delta: 0.1, RangeHalfWidth: 0.2}
+	h := base
+	h.Bound = BoundHoeffding
+	b := base
+	b.Bound = BoundBennett
+	n, k := 100000, 5
+	if hb, bb := h.Budget(n, k), b.Budget(n, k); bb >= hb {
+		t.Fatalf("Bennett %d >= Hoeffding %d", bb, hb)
+	}
+	capped := h
+	capped.T = 7
+	if capped.Budget(n, k) != 7 {
+		t.Fatal("cap ignored")
+	}
+}
+
+func TestMCConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	tp := randomClassTP(5, 2, 1, rng)
+	if _, err := ImprovedMC([]*knn.TestPoint{tp}, MCConfig{Bound: BoundBennett}); err == nil {
+		t.Error("missing eps/delta accepted")
+	}
+	if _, err := ImprovedMC([]*knn.TestPoint{tp}, MCConfig{Bound: BoundFixed}); err == nil {
+		t.Error("BoundFixed without T accepted")
+	}
+	if _, err := ImprovedMC(nil, MCConfig{Bound: BoundFixed, T: 1}); err == nil {
+		t.Error("no test points accepted")
+	}
+	reg := randomRegressTP(5, 1, rng)
+	if _, err := ImprovedMC([]*knn.TestPoint{reg}, MCConfig{Bound: BoundBennett, Eps: 0.1, Delta: 0.1}); err == nil {
+		t.Error("regression without RangeHalfWidth accepted")
+	}
+}
+
+func TestMultiSellerMCConvergesToExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2121, 21))
+	tp := randomClassTP(24, 3, 2, rng)
+	owners := randomOwners(24, 6, rng)
+	want, err := MultiSellerSV(tp, owners, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultiSellerMC([]*knn.TestPoint{tp}, owners, 6, MCConfig{Bound: BoundFixed, T: 5000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.MaxAbsDiff(res.SV, want); got > 0.03 {
+		t.Fatalf("max error %v", got)
+	}
+}
+
+func TestMultiSellerMCValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	tp := randomClassTP(6, 2, 1, rng)
+	if _, err := MultiSellerMC([]*knn.TestPoint{tp}, []int{0}, 2, MCConfig{Bound: BoundFixed, T: 1}); err == nil {
+		t.Error("owner mismatch accepted")
+	}
+	if _, err := MultiSellerMC([]*knn.TestPoint{tp}, []int{0, 0, 0, 0, 0, 9}, 2, MCConfig{Bound: BoundFixed, T: 1}); err == nil {
+		t.Error("owner out of range accepted")
+	}
+}
+
+func TestBaselineMCConvergesAndIsCostlier(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2222, 22))
+	tp := randomClassTP(40, 3, 2, rng)
+	want := ExactClassSV(tp)
+	res, err := BaselineMC([]*knn.TestPoint{tp}, 0.1, 0.1, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.MaxAbsDiff(res.SV, want); got > 0.1 {
+		t.Fatalf("baseline max error %v", got)
+	}
+	imp, err := ImprovedMC([]*knn.TestPoint{tp}, MCConfig{Bound: BoundFixed, T: res.Permutations, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.UtilityEvals >= res.UtilityEvals {
+		t.Fatalf("Algorithm 2 should touch fewer utilities: %d vs %d", imp.UtilityEvals, res.UtilityEvals)
+	}
+}
+
+func TestBaselineMCRejectsNonClassification(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	reg := randomRegressTP(5, 1, rng)
+	if _, err := BaselineMC([]*knn.TestPoint{reg}, 0.1, 0.1, 10, 1); err == nil {
+		t.Error("regression accepted")
+	}
+}
+
+// Telescoping: the sum of improved-MC estimates equals ν(I) − ν(∅) exactly
+// for any permutation count.
+func TestImprovedMCEfficiencyExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2323, 23))
+	tp := randomClassTP(50, 3, 4, rng)
+	res, err := ImprovedMC([]*knn.TestPoint{tp}, MCConfig{Bound: BoundFixed, T: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, 50)
+	for i := range all {
+		all[i] = i
+	}
+	got := sum(res.SV)
+	want := tp.SubsetUtility(all) - tp.EmptyUtility()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Σ estimates = %v want %v", got, want)
+	}
+}

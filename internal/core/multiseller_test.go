@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"knnshapley/internal/game"
+	"knnshapley/internal/knn"
+)
+
+// randomOwners assigns n points to m sellers, guaranteeing every seller at
+// least one point.
+func randomOwners(n, m int, rng *rand.Rand) []int {
+	owners := make([]int, n)
+	perm := rng.Perm(n)
+	for j := 0; j < m; j++ {
+		owners[perm[j]] = j
+	}
+	for _, i := range perm[m:] {
+		owners[i] = rng.IntN(m)
+	}
+	return owners
+}
+
+// Theorem 8 must agree with brute-force enumeration of the seller-level
+// game for every utility kind.
+func TestMultiSellerSVMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1212, 12))
+	for trial := 0; trial < 40; trial++ {
+		m := 1 + rng.IntN(6)
+		n := m + rng.IntN(8)
+		k := 1 + rng.IntN(4)
+		var tp *knn.TestPoint
+		switch trial % 4 {
+		case 0:
+			tp = randomClassTP(n, 3, k, rng)
+		case 1:
+			tp = randomRegressTP(n, k, rng)
+		case 2:
+			tp = randomWeightedTP(n, k, false, rng)
+		default:
+			tp = randomWeightedTP(n, k, true, rng)
+		}
+		owners := randomOwners(n, m, rng)
+		got, err := MultiSellerSV(tp, owners, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gu, err := game.NewGroupUtility(tpGame(tp), owners, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := game.ExactShapley(gu)
+		assertClose(t, got, want, 1e-8, "multi-seller")
+	}
+}
+
+// Theorem 12 (composite multi-seller) against brute force.
+func TestCompositeMultiSellerSVMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1313, 13))
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + rng.IntN(5)
+		n := m + rng.IntN(7)
+		k := 1 + rng.IntN(3)
+		var tp *knn.TestPoint
+		if trial%2 == 0 {
+			tp = randomClassTP(n, 2, k, rng)
+		} else {
+			tp = randomRegressTP(n, k, rng)
+		}
+		owners := randomOwners(n, m, rng)
+		got, err := CompositeMultiSellerSV(tp, owners, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gu, err := game.NewGroupUtility(tpGame(tp), owners, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := game.ExactShapley(game.Composite{Base: gu})
+		assertClose(t, got.Sellers, full[:m], 1e-8, "composite multi-seller")
+		if math.Abs(got.Analyst-full[m]) > 1e-8 {
+			t.Fatalf("analyst = %v want %v", got.Analyst, full[m])
+		}
+	}
+}
+
+// With one point per seller, the multi-seller algorithm must reduce to the
+// single-point exact algorithm (the K=1 remark of Section 4 generalized).
+func TestMultiSellerReducesToPerPoint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1414, 14))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.IntN(10)
+		k := 1 + rng.IntN(3)
+		tp := randomClassTP(n, 3, k, rng)
+		owners := make([]int, n)
+		for i := range owners {
+			owners[i] = i
+		}
+		got, err := MultiSellerSV(tp, owners, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ExactClassSV(tp)
+		assertClose(t, got, want, 1e-9, "per-point reduction")
+	}
+}
+
+func TestMultiSellerValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	tp := randomClassTP(4, 2, 1, rng)
+	if _, err := MultiSellerSV(tp, []int{0, 1}, 2); err == nil {
+		t.Error("owner length mismatch accepted")
+	}
+	if _, err := MultiSellerSV(tp, []int{0, 0, 0, 9}, 2); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+	if _, err := MultiSellerSV(tp, []int{0, 0, 0, 0}, 2); err == nil {
+		t.Error("empty seller accepted")
+	}
+}
+
+// Group rationality at the seller level on instances beyond brute force.
+func TestMultiSellerEfficiency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1515, 15))
+	tp := randomClassTP(40, 3, 5, rng)
+	owners := randomOwners(40, 8, rng)
+	sv, err := MultiSellerSV(tp, owners, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, 40)
+	for i := range all {
+		all[i] = i
+	}
+	got := sum(sv)
+	want := tp.SubsetUtility(all) - tp.EmptyUtility()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Σ seller sv = %v want %v", got, want)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// The Appendix F engine must re-derive Theorem 1 exactly.
+func TestPiecewiseClassMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3131, 31))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(40)
+		k := 1 + rng.IntN(5)
+		tp := randomClassTP(n, 3, k, rng)
+		got := PiecewiseClassSV(tp)
+		want := ExactClassSV(tp)
+		assertClose(t, got, want, 1e-12, "piecewise class")
+	}
+}
+
+// The Appendix F engine must re-derive Theorem 6 (pairwise differences are
+// rebuilt from the generic groups; only the base case is shared).
+func TestPiecewiseRegressMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3232, 32))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(25)
+		k := 1 + rng.IntN(4)
+		tp := randomRegressTP(n, k, rng)
+		got := PiecewiseRegressSV(tp)
+		want := ExactRegressSV(tp)
+		assertClose(t, got, want, 1e-8, "piecewise regress")
+	}
+}
+
+func TestWeightThresholdClosedForm(t *testing.T) {
+	// Direct summation oracle: Σ_k Σ_{m<=K-1} C(f,m)C(n-2-f,k-m)/C(n-2,k).
+	for _, tc := range []struct{ n, k, f int }{
+		{10, 2, 4}, {10, 1, 0}, {12, 3, 9}, {8, 5, 3}, {9, 2, 0},
+	} {
+		var oracle float64
+		v := tc.n - 2 - tc.f
+		for k := 0; k <= tc.n-2; k++ {
+			den := binomFloat(tc.n-2, k)
+			for m := 0; m <= min(tc.k-1, k); m++ {
+				oracle += binomFloat(tc.f, m) * binomFloat(v, k-m) / den
+			}
+		}
+		got := WeightThreshold(tc.n, tc.k, tc.f)
+		if math.Abs(got-oracle) > 1e-9 {
+			t.Fatalf("WeightThreshold(%+v) = %v, oracle %v", tc, got, oracle)
+		}
+	}
+}
+
+func TestWeightPinnedMemberClosedForms(t *testing.T) {
+	// Oracle for the prefix-member group with front(i): pinned element is
+	// one of the i-2 front points beyond the pair... the group of Eq. (66):
+	// count over S containing the pinned l and with |S∩front| <= K-1, where
+	// the pinned element itself is in the front. Direct summation per
+	// Theorem 6's proof (Eq. 67).
+	n, k := 12, 3
+	for i := 3; i <= n-1; i++ {
+		var oracle float64
+		for kk := 0; kk <= n-2; kk++ {
+			den := binomFloat(n-2, kk)
+			for m := 0; m <= min(k-2, kk-1); m++ {
+				oracle += binomFloat(i-2, m) * binomFloat(n-i-1, kk-m-1) / den
+			}
+		}
+		got := WeightThresholdWithPrefixMember(n, k, i)
+		if math.Abs(got-oracle) > 1e-9 {
+			t.Fatalf("prefix member i=%d: %v vs oracle %v", i, got, oracle)
+		}
+	}
+	for l := 4; l <= n; l++ {
+		i := 2 // suffix case needs l >= i+2
+		_ = i
+		var oracle float64
+		for kk := 0; kk <= n-2; kk++ {
+			den := binomFloat(n-2, kk)
+			for m := 0; m <= min(k-2, kk-1); m++ {
+				oracle += binomFloat(l-3, m) * binomFloat(n-l, kk-m-1) / den
+			}
+		}
+		got := WeightThresholdWithSuffixMember(n, k, l)
+		if math.Abs(got-oracle) > 1e-9 {
+			t.Fatalf("suffix member l=%d: %v vs oracle %v", l, got, oracle)
+		}
+	}
+}
+
+func TestPiecewiseDifferenceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n < 2 accepted")
+		}
+	}()
+	PiecewiseDifference(1, nil)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"knnshapley/internal/knn"
+)
+
+// ExactRegressSV computes the exact Shapley value of every training point
+// for the unweighted KNN regression utility (Eq. 25) of a single test point,
+// via the Theorem 6 recursion evaluated in O(N) with prefix/suffix sums
+// (after the O(N log N) distance sort).
+//
+// Base-case note: Eq. (62) is derived with the convention ν(∅) = 0, while
+// Eq. (25) evaluated on the empty set gives ν(∅) = −y_test²; we add
+// y_test²/N so the values satisfy group rationality against the literal
+// Eq. (25) utility (see the package comment).
+func ExactRegressSV(tp *knn.TestPoint) []float64 {
+	requireKind(tp, knn.UnweightedRegress)
+	n := tp.N()
+	sv := make([]float64, n)
+	if n == 0 {
+		return sv
+	}
+	order := tp.Order()
+	k := float64(tp.K)
+	t := tp.YTest
+	// y[r] is the target of the r-th nearest neighbor, 1-based.
+	y := make([]float64, n+1)
+	for r, id := range order {
+		y[r+1] = tp.Y[id]
+	}
+
+	if n == 1 {
+		// s_1 = ν({1}) − ν(∅) directly.
+		d := y[1]/k - t
+		sv[order[0]] = -d*d + t*t
+		return sv
+	}
+
+	// Base case s_{α_N}.
+	var sumOthers float64
+	for r := 1; r < n; r++ {
+		sumOthers += y[r]
+	}
+	nf := float64(n)
+	yn := y[n]
+	var base float64
+	if n > tp.K {
+		// Eq. (62) plus the ν(∅) correction.
+		dN := yn/k - t
+		base = -(k-1)/(nf*k)*yn*(yn/k-2*t+sumOthers/(nf-1)) - dN*dN/nf + t*t/nf
+	} else {
+		// N <= K: every coalition keeps all its points, so averaging the
+		// marginal −(y_N/K)² − (2y_N/K)·((1/K)Σ_{l∈S}y_l − t) over coalition
+		// sizes gives Σ_{l∈S}y_l → Σ_{l≠N}y_l/2 and
+		// s_{α_N} = −(y_N/K)² − (2y_N/K)·(Σ_{l≠N}y_l/(2K) − t).
+		base = -(yn/k)*(yn/k) - 2*yn/k*(sumOthers/(2*k)-t)
+	}
+	sv[order[n-1]] = base
+
+	// Prefix sums P[r] = Σ_{l<=r} y_l and suffix sums W[r] = Σ_{l>=r} w_l·y_l
+	// with w_l = min(K,l−1)·min(K−1,l−2)/((l−1)(l−2)) (zero for l < 3).
+	prefix := make([]float64, n+2)
+	for r := 1; r <= n; r++ {
+		prefix[r] = prefix[r-1] + y[r]
+	}
+	suffix := make([]float64, n+3)
+	for r := n; r >= 3; r-- {
+		lf := float64(r)
+		w := float64(min(tp.K, r-1)) * float64(min(tp.K-1, r-2)) / ((lf - 1) * (lf - 2))
+		suffix[r] = suffix[r+1] + w*y[r]
+	}
+
+	// Recursion Eq. (63)/(64): s_{α_i} = s_{α_{i+1}} + (1/K)(y_{i+1}−y_i)·
+	// (min(K,i)/i)·((1/K)·Σ_l A_i^(l)·y_l − 2·y_test), with the A-weighted
+	// sum assembled from the prefix/suffix accumulators.
+	for i := n - 1; i >= 1; i-- {
+		fi := float64(i)
+		minKi := float64(min(tp.K, i))
+		var aSum float64
+		if i >= 2 {
+			aSum += float64(min(tp.K-1, i-1)) / (fi - 1) * prefix[i-1]
+		}
+		aSum += y[i] + y[i+1]
+		if i+2 <= n {
+			aSum += fi / minKi * suffix[i+2]
+		}
+		delta := (y[i+1] - y[i]) / k * (minKi / fi) * (aSum/k - 2*t)
+		sv[order[i-1]] = sv[order[i]] + delta
+	}
+	return sv
+}
+
+// ExactRegressSVMulti averages ExactRegressSV over test points (Eq. 8).
+func ExactRegressSVMulti(tps []*knn.TestPoint, opts Options) []float64 {
+	return averageOver(tps, opts, ExactRegressSV)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"knnshapley/internal/game"
+	"knnshapley/internal/knn"
+	"knnshapley/internal/vec"
+)
+
+// randomWeightedTP builds a random weighted classification or regression
+// instance with an inverse-distance weight function.
+func randomWeightedTP(n, k int, regression bool, rng *rand.Rand) *knn.TestPoint {
+	X := make([][]float64, n)
+	labels := make([]int, n)
+	targets := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+		labels[i] = rng.IntN(3)
+		targets[i] = rng.NormFloat64() * 2
+	}
+	q := []float64{rng.Float64() * 10, rng.Float64() * 10}
+	w := knn.InverseDistance(0.5)
+	if regression {
+		return knn.BuildTestPoint(knn.WeightedRegress, k, w, vec.L2, X, nil, targets, q, 0, rng.NormFloat64())
+	}
+	return knn.BuildTestPoint(knn.WeightedClass, k, w, vec.L2, X, labels, nil, q, rng.IntN(3), 0)
+}
+
+// Theorem 7 must agree with brute force for both weighted utilities.
+func TestExactWeightedSVMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(404, 4))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.IntN(8)
+		k := 1 + rng.IntN(4)
+		for _, regression := range []bool{false, true} {
+			tp := randomWeightedTP(n, k, regression, rng)
+			got := ExactWeightedSV(tp)
+			want := game.ExactShapley(tpGame(tp))
+			assertClose(t, got, want, 1e-8, "exact weighted")
+		}
+	}
+}
+
+// The counting machinery is utility-agnostic: on unweighted classification it
+// must reproduce Theorem 1 exactly, including on instances too large to brute
+// force.
+func TestCountingMatchesClosedFormOnUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(505, 5))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.IntN(20)
+		k := 1 + rng.IntN(3)
+		tp := randomClassTP(n, 3, k, rng)
+		got := exactByCounting(tp)
+		want := ExactClassSV(tp)
+		assertClose(t, got, want, 1e-9, "counting vs closed form")
+	}
+}
+
+func TestExactWeightedSVPanicsOnUnweighted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	rng := rand.New(rand.NewPCG(1, 1))
+	ExactWeightedSV(randomClassTP(5, 2, 1, rng))
+}
+
+func TestEstimateWeightedCostGrowth(t *testing.T) {
+	if EstimateWeightedCost(50, 3) <= EstimateWeightedCost(50, 2) {
+		t.Fatal("cost should grow with K")
+	}
+	if EstimateWeightedCost(100, 3) <= EstimateWeightedCost(50, 3) {
+		t.Fatal("cost should grow with N")
+	}
+	if EstimateWeightedCost(1, 3) != 1 {
+		t.Fatal("degenerate cost")
+	}
+}
+
+func TestForEachCombination(t *testing.T) {
+	var got [][]int
+	forEachCombination(4, 2, func(c []int) {
+		got = append(got, append([]int(nil), c...))
+	})
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("%d combinations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("comb[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+	count := 0
+	forEachCombination(5, 0, func(c []int) { count++ })
+	if count != 1 {
+		t.Fatalf("k=0 visited %d times", count)
+	}
+	forEachCombination(3, 4, func(c []int) { t.Fatal("k>n should visit nothing") })
+}
+
+func TestBinomFloat(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {6, 3, 20}, {3, 5, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binomFloat(c.n, c.k); got != c.want {
+			t.Errorf("C(%d,%d) = %v want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// Group rationality for the weighted algorithm on mid-size instances.
+func TestExactWeightedSVEfficiency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(606, 6))
+	for trial := 0; trial < 5; trial++ {
+		n := 12 + rng.IntN(8)
+		tp := randomWeightedTP(n, 3, trial%2 == 0, rng)
+		sv := ExactWeightedSV(tp)
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		got := sum(sv)
+		want := tp.SubsetUtility(all) - tp.EmptyUtility()
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("Σsv = %v want %v", got, want)
+		}
+	}
+}

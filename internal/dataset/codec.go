@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// CSV layout: one row per instance, feature columns first, response last.
+// Classification responses must be non-negative integers; regression
+// responses are arbitrary floats. WriteCSV/ReadCSV round-trip exactly for
+// the textual precision used ('g', full precision).
+
+// WriteCSV writes the dataset to w, features first and the response in the
+// final column.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	rec := make([]string, d.Dim()+1)
+	for i, row := range d.X {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if d.IsRegression() {
+			rec[len(rec)-1] = strconv.FormatFloat(d.Targets[i], 'g', -1, 64)
+		} else {
+			rec[len(rec)-1] = strconv.Itoa(d.Labels[i])
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. regression selects how the
+// final column is interpreted. For classification the class count is
+// max(label)+1.
+func ReadCSV(r io.Reader, regression bool) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	d := &Dataset{Name: "csv"}
+	dim := -1
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("dataset: row %d has %d columns, need >= 2", len(d.X), len(rec))
+		}
+		if dim == -1 {
+			dim = len(rec) - 1
+		} else if len(rec)-1 != dim {
+			return nil, fmt.Errorf("dataset: row %d has %d features, want %d", len(d.X), len(rec)-1, dim)
+		}
+		row := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d col %d: %w", len(d.X), j, err)
+			}
+			row[j] = v
+		}
+		d.X = append(d.X, row)
+		last := rec[dim]
+		if regression {
+			v, err := strconv.ParseFloat(last, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d response: %w", len(d.X)-1, err)
+			}
+			d.Targets = append(d.Targets, v)
+		} else {
+			y, err := strconv.Atoi(last)
+			if err != nil || y < 0 {
+				return nil, fmt.Errorf("dataset: row %d label %q invalid", len(d.X)-1, last)
+			}
+			d.Labels = append(d.Labels, y)
+			if y+1 > d.Classes {
+				d.Classes = y + 1
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+const binaryMagic = uint32(0x4b4e4e53) // "KNNS"
+
+// WriteBinary writes the dataset in a compact little-endian binary format:
+// magic, version, flags (bit0 = regression), n, dim, classes, then n*dim
+// float64 features followed by the responses (float64 targets or int32
+// labels).
+func WriteBinary(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	var flags uint32
+	if d.IsRegression() {
+		flags |= 1
+	}
+	hdr := []uint32{binaryMagic, 1, flags, uint32(d.N()), uint32(d.Dim()), uint32(d.Classes)}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	for _, row := range d.X {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	if d.IsRegression() {
+		for _, v := range d.Targets {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, y := range d.Labels {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(y))
+			if _, err := bw.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var hdr [6]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("dataset: binary header: %w", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != 1 {
+		return nil, fmt.Errorf("dataset: unsupported version %d", hdr[1])
+	}
+	regression := hdr[2]&1 != 0
+	n, dim, classes := int(hdr[3]), int(hdr[4]), int(hdr[5])
+	if n < 0 || dim <= 0 || n > 1<<31 || dim > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible size n=%d dim=%d", n, dim)
+	}
+	d := &Dataset{Name: "binary", Classes: classes, X: make([][]float64, n)}
+	flat := make([]float64, n*dim)
+	raw := make([]byte, 8)
+	for i := range flat {
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("dataset: features: %w", err)
+		}
+		flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
+	}
+	for i := 0; i < n; i++ {
+		d.X[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	if regression {
+		d.Targets = make([]float64, n)
+		for i := range d.Targets {
+			if _, err := io.ReadFull(br, raw); err != nil {
+				return nil, fmt.Errorf("dataset: targets: %w", err)
+			}
+			d.Targets[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
+		}
+	} else {
+		d.Labels = make([]int, n)
+		for i := range d.Labels {
+			if _, err := io.ReadFull(br, raw[:4]); err != nil {
+				return nil, fmt.Errorf("dataset: labels: %w", err)
+			}
+			d.Labels[i] = int(int32(binary.LittleEndian.Uint32(raw[:4])))
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

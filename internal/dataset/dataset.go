@@ -1,0 +1,159 @@
+// Package dataset defines the in-memory dataset representation shared by the
+// whole repository, synthetic generators standing in for the paper's
+// deep-feature benchmarks, label-noise injection, and CSV/binary codecs.
+//
+// The valuation algorithms only ever observe pairwise distances, labels and
+// the relative contrast of a dataset, so the synthetic generators are
+// calibrated on those properties rather than on image semantics (see
+// DESIGN.md, "Substitutions").
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+)
+
+// Dataset is a supervised dataset. Exactly one of Labels (classification)
+// and Targets (regression) is non-empty.
+type Dataset struct {
+	// Name identifies the dataset in experiment output.
+	Name string
+	// X holds one feature vector per instance; all rows share a dimension.
+	X [][]float64
+	// Labels holds class indices in [0, Classes) for classification data.
+	Labels []int
+	// Classes is the number of distinct classes for classification data.
+	Classes int
+	// Targets holds real-valued responses for regression data.
+	Targets []float64
+}
+
+// N returns the number of instances.
+func (d *Dataset) N() int { return len(d.X) }
+
+// Dim returns the feature dimension, or 0 for an empty dataset.
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// IsRegression reports whether the dataset carries regression targets.
+func (d *Dataset) IsRegression() bool { return len(d.Targets) > 0 }
+
+// Validate checks structural invariants: consistent row dimensions, exactly
+// one kind of response, responses matching X in length, and labels in range.
+func (d *Dataset) Validate() error {
+	if len(d.Labels) > 0 && len(d.Targets) > 0 {
+		return errors.New("dataset: both Labels and Targets set")
+	}
+	if len(d.Labels) == 0 && len(d.Targets) == 0 && len(d.X) > 0 {
+		return errors.New("dataset: no responses")
+	}
+	if len(d.Labels) > 0 && len(d.Labels) != len(d.X) {
+		return fmt.Errorf("dataset: %d labels for %d rows", len(d.Labels), len(d.X))
+	}
+	if len(d.Targets) > 0 && len(d.Targets) != len(d.X) {
+		return fmt.Errorf("dataset: %d targets for %d rows", len(d.Targets), len(d.X))
+	}
+	dim := d.Dim()
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("dataset: row %d has dim %d, want %d", i, len(row), dim)
+		}
+	}
+	for i, y := range d.Labels {
+		if y < 0 || y >= d.Classes {
+			return fmt.Errorf("dataset: label %d of row %d outside [0,%d)", y, i, d.Classes)
+		}
+	}
+	return nil
+}
+
+// Subset returns a new dataset containing the rows selected by idx, sharing
+// feature storage with the receiver.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{Name: d.Name, Classes: d.Classes}
+	out.X = make([][]float64, len(idx))
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+	}
+	if len(d.Labels) > 0 {
+		out.Labels = make([]int, len(idx))
+		for i, j := range idx {
+			out.Labels[i] = d.Labels[j]
+		}
+	}
+	if len(d.Targets) > 0 {
+		out.Targets = make([]float64, len(idx))
+		for i, j := range idx {
+			out.Targets[i] = d.Targets[j]
+		}
+	}
+	return out
+}
+
+// Split partitions the dataset into a training set with ceil(trainFrac*N)
+// rows and a test set with the rest, after a seeded shuffle. trainFrac must
+// lie in (0, 1).
+func (d *Dataset) Split(trainFrac float64, rng *rand.Rand) (train, test *Dataset) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("dataset: trainFrac %v outside (0,1)", trainFrac))
+	}
+	perm := rng.Perm(d.N())
+	nTrain := (d.N()*int(trainFrac*1000) + 999) / 1000
+	if nTrain >= d.N() {
+		nTrain = d.N() - 1
+	}
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	return d.Subset(perm[:nTrain]), d.Subset(perm[nTrain:])
+}
+
+// Bootstrap returns n rows sampled with replacement (the resampling used to
+// synthesize larger training sets for the Figure 6 runtime sweep).
+func (d *Dataset) Bootstrap(n int, rng *rand.Rand) *Dataset {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = rng.IntN(d.N())
+	}
+	out := d.Subset(idx)
+	out.Name = d.Name + "-bootstrap"
+	return out
+}
+
+// FlipLabels relabels a fraction frac of the rows to a uniformly random
+// *different* class and returns the indices that were corrupted. It is the
+// label-noise injector used by the mislabel-detection example.
+func (d *Dataset) FlipLabels(frac float64, rng *rand.Rand) []int {
+	if len(d.Labels) == 0 {
+		panic("dataset: FlipLabels on regression data")
+	}
+	if d.Classes < 2 {
+		panic("dataset: FlipLabels needs at least two classes")
+	}
+	n := int(frac * float64(d.N()))
+	perm := rng.Perm(d.N())
+	flipped := make([]int, 0, n)
+	for _, i := range perm[:n] {
+		offset := 1 + rng.IntN(d.Classes-1)
+		d.Labels[i] = (d.Labels[i] + offset) % d.Classes
+		flipped = append(flipped, i)
+	}
+	return flipped
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{Name: d.Name, Classes: d.Classes}
+	out.X = make([][]float64, len(d.X))
+	for i, row := range d.X {
+		out.X[i] = append([]float64(nil), row...)
+	}
+	out.Labels = append([]int(nil), d.Labels...)
+	out.Targets = append([]float64(nil), d.Targets...)
+	return out
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "x"), "%")
+	s = strings.TrimSuffix(s, "ms")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"n1"},
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "bb", "1", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.Col("bb") != 1 || tbl.Col("zz") != -1 {
+		t.Fatal("Col lookup wrong")
+	}
+}
+
+// Figure 5 shape: the MC estimate converges — errors shrink and correlation
+// rises with the permutation count.
+func TestFig5Shape(t *testing.T) {
+	tbl, err := Fig5{NTrain: 150, NTest: 10, Checkpoints: []int{5, 200}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCol := tbl.Col("max|err|")
+	corrCol := tbl.Col("pearson")
+	first := parseF(t, tbl.Rows[0][errCol])
+	last := parseF(t, tbl.Rows[len(tbl.Rows)-1][errCol])
+	if last >= first {
+		t.Fatalf("error did not shrink: %v -> %v", first, last)
+	}
+	if c := parseF(t, tbl.Rows[len(tbl.Rows)-1][corrCol]); c < 0.9 {
+		t.Fatalf("final correlation %v < 0.9", c)
+	}
+}
+
+// Figure 6 shape: the exact algorithm beats the baseline by a growing factor.
+func TestFig6Shape(t *testing.T) {
+	tbl, err := Fig6{Sizes: []int{500, 5000}, NTest: 2, BaselinePerms: 2}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := tbl.Col("exact-speedup")
+	small := parseF(t, tbl.Rows[0][col])
+	big := parseF(t, tbl.Rows[1][col])
+	if big <= small {
+		t.Fatalf("exact speedup should grow with N: %v -> %v", small, big)
+	}
+	if big < 100 {
+		t.Fatalf("exact should beat the baseline by orders of magnitude at N=5000, got %vx", big)
+	}
+}
+
+// Figure 7 shape: LSH is faster than exact on every dataset at eps=0.1.
+func TestFig7Shape(t *testing.T) {
+	tbl, err := Fig7{Scale: 0.001, NTest: 3}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ls := tbl.Col("exact"), tbl.Col("lsh")
+	for _, row := range tbl.Rows {
+		if parseF(t, row[ls]) > parseF(t, row[ex]) {
+			t.Fatalf("LSH slower than exact in row %v", row)
+		}
+	}
+}
+
+// Figure 8 shape: every stand-in reaches its accuracy band.
+func TestFig8Shape(t *testing.T) {
+	tbl, err := Fig8{Scale: 0.002, NTest: 300}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneNN := tbl.Col("1NN")
+	for _, row := range tbl.Rows {
+		if acc := parseF(t, row[oneNN]); acc < 60 || acc > 100 {
+			t.Fatalf("1NN accuracy %v%% outside the plausible band in row %v", acc, row)
+		}
+	}
+}
+
+// Figure 9 shape: with all tables, higher-contrast datasets reach lower SV
+// error; recall grows with the table count.
+func TestFig9Shape(t *testing.T) {
+	tbl, err := Fig9{N: 800, NTest: 5, Tables: []int{1, 16}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := tbl.Col("recall")
+	for i := 0; i+1 < len(tbl.Rows); i += 2 {
+		lo := parseF(t, tbl.Rows[i][rc])
+		hi := parseF(t, tbl.Rows[i+1][rc])
+		if hi < lo-1e-9 {
+			t.Fatalf("recall fell with more tables: %v -> %v (%v)", lo, hi, tbl.Rows[i][0])
+		}
+	}
+}
+
+// Figure 10 shape: g < 1 for moderate eps, g rises as eps shrinks.
+func TestFig10Shape(t *testing.T) {
+	tbl, err := Fig10{N: 3000, Eps: []float64{0.01, 0.1, 1}, Rs: []float64{1, 4}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tbl.Col("g(C_K*)")
+	g001 := parseF(t, tbl.Rows[0][g])
+	g1 := parseF(t, tbl.Rows[2][g])
+	if g1 >= g001 {
+		t.Fatalf("g should shrink as eps grows: g(0.01)=%v g(1)=%v", g001, g1)
+	}
+	if g1 >= 1 {
+		t.Fatalf("g at eps=1 should be sublinear, got %v", g1)
+	}
+}
+
+// Figure 11 shape: heuristic <= Bennett <= Hoeffding at every size.
+func TestFig11Shape(t *testing.T) {
+	tbl, err := Fig11{Sizes: []int{500, 5000}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, b, he := tbl.Col("hoeffding"), tbl.Col("bennett"), tbl.Col("heuristic")
+	for _, row := range tbl.Rows {
+		hoeff := parseF(t, row[h])
+		ben := parseF(t, row[b])
+		heur := parseF(t, row[he])
+		if !(heur <= ben && ben <= hoeff) {
+			t.Fatalf("budget ordering violated: heur=%v bennett=%v hoeffding=%v", heur, ben, hoeff)
+		}
+	}
+}
+
+// Figure 12 shape: exact weighted runtime grows with N and K; MC error stays
+// within tolerance.
+func TestFig12Shape(t *testing.T) {
+	tbl, err := Fig12{SizesAtK3: []int{12, 24}, KsAtN: []int{1, 2}, NForKs: 24}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	md := tbl.Col("maxdiff")
+	for _, row := range tbl.Rows {
+		if parseF(t, row[md]) > 0.25 {
+			t.Fatalf("MC strayed from exact: %v", row)
+		}
+	}
+}
+
+// Figure 13 shape: MC matches the exact seller values.
+func TestFig13Shape(t *testing.T) {
+	tbl, err := Fig13{TotalPoints: 60, SellersAtK2: []int{4, 8}, KsAtM: []int{1}, MForKs: 6}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := tbl.Col("maxdiff")
+	for _, row := range tbl.Rows {
+		if parseF(t, row[md]) > 0.25 {
+			t.Fatalf("seller MC strayed: %v", row)
+		}
+	}
+}
+
+// Figure 14 shape: unweighted and weighted values highly correlated; the
+// class with more inconsistent neighbors has lower total value.
+func TestFig14Shape(t *testing.T) {
+	tbl, err := Fig14{NTrain: 120, NTest: 40}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pearson, val0, val1, inc0, inc1 float64
+	for _, row := range tbl.Rows {
+		switch row[1] {
+		case "pearson(unweighted, weighted)":
+			pearson = parseF(t, row[2])
+		case "class 0 total value":
+			val0 = parseF(t, row[2])
+		case "class 1 total value":
+			val1 = parseF(t, row[2])
+		case "class 0 inconsistent top-K appearances":
+			inc0 = parseF(t, row[2])
+		case "class 1 inconsistent top-K appearances":
+			inc1 = parseF(t, row[2])
+		}
+	}
+	if pearson < 0.7 {
+		t.Fatalf("unweighted vs weighted correlation %v too low", pearson)
+	}
+	if (inc0 > inc1) != (val0 < val1) {
+		t.Fatalf("misleading class should have lower value: inc %v/%v val %v/%v", inc0, inc1, val0, val1)
+	}
+}
+
+// Figure 15 shape: analyst value tracks utility; data-only and composite
+// seller values correlate strongly.
+func TestFig15Shape(t *testing.T) {
+	tbl, err := Fig15{NTest: 30, NoiseGrid: []float64{0, 0.4}, SizeGrid: []int{100, 400}, BaseNTrain: 300}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cleanAnalyst, noisyAnalyst, corr float64
+	for _, row := range tbl.Rows {
+		switch {
+		case row[0] == "a" && row[1] == "label noise 0%":
+			cleanAnalyst = parseF(t, row[3])
+		case row[0] == "a" && row[1] == "label noise 40%":
+			noisyAnalyst = parseF(t, row[3])
+		case row[0] == "b":
+			corr = parseF(t, row[7])
+		}
+	}
+	if noisyAnalyst >= cleanAnalyst {
+		t.Fatalf("analyst value should fall with utility: clean %v noisy %v", cleanAnalyst, noisyAnalyst)
+	}
+	if corr < 0.9 {
+		t.Fatalf("composite/data-only correlation %v", corr)
+	}
+}
+
+// Figure 16 shape: positive correlation between KNN and LR Shapley values.
+func TestFig16Shape(t *testing.T) {
+	tbl, err := Fig16{Permutations: 200}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := parseF(t, tbl.Rows[0][1]); c < 0.3 {
+		t.Fatalf("KNN/LR Pearson correlation %v not positive enough", c)
+	}
+	if c := parseF(t, tbl.Rows[1][1]); c < 0.5 {
+		t.Fatalf("KNN/LR Spearman correlation %v not positive enough", c)
+	}
+}
+
+func TestRegistryRunsUnknown(t *testing.T) {
+	if _, err := Run("nope", 0); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(Names()) < 14 {
+		t.Fatalf("registry too small: %v", Names())
+	}
+}
+
+func TestAblationsRunSmall(t *testing.T) {
+	if _, err := (AblationHeap{N: 300, T: 3}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (AblationTruncation{N: 2000, NTest: 2}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (AblationParallel{N: 2000, NTest: 8}).Run(); err != nil {
+		t.Fatal(err)
+	}
+}

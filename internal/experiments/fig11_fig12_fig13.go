@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"time"
+
+	"knnshapley/internal/core"
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/knn"
+	"knnshapley/internal/stats"
+	"knnshapley/internal/vec"
+)
+
+// Fig11 reproduces Figure 11: the permutation budgets implied by the
+// Hoeffding bound (baseline), the Bennett bound (Theorem 5) and the ε/50
+// stopping heuristic, against the empirical ground truth (smallest prefix of
+// the permutation stream whose estimate is ε-accurate).
+type Fig11 struct {
+	Sizes      []int
+	K          int
+	Eps, Delta float64
+	Seed       uint64
+}
+
+func (c Fig11) defaults() Fig11 {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1000, 10000, 100000}
+	}
+	if c.K == 0 {
+		// K = 1 gives the widest utility range (r = 1), where the three
+		// budget rules separate most clearly.
+		c.K = 1
+	}
+	if c.Eps == 0 {
+		c.Eps = 0.1
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Run executes the experiment.
+func (c Fig11) Run() (*Table, error) {
+	c = c.defaults()
+	tbl := &Table{
+		Title:  f("Figure 11: permutation budgets vs ground truth (K=%d, eps=%.2g, delta=%.2g)", c.K, c.Eps, c.Delta),
+		Header: []string{"N", "hoeffding", "bennett", "heuristic", "ground-truth"},
+		Notes: []string{
+			"Hoeffding grows with log N; Bennett is ~flat; the heuristic stops earliest",
+		},
+	}
+	for _, n := range c.Sizes {
+		train := dataset.MNISTLike(n, c.Seed)
+		test := dataset.MNISTLike(1, c.Seed+1)
+		tps, err := knn.BuildTestPoints(knn.UnweightedClass, c.K, nil, vec.L2, train, test)
+		if err != nil {
+			return nil, err
+		}
+		exact := core.ExactClassSV(tps[0])
+
+		hoeff := stats.HoeffdingPermutations(2/float64(c.K), c.Eps, c.Delta, n)
+		bennett := stats.BennettPermutations(stats.KNNNonzeroProb(n, c.K), 1/float64(c.K), c.Eps, c.Delta)
+
+		heur, err := core.ImprovedMC(tps, core.MCConfig{
+			Eps: c.Eps, Delta: c.Delta, Bound: core.BoundBennett,
+			Heuristic: true, Seed: c.Seed + 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Ground truth: run a fixed stream and find the first checkpoint
+		// whose estimate is eps-accurate and stays accurate.
+		truth, err := groundTruthPermutations(tps, exact, c.Eps, bennett, c.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+
+		tbl.Rows = append(tbl.Rows, []string{
+			f("%d", n), f("%d", hoeff), f("%d", bennett),
+			f("%d", heur.Permutations), f("%d", truth),
+		})
+	}
+	return tbl, nil
+}
+
+// groundTruthPermutations finds the smallest T (on a doubling grid) whose
+// running MC estimate has max error <= eps against the exact values.
+func groundTruthPermutations(tps []*knn.TestPoint, exact []float64, eps float64, capT int, seed uint64) (int, error) {
+	for t := 4; t <= capT; t *= 2 {
+		res, err := core.ImprovedMC(tps, core.MCConfig{Bound: core.BoundFixed, T: t, Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		if stats.MaxAbsDiff(res.SV, exact) <= eps {
+			return t, nil
+		}
+	}
+	return capT, nil
+}
+
+// Fig12 reproduces Figure 12: exact weighted-KNN valuation (Theorem 7)
+// versus the improved Monte-Carlo estimator — (a) runtime vs N at fixed K,
+// (b) runtime vs K at fixed N.
+type Fig12 struct {
+	SizesAtK3 []int
+	KsAtN     []int
+	NForKs    int
+	Seed      uint64
+}
+
+func (c Fig12) defaults() Fig12 {
+	if len(c.SizesAtK3) == 0 {
+		c.SizesAtK3 = []int{20, 40, 80, 160}
+	}
+	if len(c.KsAtN) == 0 {
+		c.KsAtN = []int{1, 2, 3, 4}
+	}
+	if c.NForKs == 0 {
+		c.NForKs = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Run executes the experiment.
+func (c Fig12) Run() (*Table, error) {
+	c = c.defaults()
+	tbl := &Table{
+		Title:  "Figure 12: weighted KNN — exact (Theorem 7) vs improved MC (Algorithm 2)",
+		Header: []string{"N", "K", "exact", "mc", "mc-perms", "maxdiff"},
+		Notes: []string{
+			"exact runtime grows polynomially in N and exponentially in K; MC stays flat",
+		},
+	}
+	run := func(n, k int) error {
+		train := dataset.DogFishLike(n, c.Seed)
+		test := dataset.DogFishLike(1, c.Seed+1)
+		tps, err := knn.BuildTestPoints(knn.WeightedClass, k, knn.InverseDistance(0.5), vec.L2, train, test)
+		if err != nil {
+			return err
+		}
+		var exact []float64
+		exactTime := timed(func() { exact = core.ExactWeightedSV(tps[0]) })
+		var mc core.MCResult
+		mcTime := timed(func() {
+			mc, err = core.ImprovedMC(tps, core.MCConfig{
+				Eps: 0.05, Delta: 0.1, Bound: core.BoundBennettApprox,
+				RangeHalfWidth: 2, Heuristic: true, Seed: c.Seed + 2,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			f("%d", n), f("%d", k), exactTime.Round(time.Microsecond).String(),
+			mcTime.Round(time.Microsecond).String(), f("%d", mc.Permutations),
+			f("%.4f", stats.MaxAbsDiff(exact, mc.SV)),
+		})
+		return nil
+	}
+	for _, n := range c.SizesAtK3 {
+		if err := run(n, 3); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range c.KsAtN {
+		if err := run(c.NForKs, k); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// Fig13 reproduces Figure 13: multi-data-per-seller valuation — exact
+// (Theorem 8) versus seller-level Monte Carlo, (a) vs the number of sellers
+// at fixed total data, (b) vs K.
+type Fig13 struct {
+	TotalPoints int
+	SellersAtK2 []int
+	KsAtM       []int
+	MForKs      int
+	Seed        uint64
+}
+
+func (c Fig13) defaults() Fig13 {
+	if c.TotalPoints == 0 {
+		c.TotalPoints = 600
+	}
+	if len(c.SellersAtK2) == 0 {
+		c.SellersAtK2 = []int{5, 10, 20, 40}
+	}
+	if len(c.KsAtM) == 0 {
+		c.KsAtM = []int{1, 2, 3}
+	}
+	if c.MForKs == 0 {
+		c.MForKs = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Run executes the experiment.
+func (c Fig13) Run() (*Table, error) {
+	c = c.defaults()
+	tbl := &Table{
+		Title:  "Figure 13: multi-data-per-seller — exact (Theorem 8) vs seller-level MC",
+		Header: []string{"sellers", "K", "exact", "mc", "mc-perms", "maxdiff"},
+		Notes: []string{
+			f("total training points fixed at %d; exact cost grows like M^K, MC is insensitive", c.TotalPoints),
+		},
+	}
+	run := func(m, k int) error {
+		train := dataset.MNISTLike(c.TotalPoints, c.Seed)
+		test := dataset.MNISTLike(1, c.Seed+1)
+		owners := dataset.Sellers(train.N(), m)
+		tps, err := knn.BuildTestPoints(knn.UnweightedClass, k, nil, vec.L2, train, test)
+		if err != nil {
+			return err
+		}
+		var exact []float64
+		exactTime := timed(func() { exact, err = core.MultiSellerSV(tps[0], owners, m) })
+		if err != nil {
+			return err
+		}
+		var mc core.MCResult
+		mcTime := timed(func() {
+			mc, err = core.MultiSellerMC(tps, owners, m, core.MCConfig{
+				Eps: 0.05, Delta: 0.1, Bound: core.BoundBennettApprox, Heuristic: true, Seed: c.Seed + 2,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			f("%d", m), f("%d", k), exactTime.Round(time.Microsecond).String(),
+			mcTime.Round(time.Microsecond).String(), f("%d", mc.Permutations),
+			f("%.4f", stats.MaxAbsDiff(exact, mc.SV)),
+		})
+		return nil
+	}
+	for _, m := range c.SellersAtK2 {
+		if err := run(m, 2); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range c.KsAtM {
+		if err := run(c.MForKs, k); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}

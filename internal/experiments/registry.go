@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one paper experiment.
+type Runner interface {
+	Run() (*Table, error)
+}
+
+// Registry maps experiment names (fig5..fig17, ablations) to default-config
+// runners. Scale stretches dataset sizes where the paper's full size is
+// impractical by default.
+func Registry(scale float64) map[string]Runner {
+	return map[string]Runner{
+		"fig5":  Fig5{},
+		"fig6":  Fig6{},
+		"fig7":  Fig7{Scale: scale},
+		"fig8":  Fig8{Scale: scale},
+		"fig9":  Fig9{},
+		"fig10": Fig10{},
+		"fig11": Fig11{},
+		"fig12": Fig12{},
+		"fig13": Fig13{},
+		"fig14": Fig14{},
+		"fig15": Fig15{},
+		"fig16": Fig16{},
+		"fig17": Fig7{Ks: []int{2, 5}, Scale: scale},
+
+		"ablation-heap":       AblationHeap{},
+		"ablation-truncation": AblationTruncation{},
+		"ablation-parallel":   AblationParallel{},
+	}
+}
+
+// Names returns the registry keys in stable order.
+func Names() []string {
+	names := make([]string, 0)
+	for name := range Registry(0) {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes a named experiment.
+func Run(name string, scale float64) (*Table, error) {
+	r, ok := Registry(scale)[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r.Run()
+}

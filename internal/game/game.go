@@ -1,0 +1,193 @@
+// Package game provides the cooperative-game-theory substrate of Section 2:
+// the utility-function abstraction, exact Shapley values by enumeration of
+// the definition (the test oracle every fast algorithm is verified against),
+// the baseline permutation-sampling Monte-Carlo estimator of Section 2.2, and
+// the composite game of Eq. (28) that values a data analyst alongside the
+// data curators.
+package game
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Utility is a cooperative-game utility function ν over players 0..N()-1.
+// Value receives the coalition as a slice of distinct player indices (order
+// irrelevant) and must be deterministic.
+type Utility interface {
+	N() int
+	Value(coalition []int) float64
+}
+
+// Func adapts a closure to the Utility interface.
+type Func struct {
+	Players int
+	F       func(coalition []int) float64
+}
+
+// N returns the number of players.
+func (f Func) N() int { return f.Players }
+
+// Value evaluates the closure.
+func (f Func) Value(coalition []int) float64 { return f.F(coalition) }
+
+// ExactShapley computes the Shapley value of every player by direct
+// enumeration of Eq. (2): s_i = Σ_S |S|!(N-|S|-1)!/N! · [ν(S∪{i}) − ν(S)].
+// It is O(2^N · N · cost(ν)) and exists as the ground-truth oracle for tests
+// and tiny instances; it panics for N > 24.
+func ExactShapley(u Utility) []float64 {
+	n := u.N()
+	if n > 24 {
+		panic(fmt.Sprintf("game: ExactShapley with N=%d would enumerate 2^%d coalitions", n, n))
+	}
+	if n == 0 {
+		return nil
+	}
+	// w[k] = k!(n-k-1)!/n! computed iteratively to avoid factorial overflow.
+	w := coalitionWeights(n)
+	values := make([]float64, 1<<uint(n))
+	buf := make([]int, 0, n)
+	for mask := range values {
+		buf = buf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				buf = append(buf, i)
+			}
+		}
+		values[mask] = u.Value(buf)
+	}
+	sv := make([]float64, n)
+	for mask := range values {
+		size := popcount(uint(mask))
+		for i := 0; i < n; i++ {
+			bit := 1 << uint(i)
+			if mask&bit != 0 {
+				continue
+			}
+			sv[i] += w[size] * (values[mask|bit] - values[mask])
+		}
+	}
+	return sv
+}
+
+// coalitionWeights returns w[k] = k!(n-k-1)!/n! for k = 0..n-1.
+func coalitionWeights(n int) []float64 {
+	w := make([]float64, n)
+	// w[0] = (n-1)!/n! = 1/n; w[k] = w[k-1] · k/(n-k).
+	w[0] = 1 / float64(n)
+	for k := 1; k < n; k++ {
+		w[k] = w[k-1] * float64(k) / float64(n-k)
+	}
+	return w
+}
+
+func popcount(x uint) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// MonteCarloShapley is the baseline estimator of Section 2.2: it averages
+// marginal contributions over T uniformly random permutations, re-evaluating
+// ν from scratch for every prefix (no incremental structure), which is what
+// makes it O(T · N · cost(ν)).
+func MonteCarloShapley(u Utility, t int, rng *rand.Rand) []float64 {
+	n := u.N()
+	sv := make([]float64, n)
+	if n == 0 || t <= 0 {
+		return sv
+	}
+	prefix := make([]int, 0, n)
+	for trial := 0; trial < t; trial++ {
+		perm := rng.Perm(n)
+		prefix = prefix[:0]
+		prev := u.Value(prefix)
+		for _, i := range perm {
+			prefix = append(prefix, i)
+			cur := u.Value(prefix)
+			sv[i] += cur - prev
+			prev = cur
+		}
+	}
+	for i := range sv {
+		sv[i] /= float64(t)
+	}
+	return sv
+}
+
+// Composite wraps a data-only utility ν into the composite game ν_c of
+// Eq. (28) with one extra player, the analyst, at index Base.N(): coalitions
+// without the analyst (or with only the analyst) are worthless; otherwise the
+// value is ν of the data players present.
+type Composite struct {
+	Base Utility
+}
+
+// N returns the seller count plus one (the analyst).
+func (c Composite) N() int { return c.Base.N() + 1 }
+
+// Analyst returns the player index of the analyst.
+func (c Composite) Analyst() int { return c.Base.N() }
+
+// Value implements Eq. (28).
+func (c Composite) Value(coalition []int) float64 {
+	analyst := c.Analyst()
+	hasAnalyst := false
+	data := make([]int, 0, len(coalition))
+	for _, p := range coalition {
+		if p == analyst {
+			hasAnalyst = true
+		} else {
+			data = append(data, p)
+		}
+	}
+	if !hasAnalyst || len(data) == 0 {
+		return 0
+	}
+	return c.Base.Value(data)
+}
+
+// GroupUtility lifts a utility over data points to a utility over sellers:
+// seller coalition S̃ is valued as ν(h⁻¹(S̃)), the base utility of all points
+// owned by the sellers in S̃ (the multiple-data-per-curator game of
+// Section 4). Owners[i] is the seller owning data point i.
+type GroupUtility struct {
+	Base   Utility
+	Owners []int
+	m      int
+}
+
+// NewGroupUtility validates the owner map and returns the seller-level game
+// with sellers 0..m-1.
+func NewGroupUtility(base Utility, owners []int, m int) (*GroupUtility, error) {
+	if len(owners) != base.N() {
+		return nil, fmt.Errorf("game: %d owners for %d points", len(owners), base.N())
+	}
+	for i, o := range owners {
+		if o < 0 || o >= m {
+			return nil, fmt.Errorf("game: owner %d of point %d outside [0,%d)", o, i, m)
+		}
+	}
+	return &GroupUtility{Base: base, Owners: owners, m: m}, nil
+}
+
+// N returns the number of sellers.
+func (g *GroupUtility) N() int { return g.m }
+
+// Value evaluates the base utility on the union of the sellers' data.
+func (g *GroupUtility) Value(sellers []int) float64 {
+	in := make([]bool, g.m)
+	for _, s := range sellers {
+		in[s] = true
+	}
+	pts := make([]int, 0, len(g.Owners))
+	for i, o := range g.Owners {
+		if in[o] {
+			pts = append(pts, i)
+		}
+	}
+	return g.Base.Value(pts)
+}

@@ -1,0 +1,294 @@
+package game
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// additiveGame has ν(S) = Σ_{i∈S} w_i, whose Shapley values are exactly w.
+func additiveGame(w []float64) Utility {
+	return Func{Players: len(w), F: func(s []int) float64 {
+		var sum float64
+		for _, i := range s {
+			sum += w[i]
+		}
+		return sum
+	}}
+}
+
+// majorityGame pays 1 iff the coalition has at least q members; by symmetry
+// every player gets 1/N... of the total, i.e. 1/N each.
+func majorityGame(n, q int) Utility {
+	return Func{Players: n, F: func(s []int) float64 {
+		if len(s) >= q {
+			return 1
+		}
+		return 0
+	}}
+}
+
+// gloveGame: player 0 holds a left glove, players 1..2 right gloves; a pair
+// is worth 1. Known SVs: s0 = 2/3, s1 = s2 = 1/6.
+func gloveGame() Utility {
+	return Func{Players: 3, F: func(s []int) float64 {
+		var left, right int
+		for _, i := range s {
+			if i == 0 {
+				left++
+			} else {
+				right++
+			}
+		}
+		if left >= 1 && right >= 1 {
+			return 1
+		}
+		return 0
+	}}
+}
+
+func TestExactShapleyAdditive(t *testing.T) {
+	w := []float64{0.5, -1, 2, 0}
+	sv := ExactShapley(additiveGame(w))
+	for i := range w {
+		if math.Abs(sv[i]-w[i]) > 1e-12 {
+			t.Fatalf("sv = %v want %v", sv, w)
+		}
+	}
+}
+
+func TestExactShapleyGlove(t *testing.T) {
+	sv := ExactShapley(gloveGame())
+	want := []float64{2.0 / 3, 1.0 / 6, 1.0 / 6}
+	for i := range want {
+		if math.Abs(sv[i]-want[i]) > 1e-12 {
+			t.Fatalf("glove sv = %v want %v", sv, want)
+		}
+	}
+}
+
+func TestExactShapleySymmetry(t *testing.T) {
+	sv := ExactShapley(majorityGame(5, 3))
+	for i := 1; i < len(sv); i++ {
+		if math.Abs(sv[i]-sv[0]) > 1e-12 {
+			t.Fatalf("symmetric players got different values: %v", sv)
+		}
+	}
+	if math.Abs(sv[0]-0.2) > 1e-12 {
+		t.Fatalf("majority sv = %v want 0.2 each", sv)
+	}
+}
+
+// Group rationality: Σ s_i = ν(I) − ν(∅) for arbitrary random games.
+func TestExactShapleyEfficiencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(8)
+		table := make([]float64, 1<<uint(n))
+		for i := range table {
+			table[i] = rng.Float64()
+		}
+		u := Func{Players: n, F: func(s []int) float64 {
+			mask := 0
+			for _, i := range s {
+				mask |= 1 << uint(i)
+			}
+			return table[mask]
+		}}
+		sv := ExactShapley(u)
+		var sum float64
+		for _, v := range sv {
+			sum += v
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		want := u.Value(all) - u.Value(nil)
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("trial %d: Σsv = %v want %v", trial, sum, want)
+		}
+	}
+}
+
+// Null player: a player whose marginals are all zero gets zero.
+func TestExactShapleyNullPlayer(t *testing.T) {
+	u := Func{Players: 4, F: func(s []int) float64 {
+		var sum float64
+		for _, i := range s {
+			if i != 2 { // player 2 contributes nothing
+				sum += float64(i + 1)
+			}
+		}
+		return sum
+	}}
+	sv := ExactShapley(u)
+	if sv[2] != 0 {
+		t.Fatalf("null player got %v", sv[2])
+	}
+}
+
+func TestExactShapleyPanicsLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for N > 24")
+		}
+	}()
+	ExactShapley(Func{Players: 25, F: func([]int) float64 { return 0 }})
+}
+
+func TestExactShapleyEmpty(t *testing.T) {
+	if sv := ExactShapley(Func{Players: 0, F: func([]int) float64 { return 0 }}); sv != nil {
+		t.Fatalf("empty game sv = %v", sv)
+	}
+}
+
+func TestCoalitionWeightsSumToOne(t *testing.T) {
+	// Σ_k C(n-1,k)·w[k] = 1 (the weights form a distribution over positions).
+	for n := 1; n <= 12; n++ {
+		w := coalitionWeights(n)
+		var sum, binom float64
+		binom = 1
+		for k := 0; k < n; k++ {
+			sum += binom * w[k]
+			binom = binom * float64(n-1-k) / float64(k+1)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("n=%d: weights sum %v", n, sum)
+		}
+	}
+}
+
+func TestMonteCarloConvergesToExact(t *testing.T) {
+	u := gloveGame()
+	rng := rand.New(rand.NewPCG(11, 13))
+	est := MonteCarloShapley(u, 20000, rng)
+	want := ExactShapley(u)
+	for i := range want {
+		if math.Abs(est[i]-want[i]) > 0.02 {
+			t.Fatalf("MC = %v want %v", est, want)
+		}
+	}
+}
+
+func TestMonteCarloEfficiencyHoldsPerPermutation(t *testing.T) {
+	// Telescoping makes Σ estimates = ν(I) − ν(∅) exactly for any T.
+	u := additiveGame([]float64{1, 2, 3})
+	rng := rand.New(rand.NewPCG(1, 2))
+	est := MonteCarloShapley(u, 3, rng)
+	var sum float64
+	for _, v := range est {
+		sum += v
+	}
+	if math.Abs(sum-6) > 1e-9 {
+		t.Fatalf("Σ MC estimates = %v want 6", sum)
+	}
+}
+
+func TestMonteCarloEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if sv := MonteCarloShapley(additiveGame(nil), 5, rng); len(sv) != 0 {
+		t.Fatal("empty game")
+	}
+	sv := MonteCarloShapley(additiveGame([]float64{1}), 0, rng)
+	if sv[0] != 0 {
+		t.Fatal("T=0 should return zeros")
+	}
+}
+
+func TestCompositeGameValues(t *testing.T) {
+	base := additiveGame([]float64{1, 2})
+	c := Composite{Base: base}
+	if c.N() != 3 || c.Analyst() != 2 {
+		t.Fatalf("N=%d analyst=%d", c.N(), c.Analyst())
+	}
+	if c.Value([]int{0, 1}) != 0 {
+		t.Fatal("sellers without analyst should be worthless")
+	}
+	if c.Value([]int{2}) != 0 {
+		t.Fatal("analyst alone should be worthless")
+	}
+	if got := c.Value([]int{0, 2}); got != 1 {
+		t.Fatalf("ν_c({0,C}) = %v want 1", got)
+	}
+	if got := c.Value([]int{0, 1, 2}); got != 3 {
+		t.Fatalf("ν_c(all) = %v want 3", got)
+	}
+}
+
+// Composite-game efficiency: seller values plus analyst value equal ν(I).
+func TestCompositeShapleySumsToFullUtility(t *testing.T) {
+	base := additiveGame([]float64{1, 2, 4})
+	c := Composite{Base: base}
+	sv := ExactShapley(c)
+	var sum float64
+	for _, v := range sv {
+		sum += v
+	}
+	if math.Abs(sum-7) > 1e-9 {
+		t.Fatalf("Σ sv = %v want 7", sum)
+	}
+	// The analyst is necessary for everything, so its value is at least any
+	// single seller's.
+	for i := 0; i < 3; i++ {
+		if sv[3] < sv[i] {
+			t.Fatalf("analyst %v < seller %d %v", sv[3], i, sv[i])
+		}
+	}
+}
+
+func TestGroupUtility(t *testing.T) {
+	base := additiveGame([]float64{1, 2, 4, 8})
+	g, err := NewGroupUtility(base, []int{0, 1, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if got := g.Value([]int{0}); got != 5 { // points 0 and 2
+		t.Fatalf("seller 0 value = %v want 5", got)
+	}
+	if got := g.Value([]int{0, 1}); got != 15 {
+		t.Fatalf("all sellers = %v want 15", got)
+	}
+}
+
+func TestGroupUtilityValidation(t *testing.T) {
+	base := additiveGame([]float64{1, 2})
+	if _, err := NewGroupUtility(base, []int{0}, 1); err == nil {
+		t.Error("owner length mismatch accepted")
+	}
+	if _, err := NewGroupUtility(base, []int{0, 5}, 2); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+}
+
+// Property: for random additive games, MC with modest T has small max error
+// (additive games have zero-variance marginals, so any T>=1 is exact).
+func TestMonteCarloExactForAdditiveGames(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			w[i] = math.Mod(v, 100)
+		}
+		rng := rand.New(rand.NewPCG(42, 42))
+		est := MonteCarloShapley(additiveGame(w), 1, rng)
+		for i := range w {
+			if math.Abs(est[i]-w[i]) > 1e-9*(1+math.Abs(w[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

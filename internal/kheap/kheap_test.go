@@ -1,0 +1,190 @@
+package kheap
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	New(0)
+}
+
+func TestPushBelowCapacity(t *testing.T) {
+	h := New(3)
+	for i, key := range []float64{5, 1, 3} {
+		if !h.Push(i, key) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d want 3", h.Len())
+	}
+	if it, ok := h.Max(); !ok || it.Key != 5 {
+		t.Fatalf("Max = %+v,%v want key 5", it, ok)
+	}
+}
+
+func TestPushDisplacesMax(t *testing.T) {
+	h := New(2)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	if h.Push(2, 30) {
+		t.Fatal("30 should be rejected")
+	}
+	if !h.Push(3, 5) {
+		t.Fatal("5 should displace 20")
+	}
+	s := h.Sorted()
+	if s[0].Key != 5 || s[1].Key != 10 {
+		t.Fatalf("Sorted = %+v", s)
+	}
+}
+
+func TestPushTieKeepsIncumbent(t *testing.T) {
+	h := New(1)
+	h.Push(0, 7)
+	if h.Push(1, 7) {
+		t.Fatal("equal key must not displace incumbent")
+	}
+	if it, _ := h.Max(); it.ID != 0 {
+		t.Fatalf("incumbent lost: %+v", it)
+	}
+}
+
+func TestMaxEmpty(t *testing.T) {
+	h := New(2)
+	if _, ok := h.Max(); ok {
+		t.Fatal("Max on empty heap reported ok")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(2)
+	h.Push(0, 1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset did not empty heap")
+	}
+	if !h.Push(9, 2) {
+		t.Fatal("push after reset rejected")
+	}
+}
+
+func TestSortedOrder(t *testing.T) {
+	h := New(5)
+	keys := []float64{4, 4, 1, 3, 2}
+	for i, k := range keys {
+		h.Push(i, k)
+	}
+	s := h.Sorted()
+	want := []Item{{2, 1}, {4, 2}, {3, 3}, {0, 4}, {1, 4}}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Sorted = %+v want %+v", s, want)
+		}
+	}
+}
+
+// Property: after pushing any stream, the heap retains exactly the K smallest
+// keys (with first-seen tie-breaking), matching a sort-based oracle.
+func TestHeapMatchesSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(60)
+		k := 1 + rng.IntN(10)
+		keys := make([]float64, n)
+		for i := range keys {
+			// Coarse values to exercise ties.
+			keys[i] = float64(rng.IntN(8))
+		}
+		h := New(k)
+		for i, key := range keys {
+			h.Push(i, key)
+		}
+		got := h.Sorted()
+
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		m := k
+		if m > n {
+			m = n
+		}
+		if len(got) != m {
+			t.Fatalf("trial %d: Len = %d want %d", trial, len(got), m)
+		}
+		for i := 0; i < m; i++ {
+			if got[i].ID != idx[i] || got[i].Key != keys[idx[i]] {
+				t.Fatalf("trial %d: got[%d]=%+v want id %d key %v (keys=%v k=%d)",
+					trial, i, got[i], idx[i], keys[idx[i]], keys, k)
+			}
+		}
+	}
+}
+
+// Property: Push returns true iff the KNN set changed, i.e. iff the pushed
+// item is retained afterwards.
+func TestPushReturnValueMeansRetained(t *testing.T) {
+	f := func(raw []byte, kRaw uint8) bool {
+		k := int(kRaw%6) + 1
+		h := New(k)
+		for i, b := range raw {
+			key := float64(b % 16)
+			changed := h.Push(i, key)
+			found := false
+			for _, it := range h.Items() {
+				if it.ID == i {
+					found = true
+					break
+				}
+			}
+			if changed != found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	dist := []float64{9, 2, 7, 2, 5}
+	got := TopK(dist, 3)
+	want := []int{1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v want %v", got, want)
+		}
+	}
+	if got := TopK(dist, 99); len(got) != len(dist) {
+		t.Fatalf("TopK k>n len = %d", len(got))
+	}
+	if TopK(dist, 0) != nil {
+		t.Fatal("TopK k=0 should be nil")
+	}
+}
+
+func BenchmarkPushK10(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	keys := make([]float64, 4096)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	h := New(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(i, keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,170 @@
+// Package knn implements the nearest-neighbor substrate of the paper:
+// brute-force KNN search, unweighted and weighted KNN classifiers and
+// regressors, the KNN utility functions of Eqs. (5), (8) and (25)–(27), and
+// an incremental prefix-utility evaluator (the engine behind Algorithm 2).
+//
+// Conventions shared with the rest of the repository:
+//
+//   - distance ties are always broken by ascending training index, so every
+//     component (sorting, heaps, brute force) sees the same neighbor order;
+//   - the unweighted utilities divide by K even when |S| < K, exactly as in
+//     Eq. (5) and Eq. (25).
+package knn
+
+import (
+	"fmt"
+	"math"
+
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/kheap"
+	"knnshapley/internal/vec"
+)
+
+// WeightFunc maps a neighbor-to-query distance to the weight the neighbor
+// receives in a weighted KNN estimate. The paper (after Dudani) weighs nearby
+// evidence more heavily, so implementations should be non-increasing.
+type WeightFunc func(dist float64) float64
+
+// InverseDistance returns the classic 1/(d+eps) weight, bounded by 1/eps.
+func InverseDistance(eps float64) WeightFunc {
+	return func(d float64) float64 { return 1 / (d + eps) }
+}
+
+// ExpDecay returns exp(-d/scale) weights, bounded by 1.
+func ExpDecay(scale float64) WeightFunc {
+	return func(d float64) float64 { return math.Exp(-d / scale) }
+}
+
+// Neighbors returns the indices of the k training points closest to q under
+// metric, ordered by ascending (distance, index).
+func Neighbors(X [][]float64, q []float64, k int, metric vec.Metric) []int {
+	h := kheap.New(k)
+	for i, x := range X {
+		h.Push(i, metric.Distance(x, q))
+	}
+	items := h.Sorted()
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	return out
+}
+
+// Classifier is a (un)weighted KNN classifier. A nil Weight selects majority
+// vote (unweighted).
+type Classifier struct {
+	K      int
+	Metric vec.Metric
+	Weight WeightFunc
+
+	train *dataset.Dataset
+}
+
+// NewClassifier fits (memorizes) the training set. It returns an error when
+// the dataset is not a classification dataset or K is not positive.
+func NewClassifier(train *dataset.Dataset, k int, metric vec.Metric, weight WeightFunc) (*Classifier, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: K = %d, want positive", k)
+	}
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if train.IsRegression() || train.N() == 0 {
+		return nil, fmt.Errorf("knn: classifier needs non-empty classification data")
+	}
+	return &Classifier{K: k, Metric: metric, Weight: weight, train: train}, nil
+}
+
+// Predict returns the predicted class for query q.
+func (c *Classifier) Predict(q []float64) int {
+	scores := c.Scores(q)
+	best, bestScore := 0, math.Inf(-1)
+	for class, s := range scores {
+		if s > bestScore {
+			best, bestScore = class, s
+		}
+	}
+	return best
+}
+
+// Scores returns one (possibly weighted) vote total per class for query q.
+// For unweighted KNN the scores divided by K are the class probabilities of
+// Section 3.1.
+func (c *Classifier) Scores(q []float64) []float64 {
+	nn := Neighbors(c.train.X, q, c.K, c.Metric)
+	scores := make([]float64, c.train.Classes)
+	for _, i := range nn {
+		w := 1.0
+		if c.Weight != nil {
+			w = c.Weight(c.Metric.Distance(c.train.X[i], q))
+		}
+		scores[c.train.Labels[i]] += w
+	}
+	return scores
+}
+
+// Accuracy returns the fraction of test rows the classifier labels correctly.
+func (c *Classifier) Accuracy(test *dataset.Dataset) float64 {
+	if test.N() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, q := range test.X {
+		if c.Predict(q) == test.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(test.N())
+}
+
+// Regressor is a (un)weighted KNN regressor. A nil Weight averages the K
+// neighbor targets with uniform 1/K weights (dividing by K even when fewer
+// than K neighbors exist, per Eq. (25)).
+type Regressor struct {
+	K      int
+	Metric vec.Metric
+	Weight WeightFunc
+
+	train *dataset.Dataset
+}
+
+// NewRegressor fits (memorizes) the training set.
+func NewRegressor(train *dataset.Dataset, k int, metric vec.Metric, weight WeightFunc) (*Regressor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: K = %d, want positive", k)
+	}
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if !train.IsRegression() {
+		return nil, fmt.Errorf("knn: regressor needs regression data")
+	}
+	return &Regressor{K: k, Metric: metric, Weight: weight, train: train}, nil
+}
+
+// Predict returns the KNN estimate for query q.
+func (r *Regressor) Predict(q []float64) float64 {
+	nn := Neighbors(r.train.X, q, r.K, r.Metric)
+	var est float64
+	for _, i := range nn {
+		w := 1 / float64(r.K)
+		if r.Weight != nil {
+			w = r.Weight(r.Metric.Distance(r.train.X[i], q))
+		}
+		est += w * r.train.Targets[i]
+	}
+	return est
+}
+
+// MSE returns the mean squared prediction error on the test set.
+func (r *Regressor) MSE(test *dataset.Dataset) float64 {
+	if test.N() == 0 {
+		return 0
+	}
+	var s float64
+	for i, q := range test.X {
+		d := r.Predict(q) - test.Targets[i]
+		s += d * d
+	}
+	return s / float64(test.N())
+}

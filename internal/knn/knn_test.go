@@ -1,0 +1,311 @@
+package knn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/vec"
+)
+
+func grid2D() *dataset.Dataset {
+	// Points on a line; labels alternate except the first two.
+	return &dataset.Dataset{
+		X:       [][]float64{{0}, {1}, {2}, {3}, {4}, {5}},
+		Labels:  []int{0, 0, 1, 1, 0, 1},
+		Classes: 2,
+	}
+}
+
+func TestNeighborsOrdering(t *testing.T) {
+	d := grid2D()
+	nn := Neighbors(d.X, []float64{1.6}, 3, vec.L2)
+	want := []int{2, 1, 3} // distances 0.4, 0.6, 1.4
+	for i := range want {
+		if nn[i] != want[i] {
+			t.Fatalf("Neighbors = %v want %v", nn, want)
+		}
+	}
+}
+
+func TestNeighborsTieBreakByIndex(t *testing.T) {
+	X := [][]float64{{1}, {-1}, {1}}
+	nn := Neighbors(X, []float64{0}, 2, vec.L2)
+	if nn[0] != 0 || nn[1] != 1 {
+		t.Fatalf("tie break wrong: %v", nn)
+	}
+}
+
+func TestClassifierPredict(t *testing.T) {
+	c, err := NewClassifier(grid2D(), 3, vec.L2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([]float64{0.4}); got != 0 { // neighbors 0,1,2 -> labels 0,0,1
+		t.Fatalf("Predict = %d want 0", got)
+	}
+	if got := c.Predict([]float64{4.6}); got != 1 { // neighbors 5,4,3 -> 1,0,1
+		t.Fatalf("Predict = %d want 1", got)
+	}
+}
+
+func TestClassifierErrors(t *testing.T) {
+	if _, err := NewClassifier(grid2D(), 0, vec.L2, nil); err == nil {
+		t.Error("K=0 accepted")
+	}
+	reg := dataset.Regression(dataset.RegressionConfig{N: 5, Dim: 2, Seed: 1})
+	if _, err := NewClassifier(reg, 1, vec.L2, nil); err == nil {
+		t.Error("regression data accepted by classifier")
+	}
+	if _, err := NewRegressor(grid2D(), 1, vec.L2, nil); err == nil {
+		t.Error("classification data accepted by regressor")
+	}
+}
+
+func TestClassifierAccuracySeparable(t *testing.T) {
+	train := dataset.MNISTLike(500, 1)
+	test := dataset.MNISTLike(200, 2)
+	c, err := NewClassifier(train, 5, vec.L2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := c.Accuracy(test); acc < 0.9 {
+		t.Fatalf("accuracy %v too low for well-separated mixture", acc)
+	}
+}
+
+func TestWeightedClassifierPrefersClose(t *testing.T) {
+	// One close neighbor of class 1, two far of class 0: inverse-distance
+	// weights should flip the majority vote.
+	d := &dataset.Dataset{
+		X:       [][]float64{{0.1}, {5}, {5.1}},
+		Labels:  []int{1, 0, 0},
+		Classes: 2,
+	}
+	unweighted, _ := NewClassifier(d, 3, vec.L2, nil)
+	weighted, _ := NewClassifier(d, 3, vec.L2, InverseDistance(1e-6))
+	q := []float64{0}
+	if unweighted.Predict(q) != 0 {
+		t.Fatal("unweighted majority should be class 0")
+	}
+	if weighted.Predict(q) != 1 {
+		t.Fatal("weighted vote should be class 1")
+	}
+}
+
+func TestRegressorPredict(t *testing.T) {
+	d := &dataset.Dataset{
+		X:       [][]float64{{0}, {1}, {2}, {10}},
+		Targets: []float64{0, 1, 2, 10},
+	}
+	r, err := NewRegressor(d, 2, vec.L2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbors of 0.4: points 0 and 1 -> (0+1)/2.
+	if got := r.Predict([]float64{0.4}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Predict = %v want 0.5", got)
+	}
+}
+
+func TestRegressorMSEDecreasesWithData(t *testing.T) {
+	big := dataset.Regression(dataset.RegressionConfig{N: 2000, Dim: 3, Noise: 0.05, Seed: 3})
+	small := big.Subset([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	test := dataset.Regression(dataset.RegressionConfig{N: 300, Dim: 3, Noise: 0.05, Seed: 4})
+	rBig, _ := NewRegressor(big, 5, vec.L2, nil)
+	rSmall, _ := NewRegressor(small, 5, vec.L2, nil)
+	if rBig.MSE(test) >= rSmall.MSE(test) {
+		t.Fatal("more training data should not hurt KNN regression here")
+	}
+}
+
+func TestWeightFuncs(t *testing.T) {
+	inv := InverseDistance(0.5)
+	if inv(0.5) != 1 {
+		t.Errorf("InverseDistance(0.5)(0.5) = %v", inv(0.5))
+	}
+	exp := ExpDecay(1)
+	if math.Abs(exp(1)-math.Exp(-1)) > 1e-12 {
+		t.Errorf("ExpDecay wrong")
+	}
+	if exp(0) != 1 {
+		t.Errorf("ExpDecay(0) = %v", exp(0))
+	}
+	// Both must be non-increasing.
+	for d := 0.0; d < 5; d += 0.25 {
+		if inv(d+0.25) > inv(d) || exp(d+0.25) > exp(d) {
+			t.Fatal("weight function increased with distance")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		UnweightedClass:   "unweighted-class",
+		WeightedClass:     "weighted-class",
+		UnweightedRegress: "unweighted-regress",
+		WeightedRegress:   "weighted-regress",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if UnweightedClass.IsRegression() || !UnweightedRegress.IsRegression() {
+		t.Error("IsRegression wrong")
+	}
+	if UnweightedClass.IsWeighted() || !WeightedClass.IsWeighted() {
+		t.Error("IsWeighted wrong")
+	}
+}
+
+func buildSimpleTP(t *testing.T, kind Kind, k int) *TestPoint {
+	t.Helper()
+	train := grid2D()
+	if kind.IsRegression() {
+		train = &dataset.Dataset{
+			X:       train.X,
+			Targets: []float64{0, 1, 2, 3, 4, 5},
+		}
+		return BuildTestPoint(kind, k, InverseDistance(1), vec.L2,
+			train.X, nil, train.Targets, []float64{1.6}, 0, 2.0)
+	}
+	return BuildTestPoint(kind, k, InverseDistance(1), vec.L2,
+		train.X, train.Labels, nil, []float64{1.6}, 1, 0)
+}
+
+func TestSubsetUtilityUnweightedClass(t *testing.T) {
+	tp := buildSimpleTP(t, UnweightedClass, 2)
+	// Subset {0,2,3}: distances 1.6, 0.4, 1.4 -> 2NN = {2,3}, both label 1 == test label.
+	if got := tp.SubsetUtility([]int{0, 2, 3}); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("utility = %v want 1", got)
+	}
+	// Subset {0}: 1 neighbor, wrong label; divide by K=2.
+	if got := tp.SubsetUtility([]int{0}); got != 0 {
+		t.Fatalf("utility = %v want 0", got)
+	}
+	// Subset {2}: 1 correct neighbor out of K=2 -> 0.5.
+	if got := tp.SubsetUtility([]int{2}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utility = %v want 0.5", got)
+	}
+	if tp.EmptyUtility() != 0 {
+		t.Fatal("empty classification utility should be 0")
+	}
+}
+
+func TestSubsetUtilityRegression(t *testing.T) {
+	tp := buildSimpleTP(t, UnweightedRegress, 2)
+	// Subset {1,2}: estimate (1+2)/2 = 1.5, ytest = 2 -> -(0.5)^2.
+	if got := tp.SubsetUtility([]int{1, 2}); math.Abs(got+0.25) > 1e-12 {
+		t.Fatalf("utility = %v want -0.25", got)
+	}
+	// Empty: -(0-2)^2 = -4.
+	if got := tp.EmptyUtility(); math.Abs(got+4) > 1e-12 {
+		t.Fatalf("empty = %v want -4", got)
+	}
+}
+
+func TestFullUtilityMatchesSubsetAll(t *testing.T) {
+	for _, kind := range []Kind{UnweightedClass, WeightedClass, UnweightedRegress, WeightedRegress} {
+		tp := buildSimpleTP(t, kind, 3)
+		all := []int{0, 1, 2, 3, 4, 5}
+		if a, b := tp.FullUtility(), tp.SubsetUtility(all); math.Abs(a-b) > 1e-12 {
+			t.Errorf("%v: FullUtility %v != SubsetUtility(all) %v", kind, a, b)
+		}
+	}
+}
+
+// The incremental evaluator must agree with SubsetUtility on every prefix of
+// random permutations, for all four utility kinds.
+func TestIncrementalMatchesSubsetUtility(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	train := dataset.MNISTLike(40, 5)
+	reg := dataset.Regression(dataset.RegressionConfig{N: 40, Dim: 4, Noise: 0.2, Seed: 6})
+	for _, kind := range []Kind{UnweightedClass, WeightedClass, UnweightedRegress, WeightedRegress} {
+		var tp *TestPoint
+		if kind.IsRegression() {
+			tp = BuildTestPoint(kind, 3, ExpDecay(1), vec.L2,
+				reg.X, nil, reg.Targets, reg.X[0], 0, reg.Targets[0])
+		} else {
+			tp = BuildTestPoint(kind, 3, ExpDecay(1), vec.L2,
+				train.X, train.Labels, nil, train.X[0], train.Labels[0], 0)
+		}
+		for trial := 0; trial < 5; trial++ {
+			perm := rng.Perm(tp.N())
+			inc := NewIncremental(tp)
+			prefix := make([]int, 0, len(perm))
+			for _, i := range perm {
+				prefix = append(prefix, i)
+				got, _ := inc.Add(i)
+				want := tp.SubsetUtility(prefix)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("%v prefix %d: incremental %v != subset %v", kind, len(prefix), got, want)
+				}
+			}
+			inc.Reset()
+			if inc.Utility() != tp.EmptyUtility() {
+				t.Fatal("Reset did not restore empty utility")
+			}
+		}
+	}
+}
+
+func TestIncrementalChangedFlag(t *testing.T) {
+	tp := buildSimpleTP(t, UnweightedClass, 2)
+	inc := NewIncremental(tp)
+	// Order of insertion: 0 (d=1.6), 2 (d=0.4), 3 (d=1.4), then 5 (d=3.4,
+	// cannot enter the 2NN set {2,3}).
+	for _, i := range []int{0, 2, 3} {
+		if _, changed := inc.Add(i); !changed {
+			t.Fatalf("Add(%d) should change KNN set", i)
+		}
+	}
+	if _, changed := inc.Add(5); changed {
+		t.Fatal("Add(5) should not change KNN set")
+	}
+}
+
+func TestBuildTestPoints(t *testing.T) {
+	train := dataset.MNISTLike(30, 7)
+	test := dataset.MNISTLike(5, 8)
+	tps, err := BuildTestPoints(UnweightedClass, 3, nil, vec.L2, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tps) != 5 {
+		t.Fatalf("%d test points", len(tps))
+	}
+	if tps[0].N() != 30 {
+		t.Fatalf("N = %d", tps[0].N())
+	}
+	// Average utility over the full set must be within [0,1].
+	all := make([]int, train.N())
+	for i := range all {
+		all[i] = i
+	}
+	if u := AverageUtility(tps, all); u < 0 || u > 1 {
+		t.Fatalf("average utility %v outside [0,1]", u)
+	}
+}
+
+func TestBuildTestPointsKindMismatch(t *testing.T) {
+	train := dataset.MNISTLike(10, 1)
+	test := dataset.MNISTLike(3, 2)
+	if _, err := BuildTestPoints(UnweightedRegress, 3, nil, vec.L2, train, test); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	reg := dataset.Regression(dataset.RegressionConfig{N: 5, Dim: train.Dim(), Seed: 1})
+	if _, err := BuildTestPoints(UnweightedClass, 3, nil, vec.L2, train, reg); err == nil {
+		t.Fatal("mixed response kinds accepted")
+	}
+}
+
+func TestBuildTestPointWeightedRequiresWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without WeightFunc")
+		}
+	}()
+	d := grid2D()
+	BuildTestPoint(WeightedClass, 2, nil, vec.L2, d.X, d.Labels, nil, []float64{0}, 0, 0)
+}

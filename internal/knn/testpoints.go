@@ -1,0 +1,54 @@
+package knn
+
+import (
+	"fmt"
+
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/vec"
+)
+
+// BuildTestPoints constructs one TestPoint per row of the test set, each
+// holding precomputed distances from every training point. This is the
+// O(N·Ntest·d) distance pass shared by every valuation algorithm.
+func BuildTestPoints(kind Kind, k int, weight WeightFunc, metric vec.Metric,
+	train, test *dataset.Dataset) ([]*TestPoint, error) {
+
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("knn: train: %w", err)
+	}
+	if err := test.Validate(); err != nil {
+		return nil, fmt.Errorf("knn: test: %w", err)
+	}
+	if kind.IsRegression() != train.IsRegression() || kind.IsRegression() != test.IsRegression() {
+		return nil, fmt.Errorf("knn: utility kind %v incompatible with dataset responses", kind)
+	}
+	if train.Dim() != test.Dim() {
+		return nil, fmt.Errorf("knn: train dim %d != test dim %d", train.Dim(), test.Dim())
+	}
+	tps := make([]*TestPoint, test.N())
+	for j := range test.X {
+		var label int
+		var target float64
+		if kind.IsRegression() {
+			target = test.Targets[j]
+		} else {
+			label = test.Labels[j]
+		}
+		tps[j] = BuildTestPoint(kind, k, weight, metric,
+			train.X, train.Labels, train.Targets, test.X[j], label, target)
+	}
+	return tps, nil
+}
+
+// AverageUtility returns the mean of ν(S) across the test points — the
+// multi-test utility of Eq. (8) evaluated on subset S.
+func AverageUtility(tps []*TestPoint, subset []int) float64 {
+	if len(tps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, tp := range tps {
+		s += tp.SubsetUtility(subset)
+	}
+	return s / float64(len(tps))
+}

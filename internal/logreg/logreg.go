@@ -1,0 +1,167 @@
+// Package logreg implements multinomial logistic regression trained by
+// mini-batch SGD with L2 regularization. It is the comparison model of the
+// paper's Figure 8 (KNN vs logistic regression accuracy on deep features)
+// and the subject model of Figure 16 (logistic-regression Shapley values
+// versus the KNN surrogate).
+package logreg
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"knnshapley/internal/dataset"
+)
+
+// Config controls training.
+type Config struct {
+	// Epochs is the number of passes over the training data (default 50).
+	Epochs int
+	// LearningRate is the SGD step size (default 0.1).
+	LearningRate float64
+	// L2 is the ridge penalty coefficient (default 1e-4).
+	L2 float64
+	// BatchSize is the mini-batch size (default 32).
+	BatchSize int
+	// Seed drives shuffling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	return c
+}
+
+// Model is a trained multinomial logistic-regression classifier.
+type Model struct {
+	// W is Classes x (Dim+1); the last column is the bias.
+	W       [][]float64
+	Classes int
+	Dim     int
+}
+
+// Train fits a multinomial logistic regression on the classification
+// dataset. Training an empty dataset returns a model that always predicts
+// class 0.
+func Train(train *dataset.Dataset, cfg Config) (*Model, error) {
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if train.IsRegression() {
+		return nil, fmt.Errorf("logreg: needs classification data")
+	}
+	cfg = cfg.withDefaults()
+	classes := train.Classes
+	if classes < 2 {
+		classes = 2
+	}
+	dim := train.Dim()
+	m := &Model{Classes: classes, Dim: dim}
+	m.W = make([][]float64, classes)
+	for c := range m.W {
+		m.W[c] = make([]float64, dim+1)
+	}
+	n := train.N()
+	if n == 0 {
+		return m, nil
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xda942042e4dd58b5))
+	probs := make([]float64, classes)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(n)
+		lr := cfg.LearningRate / (1 + 0.05*float64(epoch)) // simple decay
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			scale := lr / float64(end-start)
+			for _, pi := range perm[start:end] {
+				x := train.X[pi]
+				y := train.Labels[pi]
+				m.softmax(x, probs)
+				for c := 0; c < classes; c++ {
+					g := probs[c]
+					if c == y {
+						g -= 1
+					}
+					w := m.W[c]
+					for d := 0; d < dim; d++ {
+						w[d] -= scale * (g*x[d] + cfg.L2*w[d])
+					}
+					w[dim] -= scale * g
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// softmax fills out with the class probabilities of x.
+func (m *Model) softmax(x []float64, out []float64) {
+	maxLogit := math.Inf(-1)
+	for c := 0; c < m.Classes; c++ {
+		w := m.W[c]
+		logit := w[m.Dim]
+		for d := 0; d < m.Dim; d++ {
+			logit += w[d] * x[d]
+		}
+		out[c] = logit
+		if logit > maxLogit {
+			maxLogit = logit
+		}
+	}
+	var sum float64
+	for c := range out[:m.Classes] {
+		out[c] = math.Exp(out[c] - maxLogit)
+		sum += out[c]
+	}
+	for c := range out[:m.Classes] {
+		out[c] /= sum
+	}
+}
+
+// Predict returns the most probable class for x.
+func (m *Model) Predict(x []float64) int {
+	probs := make([]float64, m.Classes)
+	m.softmax(x, probs)
+	best, bestP := 0, -1.0
+	for c, p := range probs {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best
+}
+
+// Probabilities returns the class distribution for x.
+func (m *Model) Probabilities(x []float64) []float64 {
+	probs := make([]float64, m.Classes)
+	m.softmax(x, probs)
+	return probs
+}
+
+// Accuracy returns the fraction of correctly classified test rows.
+func (m *Model) Accuracy(test *dataset.Dataset) float64 {
+	if test.N() == 0 {
+		return 0
+	}
+	hit := 0
+	for i, x := range test.X {
+		if m.Predict(x) == test.Labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(test.N())
+}

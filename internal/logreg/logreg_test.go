@@ -1,0 +1,102 @@
+package logreg
+
+import (
+	"math"
+	"testing"
+
+	"knnshapley/internal/dataset"
+)
+
+func TestTrainRejectsRegression(t *testing.T) {
+	reg := dataset.Regression(dataset.RegressionConfig{N: 10, Dim: 2, Seed: 1})
+	if _, err := Train(reg, Config{}); err == nil {
+		t.Fatal("regression data accepted")
+	}
+}
+
+func TestTrainEmptyDataset(t *testing.T) {
+	d := &dataset.Dataset{Classes: 2, Labels: []int{}}
+	m, err := Train(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{}) != 0 {
+		t.Fatal("empty model should predict class 0")
+	}
+}
+
+func TestLearnsLinearlySeparable(t *testing.T) {
+	// Two well-separated clusters in 2D.
+	d := &dataset.Dataset{Classes: 2}
+	for i := 0; i < 100; i++ {
+		off := float64(i%10)*0.05 - 0.25
+		if i%2 == 0 {
+			d.X = append(d.X, []float64{2 + off, 2 - off})
+			d.Labels = append(d.Labels, 0)
+		} else {
+			d.X = append(d.X, []float64{-2 + off, -2 - off})
+			d.Labels = append(d.Labels, 1)
+		}
+	}
+	m, err := Train(d, Config{Epochs: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(d); acc != 1 {
+		t.Fatalf("training accuracy %v want 1", acc)
+	}
+	if m.Predict([]float64{3, 3}) != 0 || m.Predict([]float64{-3, -3}) != 1 {
+		t.Fatal("wrong side of the separator")
+	}
+}
+
+func TestMulticlassAccuracy(t *testing.T) {
+	train := dataset.MNISTLike(1500, 1)
+	test := dataset.MNISTLike(400, 2)
+	m, err := Train(train, Config{Epochs: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(test); acc < 0.85 {
+		t.Fatalf("mixture accuracy %v too low", acc)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	train := dataset.IrisLike(90, 1)
+	m, err := Train(train, Config{Epochs: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range train.X[:10] {
+		p := m.Probabilities(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %v outside [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestSoftmaxNumericallyStable(t *testing.T) {
+	m := &Model{Classes: 2, Dim: 1, W: [][]float64{{1000, 0}, {-1000, 0}}}
+	p := m.Probabilities([]float64{1})
+	if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+		t.Fatal("softmax overflowed")
+	}
+	if p[0] < 0.999 {
+		t.Fatalf("p = %v", p)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Epochs <= 0 || c.LearningRate <= 0 || c.BatchSize <= 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}

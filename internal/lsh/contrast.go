@@ -1,0 +1,108 @@
+package lsh
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"knnshapley/internal/vec"
+)
+
+// Contrast summarizes the distance geometry of Theorem 3.
+type Contrast struct {
+	// DMean is the expected distance between a query and a random training
+	// point (Eq. 21).
+	DMean float64
+	// DK is the expected distance between a query and its K-th nearest
+	// training point (Eq. 22).
+	DK float64
+	// CK = DMean / DK, the K-th relative contrast. Larger values make the
+	// nearest-neighbor problem easier for LSH.
+	CK float64
+}
+
+// EstimateContrast estimates the K-th relative contrast of the training set
+// with respect to the query distribution, sampling at most maxQueries
+// queries and maxPairs random train points per query. Queries drawn from the
+// training set itself are fine for tuning: the paper normalizes by D_mean of
+// the same distribution.
+func EstimateContrast(train [][]float64, queries [][]float64, k, maxQueries, maxPairs int, rng *rand.Rand) Contrast {
+	if len(train) == 0 || len(queries) == 0 {
+		panic("lsh: EstimateContrast with empty data")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(train) {
+		k = len(train)
+	}
+	nq := maxQueries
+	if nq > len(queries) {
+		nq = len(queries)
+	}
+	qIdx := rng.Perm(len(queries))[:nq]
+	var dMean, dK float64
+	dists := make([]float64, len(train))
+	for _, qi := range qIdx {
+		q := queries[qi]
+		var m float64
+		for s := 0; s < maxPairs; s++ {
+			m += vec.L2Dist(q, train[rng.IntN(len(train))])
+		}
+		dMean += m / float64(maxPairs)
+		for i, x := range train {
+			dists[i] = vec.L2Dist(x, q)
+		}
+		sort.Float64s(dists)
+		// Queries drawn from the training set match themselves at distance
+		// zero; skip that self-match so D_K measures a real neighbor.
+		kth := k - 1
+		if dists[0] == 0 && kth+1 < len(dists) {
+			kth++
+		}
+		dK += dists[kth]
+	}
+	dMean /= float64(nq)
+	dK /= float64(nq)
+	c := Contrast{DMean: dMean, DK: dK}
+	if dK > 0 {
+		c.CK = dMean / dK
+	}
+	return c
+}
+
+// Tuned bundles the auto-selected LSH parameters with the quantities that
+// produced them, for reporting in the experiment harness.
+type Tuned struct {
+	Params   Params
+	Contrast Contrast
+	// RRel is the chosen bucket width relative to D_mean.
+	RRel float64
+	// G is the complexity exponent g(C_K*) at the chosen width.
+	G float64
+}
+
+// Tune selects LSH parameters for retrieving the kStar nearest neighbors of
+// queries with failure probability at most delta, following Section 6.1:
+// estimate the contrast, grid-search the relative width r minimizing
+// g(C_K*), set m = α·logN/log(1/f_h(D_mean)) and l = N^g·log(K*/δ).
+// maxTables caps l to keep memory bounded on low-contrast data.
+func Tune(train [][]float64, queries [][]float64, kStar int, delta, alpha float64, maxTables int, seed uint64, rng *rand.Rand) Tuned {
+	c := EstimateContrast(train, queries, kStar, 25, 100, rng)
+	contrast := c.CK
+	if contrast <= 1 {
+		contrast = 1.0001 // degenerate geometry; fall back to a minimal index
+	}
+	rRel, g := OptimalR(contrast)
+	n := len(train)
+	m := NumHashBits(n, rRel, alpha)
+	l := NumTables(n, g, kStar, delta)
+	if maxTables > 0 && l > maxTables {
+		l = maxTables
+	}
+	return Tuned{
+		Params:   Params{M: m, L: l, R: rRel * c.DMean, Seed: seed},
+		Contrast: c,
+		RRel:     rRel,
+		G:        g,
+	}
+}

@@ -1,0 +1,222 @@
+package lsh
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"knnshapley/internal/kheap"
+	"knnshapley/internal/vec"
+)
+
+// Params configures an Index.
+type Params struct {
+	// M is the number of hash functions concatenated per table signature.
+	M int
+	// L is the number of hash tables.
+	L int
+	// R is the bucket width of each hash function, in absolute distance
+	// units (multiply a relative width by D_mean when tuning).
+	R float64
+	// Seed drives the Gaussian projections and offsets.
+	Seed uint64
+}
+
+func (p Params) validate() error {
+	if p.M <= 0 || p.L <= 0 || p.R <= 0 {
+		return fmt.Errorf("lsh: invalid params %+v", p)
+	}
+	return nil
+}
+
+// table is one hash table: M Gaussian projections with offsets and the
+// bucket map from signature to training indices.
+type table struct {
+	proj    [][]float64 // M x dim
+	offset  []float64   // M
+	buckets map[uint64][]int
+}
+
+// Index is a multi-table p-stable LSH index over a fixed training set.
+// Queries return candidates ranked by exact distance, so the index trades
+// scan cost (only colliding points are examined) against recall.
+// Queries are safe for concurrent use.
+type Index struct {
+	params Params
+	data   [][]float64
+	tables []table
+
+	// scratch pools per-goroutine query state (stamped dedup array + hash
+	// signature buffer) so concurrent queries neither race nor allocate.
+	scratch sync.Pool
+}
+
+// queryScratch is the reusable per-query state.
+type queryScratch struct {
+	visited []uint32
+	stamp   uint32
+	sig     []int32
+}
+
+// Build hashes every row of data into L tables. Cost is O(N·L·M·dim).
+func Build(data [][]float64, params Params) (*Index, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("lsh: empty dataset")
+	}
+	dim := len(data[0])
+	rng := rand.New(rand.NewPCG(params.Seed, 0x853c49e6748fea9b))
+	idx := &Index{
+		params: params,
+		data:   data,
+		tables: make([]table, params.L),
+	}
+	n := len(data)
+	m := params.M
+	idx.scratch.New = func() any {
+		return &queryScratch{visited: make([]uint32, n), sig: make([]int32, m)}
+	}
+	sig := make([]int32, params.M)
+	for t := range idx.tables {
+		tb := table{
+			proj:    make([][]float64, params.M),
+			offset:  make([]float64, params.M),
+			buckets: make(map[uint64][]int),
+		}
+		for j := 0; j < params.M; j++ {
+			w := make([]float64, dim)
+			for d := range w {
+				w[d] = rng.NormFloat64()
+			}
+			tb.proj[j] = w
+			tb.offset[j] = rng.Float64() * params.R
+		}
+		for i, x := range data {
+			key := tb.signature(x, params.R, sig)
+			tb.buckets[key] = append(tb.buckets[key], i)
+		}
+		idx.tables[t] = tb
+	}
+	return idx, nil
+}
+
+// signature computes the M concatenated hash values of x and folds them into
+// a 64-bit bucket key (FNV-1a over the int32 hashes). sig is scratch space.
+func (tb *table) signature(x []float64, r float64, sig []int32) uint64 {
+	for j, w := range tb.proj {
+		v := (vec.Dot(w, x) + tb.offset[j]) / r
+		sig[j] = int32(floorInt(v))
+	}
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, s := range sig {
+		u := uint32(s)
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64((u >> uint(shift)) & 0xff)
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func floorInt(v float64) int64 {
+	i := int64(v)
+	if v < 0 && float64(i) != v {
+		i--
+	}
+	return i
+}
+
+// Params returns the index configuration.
+func (idx *Index) Params() Params { return idx.params }
+
+// N returns the number of indexed points.
+func (idx *Index) N() int { return len(idx.data) }
+
+// Tables returns the number of hash tables.
+func (idx *Index) Tables() int { return len(idx.tables) }
+
+// Result is the outcome of a Query.
+type Result struct {
+	// IDs are the candidate indices closest to the query, ordered by
+	// ascending (exact distance, index); at most k entries, fewer when the
+	// tables yield fewer distinct candidates.
+	IDs []int
+	// Dists are the exact distances matching IDs.
+	Dists []float64
+	// Candidates is the number of distinct points examined (the "returned
+	// points" axis of Figure 9c).
+	Candidates int
+}
+
+// Query returns the (approximate) k nearest neighbors of q: the union of all
+// colliding bucket entries, deduplicated, ranked by exact l2 distance.
+func (idx *Index) Query(q []float64, k int) Result {
+	return idx.QueryTables(q, k, len(idx.tables))
+}
+
+// QueryTables is Query restricted to the first l tables — the knob behind
+// the "number of hash tables" sweep of Figure 9b.
+func (idx *Index) QueryTables(q []float64, k, l int) Result {
+	if l > len(idx.tables) {
+		l = len(idx.tables)
+	}
+	if k <= 0 || l <= 0 {
+		return Result{}
+	}
+	sc := idx.scratch.Get().(*queryScratch)
+	defer idx.scratch.Put(sc)
+	sc.stamp++
+	if sc.stamp == 0 { // wrapped: clear stamps
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.stamp = 1
+	}
+	h := kheap.New(k)
+	candidates := 0
+	for t := 0; t < l; t++ {
+		tb := &idx.tables[t]
+		key := tb.signature(q, idx.params.R, sc.sig)
+		for _, i := range tb.buckets[key] {
+			if sc.visited[i] == sc.stamp {
+				continue
+			}
+			sc.visited[i] = sc.stamp
+			candidates++
+			h.Push(i, vec.L2Dist(idx.data[i], q))
+		}
+	}
+	items := h.Sorted()
+	res := Result{
+		IDs:        make([]int, len(items)),
+		Dists:      make([]float64, len(items)),
+		Candidates: candidates,
+	}
+	for i, it := range items {
+		res.IDs[i] = it.ID
+		res.Dists[i] = it.Key
+	}
+	return res
+}
+
+// Recall returns the fraction of the true k nearest neighbors of q that
+// appear among got — the retrieval-quality axis of Figure 9d.
+func Recall(truth, got []int) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(got))
+	for _, i := range got {
+		in[i] = true
+	}
+	hit := 0
+	for _, i := range truth {
+		if in[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}

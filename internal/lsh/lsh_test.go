@@ -1,0 +1,296 @@
+package lsh
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/knn"
+	"knnshapley/internal/vec"
+)
+
+func TestCollisionProbLimits(t *testing.T) {
+	if got := CollisionProb(0, 1); got != 1 {
+		t.Fatalf("f(0) = %v want 1", got)
+	}
+	if got := CollisionProb(1e9, 1); got > 1e-6 {
+		t.Fatalf("f(inf) = %v want ~0", got)
+	}
+	// Probability bounds.
+	for c := 0.01; c < 20; c *= 1.5 {
+		p := CollisionProb(c, 2)
+		if p < 0 || p > 1 {
+			t.Fatalf("f(%v) = %v outside [0,1]", c, p)
+		}
+	}
+}
+
+func TestCollisionProbMonotoneDecreasing(t *testing.T) {
+	prev := 1.1
+	for c := 0.05; c < 30; c *= 1.2 {
+		p := CollisionProb(c, 1.5)
+		if p > prev+1e-12 {
+			t.Fatalf("f not decreasing at c=%v: %v > %v", c, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestCollisionProbIncreasingInR(t *testing.T) {
+	// Wider buckets collide more.
+	prev := 0.0
+	for r := 0.1; r < 10; r *= 1.5 {
+		p := CollisionProb(1, r)
+		if p < prev-1e-12 {
+			t.Fatalf("f not increasing in r at %v", r)
+		}
+		prev = p
+	}
+}
+
+func TestCollisionProbMatchesMonteCarlo(t *testing.T) {
+	// Empirical collision frequency of the actual hash function must match
+	// the closed form.
+	rng := rand.New(rand.NewPCG(3, 3))
+	dim := 8
+	for _, c := range []float64{0.5, 1, 2} {
+		r := 1.5
+		want := CollisionProb(c, r)
+		hits, trials := 0, 20000
+		a := make([]float64, dim)
+		b := make([]float64, dim)
+		for i := 0; i < trials; i++ {
+			// Two points at distance exactly c.
+			for d := range a {
+				a[d] = rng.NormFloat64()
+				b[d] = a[d]
+			}
+			dir := rng.IntN(dim)
+			b[dir] += c
+			// One random hash function.
+			var pa, pb float64
+			for d := range a {
+				w := rng.NormFloat64()
+				pa += w * a[d]
+				pb += w * b[d]
+			}
+			off := rng.Float64() * r
+			if floorInt((pa+off)/r) == floorInt((pb+off)/r) {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(trials)
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("c=%v: empirical %v vs closed form %v", c, got, want)
+		}
+	}
+}
+
+func TestGExponent(t *testing.T) {
+	// Higher contrast -> lower exponent.
+	r := 1.5
+	g2 := GExponent(2, r)
+	g12 := GExponent(1.2, r)
+	if g2 >= g12 {
+		t.Fatalf("g(2)=%v should be < g(1.2)=%v", g2, g12)
+	}
+	// Contrast 1 means neighbor indistinguishable from random: g = 1.
+	if g1 := GExponent(1, r); math.Abs(g1-1) > 1e-9 {
+		t.Fatalf("g(1) = %v want 1", g1)
+	}
+	// Contrast < 1 (neighbor farther than random — adversarial) gives g > 1.
+	if gBad := GExponent(0.8, r); gBad <= 1 {
+		t.Fatalf("g(0.8) = %v want > 1", gBad)
+	}
+}
+
+func TestOptimalR(t *testing.T) {
+	r, g := OptimalR(1.5)
+	if r <= 0 {
+		t.Fatalf("r = %v", r)
+	}
+	if g >= 1 {
+		t.Fatalf("g = %v want < 1 for contrast 1.5", g)
+	}
+	// The grid minimum must beat an arbitrary width.
+	if gg := GExponent(1.5, 8); g > gg {
+		t.Fatalf("grid search missed: %v > %v", g, gg)
+	}
+}
+
+func TestNumHashBitsAndTables(t *testing.T) {
+	m := NumHashBits(100000, 1, 1)
+	if m < 1 {
+		t.Fatalf("m = %d", m)
+	}
+	if m2 := NumHashBits(100000, 1, 2); m2 <= m {
+		t.Fatalf("alpha should scale m: %d vs %d", m2, m)
+	}
+	l := NumTables(10000, 0.5, 5, 0.1)
+	if l < 1 {
+		t.Fatalf("l = %d", l)
+	}
+	if l2 := NumTables(10000, 0.8, 5, 0.1); l2 <= l {
+		t.Fatal("higher exponent should need more tables")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Params{M: 1, L: 1, R: 1}); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Build([][]float64{{1}}, Params{M: 0, L: 1, R: 1}); err == nil {
+		t.Error("M=0 accepted")
+	}
+	if _, err := Build([][]float64{{1}}, Params{M: 1, L: 1, R: -1}); err == nil {
+		t.Error("negative R accepted")
+	}
+}
+
+func TestQueryFindsExactNeighborsOnEasyData(t *testing.T) {
+	d := dataset.DeepLike(2000, 1)
+	rng := rand.New(rand.NewPCG(7, 7))
+	tuned := Tune(d.X, d.X, 10, 0.1, 1, 512, 99, rng)
+	idx, err := Build(d.X, tuned.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.DeepLike(30, 2)
+	var recallSum float64
+	for _, q := range queries.X {
+		truth := knn.Neighbors(d.X, q, 10, vec.L2)
+		got := idx.Query(q, 10)
+		recallSum += Recall(truth, got.IDs)
+	}
+	if avg := recallSum / 30; avg < 0.9 {
+		t.Fatalf("average recall %v < 0.9 on high-contrast data (params %+v, g=%v)",
+			avg, tuned.Params, tuned.G)
+	}
+}
+
+func TestQueryRecallImprovesWithTables(t *testing.T) {
+	d := dataset.GistLike(1500, 3)
+	rng := rand.New(rand.NewPCG(17, 17))
+	tuned := Tune(d.X, d.X, 5, 0.1, 1, 256, 5, rng)
+	idx, err := Build(d.X, tuned.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.GistLike(20, 4)
+	recallAt := func(l int) float64 {
+		var s float64
+		for _, q := range queries.X {
+			truth := knn.Neighbors(d.X, q, 5, vec.L2)
+			got := idx.QueryTables(q, 5, l)
+			s += Recall(truth, got.IDs)
+		}
+		return s / float64(len(queries.X))
+	}
+	few := recallAt(1)
+	all := recallAt(idx.Tables())
+	if all < few-1e-9 {
+		t.Fatalf("recall decreased with more tables: %v -> %v", few, all)
+	}
+	if all < 0.75 {
+		t.Fatalf("full-table recall %v too low", all)
+	}
+}
+
+func TestQueryResultsSortedAndDeduped(t *testing.T) {
+	d := dataset.MNISTLike(500, 5)
+	idx, err := Build(d.X, Params{M: 4, L: 8, R: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := idx.Query(d.X[0], 20)
+	seen := map[int]bool{}
+	for i, id := range res.IDs {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+		if i > 0 && res.Dists[i] < res.Dists[i-1] {
+			t.Fatal("distances not sorted")
+		}
+	}
+	if len(res.IDs) == 0 || res.IDs[0] != 0 {
+		t.Fatalf("query point itself should be its own nearest neighbor: %v", res.IDs)
+	}
+	if res.Candidates < len(res.IDs) {
+		t.Fatal("candidate count below returned count")
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	d := dataset.MNISTLike(50, 6)
+	idx, _ := Build(d.X, Params{M: 2, L: 2, R: 1, Seed: 1})
+	if res := idx.Query(d.X[0], 0); len(res.IDs) != 0 {
+		t.Fatal("k=0 should return nothing")
+	}
+	if res := idx.QueryTables(d.X[0], 5, 0); len(res.IDs) != 0 {
+		t.Fatal("l=0 should return nothing")
+	}
+	// l beyond table count is clamped.
+	res := idx.QueryTables(d.X[0], 5, 100)
+	if res.Candidates == 0 {
+		t.Fatal("clamped l returned nothing")
+	}
+}
+
+func TestRecall(t *testing.T) {
+	if Recall(nil, nil) != 1 {
+		t.Fatal("empty truth should be recall 1")
+	}
+	if got := Recall([]int{1, 2, 3, 4}, []int{2, 4, 9}); got != 0.5 {
+		t.Fatalf("Recall = %v want 0.5", got)
+	}
+}
+
+func TestEstimateContrastOrdering(t *testing.T) {
+	// Figure 9a ordering: deep > gist > dog-fish at K* = 100.
+	rng := rand.New(rand.NewPCG(23, 29))
+	deep := dataset.DeepLike(1500, 1)
+	gist := dataset.GistLike(1500, 1)
+	fish := dataset.DogFishLike(1500, 1)
+	cDeep := EstimateContrast(deep.X, deep.X, 100, 20, 100, rng)
+	cGist := EstimateContrast(gist.X, gist.X, 100, 20, 100, rng)
+	cFish := EstimateContrast(fish.X, fish.X, 100, 20, 100, rng)
+	if !(cDeep.CK > cGist.CK && cGist.CK > cFish.CK) {
+		t.Fatalf("contrast ordering violated: deep=%v gist=%v dogfish=%v",
+			cDeep.CK, cGist.CK, cFish.CK)
+	}
+	if cFish.CK <= 1 {
+		t.Fatalf("dogfish contrast %v should still exceed 1", cFish.CK)
+	}
+}
+
+func TestTuneProducesValidParams(t *testing.T) {
+	d := dataset.GistLike(800, 9)
+	rng := rand.New(rand.NewPCG(31, 31))
+	tuned := Tune(d.X, d.X, 8, 0.1, 1, 128, 5, rng)
+	if err := tuned.Params.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tuned.G <= 0 || tuned.G >= 1 {
+		t.Fatalf("g = %v want in (0,1) for contrast %v", tuned.G, tuned.Contrast.CK)
+	}
+	if tuned.Params.L > 128 {
+		t.Fatalf("table cap ignored: %d", tuned.Params.L)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	d := dataset.MNISTLike(20000, 1)
+	rng := rand.New(rand.NewPCG(1, 1))
+	tuned := Tune(d.X, d.X, 10, 0.1, 1, 128, 1, rng)
+	idx, err := Build(d.X, tuned.Params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := dataset.MNISTLike(64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Query(q.X[i%64], 10)
+	}
+}

@@ -1,0 +1,166 @@
+package lsh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Index serialization: building an index over millions of points costs
+// minutes (Figure 6), so a data market wants to build once and reload. The
+// format stores the parameters, every table's projections/offsets, and the
+// bucket maps; the caller re-supplies the data vectors on load (they are the
+// dataset's own storage, not the index's).
+
+const indexMagic = uint32(0x4c534849) // "LSHI"
+
+// WriteTo serializes the index (excluding the data vectors) to w.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	dim := len(idx.data[0])
+	hdr := []uint64{
+		uint64(indexMagic), 1,
+		uint64(idx.params.M), uint64(idx.params.L),
+		math.Float64bits(idx.params.R), idx.params.Seed,
+		uint64(len(idx.data)), uint64(dim),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	for t := range idx.tables {
+		tb := &idx.tables[t]
+		for j := 0; j < idx.params.M; j++ {
+			for _, v := range tb.proj[j] {
+				if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+					return cw.n, err
+				}
+			}
+			if err := binary.Write(cw, binary.LittleEndian, tb.offset[j]); err != nil {
+				return cw.n, err
+			}
+		}
+		if err := binary.Write(cw, binary.LittleEndian, uint64(len(tb.buckets))); err != nil {
+			return cw.n, err
+		}
+		for key, ids := range tb.buckets {
+			if err := binary.Write(cw, binary.LittleEndian, key); err != nil {
+				return cw.n, err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, uint64(len(ids))); err != nil {
+				return cw.n, err
+			}
+			for _, id := range ids {
+				if err := binary.Write(cw, binary.LittleEndian, uint32(id)); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadIndex deserializes an index written by WriteTo, reattaching the data
+// vectors (which must be the same rows, in the same order, as at build
+// time).
+func ReadIndex(r io.Reader, data [][]float64) (*Index, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("lsh: header: %w", err)
+		}
+	}
+	if uint32(hdr[0]) != indexMagic {
+		return nil, fmt.Errorf("lsh: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != 1 {
+		return nil, fmt.Errorf("lsh: unsupported version %d", hdr[1])
+	}
+	params := Params{M: int(hdr[2]), L: int(hdr[3]), R: math.Float64frombits(hdr[4]), Seed: hdr[5]}
+	n, dim := int(hdr[6]), int(hdr[7])
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("lsh: index built over %d rows, got %d", n, len(data))
+	}
+	if len(data) > 0 && len(data[0]) != dim {
+		return nil, fmt.Errorf("lsh: index built over dim %d, got %d", dim, len(data[0]))
+	}
+	idx := &Index{params: params, data: data, tables: make([]table, params.L)}
+	idx.scratch = sync.Pool{New: func() any {
+		return &queryScratch{visited: make([]uint32, n), sig: make([]int32, params.M)}
+	}}
+	for t := range idx.tables {
+		tb := table{
+			proj:    make([][]float64, params.M),
+			offset:  make([]float64, params.M),
+			buckets: make(map[uint64][]int),
+		}
+		for j := 0; j < params.M; j++ {
+			w := make([]float64, dim)
+			for d := range w {
+				if err := binary.Read(br, binary.LittleEndian, &w[d]); err != nil {
+					return nil, fmt.Errorf("lsh: projection: %w", err)
+				}
+			}
+			tb.proj[j] = w
+			if err := binary.Read(br, binary.LittleEndian, &tb.offset[j]); err != nil {
+				return nil, fmt.Errorf("lsh: offset: %w", err)
+			}
+		}
+		var nb uint64
+		if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
+			return nil, fmt.Errorf("lsh: bucket count: %w", err)
+		}
+		if nb > uint64(n)+1 {
+			return nil, fmt.Errorf("lsh: implausible bucket count %d", nb)
+		}
+		for b := uint64(0); b < nb; b++ {
+			var key, sz uint64
+			if err := binary.Read(br, binary.LittleEndian, &key); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, binary.LittleEndian, &sz); err != nil {
+				return nil, err
+			}
+			if sz > uint64(n) {
+				return nil, fmt.Errorf("lsh: implausible bucket size %d", sz)
+			}
+			ids := make([]int, sz)
+			for i := range ids {
+				var id uint32
+				if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+					return nil, err
+				}
+				if int(id) >= n {
+					return nil, fmt.Errorf("lsh: id %d outside [0,%d)", id, n)
+				}
+				ids[i] = int(id)
+			}
+			tb.buckets[key] = ids
+		}
+		idx.tables[t] = tb
+	}
+	return idx, nil
+}

@@ -1,0 +1,72 @@
+package lsh
+
+import (
+	"bytes"
+	"testing"
+
+	"knnshapley/internal/dataset"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	d := dataset.GistLike(800, 3)
+	idx, err := Build(d.X, Params{M: 6, L: 10, R: 1.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(bytes.NewReader(buf.Bytes()), d.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Params() != idx.Params() || back.Tables() != idx.Tables() {
+		t.Fatalf("params changed: %+v vs %+v", back.Params(), idx.Params())
+	}
+	// Queries must return identical results.
+	queries := dataset.GistLike(20, 4)
+	for _, q := range queries.X {
+		a := idx.Query(q, 7)
+		b := back.Query(q, 7)
+		if len(a.IDs) != len(b.IDs) || a.Candidates != b.Candidates {
+			t.Fatalf("result shape changed: %+v vs %+v", a, b)
+		}
+		for i := range a.IDs {
+			if a.IDs[i] != b.IDs[i] || a.Dists[i] != b.Dists[i] {
+				t.Fatalf("query diverged after reload: %v vs %v", a.IDs, b.IDs)
+			}
+		}
+	}
+}
+
+func TestReadIndexValidation(t *testing.T) {
+	d := dataset.GistLike(50, 5)
+	idx, err := Build(d.X, Params{M: 2, L: 2, R: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadIndex(bytes.NewReader(raw[:10]), d.X); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(raw), d.X[:10]); err == nil {
+		t.Error("wrong row count accepted")
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if _, err := ReadIndex(bytes.NewReader(bad), d.X); err == nil {
+		t.Error("bad magic accepted")
+	}
+	short := dataset.GistLike(50, 5)
+	for i := range short.X {
+		short.X[i] = short.X[i][:4]
+	}
+	if _, err := ReadIndex(bytes.NewReader(raw), short.X); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+}

@@ -1,0 +1,223 @@
+// Package stats provides the statistical machinery of the paper's sampling
+// analyses: the Hoeffding permutation bound used by the baseline Monte-Carlo
+// estimator (Section 2.2), the Bennett bound of Theorem 5 with its numeric
+// solver (Eq. 32) and closed-form approximation (Eq. 34), and the summary
+// statistics (correlations, error norms) used across the experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BennettH is h(u) = (1+u)·log(1+u) − u, the rate function appearing in
+// Bennett's inequality (Theorem 5).
+func BennettH(u float64) float64 {
+	if u < 0 {
+		panic(fmt.Sprintf("stats: BennettH of negative %v", u))
+	}
+	return (1+u)*math.Log1p(u) - u
+}
+
+// HoeffdingPermutations returns the number of Monte-Carlo permutations the
+// baseline estimator needs for an (eps, delta)-approximation of n Shapley
+// values: T = width²/(2eps²)·log(2n/delta) [MTTH+13, Section 2.2].
+//
+// width is the FULL range width of the marginal contribution φ_i; for the
+// unweighted KNN classification utility φ ∈ [−1/K, 1/K], so width = 2/K.
+func HoeffdingPermutations(width, eps, delta float64, n int) int {
+	checkEpsDelta(eps, delta)
+	t := width * width / (2 * eps * eps) * math.Log(2*float64(n)/delta)
+	return int(math.Ceil(t))
+}
+
+// BennettApproxPermutations returns the closed-form approximation Eq. (34) to
+// the Bennett permutation budget: T̃ = r²/eps²·log(2K/delta), where r is the
+// HALF-width of the range [−r, r] of φ_i (r = 1/K for unweighted KNN
+// classification, per Theorem 5). Unlike the Hoeffding budget it does not
+// grow with N.
+func BennettApproxPermutations(r, eps, delta float64, k int) int {
+	checkEpsDelta(eps, delta)
+	t := r * r / (eps * eps) * math.Log(2*float64(k)/delta)
+	return int(math.Ceil(t))
+}
+
+// KNNNonzeroProb returns the q_i of Eq. (33): a lower bound on the
+// probability that training point i (1-based rank by distance) contributes a
+// zero marginal in a random permutation. q_i = 0 for i <= K and (i-K)/i
+// beyond.
+func KNNNonzeroProb(n, k int) []float64 {
+	qs := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		if i > k {
+			qs[i-1] = float64(i-k) / float64(i)
+		}
+	}
+	return qs
+}
+
+// BennettPermutations solves Eq. (32) numerically for the exact Bennett
+// permutation budget T*:
+//
+//	Σ_i exp(−T·(1−q_i²)·h(eps / ((1−q_i²)·r))) = delta/2
+//
+// r is the HALF-width of the range [−r, r] of φ_i (Theorem 5); for the
+// unweighted KNN classification utility r = 1/K. The left side is strictly
+// decreasing in T, so bisection on T converges; the returned value is the
+// smallest integer T with the sum ≤ delta/2.
+func BennettPermutations(qs []float64, r, eps, delta float64) int {
+	checkEpsDelta(eps, delta)
+	if len(qs) == 0 {
+		return 0
+	}
+	sum := func(t float64) float64 {
+		var s float64
+		for _, q := range qs {
+			v := 1 - q*q
+			if v <= 0 {
+				continue // a point that never changes the utility needs no samples
+			}
+			s += math.Exp(-t * v * BennettH(eps/(v*r)))
+		}
+		return s
+	}
+	target := delta / 2
+	lo, hi := 0.0, 1.0
+	for sum(hi) > target {
+		hi *= 2
+		if hi > 1e18 {
+			panic("stats: Bennett bound failed to bracket")
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 0.5; i++ {
+		mid := (lo + hi) / 2
+		if sum(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return int(math.Ceil(hi))
+}
+
+func checkEpsDelta(eps, delta float64) {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("stats: invalid eps=%v delta=%v", eps, delta))
+	}
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y. It returns
+// 0 when either input is constant.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d != %d", len(x), len(y)))
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	mx, my := mean(x), mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of x and y (Pearson on
+// fractional ranks; ties share the average rank).
+func Spearman(x, y []float64) float64 {
+	return Pearson(ranks(x), ranks(y))
+}
+
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	r := make([]float64, len(x))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && x[idx[j]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for t := i; t < j; t++ {
+			r[idx[t]] = avg
+		}
+		i = j
+	}
+	return r
+}
+
+// MaxAbsDiff returns max_i |a_i − b_i|, the error norm of the paper's
+// (eps, delta)-approximation definition.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: MaxAbsDiff length mismatch %d != %d", len(a), len(b)))
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MeanAbsDiff returns the mean of |a_i − b_i|.
+func MeanAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: MeanAbsDiff length mismatch %d != %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a))
+}
+
+func mean(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Summary holds the descriptive statistics reported by the experiment
+// harness.
+type Summary struct {
+	Mean, Min, Max, Std float64
+}
+
+// Summarize computes mean, min, max and (population) standard deviation.
+func Summarize(x []float64) Summary {
+	if len(x) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: x[0], Max: x[0]}
+	for _, v := range x {
+		s.Mean += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean /= float64(len(x))
+	var varSum float64
+	for _, v := range x {
+		d := v - s.Mean
+		varSum += d * d
+	}
+	s.Std = math.Sqrt(varSum / float64(len(x)))
+	return s
+}

@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBennettH(t *testing.T) {
+	if BennettH(0) != 0 {
+		t.Fatal("h(0) != 0")
+	}
+	// h(u) = (1+u)log(1+u) - u at u=e-1: e·1 - (e-1) = 1.
+	if got := BennettH(math.E - 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("h(e-1) = %v want 1", got)
+	}
+	// h is increasing and bounded above by u²for small u... sanity: h(u) <= u².
+	for u := 0.0; u < 3; u += 0.1 {
+		if BennettH(u) > u*u+1e-12 {
+			t.Fatalf("h(%v) = %v > u²", u, BennettH(u))
+		}
+	}
+}
+
+func TestBennettHPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BennettH(-0.5)
+}
+
+func TestHoeffdingPermutations(t *testing.T) {
+	// r=1, eps=0.1, delta=0.1, n=100: 50·log(2000) ≈ 380.05 -> 381.
+	got := HoeffdingPermutations(1, 0.1, 0.1, 100)
+	want := int(math.Ceil(50 * math.Log(2000)))
+	if got != want {
+		t.Fatalf("Hoeffding = %d want %d", got, want)
+	}
+	// Budget grows with n.
+	if HoeffdingPermutations(1, 0.1, 0.1, 1000) <= got {
+		t.Fatal("Hoeffding budget should grow with n")
+	}
+}
+
+func TestBennettApproxPermutations(t *testing.T) {
+	// Does not depend on n; depends on K.
+	a := BennettApproxPermutations(1, 0.1, 0.1, 5)
+	b := BennettApproxPermutations(1, 0.1, 0.1, 50)
+	if a >= b {
+		t.Fatal("budget should grow with K")
+	}
+	if want := int(math.Ceil(100 * math.Log(100))); a != want {
+		t.Fatalf("approx = %d want %d", a, want)
+	}
+}
+
+func TestKNNNonzeroProb(t *testing.T) {
+	qs := KNNNonzeroProb(6, 2)
+	want := []float64{0, 0, 1.0 / 3, 2.0 / 4, 3.0 / 5, 4.0 / 6}
+	for i := range want {
+		if math.Abs(qs[i]-want[i]) > 1e-12 {
+			t.Fatalf("qs = %v want %v", qs, want)
+		}
+	}
+}
+
+func TestBennettPermutationsSolvesEquation(t *testing.T) {
+	r, eps, delta := 0.2, 0.05, 0.1
+	qs := KNNNonzeroProb(1000, 5)
+	tStar := BennettPermutations(qs, r, eps, delta)
+	sum := func(tt float64) float64 {
+		var s float64
+		for _, q := range qs {
+			v := 1 - q*q
+			if v <= 0 {
+				continue
+			}
+			s += math.Exp(-tt * v * BennettH(eps/(v*r)))
+		}
+		return s
+	}
+	if sum(float64(tStar)) > delta/2+1e-9 {
+		t.Fatalf("T*=%d does not satisfy the bound: %v", tStar, sum(float64(tStar)))
+	}
+	if tStar > 2 && sum(float64(tStar-2)) <= delta/2 {
+		t.Fatalf("T*=%d is not tight", tStar)
+	}
+}
+
+// The paper's key observation (Figure 11): the Bennett budget is far below
+// Hoeffding for large N and roughly constant in N. Range conventions: the
+// Hoeffding formula takes the full width 2/K, Theorem 5 the half-width 1/K.
+func TestBennettBelowHoeffdingAndFlatInN(t *testing.T) {
+	eps, delta, k := 0.05, 0.1, 5
+	halfWidth := 1.0 / float64(k)
+	prev := 0
+	for _, n := range []int{1000, 10000, 100000} {
+		hoeff := HoeffdingPermutations(2*halfWidth, eps, delta, n)
+		ben := BennettPermutations(KNNNonzeroProb(n, k), halfWidth, eps, delta)
+		if ben >= hoeff {
+			t.Fatalf("n=%d: Bennett %d >= Hoeffding %d", n, ben, hoeff)
+		}
+		if prev > 0 {
+			ratio := float64(ben) / float64(prev)
+			if ratio > 1.2 || ratio < 0.8 {
+				t.Fatalf("Bennett budget not ~flat in N: %d -> %d", prev, ben)
+			}
+		}
+		prev = ben
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Pearson(x, x); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self correlation %v", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := Pearson(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("anti correlation %v", got)
+	}
+	if got := Pearson(x, []float64{7, 7, 7, 7}); got != 0 {
+		t.Fatalf("constant correlation %v", got)
+	}
+}
+
+func TestPearsonAffineInvariance(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		x := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				x = append(x, math.Mod(v, 1e3))
+			}
+		}
+		if len(x) < 3 {
+			return true
+		}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = 3*x[i] - 7
+		}
+		r := Pearson(x, y)
+		return r == 0 || math.Abs(r-1) < 1e-9 // 0 only if x constant
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone nonlinear relation has Spearman 1 but Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman = %v want 1", got)
+	}
+	if got := Pearson(x, y); got >= 1 {
+		t.Fatalf("Pearson = %v, expected < 1", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 1, 2}
+	y := []float64{2, 2, 4}
+	if got := Spearman(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman with ties = %v want 1", got)
+	}
+}
+
+func TestMaxMeanAbsDiff(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 0, 3}
+	if got := MaxAbsDiff(a, b); got != 2 {
+		t.Fatalf("MaxAbsDiff = %v", got)
+	}
+	if got := MeanAbsDiff(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MeanAbsDiff = %v", got)
+	}
+	if MeanAbsDiff(nil, nil) != 0 {
+		t.Fatal("empty MeanAbsDiff")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 || s.Min != 2 || s.Max != 9 || math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestInvalidEpsDeltaPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { HoeffdingPermutations(1, 0, 0.1, 10) },
+		func() { HoeffdingPermutations(1, 0.1, 0, 10) },
+		func() { BennettApproxPermutations(1, 0.1, 1.5, 10) },
+		func() { BennettPermutations([]float64{0}, 1, -1, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for invalid eps/delta")
+				}
+			}()
+			f()
+		}()
+	}
+}

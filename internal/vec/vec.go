@@ -1,0 +1,237 @@
+// Package vec provides the small dense-vector kernels the rest of the
+// repository is built on: distance metrics, norms, and rank/argsort helpers.
+//
+// Everything operates on []float64 and is allocation-free unless the
+// function's contract says otherwise. The hot paths (SquaredL2, Dot) are
+// written with 4-way manual unrolling, which the Go compiler turns into
+// reasonable scalar code; they are the inner loops of every nearest-neighbor
+// scan in the repository.
+package vec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metric identifies a distance function on feature vectors.
+type Metric int
+
+const (
+	// L2 is the Euclidean distance. It is the metric used throughout the
+	// paper (the p-stable LSH of Section 3.2 targets l2).
+	L2 Metric = iota
+	// SquaredL2 is the squared Euclidean distance. It induces the same
+	// neighbor ordering as L2 but skips the square root.
+	SquaredL2
+	// L1 is the Manhattan distance.
+	L1
+	// Cosine is the cosine distance 1 - <a,b>/(|a||b|).
+	Cosine
+)
+
+// String returns the conventional name of the metric.
+func (m Metric) String() string {
+	switch m {
+	case L2:
+		return "l2"
+	case SquaredL2:
+		return "sql2"
+	case L1:
+		return "l1"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Distance returns the distance between a and b under the metric.
+// It panics if the vectors have different lengths.
+func (m Metric) Distance(a, b []float64) float64 {
+	switch m {
+	case L2:
+		return math.Sqrt(SqL2(a, b))
+	case SquaredL2:
+		return SqL2(a, b)
+	case L1:
+		return ManhattanDist(a, b)
+	case Cosine:
+		return CosineDist(a, b)
+	default:
+		panic("vec: unknown metric " + m.String())
+	}
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d != %d", len(a), len(b)))
+	}
+}
+
+// SqL2 returns the squared Euclidean distance between a and b.
+func SqL2(a, b []float64) float64 {
+	checkLen(a, b)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// L2Dist returns the Euclidean distance between a and b.
+func L2Dist(a, b []float64) float64 { return math.Sqrt(SqL2(a, b)) }
+
+// ManhattanDist returns the l1 distance between a and b.
+func ManhattanDist(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// CosineDist returns 1 - cos(a, b). Zero vectors are treated as maximally
+// distant (distance 1) so the function is total.
+func CosineDist(a, b []float64) float64 {
+	checkLen(a, b)
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/math.Sqrt(na*nb)
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	checkLen(a, b)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// Scale multiplies a in place by c and returns a.
+func Scale(a []float64, c float64) []float64 {
+	for i := range a {
+		a[i] *= c
+	}
+	return a
+}
+
+// AXPY computes dst += c*x in place. It panics on dimension mismatch.
+func AXPY(dst []float64, c float64, x []float64) {
+	checkLen(dst, x)
+	for i := range dst {
+		dst[i] += c * x[i]
+	}
+}
+
+// Clone returns a fresh copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// Distances fills out[i] with metric(points[i], q) and returns out.
+// If out is nil or too short a new slice is allocated.
+func Distances(m Metric, points [][]float64, q []float64, out []float64) []float64 {
+	if cap(out) < len(points) {
+		out = make([]float64, len(points))
+	}
+	out = out[:len(points)]
+	for i, p := range points {
+		out[i] = m.Distance(p, q)
+	}
+	return out
+}
+
+// Argsort returns the permutation that sorts dist ascending. Ties are broken
+// by index so the result is deterministic.
+func Argsort(dist []float64) []int {
+	idx := make([]int, len(dist))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return dist[idx[a]] < dist[idx[b]] })
+	return idx
+}
+
+// ArgsortBy returns indices 0..n-1 ordered ascending by key(i), ties broken
+// by index.
+func ArgsortBy(n int, key func(int) float64) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return key(idx[a]) < key(idx[b]) })
+	return idx
+}
+
+// Mean returns the arithmetic mean of a; it returns 0 for an empty slice.
+func Mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s / float64(len(a))
+}
+
+// Sum returns the sum of a.
+func Sum(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// MinMax returns the minimum and maximum of a. It panics on an empty slice.
+func MinMax(a []float64) (lo, hi float64) {
+	if len(a) == 0 {
+		panic("vec: MinMax of empty slice")
+	}
+	lo, hi = a[0], a[0]
+	for _, v := range a[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,106 @@
+package knnshapley
+
+import (
+	"fmt"
+
+	"knnshapley/internal/core"
+	"knnshapley/internal/knn"
+	"knnshapley/internal/vec"
+)
+
+// SellerValues computes the exact Shapley value of each *seller* when
+// sellers contribute multiple training points (Section 4, Theorem 8).
+// owners[i] names the seller (0..m-1) of training point i; every seller must
+// own at least one point. Cost grows like M^K — use SellerValuesMC beyond
+// small M·K.
+func SellerValues(train, test *Dataset, owners []int, m int, cfg Config) ([]float64, error) {
+	tps, err := cfg.testPoints(train, test)
+	if err != nil {
+		return nil, err
+	}
+	sv := make([]float64, m)
+	for _, tp := range tps {
+		one, err := core.MultiSellerSV(tp, owners, m)
+		if err != nil {
+			return nil, err
+		}
+		vec.AXPY(sv, 1, one)
+	}
+	vec.Scale(sv, 1/float64(len(tps)))
+	return sv, nil
+}
+
+// SellerValuesMC estimates seller values by permutation sampling over
+// sellers with heap-incremental utilities — the scalable alternative for
+// large M or K (Figure 13).
+func SellerValuesMC(train, test *Dataset, owners []int, m int, cfg Config, opts MCOptions) (MCReport, error) {
+	tps, err := cfg.testPoints(train, test)
+	if err != nil {
+		return MCReport{}, err
+	}
+	res, err := core.MultiSellerMC(tps, owners, m, opts.internal())
+	if err != nil {
+		return MCReport{}, err
+	}
+	return MCReport(res), nil
+}
+
+// CompositeReport is the outcome of a composite-game valuation: seller
+// shares plus the analyst's share; Analyst + Σ Sellers = ν(I).
+type CompositeReport struct {
+	Sellers []float64
+	Analyst float64
+}
+
+// CompositeValues computes the exact Shapley values of the composite game
+// (Eq. 28) that values the computation provider alongside the data sellers
+// (Theorems 9–11). With owners == nil every training point is its own
+// seller; otherwise sellers are valued at the curator level (Theorem 12).
+func CompositeValues(train, test *Dataset, owners []int, m int, cfg Config) (*CompositeReport, error) {
+	tps, err := cfg.testPoints(train, test)
+	if err != nil {
+		return nil, err
+	}
+	if owners == nil {
+		m = train.N()
+	}
+	acc := &CompositeReport{Sellers: make([]float64, m)}
+	for _, tp := range tps {
+		var res core.CompositeResult
+		switch {
+		case owners != nil:
+			res, err = core.CompositeMultiSellerSV(tp, owners, m)
+			if err != nil {
+				return nil, err
+			}
+		case tp.Kind == knn.UnweightedClass:
+			res = core.CompositeClassSV(tp)
+		case tp.Kind == knn.UnweightedRegress:
+			res = core.CompositeRegressSV(tp)
+		default:
+			res = core.CompositeWeightedSV(tp)
+		}
+		vec.AXPY(acc.Sellers, 1, res.Sellers)
+		acc.Analyst += res.Analyst
+	}
+	inv := 1 / float64(len(tps))
+	vec.Scale(acc.Sellers, inv)
+	acc.Analyst *= inv
+	return acc, nil
+}
+
+// Utility returns the multi-test KNN utility ν(S) of an arbitrary training
+// subset (Eq. 8) — useful for auditing group rationality of reported values:
+// Utility(all) − Utility(nil) must equal the sum of the Shapley values.
+func Utility(train, test *Dataset, cfg Config, subset []int) (float64, error) {
+	tps, err := cfg.testPoints(train, test)
+	if err != nil {
+		return 0, err
+	}
+	for _, i := range subset {
+		if i < 0 || i >= train.N() {
+			return 0, fmt.Errorf("knnshapley: subset index %d outside [0,%d)", i, train.N())
+		}
+	}
+	return knn.AverageUtility(tps, subset), nil
+}

@@ -1,0 +1,162 @@
+package knnshapley
+
+import (
+	"fmt"
+	"io"
+
+	"knnshapley/internal/core"
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/knn"
+	"knnshapley/internal/vec"
+)
+
+// Dataset is the in-memory dataset representation: feature rows plus either
+// integer class labels or real regression targets. (The concrete type lives
+// in an internal package; construct values with NewClassificationDataset,
+// NewRegressionDataset or ReadCSV.)
+type Dataset = dataset.Dataset
+
+// Metric identifies the distance function used to rank neighbors.
+type Metric = vec.Metric
+
+// Exported distance metrics.
+const (
+	L2     = vec.L2
+	L1     = vec.L1
+	Cosine = vec.Cosine
+)
+
+// WeightFunc maps a neighbor distance to its vote weight in weighted KNN.
+type WeightFunc = knn.WeightFunc
+
+// InverseDistance returns the classic 1/(d+eps) neighbor weight.
+func InverseDistance(eps float64) WeightFunc { return knn.InverseDistance(eps) }
+
+// ExpDecay returns exp(-d/scale) neighbor weights.
+func ExpDecay(scale float64) WeightFunc { return knn.ExpDecay(scale) }
+
+// NewClassificationDataset builds a classification dataset from feature rows
+// and class labels (0-based; the class count is max(label)+1).
+func NewClassificationDataset(x [][]float64, labels []int) (*Dataset, error) {
+	classes := 0
+	for _, y := range labels {
+		if y+1 > classes {
+			classes = y + 1
+		}
+	}
+	d := &Dataset{X: x, Labels: labels, Classes: classes}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// NewRegressionDataset builds a regression dataset from feature rows and
+// real-valued targets.
+func NewRegressionDataset(x [][]float64, targets []float64) (*Dataset, error) {
+	d := &Dataset{X: x, Targets: targets}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadCSV parses a dataset with feature columns first and the response in
+// the final column.
+func ReadCSV(r io.Reader, regression bool) (*Dataset, error) {
+	return dataset.ReadCSV(r, regression)
+}
+
+// WriteCSV writes a dataset in the ReadCSV layout.
+func WriteCSV(w io.Writer, d *Dataset) error { return dataset.WriteCSV(w, d) }
+
+// Config selects the KNN utility whose Shapley values are computed.
+type Config struct {
+	// K is the number of neighbors (required, >= 1).
+	K int
+	// Metric defaults to L2 — the metric of the paper's experiments and of
+	// the LSH approximation.
+	Metric Metric
+	// Weight, when non-nil, selects the weighted KNN utilities (Eqs. 26/27)
+	// instead of the unweighted ones (Eqs. 5/25).
+	Weight WeightFunc
+	// Workers bounds the parallel fan-out over test points (0 = all cores).
+	Workers int
+}
+
+func (c Config) kind(train *Dataset) knn.Kind {
+	switch {
+	case train.IsRegression() && c.Weight != nil:
+		return knn.WeightedRegress
+	case train.IsRegression():
+		return knn.UnweightedRegress
+	case c.Weight != nil:
+		return knn.WeightedClass
+	default:
+		return knn.UnweightedClass
+	}
+}
+
+func (c Config) testPoints(train, test *Dataset) ([]*knn.TestPoint, error) {
+	if c.K <= 0 {
+		return nil, fmt.Errorf("knnshapley: Config.K = %d, want >= 1", c.K)
+	}
+	return knn.BuildTestPoints(c.kind(train), c.K, c.Weight, c.Metric, train, test)
+}
+
+// Exact computes the exact Shapley value of every training point with
+// respect to the KNN utility averaged over the test set.
+//
+// Unweighted utilities cost O(Ntest·N·(d + log N)) (Theorems 1 and 6).
+// Weighted utilities use the Theorem 7 counting algorithm whose cost grows
+// like N^K — call EstimateWeightedCost first and switch to MonteCarlo when
+// it is prohibitive.
+func Exact(train, test *Dataset, cfg Config) ([]float64, error) {
+	tps, err := cfg.testPoints(train, test)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{Workers: cfg.Workers}
+	switch cfg.kind(train) {
+	case knn.UnweightedClass:
+		return core.ExactClassSVMulti(tps, opts), nil
+	case knn.UnweightedRegress:
+		return core.ExactRegressSVMulti(tps, opts), nil
+	default:
+		return core.ExactWeightedSVMulti(tps, opts), nil
+	}
+}
+
+// EstimateWeightedCost approximates the number of utility evaluations Exact
+// performs per test point for a weighted utility with n training points.
+func EstimateWeightedCost(n, k int) float64 { return core.EstimateWeightedCost(n, k) }
+
+// Truncated computes the (eps, 0)-approximation of Theorem 2 for unweighted
+// KNN classification: only the K* = max{K, ⌈1/eps⌉} nearest neighbors of
+// each test point receive (exact) values, everyone else zero. Guarantees
+// max_i |ŝ_i − s_i| ≤ eps and preserves the value ranking of the K* nearest.
+func Truncated(train, test *Dataset, cfg Config, eps float64) ([]float64, error) {
+	if train.IsRegression() || cfg.Weight != nil {
+		return nil, fmt.Errorf("knnshapley: Truncated applies to unweighted classification")
+	}
+	tps, err := cfg.testPoints(train, test)
+	if err != nil {
+		return nil, err
+	}
+	return core.TruncatedClassSVMulti(tps, eps, core.Options{Workers: cfg.Workers}), nil
+}
+
+// Monetize converts relative Shapley values into currency given an affine
+// revenue model R(S) = a·ν(S) + b (Section 7): each point receives
+// a·sv_i + b/N so the payments sum to a·ν(I) + b (up to the ν(∅) share).
+func Monetize(sv []float64, a, b float64) []float64 {
+	out := make([]float64, len(sv))
+	if len(sv) == 0 {
+		return out
+	}
+	perPoint := b / float64(len(sv))
+	for i, v := range sv {
+		out[i] = a*v + perPoint
+	}
+	return out
+}
