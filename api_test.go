@@ -41,6 +41,31 @@ func TestExactClassificationEndToEnd(t *testing.T) {
 	}
 }
 
+// The streamed engine path must return the same values for every batch
+// size and worker count (the batches only change memory, never math).
+func TestExactBatchSizeInvariance(t *testing.T) {
+	train, test := smallSplit(t)
+	want, err := Exact(train, test, Config{K: 3, Workers: 1, BatchSize: test.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{K: 3, BatchSize: 1},
+		{K: 3, BatchSize: 3, Workers: 2},
+		{K: 3, BatchSize: 64, Workers: 8},
+	} {
+		got, err := Exact(train, test, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cfg %+v: sv[%d] = %v, want %v (bitwise)", cfg, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestExactRegressionEndToEnd(t *testing.T) {
 	train := SynthRegression(100, 4, 0.1, 1)
 	test := SynthRegression(8, 4, 0.1, 2)

@@ -36,14 +36,15 @@ type MCOptions struct {
 	// be set explicitly for other utilities when a statistical bound is
 	// used.
 	RangeHalfWidth float64
-	// Heuristic stops sampling early once the estimates stabilize within
-	// Eps/50 (the stopping rule of Section 6.2.2).
+	// Heuristic stops a test point's sampling early once its estimates
+	// stabilize within Eps/50 (the stopping rule of Section 6.2.2, applied
+	// per test point so the sampler parallelizes across the engine).
 	Heuristic bool
 	// Seed drives the permutation stream.
 	Seed uint64
 }
 
-func (o MCOptions) internal() core.MCConfig {
+func (o MCOptions) internal(cfg Config) core.MCConfig {
 	return core.MCConfig{
 		Eps:            o.Eps,
 		Delta:          o.Delta,
@@ -52,6 +53,8 @@ func (o MCOptions) internal() core.MCConfig {
 		RangeHalfWidth: o.RangeHalfWidth,
 		Heuristic:      o.Heuristic,
 		Seed:           o.Seed,
+		Workers:        cfg.Workers,
+		BatchSize:      cfg.BatchSize,
 	}
 }
 
@@ -59,7 +62,9 @@ func (o MCOptions) internal() core.MCConfig {
 type MCReport struct {
 	// SV holds the estimated Shapley values.
 	SV []float64
-	// Permutations actually executed; Budget is what the bound asked for.
+	// Permutations is the largest count any test point executed (each test
+	// point samples its own stream and may stop early under Heuristic);
+	// Budget is what the bound asked for.
 	Permutations, Budget int
 	// UtilityEvals counts incremental utility recomputations — the cost
 	// metric Algorithm 2's heap trick minimizes.
@@ -70,13 +75,15 @@ type MCReport struct {
 // estimator (Algorithm 2): heap-incremental utility evaluation plus the
 // Bennett permutation budget of Theorem 5. It works for every utility kind
 // and is the recommended algorithm for weighted KNN, where exact computation
-// costs N^K.
+// costs N^K. Test points stream through the valuation engine in
+// Config.BatchSize batches; each test point samples a deterministic
+// permutation stream derived from (Seed, test index).
 func MonteCarlo(train, test *Dataset, cfg Config, opts MCOptions) (MCReport, error) {
-	tps, err := cfg.testPoints(train, test)
+	src, err := cfg.stream(train, test)
 	if err != nil {
 		return MCReport{}, err
 	}
-	res, err := core.ImprovedMC(tps, opts.internal())
+	res, err := core.ImprovedMCStream(src, cfg.kind(train), train.N(), cfg.K, opts.internal(cfg))
 	if err != nil {
 		return MCReport{}, err
 	}

@@ -297,6 +297,34 @@ func BenchmarkAblationTruncation(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineStreamingVsEager: the tentpole comparison — streaming
+// batched execution (Exact: blocked flat-storage distance tiles, BatchSize
+// test points in flight) vs the seed's eager path (materialize every
+// TestPoint, then fan out). Same outputs, different peak memory and cache
+// behavior; -benchmem shows the allocation gap.
+func BenchmarkEngineStreamingVsEager(b *testing.B) {
+	train := dataset.MNISTLike(10000, 1)
+	test := dataset.MNISTLike(64, 2)
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Exact(train, test, Config{K: 5, BatchSize: 16}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tps, err := knn.BuildTestPoints(knn.UnweightedClass, 5, nil, vec.L2, train, test)
+			if err != nil {
+				b.Fatal(err)
+			}
+			core.ExactClassSVMulti(tps, core.Options{})
+		}
+	})
+}
+
 // BenchmarkAblationParallel: serial vs parallel test-point fan-out.
 func BenchmarkAblationParallel(b *testing.B) {
 	tps := buildTPs(b, dataset.MNISTLike(20000, 1), dataset.MNISTLike(16, 2), 5)

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"knnshapley"
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/vec"
+)
+
+// benchRecord is one micro-benchmark measurement. NsPerOp is nanoseconds
+// per test point for the valuation benchmarks and per full scan for the
+// storage benchmarks, so numbers stay comparable across N.
+type benchRecord struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	Dim     int    `json:"dim"`
+	NTest   int    `json:"ntest,omitempty"`
+	NsPerOp int64  `json:"nsPerOp"`
+	TotalNs int64  `json:"totalNs"`
+}
+
+// benchReport is the BENCH_1.json schema.
+type benchReport struct {
+	Schema    string        `json:"schema"`
+	GoVersion string        `json:"goVersion"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Results   []benchRecord `json:"results"`
+}
+
+const (
+	benchDim   = 64
+	benchNTest = 16
+	benchK     = 5
+)
+
+// timeOp runs f once after a warm-up call at the smallest size has primed
+// the code paths, returning elapsed nanoseconds.
+func timeOp(f func() error) (int64, error) {
+	start := time.Now()
+	if err := f(); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Nanoseconds(), nil
+}
+
+// runBenchJSON measures the engine's headline paths and writes the records
+// to path.
+func runBenchJSON(path string) error {
+	rep := benchReport{
+		Schema:    "svbench/1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, n := range []int{1000, 10000, 100000} {
+		train := dataset.MNISTLike(n, 1)
+		test := dataset.MNISTLike(benchNTest, 2)
+		cfg := knnshapley.Config{K: benchK}
+
+		ns, err := timeOp(func() error {
+			_, err := knnshapley.Exact(train, test, cfg)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("exact n=%d: %w", n, err)
+		}
+		rep.Results = append(rep.Results, benchRecord{
+			Name: "exact", N: n, Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: ns / benchNTest, TotalNs: ns,
+		})
+
+		ns, err = timeOp(func() error {
+			_, err := knnshapley.Truncated(train, test, cfg, 0.01)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("truncated n=%d: %w", n, err)
+		}
+		rep.Results = append(rep.Results, benchRecord{
+			Name: "truncated_eps0.01", N: n, Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: ns / benchNTest, TotalNs: ns,
+		})
+
+		ns, err = timeOp(func() error {
+			_, err := knnshapley.MonteCarlo(train, test, cfg,
+				knnshapley.MCOptions{Bound: knnshapley.Fixed, T: 10, Seed: 1})
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("montecarlo n=%d: %w", n, err)
+		}
+		rep.Results = append(rep.Results, benchRecord{
+			Name: "montecarlo_t10", N: n, Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: ns / benchNTest, TotalNs: ns,
+		})
+
+		// Storage comparison: one query scanned against the training set
+		// held flat (row-major) vs as independently-allocated rows.
+		flat, ok := train.Flat()
+		if !ok {
+			return fmt.Errorf("train dataset not contiguous")
+		}
+		scattered := make([][]float64, train.N())
+		for i := range scattered {
+			scattered[i] = append([]float64(nil), train.X[i]...)
+		}
+		q := test.X[0]
+		out := make([]float64, train.N())
+		const reps = 50
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			vec.DistancesFlat(vec.SquaredL2, flat, train.N(), train.Dim(), q, out)
+		}
+		flatNs := time.Since(start).Nanoseconds() / reps
+		rep.Results = append(rep.Results, benchRecord{
+			Name: "distscan_flat", N: n, Dim: train.Dim(), NsPerOp: flatNs, TotalNs: flatNs * reps,
+		})
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			vec.Distances(vec.SquaredL2, scattered, q, out)
+		}
+		sliceNs := time.Since(start).Nanoseconds() / reps
+		rep.Results = append(rep.Results, benchRecord{
+			Name: "distscan_slices", N: n, Dim: train.Dim(), NsPerOp: sliceNs, TotalNs: sliceNs * reps,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

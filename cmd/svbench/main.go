@@ -8,6 +8,13 @@
 //	svbench -exp all             # everything (minutes)
 //	svbench -exp fig7 -scale 0.1 # 10% of the paper's dataset sizes
 //
+// With -benchjson FILE the command instead runs the engine micro-benchmarks
+// (exact / truncated / Monte-Carlo at N ∈ {1e3, 1e4, 1e5}, plus flat-storage
+// vs slice-of-slices distance scans) and writes machine-readable ns/op
+// records for the perf trajectory (BENCH_1.json):
+//
+//	svbench -benchjson BENCH_1.json
+//
 // See DESIGN.md for the experiment-to-module index and EXPERIMENTS.md for
 // recorded paper-vs-measured results.
 package main
@@ -23,11 +30,19 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment name or 'all'")
-		scale = flag.Float64("scale", 0, "dataset size multiplier for fig7/fig8/fig17 (default 0.01 of the paper's sizes)")
-		list  = flag.Bool("list", false, "list experiments")
+		exp       = flag.String("exp", "", "experiment name or 'all'")
+		scale     = flag.Float64("scale", 0, "dataset size multiplier for fig7/fig8/fig17 (default 0.01 of the paper's sizes)")
+		list      = flag.Bool("list", false, "list experiments")
+		benchJSON = flag.String("benchjson", "", "write engine micro-benchmark results to this JSON file and exit")
 	)
 	flag.Parse()
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "svbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
 		for _, n := range experiments.Names() {

@@ -1,0 +1,215 @@
+// Command svserver is the first serving surface of the valuation engine: an
+// HTTP daemon that computes KNN-Shapley values for JSON train/test payloads.
+//
+// Usage:
+//
+//	svserver -addr :8080 -max-body 67108864
+//
+// Endpoints:
+//
+//	POST /value   — compute Shapley values for one train/test payload
+//	GET  /healthz — liveness probe
+//
+// A /value request selects the algorithm and the engine knobs:
+//
+//	{
+//	  "algorithm": "exact" | "truncated" | "montecarlo",
+//	  "k": 3,
+//	  "metric": "l2" | "l1" | "cosine",
+//	  "eps": 0.1,            // truncated and montecarlo
+//	  "delta": 0.1,          // montecarlo
+//	  "seed": 7,             // montecarlo
+//	  "workers": 0,          // engine worker pool (0 = all cores)
+//	  "batchSize": 0,        // engine batch size (0 = 64)
+//	  "train": {"x": [[...]], "labels": [...]},        // or "targets": [...]
+//	  "test":  {"x": [[...]], "labels": [...]}
+//	}
+//
+// The response reports the values plus how they were computed:
+//
+//	{"values": [...], "n": 100, "algorithm": "exact", "durationMs": 12}
+//
+// Each request builds its dataset once (flattened to the row-major layout)
+// and runs one engine over it; the streaming execution bounds the request's
+// peak memory at batchSize·N distances regardless of the test-set size.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"knnshapley"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxBody = flag.Int64("max-body", 64<<20, "maximum request body in bytes")
+	)
+	flag.Parse()
+	srv := &server{maxBody: *maxBody}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/value", srv.handleValue)
+	mux.HandleFunc("/healthz", srv.handleHealthz)
+	// Explicit timeouts so slow clients cannot pin connections open
+	// indefinitely while trickling large bodies (no WriteTimeout: big
+	// valuations legitimately take a while to compute and stream back).
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("svserver listening on %s", *addr)
+	log.Fatal(hs.ListenAndServe())
+}
+
+// server carries the per-process configuration of the daemon.
+type server struct {
+	maxBody int64
+}
+
+// payload is one dataset in the wire format.
+type payload struct {
+	X       [][]float64 `json:"x"`
+	Labels  []int       `json:"labels,omitempty"`
+	Targets []float64   `json:"targets,omitempty"`
+}
+
+// valueRequest is the body of POST /value.
+type valueRequest struct {
+	Algorithm string  `json:"algorithm"`
+	K         int     `json:"k"`
+	Metric    string  `json:"metric,omitempty"`
+	Eps       float64 `json:"eps,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	T         int     `json:"t,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	BatchSize int     `json:"batchSize,omitempty"`
+	Train     payload `json:"train"`
+	Test      payload `json:"test"`
+}
+
+// valueResponse is the body of a successful /value reply.
+type valueResponse struct {
+	Values       []float64 `json:"values"`
+	N            int       `json:"n"`
+	Algorithm    string    `json:"algorithm"`
+	Permutations int       `json:"permutations,omitempty"`
+	DurationMs   int64     `json:"durationMs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *server) handleValue(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req valueRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	resp, status, err := compute(&req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("svserver: encode response: %v", err)
+	}
+}
+
+// compute runs one valuation request through the engine.
+func compute(req *valueRequest) (*valueResponse, int, error) {
+	train, err := buildDataset(&req.Train)
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("train: %w", err)
+	}
+	test, err := buildDataset(&req.Test)
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("test: %w", err)
+	}
+	metric, err := parseMetric(req.Metric)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	cfg := knnshapley.Config{
+		K:         req.K,
+		Metric:    metric,
+		Workers:   req.Workers,
+		BatchSize: req.BatchSize,
+	}
+	start := time.Now()
+	resp := &valueResponse{N: train.N(), Algorithm: req.Algorithm}
+	switch req.Algorithm {
+	case "exact", "":
+		resp.Algorithm = "exact"
+		resp.Values, err = knnshapley.Exact(train, test, cfg)
+	case "truncated":
+		resp.Values, err = knnshapley.Truncated(train, test, cfg, req.Eps)
+	case "montecarlo":
+		opts := knnshapley.MCOptions{Eps: req.Eps, Delta: req.Delta, T: req.T, Seed: req.Seed}
+		if req.T > 0 && (req.Eps == 0 || req.Delta == 0) {
+			opts.Bound = knnshapley.Fixed
+		}
+		var rep knnshapley.MCReport
+		rep, err = knnshapley.MonteCarlo(train, test, cfg, opts)
+		resp.Values, resp.Permutations = rep.SV, rep.Permutations
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	if resp.Values == nil {
+		resp.Values = make([]float64, train.N())
+	}
+	resp.DurationMs = time.Since(start).Milliseconds()
+	return resp, http.StatusOK, nil
+}
+
+func buildDataset(p *payload) (*knnshapley.Dataset, error) {
+	if len(p.Targets) > 0 {
+		return knnshapley.NewRegressionDataset(p.X, p.Targets)
+	}
+	return knnshapley.NewClassificationDataset(p.X, p.Labels)
+}
+
+func parseMetric(name string) (knnshapley.Metric, error) {
+	switch name {
+	case "", "l2":
+		return knnshapley.L2, nil
+	case "l1":
+		return knnshapley.L1, nil
+	case "cosine":
+		return knnshapley.Cosine, nil
+	default:
+		return knnshapley.L2, fmt.Errorf("unknown metric %q", name)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(errorResponse{Error: msg}); err != nil {
+		log.Printf("svserver: encode error response: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"knnshapley"
+)
+
+func postValue(t *testing.T, srv *server, body any) (*httptest.ResponseRecorder, valueResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/value", bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	srv.handleValue(rec, req)
+	var resp valueResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decode response: %v (%s)", err, rec.Body.String())
+		}
+	}
+	return rec, resp
+}
+
+func testRequest() valueRequest {
+	return valueRequest{
+		Algorithm: "exact",
+		K:         2,
+		Train: payload{
+			X:      [][]float64{{0, 0}, {1, 0}, {0, 1}, {5, 5}, {5, 6}, {6, 5}},
+			Labels: []int{0, 0, 0, 1, 1, 1},
+		},
+		Test: payload{
+			X:      [][]float64{{0.2, 0.1}, {5.2, 5.1}},
+			Labels: []int{0, 1},
+		},
+	}
+}
+
+func TestValueExactMatchesLibrary(t *testing.T) {
+	srv := &server{maxBody: 1 << 20}
+	req := testRequest()
+	rec, resp := postValue(t, srv, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	train, _ := knnshapley.NewClassificationDataset(req.Train.X, req.Train.Labels)
+	test, _ := knnshapley.NewClassificationDataset(req.Test.X, req.Test.Labels)
+	want, err := knnshapley.Exact(train, test, knnshapley.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Values) != len(want) {
+		t.Fatalf("%d values, want %d", len(resp.Values), len(want))
+	}
+	for i := range want {
+		if math.Abs(resp.Values[i]-want[i]) > 1e-12 {
+			t.Fatalf("value %d = %v, want %v", i, resp.Values[i], want[i])
+		}
+	}
+	if resp.Algorithm != "exact" || resp.N != 6 {
+		t.Fatalf("metadata %+v", resp)
+	}
+}
+
+func TestValueTruncatedAndMonteCarlo(t *testing.T) {
+	srv := &server{maxBody: 1 << 20}
+	req := testRequest()
+	req.Algorithm = "truncated"
+	req.Eps = 0.4
+	if rec, _ := postValue(t, srv, req); rec.Code != http.StatusOK {
+		t.Fatalf("truncated status %d: %s", rec.Code, rec.Body.String())
+	}
+	req.Algorithm = "montecarlo"
+	req.T = 50
+	req.Eps = 0
+	rec, resp := postValue(t, srv, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("montecarlo status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Permutations == 0 {
+		t.Fatal("montecarlo reported zero permutations")
+	}
+}
+
+func TestValueRejectsBadRequests(t *testing.T) {
+	srv := &server{maxBody: 1 << 20}
+	// Wrong method.
+	rec := httptest.NewRecorder()
+	srv.handleValue(rec, httptest.NewRequest(http.MethodGet, "/value", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", rec.Code)
+	}
+	// Unknown algorithm.
+	req := testRequest()
+	req.Algorithm = "mystery"
+	if rec, _ := postValue(t, srv, req); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm status %d", rec.Code)
+	}
+	// Invalid K.
+	req = testRequest()
+	req.K = 0
+	if rec, _ := postValue(t, srv, req); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("K=0 status %d", rec.Code)
+	}
+	// Ragged rows.
+	req = testRequest()
+	req.Train.X[1] = []float64{1}
+	if rec, _ := postValue(t, srv, req); rec.Code != http.StatusBadRequest {
+		t.Fatalf("ragged rows status %d", rec.Code)
+	}
+	// Unknown metric.
+	req = testRequest()
+	req.Metric = "chebyshev"
+	if rec, _ := postValue(t, srv, req); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad metric status %d", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := &server{}
+	rec := httptest.NewRecorder()
+	srv.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+}

@@ -25,7 +25,41 @@
 //	sv, err := knnshapley.Exact(train, test, knnshapley.Config{K: 5})
 //	// sv[i] is the value of training point i; Σ sv = ν(I) − ν(∅).
 //
+// # Execution model: one engine, pluggable kernels, batched streaming
+//
+// Every valuation entry point (Exact, Truncated, MonteCarlo, SellerValues,
+// CompositeValues, and the LSH/k-d tree valuers) runs on a single internal
+// execution engine. The engine owns a bounded worker pool (Config.Workers
+// goroutines, period — workers are created before any work is enqueued),
+// streams test points from a producer in batches of Config.BatchSize, and
+// dispatches each test point to a pluggable per-test-point kernel (exact
+// classification, exact regression, truncated, weighted counting, Monte
+// Carlo permutation sampling, seller-level games). Per-worker scratch
+// buffers are reused across test points, so the hot paths are
+// allocation-free, and the engine reduces per-test-point results in stream
+// order, making outputs bit-identical for any worker count or batch size.
+//
+// Distances are never materialized for the whole test set at once: the
+// streaming producer computes one batch of test×train distances at a time
+// (with a cache-blocked kernel over the flat row-major feature storage), so
+// peak memory is BatchSize·N distances instead of Ntest·N. BatchSize
+// defaults to 64; raise it for throughput on small training sets, lower it
+// to cap memory on huge ones.
+//
+// Feature storage is flat row-major: datasets built by the package
+// constructors hold all rows in one contiguous []float64 (rows are views
+// into it), which is what the blocked distance kernels operate on. Datasets
+// assembled by hand from [][]float64 still work — they take the row-wise
+// fallback path.
+//
+// # Serving
+//
+// cmd/svserver exposes the engine over HTTP: POST a JSON train/test payload
+// to /value and get the Shapley values back. See the command's package
+// comment for the wire format.
+//
 // See the examples/ directory for runnable end-to-end scenarios (data
 // debugging, data markets, streaming valuation) and cmd/svbench for the
-// harness that regenerates every table and figure of the paper's evaluation.
+// harness that regenerates every table and figure of the paper's evaluation
+// (plus -benchjson for the machine-readable perf trajectory).
 package knnshapley

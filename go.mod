@@ -1,0 +1,3 @@
+module knnshapley
+
+go 1.24

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"knnshapley/internal/knn"
+)
+
+// DefaultBatchSize is the number of work items an Engine materializes at
+// once when EngineConfig.BatchSize is zero. Together with a streaming
+// source it bounds peak memory at BatchSize·N distances instead of Ntest·N.
+const DefaultBatchSize = 64
+
+// EngineConfig holds the execution knobs shared by every valuation backend.
+type EngineConfig struct {
+	// Workers bounds the goroutines computing kernels (0 = GOMAXPROCS).
+	Workers int
+	// BatchSize bounds how many work items are in flight at once
+	// (0 = DefaultBatchSize).
+	BatchSize int
+}
+
+func (c EngineConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c EngineConfig) batch() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// Source streams work items in batches. NextBatch fills dst with up to
+// len(dst) items and returns how many it produced; 0 means the stream is
+// exhausted. The Engine always finishes a batch completely before asking
+// for the next one, so sources may reuse the backing buffers of the items
+// they hand out (knn.Stream does exactly that).
+type Source[T any] interface {
+	NextBatch(dst []T) (int, error)
+}
+
+// Kernel is a per-item valuation algorithm. One Kernel value is shared by
+// all workers, so it must be safe for concurrent Compute calls; per-call
+// temporaries come from the worker-owned Scratch.
+type Kernel[T any] interface {
+	// OutLen is the length of the value vector produced per item (the
+	// training-set size for per-point values, the seller count for seller
+	// values, and so on).
+	OutLen() int
+	// Compute writes item's value vector into dst (length OutLen, zeroed
+	// by the Engine). idx is the item's global position in the stream,
+	// which deterministic kernels (e.g. Monte Carlo) use for seeding.
+	Compute(idx int, item T, s *Scratch, dst []float64) error
+}
+
+// SliceSource adapts an in-memory slice to the Source interface.
+type SliceSource[T any] struct {
+	items []T
+	pos   int
+}
+
+// NewSliceSource returns a Source yielding items in order.
+func NewSliceSource[T any](items []T) *SliceSource[T] {
+	return &SliceSource[T]{items: items}
+}
+
+// NextBatch implements Source.
+func (s *SliceSource[T]) NextBatch(dst []T) (int, error) {
+	n := copy(dst, s.items[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// Engine is the single execution layer behind every Shapley backend: a
+// bounded worker pool that streams work items from a Source in batches of
+// at most BatchSize, dispatches each item to a pluggable Kernel with a
+// per-worker Scratch, and reduces the per-item value vectors into their
+// running average in deterministic stream order.
+//
+// Exactly Workers goroutines are spawned for the whole run (the pool is
+// created before any work is enqueued — compare the seed's averageOver,
+// which spawned one goroutine per test point up front and only then
+// throttled them on a semaphore). Because reduction happens in item order,
+// the floating-point sum is bit-identical to a sequential loop over the
+// items, for any Workers and BatchSize.
+type Engine[T any] struct {
+	cfg EngineConfig
+}
+
+// NewEngine returns an Engine with the given configuration.
+func NewEngine[T any](cfg EngineConfig) *Engine[T] { return &Engine[T]{cfg: cfg} }
+
+// Run streams src through kern and returns the average of the per-item
+// value vectors, or nil when the source is empty (matching the seed
+// *SVMulti behavior on an empty test set).
+func (e *Engine[T]) Run(src Source[T], kern Kernel[T]) ([]float64, error) {
+	sv, count, err := e.RunSum(src, kern)
+	if err != nil || count == 0 {
+		return nil, err
+	}
+	inv := 1 / float64(count)
+	for i := range sv {
+		sv[i] *= inv
+	}
+	return sv, nil
+}
+
+// RunSum is Run without the final averaging: it returns the item count and
+// the plain sum of the per-item vectors, for callers that weight or
+// normalize differently.
+func (e *Engine[T]) RunSum(src Source[T], kern Kernel[T]) ([]float64, int, error) {
+	out := kern.OutLen()
+	batch := e.cfg.batch()
+	workers := e.cfg.workers()
+
+	acc := make([]float64, out)
+	items := make([]T, batch)
+	results := make([][]float64, batch)
+
+	type job struct {
+		slot, idx int
+		item      T
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		go func() {
+			s := NewScratch()
+			for jb := range jobs {
+				dst := results[jb.slot]
+				for i := range dst {
+					dst[i] = 0
+				}
+				if err := kern.Compute(jb.idx, jb.item, s, dst); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+				wg.Done()
+			}
+		}()
+	}
+	defer close(jobs)
+
+	total := 0
+	for {
+		nb, err := src.NextBatch(items)
+		if err != nil {
+			return nil, 0, err
+		}
+		if nb == 0 {
+			break
+		}
+		for i := 0; i < nb; i++ {
+			if results[i] == nil {
+				results[i] = make([]float64, out)
+			}
+		}
+		wg.Add(nb)
+		for i := 0; i < nb; i++ {
+			jobs <- job{slot: i, idx: total + i, item: items[i]}
+		}
+		wg.Wait()
+		mu.Lock()
+		err = firstErr
+		mu.Unlock()
+		if err != nil {
+			return nil, 0, err
+		}
+		// Ordered reduction: slot order is stream order, so the sum is
+		// bit-identical to a sequential pass regardless of scheduling.
+		for i := 0; i < nb; i++ {
+			r := results[i]
+			for j, v := range r {
+				acc[j] += v
+			}
+		}
+		total += nb
+	}
+	return acc, total, nil
+}
+
+// Scratch holds per-worker reusable buffers so kernels do not allocate per
+// test point. Buffers grow on demand and are reused across Compute calls;
+// slot indices partition the float64 buffers between independent uses
+// within one kernel invocation.
+type Scratch struct {
+	order  []int
+	ints   []int
+	floats [4][]float64
+	bools  []bool
+}
+
+// NewScratch returns an empty scratch space.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Order returns the reusable index buffer resized to n.
+func (s *Scratch) Order(n int) []int {
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+	}
+	s.order = s.order[:n]
+	return s.order
+}
+
+// Ints returns a second reusable index buffer resized to n.
+func (s *Scratch) Ints(n int) []int {
+	if cap(s.ints) < n {
+		s.ints = make([]int, n)
+	}
+	s.ints = s.ints[:n]
+	return s.ints
+}
+
+// Floats returns the reusable float64 buffer in the given slot (0..3)
+// resized to n. Distinct slots never alias.
+func (s *Scratch) Floats(slot, n int) []float64 {
+	if cap(s.floats[slot]) < n {
+		s.floats[slot] = make([]float64, n)
+	}
+	s.floats[slot] = s.floats[slot][:n]
+	return s.floats[slot]
+}
+
+// Bools returns the reusable bool buffer resized to n.
+func (s *Scratch) Bools(n int) []bool {
+	if cap(s.bools) < n {
+		s.bools = make([]bool, n)
+	}
+	s.bools = s.bools[:n]
+	return s.bools
+}
+
+// OrderOf returns tp's distance ordering using the scratch index buffer.
+func (s *Scratch) OrderOf(tp *knn.TestPoint) []int {
+	s.order = tp.OrderInto(s.order)
+	return s.order
+}
+
+// checkTrainSize verifies that tp matches the engine-wide training size n,
+// mirroring the seed's "test points disagree on training size" guard.
+func checkTrainSize(tp *knn.TestPoint, n int) error {
+	if tp.N() != n {
+		return fmt.Errorf("core: test points disagree on training size: %d != %d", tp.N(), n)
+	}
+	return nil
+}

@@ -2,25 +2,19 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"knnshapley/internal/knn"
 )
 
-// Options controls shared execution knobs of the exact algorithms.
+// Options controls shared execution knobs of the exact algorithms. It is
+// the legacy surface of EngineConfig kept for the thin *SVMulti wrappers.
 type Options struct {
 	// Workers bounds the number of goroutines used to fan out over test
 	// points. Zero selects GOMAXPROCS.
 	Workers int
 }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
+func (o Options) engine() EngineConfig { return EngineConfig{Workers: o.Workers} }
 
 // ExactClassSV computes the exact Shapley value of every training point for
 // the unweighted KNN classification utility (Eq. 5) of a single test point,
@@ -29,31 +23,54 @@ func (o Options) workers() int {
 //	s_{α_N} = 1[y_{α_N} = y_test] / N
 //	s_{α_i} = s_{α_{i+1}} + (1[y_{α_i}=y] − 1[y_{α_{i+1}}=y])/K · min(K,i)/i
 func ExactClassSV(tp *knn.TestPoint) []float64 {
+	sv := make([]float64, tp.N())
+	exactClassSVInto(tp, NewScratch(), sv)
+	return sv
+}
+
+// exactClassSVInto is the scratch-aware Theorem 1 recursion writing into a
+// zeroed dst of length tp.N().
+func exactClassSVInto(tp *knn.TestPoint, s *Scratch, dst []float64) {
 	requireKind(tp, knn.UnweightedClass)
 	n := tp.N()
-	sv := make([]float64, n)
 	if n == 0 {
-		return sv
+		return
 	}
-	order := tp.Order()
+	order := s.OrderOf(tp)
 	k := float64(tp.K)
 	// Base case. Eq. (6) assumes N >= K; in general the farthest point is
 	// pivotal for the min(K,N) coalition sizes below K, giving
 	// s_{α_N} = 1[correct]·min(N,K)/(N·K) = 1[correct]/max(N,K).
-	sv[order[n-1]] = ind(tp.Correct[order[n-1]]) / float64(max(n, tp.K))
+	dst[order[n-1]] = ind(tp.Correct[order[n-1]]) / float64(max(n, tp.K))
 	for i := n - 1; i >= 1; i-- {
 		cur, next := order[i-1], order[i]
 		minKi := float64(min(tp.K, i))
-		sv[cur] = sv[next] + (ind(tp.Correct[cur])-ind(tp.Correct[next]))/k*minKi/float64(i)
+		dst[cur] = dst[next] + (ind(tp.Correct[cur])-ind(tp.Correct[next]))/k*minKi/float64(i)
 	}
-	return sv
 }
 
 // ExactClassSVMulti computes exact Shapley values for the multi-test-point
-// utility (Eq. 8): the average of the per-test-point values, fanned out over
-// Options.Workers goroutines. This is the full Algorithm 1.
+// utility (Eq. 8): the average of the per-test-point values, dispatched
+// through the shared Engine. This is the full Algorithm 1.
 func ExactClassSVMulti(tps []*knn.TestPoint, opts Options) []float64 {
-	return averageOver(tps, opts, ExactClassSV)
+	if len(tps) == 0 {
+		return nil
+	}
+	return mustRun(tps, opts, ExactClassKernel{N: tps[0].N()})
+}
+
+// mustRun executes a TestPoint kernel over an in-memory slice, preserving
+// the seed *SVMulti contract: nil for no test points, panic on malformed
+// input (mismatched training sizes, wrong utility kind).
+func mustRun(tps []*knn.TestPoint, opts Options, kern Kernel[*knn.TestPoint]) []float64 {
+	if len(tps) == 0 {
+		return nil
+	}
+	sv, err := NewEngine[*knn.TestPoint](opts.engine()).Run(NewSliceSource(tps), kern)
+	if err != nil {
+		panic(err)
+	}
+	return sv
 }
 
 // ind converts a correctness indicator to the paper's 1[·] term.
@@ -68,40 +85,4 @@ func requireKind(tp *knn.TestPoint, want knn.Kind) {
 	if tp.Kind != want {
 		panic(fmt.Sprintf("core: utility kind %v, want %v", tp.Kind, want))
 	}
-}
-
-// averageOver runs per-test-point Shapley computation in parallel and
-// averages the results (valid by additivity).
-func averageOver(tps []*knn.TestPoint, opts Options, f func(*knn.TestPoint) []float64) []float64 {
-	if len(tps) == 0 {
-		return nil
-	}
-	n := tps[0].N()
-	results := make([][]float64, len(tps))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.workers())
-	for j := range tps {
-		if tps[j].N() != n {
-			panic("core: test points disagree on training size")
-		}
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[j] = f(tps[j])
-		}(j)
-	}
-	wg.Wait()
-	sv := make([]float64, n)
-	for _, r := range results {
-		for i, v := range r {
-			sv[i] += v
-		}
-	}
-	inv := 1 / float64(len(tps))
-	for i := range sv {
-		sv[i] *= inv
-	}
-	return sv
 }

@@ -5,7 +5,6 @@ import (
 
 	"knnshapley/internal/dataset"
 	"knnshapley/internal/kdtree"
-	"knnshapley/internal/vec"
 )
 
 // KDValuer computes (eps, 0)-approximate Shapley values for unweighted KNN
@@ -45,15 +44,23 @@ func (v *KDValuer) KStar() int { return v.kStar }
 
 // ValueOne returns the (eps, 0)-approximate Shapley values for one query.
 func (v *KDValuer) ValueOne(q []float64, label int) []float64 {
+	sv := make([]float64, v.train.N())
+	v.valueOneInto(q, label, NewScratch(), sv)
+	return sv
+}
+
+// valueOneInto is the scratch-aware ValueOne writing into a zeroed dst.
+func (v *KDValuer) valueOneInto(q []float64, label int, s *Scratch, dst []float64) {
 	ids, _ := v.tree.Query(q, v.kStar)
-	correct := make([]bool, len(ids))
+	correct := s.Bools(len(ids))
 	for r, id := range ids {
 		correct[r] = v.train.Labels[id] == label
 	}
-	return truncatedFromRanking(ids, correct, v.train.N(), v.k, v.eps)
+	truncatedFromRankingInto(ids, correct, v.train.N(), v.k, v.eps, dst)
 }
 
-// Value averages ValueOne over a test set.
+// Value averages ValueOne over a test set, streaming the queries through
+// the shared Engine.
 func (v *KDValuer) Value(test *dataset.Dataset, workers int) ([]float64, error) {
 	if test.IsRegression() {
 		return nil, fmt.Errorf("core: classification test set required")
@@ -61,17 +68,9 @@ func (v *KDValuer) Value(test *dataset.Dataset, workers int) ([]float64, error) 
 	if test.Dim() != v.train.Dim() {
 		return nil, fmt.Errorf("core: test dim %d != train dim %d", test.Dim(), v.train.Dim())
 	}
-	sv := make([]float64, v.train.N())
 	if test.N() == 0 {
-		return sv, nil
+		return make([]float64, v.train.N()), nil
 	}
-	results := make([][]float64, test.N())
-	parallelFor(test.N(), Options{Workers: workers}.workers(), func(j int) {
-		results[j] = v.ValueOne(test.X[j], test.Labels[j])
-	})
-	for _, r := range results {
-		vec.AXPY(sv, 1, r)
-	}
-	vec.Scale(sv, 1/float64(test.N()))
-	return sv, nil
+	eng := NewEngine[labeledQuery](EngineConfig{Workers: workers})
+	return eng.Run(&querySource{test: test}, queryKernel{n: v.train.N(), value: v.valueOneInto})
 }

@@ -6,7 +6,6 @@ import (
 
 	"knnshapley/internal/dataset"
 	"knnshapley/internal/lsh"
-	"knnshapley/internal/vec"
 )
 
 // LSHConfig configures the sublinear (eps, delta)-approximation of
@@ -86,15 +85,23 @@ func (v *LSHValuer) KStar() int { return v.kStar }
 // the K* retrieved neighbors carry the Theorem 2 recursion, everyone else
 // gets zero.
 func (v *LSHValuer) ValueOne(q []float64, label int) []float64 {
+	sv := make([]float64, v.train.N())
+	v.valueOneInto(q, label, NewScratch(), sv)
+	return sv
+}
+
+// valueOneInto is the scratch-aware ValueOne writing into a zeroed dst.
+func (v *LSHValuer) valueOneInto(q []float64, label int, s *Scratch, dst []float64) {
 	res := v.index.Query(q, v.kStar)
-	correct := make([]bool, len(res.IDs))
+	correct := s.Bools(len(res.IDs))
 	for r, id := range res.IDs {
 		correct[r] = v.train.Labels[id] == label
 	}
-	return truncatedFromRanking(res.IDs, correct, v.train.N(), v.cfg.K, v.cfg.Eps)
+	truncatedFromRankingInto(res.IDs, correct, v.train.N(), v.cfg.K, v.cfg.Eps, dst)
 }
 
-// Value averages ValueOne over a test set (Eq. 8 / Theorem 4).
+// Value averages ValueOne over a test set (Eq. 8 / Theorem 4), streaming
+// the queries through the shared Engine.
 func (v *LSHValuer) Value(test *dataset.Dataset) ([]float64, error) {
 	if test.IsRegression() {
 		return nil, fmt.Errorf("core: classification test set required")
@@ -105,44 +112,6 @@ func (v *LSHValuer) Value(test *dataset.Dataset) ([]float64, error) {
 	if test.N() == 0 {
 		return make([]float64, v.train.N()), nil
 	}
-	sv := make([]float64, v.train.N())
-	results := make([][]float64, test.N())
-	parallelFor(test.N(), Options{Workers: v.cfg.Workers}.workers(), func(j int) {
-		results[j] = v.ValueOne(test.X[j], test.Labels[j])
-	})
-	for _, r := range results {
-		vec.AXPY(sv, 1, r)
-	}
-	vec.Scale(sv, 1/float64(test.N()))
-	return sv, nil
-}
-
-// parallelFor runs f(0..n-1) on up to workers goroutines.
-func parallelFor(n, workers int, f func(int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	ch := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range ch {
-				f(i)
-			}
-			done <- struct{}{}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
+	eng := NewEngine[labeledQuery](EngineConfig{Workers: v.cfg.Workers})
+	return eng.Run(&querySource{test: test}, queryKernel{n: v.train.N(), value: v.valueOneInto})
 }

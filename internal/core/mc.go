@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"knnshapley/internal/knn"
 	"knnshapley/internal/stats"
@@ -54,19 +55,25 @@ type MCConfig struct {
 	// [−r, r]; zero selects 1/K for unweighted classification and requires
 	// an explicit value for other utilities.
 	RangeHalfWidth float64
-	// Heuristic, when true, stops early once the max change of the running
-	// estimates stays below Eps/50 for HeuristicPatience consecutive
-	// permutations (the stopping rule evaluated in Figure 11).
+	// Heuristic, when true, stops a test point's sampling early once the max
+	// change of its running estimates stays below Eps/50 for
+	// HeuristicPatience consecutive permutations (the stopping rule
+	// evaluated in Figure 11, applied per test point so the estimator
+	// parallelizes).
 	Heuristic bool
 	// HeuristicPatience defaults to 5.
 	HeuristicPatience int
 	// MinPermutations floors the budget (default 10).
 	MinPermutations int
-	// Seed drives the permutation stream.
+	// Seed drives the permutation streams. Each test point derives its own
+	// deterministic stream from (Seed, test index), so results are
+	// reproducible for any worker count.
 	Seed uint64
+	// Workers and BatchSize configure the Engine fan-out (0 = defaults).
+	Workers, BatchSize int
 }
 
-func (c MCConfig) withDefaults(tp *knn.TestPoint) (MCConfig, error) {
+func (c MCConfig) withDefaults(kind knn.Kind, k int) (MCConfig, error) {
 	if c.Bound != BoundFixed {
 		if c.Eps <= 0 || c.Delta <= 0 || c.Delta >= 1 {
 			return c, fmt.Errorf("core: MC bound %v needs eps in (0,inf), delta in (0,1); got eps=%v delta=%v",
@@ -76,10 +83,10 @@ func (c MCConfig) withDefaults(tp *knn.TestPoint) (MCConfig, error) {
 		return c, fmt.Errorf("core: BoundFixed needs T > 0")
 	}
 	if c.RangeHalfWidth <= 0 {
-		if tp.Kind == knn.UnweightedClass {
-			c.RangeHalfWidth = 1 / float64(tp.K)
+		if kind == knn.UnweightedClass {
+			c.RangeHalfWidth = 1 / float64(k)
 		} else if c.Bound != BoundFixed {
-			return c, fmt.Errorf("core: RangeHalfWidth required for utility kind %v", tp.Kind)
+			return c, fmt.Errorf("core: RangeHalfWidth required for utility kind %v", kind)
 		}
 	}
 	if c.HeuristicPatience <= 0 {
@@ -89,6 +96,10 @@ func (c MCConfig) withDefaults(tp *knn.TestPoint) (MCConfig, error) {
 		c.MinPermutations = 10
 	}
 	return c, nil
+}
+
+func (c MCConfig) engine() EngineConfig {
+	return EngineConfig{Workers: c.Workers, BatchSize: c.BatchSize}
 }
 
 // Budget returns the permutation budget the configuration implies for a
@@ -119,7 +130,8 @@ func (c MCConfig) capT(t int) int {
 // MCResult reports the estimate and how it was obtained.
 type MCResult struct {
 	SV []float64
-	// Permutations actually executed (≤ budget under the heuristic).
+	// Permutations is the largest number of permutations any test point
+	// executed (≤ budget under the heuristic).
 	Permutations int
 	// Budget is the bound-implied permutation count.
 	Budget int
@@ -128,63 +140,62 @@ type MCResult struct {
 	UtilityEvals int
 }
 
-// ImprovedMC is Algorithm 2: permutation sampling with a bounded max-heap
-// per test point, so a step costs O(log K) unless the KNN set changes, plus
-// the Bennett-style budget of Theorem 5 and the optional Eps/50 stopping
-// heuristic. It applies to every utility kind, which is what makes it the
-// practical choice for weighted KNN and multi-data-per-curator games.
-func ImprovedMC(tps []*knn.TestPoint, cfg MCConfig) (MCResult, error) {
-	if len(tps) == 0 {
-		return MCResult{}, fmt.Errorf("core: no test points")
-	}
-	cfg, err := cfg.withDefaults(tps[0])
-	if err != nil {
-		return MCResult{}, err
-	}
-	n := tps[0].N()
-	budget := cfg.Budget(n, tps[0].K)
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0xc0ffee123456789a))
+// MCKernel is Algorithm 2 as an Engine kernel: permutation sampling with a
+// bounded max-heap per test point, so a step costs O(log K) unless the KNN
+// set changes. Each test point samples its own deterministic permutation
+// stream derived from (Seed, test index) and, by additivity, the Engine's
+// average over test points is the multi-test estimate — which is what lets
+// the sampler fan out over the worker pool instead of running one global
+// permutation loop.
+type MCKernel struct {
+	N      int
+	Budget int
+	Cfg    MCConfig // defaults applied
 
-	sumSV := make([]float64, n)   // Σ_t φ^t
-	prevEst := make([]float64, n) // running estimate after t−1 permutations
-	incs := make([]*knn.Incremental, len(tps))
-	for j, tp := range tps {
-		if tp.N() != n {
-			return MCResult{}, fmt.Errorf("core: test points disagree on training size")
-		}
-		incs[j] = knn.NewIncremental(tp)
+	perms atomic.Int64 // max permutations any item executed
+	evals atomic.Int64 // total incremental utility updates
+}
+
+// OutLen implements Kernel.
+func (k *MCKernel) OutLen() int { return k.N }
+
+// Compute implements Kernel.
+func (k *MCKernel) Compute(idx int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+	if err := checkTrainSize(tp, k.N); err != nil {
+		return err
 	}
-	invTest := 1 / float64(len(tps))
+	n := tp.N()
+	inc := knn.NewIncremental(tp)
+	rng := mcRNG(k.Cfg.Seed, idx)
+	perm := s.Ints(n)
+	var prevEst []float64
+	if k.Cfg.Heuristic {
+		prevEst = s.Floats(3, n)
+		for i := range prevEst {
+			prevEst[i] = 0
+		}
+	}
 	evals := 0
 	calm := 0
 	t := 0
-	for ; t < budget; t++ {
-		perm := rng.Perm(n)
-		prev := 0.0
-		for j := range incs {
-			incs[j].Reset()
-			prev += incs[j].Utility()
-		}
-		prev *= invTest
+	for ; t < k.Budget; t++ {
+		fisherYates(perm, rng)
+		inc.Reset()
+		prev := inc.Utility()
 		for _, i := range perm {
-			cur := 0.0
-			for j := range incs {
-				u, changed := incs[j].Add(i)
-				if changed {
-					evals++
-				}
-				cur += u
+			u, changed := inc.Add(i)
+			if changed {
+				evals++
 			}
-			cur *= invTest
-			sumSV[i] += cur - prev
-			prev = cur
+			dst[i] += u - prev
+			prev = u
 		}
-		if cfg.Heuristic && t+1 >= cfg.MinPermutations {
+		if k.Cfg.Heuristic && t+1 >= k.Cfg.MinPermutations {
 			// Compare the running means before and after this permutation.
 			maxChange := 0.0
 			inv := 1 / float64(t+1)
-			for i := range sumSV {
-				est := sumSV[i] * inv
+			for i := range dst {
+				est := dst[i] * inv
 				if d := est - prevEst[i]; d > maxChange {
 					maxChange = d
 				} else if -d > maxChange {
@@ -192,39 +203,193 @@ func ImprovedMC(tps []*knn.TestPoint, cfg MCConfig) (MCResult, error) {
 				}
 				prevEst[i] = est
 			}
-			if maxChange < cfg.Eps/50 {
+			if maxChange < k.Cfg.Eps/50 {
 				calm++
-				if calm >= cfg.HeuristicPatience {
+				if calm >= k.Cfg.HeuristicPatience {
 					t++
 					break
 				}
 			} else {
 				calm = 0
 			}
-		} else if cfg.Heuristic {
+		} else if k.Cfg.Heuristic {
 			inv := 1 / float64(t+1)
-			for i := range sumSV {
-				prevEst[i] = sumSV[i] * inv
+			for i := range dst {
+				prevEst[i] = dst[i] * inv
 			}
 		}
 	}
-	sv := make([]float64, n)
 	inv := 1 / float64(t)
-	for i := range sv {
-		sv[i] = sumSV[i] * inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return MCResult{SV: sv, Permutations: t, Budget: budget, UtilityEvals: evals}, nil
+	k.evals.Add(int64(evals))
+	atomicMax(&k.perms, int64(t))
+	return nil
+}
+
+// mcRNG derives the deterministic permutation stream of test point idx.
+func mcRNG(seed uint64, idx int) *rand.Rand {
+	// SplitMix64 finalizer decorrelates consecutive indices.
+	z := uint64(idx) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewPCG(seed, 0xc0ffee123456789a^z))
+}
+
+// fisherYates refills perm with 0..n-1 and shuffles it in place.
+func fisherYates(perm []int, rng *rand.Rand) {
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := rng.IntN(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ImprovedMC is Algorithm 2 over an in-memory test-point slice: permutation
+// sampling with the Bennett-style budget of Theorem 5 and the optional
+// Eps/50 stopping heuristic, dispatched through the shared Engine. It
+// applies to every utility kind, which is what makes it the practical
+// choice for weighted KNN and multi-data-per-curator games.
+func ImprovedMC(tps []*knn.TestPoint, cfg MCConfig) (MCResult, error) {
+	if len(tps) == 0 {
+		return MCResult{}, fmt.Errorf("core: no test points")
+	}
+	return ImprovedMCStream(NewSliceSource(tps), tps[0].Kind, tps[0].N(), tps[0].K, cfg)
+}
+
+// ImprovedMCStream is ImprovedMC over a streaming test-point source (e.g.
+// knn.Stream): peak memory stays bounded by the Engine batch size. kind, n
+// and k describe the utility the source produces, needed to derive the
+// permutation budget before any test point is materialized.
+func ImprovedMCStream(src Source[*knn.TestPoint], kind knn.Kind, n, k int, cfg MCConfig) (MCResult, error) {
+	cfg, err := cfg.withDefaults(kind, k)
+	if err != nil {
+		return MCResult{}, err
+	}
+	kern := &MCKernel{N: n, Budget: cfg.Budget(n, k), Cfg: cfg}
+	sv, err := NewEngine[*knn.TestPoint](cfg.engine()).Run(src, kern)
+	if err != nil {
+		return MCResult{}, err
+	}
+	if sv == nil {
+		return MCResult{}, fmt.Errorf("core: no test points")
+	}
+	return MCResult{
+		SV:           sv,
+		Permutations: int(kern.perms.Load()),
+		Budget:       kern.Budget,
+		UtilityEvals: int(kern.evals.Load()),
+	}, nil
+}
+
+// SellerMCKernel is the seller-level Algorithm 2: permutation sampling over
+// sellers where inserting a seller streams all its points into the
+// per-test-point heap (the Section 6.2.2 comparison for Figure 13).
+type SellerMCKernel struct {
+	N      int
+	M      int
+	Points [][]int // Points[j] = training indices owned by seller j
+	Budget int
+	Cfg    MCConfig
+
+	perms atomic.Int64
+	evals atomic.Int64
+}
+
+// OutLen implements Kernel.
+func (k *SellerMCKernel) OutLen() int { return k.M }
+
+// Compute implements Kernel.
+func (k *SellerMCKernel) Compute(idx int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+	if err := checkTrainSize(tp, k.N); err != nil {
+		return err
+	}
+	inc := knn.NewIncremental(tp)
+	rng := mcRNG(k.Cfg.Seed^0xfeedface87654321, idx)
+	perm := s.Ints(k.M)
+	var prevEst []float64
+	if k.Cfg.Heuristic {
+		prevEst = s.Floats(3, k.M)
+		for i := range prevEst {
+			prevEst[i] = 0
+		}
+	}
+	evals := 0
+	calm := 0
+	t := 0
+	for ; t < k.Budget; t++ {
+		fisherYates(perm, rng)
+		inc.Reset()
+		prev := inc.Utility()
+		for _, sel := range perm {
+			u := inc.Utility()
+			for _, i := range k.Points[sel] {
+				var changed bool
+				u, changed = inc.Add(i)
+				if changed {
+					evals++
+				}
+			}
+			dst[sel] += u - prev
+			prev = u
+		}
+		if k.Cfg.Heuristic && t+1 >= k.Cfg.MinPermutations {
+			maxChange := 0.0
+			inv := 1 / float64(t+1)
+			for i := range dst {
+				est := dst[i] * inv
+				if d := est - prevEst[i]; d > maxChange {
+					maxChange = d
+				} else if -d > maxChange {
+					maxChange = -d
+				}
+				prevEst[i] = est
+			}
+			if maxChange < k.Cfg.Eps/50 {
+				calm++
+				if calm >= k.Cfg.HeuristicPatience {
+					t++
+					break
+				}
+			} else {
+				calm = 0
+			}
+		} else if k.Cfg.Heuristic {
+			inv := 1 / float64(t+1)
+			for i := range dst {
+				prevEst[i] = dst[i] * inv
+			}
+		}
+	}
+	inv := 1 / float64(t)
+	for i := range dst {
+		dst[i] *= inv
+	}
+	k.evals.Add(int64(evals))
+	atomicMax(&k.perms, int64(t))
+	return nil
 }
 
 // MultiSellerMC estimates seller-level Shapley values by permutation
-// sampling over sellers with the same heap-incremental trick: inserting a
-// seller streams all its points into the per-test-point heaps (the
-// Section 6.2.2 comparison for Figure 13).
+// sampling over sellers through the Engine.
 func MultiSellerMC(tps []*knn.TestPoint, owners []int, m int, cfg MCConfig) (MCResult, error) {
 	if len(tps) == 0 {
 		return MCResult{}, fmt.Errorf("core: no test points")
 	}
-	cfg, err := cfg.withDefaults(tps[0])
+	cfg, err := cfg.withDefaults(tps[0].Kind, tps[0].K)
 	if err != nil {
 		return MCResult{}, err
 	}
@@ -239,75 +404,15 @@ func MultiSellerMC(tps []*knn.TestPoint, owners []int, m int, cfg MCConfig) (MCR
 		}
 		points[o] = append(points[o], i)
 	}
-	budget := cfg.Budget(m, tps[0].K)
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0xfeedface87654321))
-	incs := make([]*knn.Incremental, len(tps))
-	for j, tp := range tps {
-		incs[j] = knn.NewIncremental(tp)
+	kern := &SellerMCKernel{N: n, M: m, Points: points, Budget: cfg.Budget(m, tps[0].K), Cfg: cfg}
+	sv, err := NewEngine[*knn.TestPoint](cfg.engine()).Run(NewSliceSource(tps), kern)
+	if err != nil {
+		return MCResult{}, err
 	}
-	invTest := 1 / float64(len(tps))
-	sumSV := make([]float64, m)
-	prevEst := make([]float64, m)
-	evals := 0
-	calm := 0
-	t := 0
-	for ; t < budget; t++ {
-		perm := rng.Perm(m)
-		prev := 0.0
-		for j := range incs {
-			incs[j].Reset()
-			prev += incs[j].Utility()
-		}
-		prev *= invTest
-		for _, s := range perm {
-			cur := 0.0
-			for j := range incs {
-				u := incs[j].Utility()
-				for _, i := range points[s] {
-					var changed bool
-					u, changed = incs[j].Add(i)
-					if changed {
-						evals++
-					}
-				}
-				cur += u
-			}
-			cur *= invTest
-			sumSV[s] += cur - prev
-			prev = cur
-		}
-		if cfg.Heuristic && t+1 >= cfg.MinPermutations {
-			maxChange := 0.0
-			inv := 1 / float64(t+1)
-			for i := range sumSV {
-				est := sumSV[i] * inv
-				if d := est - prevEst[i]; d > maxChange {
-					maxChange = d
-				} else if -d > maxChange {
-					maxChange = -d
-				}
-				prevEst[i] = est
-			}
-			if maxChange < cfg.Eps/50 {
-				calm++
-				if calm >= cfg.HeuristicPatience {
-					t++
-					break
-				}
-			} else {
-				calm = 0
-			}
-		} else if cfg.Heuristic {
-			inv := 1 / float64(t+1)
-			for i := range sumSV {
-				prevEst[i] = sumSV[i] * inv
-			}
-		}
-	}
-	sv := make([]float64, m)
-	inv := 1 / float64(t)
-	for i := range sv {
-		sv[i] = sumSV[i] * inv
-	}
-	return MCResult{SV: sv, Permutations: t, Budget: budget, UtilityEvals: evals}, nil
+	return MCResult{
+		SV:           sv,
+		Permutations: int(kern.perms.Load()),
+		Budget:       kern.Budget,
+		UtilityEvals: int(kern.evals.Load()),
+	}, nil
 }

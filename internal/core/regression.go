@@ -14,17 +14,25 @@ import (
 // y_test²/N so the values satisfy group rationality against the literal
 // Eq. (25) utility (see the package comment).
 func ExactRegressSV(tp *knn.TestPoint) []float64 {
+	sv := make([]float64, tp.N())
+	exactRegressSVInto(tp, NewScratch(), sv)
+	return sv
+}
+
+// exactRegressSVInto is the scratch-aware Theorem 6 recursion writing into a
+// zeroed dst of length tp.N().
+func exactRegressSVInto(tp *knn.TestPoint, s *Scratch, dst []float64) {
 	requireKind(tp, knn.UnweightedRegress)
 	n := tp.N()
-	sv := make([]float64, n)
 	if n == 0 {
-		return sv
+		return
 	}
-	order := tp.Order()
+	order := s.OrderOf(tp)
 	k := float64(tp.K)
 	t := tp.YTest
 	// y[r] is the target of the r-th nearest neighbor, 1-based.
-	y := make([]float64, n+1)
+	y := s.Floats(0, n+1)
+	y[0] = 0
 	for r, id := range order {
 		y[r+1] = tp.Y[id]
 	}
@@ -32,8 +40,8 @@ func ExactRegressSV(tp *knn.TestPoint) []float64 {
 	if n == 1 {
 		// s_1 = ν({1}) − ν(∅) directly.
 		d := y[1]/k - t
-		sv[order[0]] = -d*d + t*t
-		return sv
+		dst[order[0]] = -d*d + t*t
+		return
 	}
 
 	// Base case s_{α_N}.
@@ -55,15 +63,18 @@ func ExactRegressSV(tp *knn.TestPoint) []float64 {
 		// s_{α_N} = −(y_N/K)² − (2y_N/K)·(Σ_{l≠N}y_l/(2K) − t).
 		base = -(yn/k)*(yn/k) - 2*yn/k*(sumOthers/(2*k)-t)
 	}
-	sv[order[n-1]] = base
+	dst[order[n-1]] = base
 
 	// Prefix sums P[r] = Σ_{l<=r} y_l and suffix sums W[r] = Σ_{l>=r} w_l·y_l
 	// with w_l = min(K,l−1)·min(K−1,l−2)/((l−1)(l−2)) (zero for l < 3).
-	prefix := make([]float64, n+2)
+	prefix := s.Floats(1, n+2)
+	prefix[0] = 0
 	for r := 1; r <= n; r++ {
 		prefix[r] = prefix[r-1] + y[r]
 	}
-	suffix := make([]float64, n+3)
+	prefix[n+1] = 0
+	suffix := s.Floats(2, n+3)
+	suffix[n+1], suffix[n+2] = 0, 0
 	for r := n; r >= 3; r-- {
 		lf := float64(r)
 		w := float64(min(tp.K, r-1)) * float64(min(tp.K-1, r-2)) / ((lf - 1) * (lf - 2))
@@ -85,12 +96,15 @@ func ExactRegressSV(tp *knn.TestPoint) []float64 {
 			aSum += fi / minKi * suffix[i+2]
 		}
 		delta := (y[i+1] - y[i]) / k * (minKi / fi) * (aSum/k - 2*t)
-		sv[order[i-1]] = sv[order[i]] + delta
+		dst[order[i-1]] = dst[order[i]] + delta
 	}
-	return sv
 }
 
-// ExactRegressSVMulti averages ExactRegressSV over test points (Eq. 8).
+// ExactRegressSVMulti averages ExactRegressSV over test points (Eq. 8)
+// through the shared Engine.
 func ExactRegressSVMulti(tps []*knn.TestPoint, opts Options) []float64 {
-	return averageOver(tps, opts, ExactRegressSV)
+	if len(tps) == 0 {
+		return nil
+	}
+	return mustRun(tps, opts, ExactRegressKernel{N: tps[0].N()})
 }

@@ -27,20 +27,30 @@ func KStar(k int, eps float64) int {
 // nearest. The result preserves the exact value ranking within the K*
 // nearest neighbors (ŝ_i − ŝ_{i+1} = s_i − s_{i+1} for i ≤ K*−1).
 func TruncatedClassSV(tp *knn.TestPoint, eps float64) []float64 {
+	sv := make([]float64, tp.N())
+	truncatedClassSVInto(tp, eps, NewScratch(), sv)
+	return sv
+}
+
+// truncatedClassSVInto is the scratch-aware Theorem 2 truncation writing
+// into a zeroed dst of length tp.N().
+func truncatedClassSVInto(tp *knn.TestPoint, eps float64, s *Scratch, dst []float64) {
 	requireKind(tp, knn.UnweightedClass)
-	order := tp.Order()
-	correct := make([]bool, len(order))
+	order := s.OrderOf(tp)
+	correct := s.Bools(len(order))
 	for rank, id := range order {
 		correct[rank] = tp.Correct[id]
 	}
-	return truncatedFromRanking(order, correct, tp.N(), tp.K, eps)
+	truncatedFromRankingInto(order, correct, tp.N(), tp.K, eps, dst)
 }
 
-// TruncatedClassSVMulti averages TruncatedClassSV over test points.
+// TruncatedClassSVMulti averages TruncatedClassSV over test points through
+// the shared Engine.
 func TruncatedClassSVMulti(tps []*knn.TestPoint, eps float64, opts Options) []float64 {
-	return averageOver(tps, opts, func(tp *knn.TestPoint) []float64 {
-		return TruncatedClassSV(tp, eps)
-	})
+	if len(tps) == 0 {
+		return nil
+	}
+	return mustRun(tps, opts, TruncatedClassKernel{N: tps[0].N(), Eps: eps})
 }
 
 // TruncatedFromRanking runs the Theorem 2 recursion given an externally
@@ -59,8 +69,15 @@ func TruncatedFromRanking(ranking []int, correct []bool, n, k int, eps float64) 
 // which case every unranked point keeps value zero.
 func truncatedFromRanking(ranking []int, correct []bool, n, k int, eps float64) []float64 {
 	sv := make([]float64, n)
+	truncatedFromRankingInto(ranking, correct, n, k, eps, sv)
+	return sv
+}
+
+// truncatedFromRankingInto is truncatedFromRanking writing into a zeroed sv
+// of length n.
+func truncatedFromRankingInto(ranking []int, correct []bool, n, k int, eps float64, sv []float64) {
 	if len(ranking) == 0 {
-		return sv
+		return
 	}
 	kStar := KStar(k, eps)
 	limit := min(len(ranking), n)
@@ -75,13 +92,12 @@ func truncatedFromRanking(ranking []int, correct []bool, n, k int, eps float64) 
 			sv[ranking[last]] = 0
 		}
 		recurseUp(sv, ranking, correct, k, last)
-		return sv
+		return
 	}
 	// ŝ_{α_i} = 0 for i ≥ K* (1-based: rank index kStar-1 in 0-based terms
 	// is the K*-th neighbor and is the zero base of the recursion).
 	sv[ranking[kStar-1]] = 0
 	recurseUp(sv, ranking, correct, k, kStar-1)
-	return sv
 }
 
 // recurseUp applies the Theorem 1 difference recursion from 0-based rank

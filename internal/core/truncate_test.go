@@ -148,16 +148,40 @@ func TestLSHValuerValidation(t *testing.T) {
 	}
 }
 
-func TestParallelFor(t *testing.T) {
-	for _, workers := range []int{1, 3, 8, 100} {
-		hits := make([]int32, 57)
-		parallelFor(len(hits), workers, func(i int) { hits[i]++ })
-		for i, h := range hits {
+// The engine must visit every item exactly once for any worker count and
+// batch size (the successor of the seed's parallelFor test).
+func TestEngineVisitsEveryItem(t *testing.T) {
+	for _, cfg := range []EngineConfig{
+		{Workers: 1}, {Workers: 3}, {Workers: 8, BatchSize: 5}, {Workers: 100, BatchSize: 1},
+	} {
+		items := make([]int, 57)
+		for i := range items {
+			items[i] = i
+		}
+		eng := NewEngine[int](cfg)
+		sv, count, err := eng.RunSum(NewSliceSource(items), hitKernel{n: len(items)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != len(items) {
+			t.Fatalf("cfg=%+v: %d items counted, want %d", cfg, count, len(items))
+		}
+		for i, h := range sv {
 			if h != 1 {
-				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+				t.Fatalf("cfg=%+v: index %d visited %v times", cfg, i, h)
 			}
 		}
 	}
+}
+
+// hitKernel marks each item's own index; the engine's sum then counts
+// visits per index.
+type hitKernel struct{ n int }
+
+func (k hitKernel) OutLen() int { return k.n }
+func (k hitKernel) Compute(_ int, item int, _ *Scratch, dst []float64) error {
+	dst[item]++
+	return nil
 }
 
 // Exact and truncated multi must agree with per-test averaging.

@@ -37,9 +37,13 @@ func EstimateWeightedCost(n, k int) float64 {
 	return total * float64(n)
 }
 
-// ExactWeightedSVMulti averages ExactWeightedSV over test points (Eq. 8).
+// ExactWeightedSVMulti averages ExactWeightedSV over test points (Eq. 8)
+// through the shared Engine.
 func ExactWeightedSVMulti(tps []*knn.TestPoint, opts Options) []float64 {
-	return averageOver(tps, opts, ExactWeightedSV)
+	if len(tps) == 0 {
+		return nil
+	}
+	return mustRun(tps, opts, WeightedKernel{N: tps[0].N()})
 }
 
 // svWeights abstracts the coalition-size weight family of a Shapley-style
@@ -95,16 +99,23 @@ func exactByCounting(tp *knn.TestPoint) []float64 {
 
 // countingSV is the weight-parametric Theorem 7/11 algorithm.
 func countingSV(tp *knn.TestPoint, w svWeights) []float64 {
+	sv := make([]float64, tp.N())
+	countingSVInto(tp, w, NewScratch(), sv)
+	return sv
+}
+
+// countingSVInto is countingSV writing into a zeroed sv of length tp.N(),
+// taking the distance ordering from the worker scratch.
+func countingSVInto(tp *knn.TestPoint, w svWeights, s *Scratch, sv []float64) {
 	n := tp.N()
-	sv := make([]float64, n)
 	if n == 0 {
-		return sv
+		return
 	}
-	order := tp.Order() // order[r] = training index of the (r+1)-th nearest
+	order := s.OrderOf(tp) // order[r] = training index of the (r+1)-th nearest
 	k := tp.K
 	if n == 1 {
 		sv[order[0]] = w.subset(0) * (tp.SubsetUtility(order) - tp.EmptyUtility())
-		return sv
+		return
 	}
 
 	// Base case Eq. (74)/(93): s_{α_N} = Σ_{k=0}^{K−1} w.subset(k)·
@@ -174,7 +185,6 @@ func countingSV(tp *knn.TestPoint, w svWeights) []float64 {
 		}
 		sv[cur] = sv[next] + delta
 	}
-	return sv
 }
 
 // pairDiff returns ν(S∪{cur}) − ν(S∪{next}) where S is others[comb].

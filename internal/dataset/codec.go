@@ -95,6 +95,7 @@ func ReadCSV(r io.Reader, regression bool) (*Dataset, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	d.Flatten()
 	return d, nil
 }
 
@@ -166,7 +167,6 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 	if n < 0 || dim <= 0 || n > 1<<31 || dim > 1<<20 {
 		return nil, fmt.Errorf("dataset: implausible size n=%d dim=%d", n, dim)
 	}
-	d := &Dataset{Name: "binary", Classes: classes, X: make([][]float64, n)}
 	flat := make([]float64, n*dim)
 	raw := make([]byte, 8)
 	for i := range flat {
@@ -175,9 +175,9 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 		}
 		flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
 	}
-	for i := 0; i < n; i++ {
-		d.X[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
-	}
+	d := FromFlat(flat, n, dim)
+	d.Name = "binary"
+	d.Classes = classes
 	if regression {
 		d.Targets = make([]float64, n)
 		for i := range d.Targets {

@@ -16,10 +16,19 @@ import (
 
 // Dataset is a supervised dataset. Exactly one of Labels (classification)
 // and Targets (regression) is non-empty.
+//
+// Feature storage is row-major: the canonical representation is one flat
+// []float64 holding all rows contiguously, with X carrying per-row views
+// into it. Datasets built by the package constructors (FromFlat, the
+// synthetic generators, the codecs) are always contiguous; datasets
+// assembled from an existing [][]float64 can be packed with Flatten. The
+// contiguous form is what the blocked distance kernels (vec.SqL2Block) and
+// the streaming test-point producer operate on.
 type Dataset struct {
 	// Name identifies the dataset in experiment output.
 	Name string
 	// X holds one feature vector per instance; all rows share a dimension.
+	// When the dataset is contiguous these are views into the flat backing.
 	X [][]float64
 	// Labels holds class indices in [0, Classes) for classification data.
 	Labels []int
@@ -27,10 +36,35 @@ type Dataset struct {
 	Classes int
 	// Targets holds real-valued responses for regression data.
 	Targets []float64
+
+	// flat is the row-major backing buffer when the rows of X are packed
+	// contiguously into it; nil otherwise (e.g. after Subset, or for
+	// literal datasets that never called Flatten).
+	flat []float64
+}
+
+// FromFlat builds a dataset over an existing row-major rows×dim feature
+// buffer without copying: X is populated with per-row views into flat.
+// Labels/Targets/Classes are left for the caller to fill in.
+func FromFlat(flat []float64, rows, dim int) *Dataset {
+	if len(flat) != rows*dim {
+		panic(fmt.Sprintf("dataset: flat buffer has %d values, want %d×%d", len(flat), rows, dim))
+	}
+	d := &Dataset{flat: flat, X: make([][]float64, rows)}
+	for i := range d.X {
+		d.X[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return d
 }
 
 // N returns the number of instances.
 func (d *Dataset) N() int { return len(d.X) }
+
+// Rows is N under the name matching the flat row-major accessors.
+func (d *Dataset) Rows() int { return d.N() }
+
+// Row returns the feature vector of instance i.
+func (d *Dataset) Row(i int) []float64 { return d.X[i] }
 
 // Dim returns the feature dimension, or 0 for an empty dataset.
 func (d *Dataset) Dim() int {
@@ -38,6 +72,52 @@ func (d *Dataset) Dim() int {
 		return 0
 	}
 	return len(d.X[0])
+}
+
+// Flat returns the contiguous row-major feature buffer and true when every
+// row of X is a view into it in order, or (nil, false) otherwise. Callers on
+// the fast path check Flat once and fall back to row-at-a-time access.
+func (d *Dataset) Flat() ([]float64, bool) {
+	if d.flat == nil || !d.contiguous() {
+		return nil, false
+	}
+	return d.flat, true
+}
+
+// contiguous verifies that X still aliases flat row-by-row (mutating X after
+// Flatten can break the invariant; the check is O(N) pointer comparisons).
+func (d *Dataset) contiguous() bool {
+	dim := d.Dim()
+	if len(d.flat) != len(d.X)*dim {
+		return false
+	}
+	for i, row := range d.X {
+		if len(row) != dim || (dim > 0 && &row[0] != &d.flat[i*dim]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Flatten packs the feature rows into one contiguous row-major buffer and
+// repoints X at it. It is a no-op when the dataset is already contiguous and
+// panics on ragged rows (run Validate first for a graceful error).
+func (d *Dataset) Flatten() {
+	if d.flat != nil && d.contiguous() {
+		return
+	}
+	dim := d.Dim()
+	flat := make([]float64, len(d.X)*dim)
+	for i, row := range d.X {
+		if len(row) != dim {
+			panic(fmt.Sprintf("dataset: row %d has dim %d, want %d", i, len(row), dim))
+		}
+		copy(flat[i*dim:(i+1)*dim], row)
+	}
+	d.flat = flat
+	for i := range d.X {
+		d.X[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
 }
 
 // IsRegression reports whether the dataset carries regression targets.
@@ -146,13 +226,17 @@ func (d *Dataset) FlipLabels(frac float64, rng *rand.Rand) []int {
 	return flipped
 }
 
-// Clone returns a deep copy of the dataset.
+// Clone returns a deep copy of the dataset. The copy is always contiguous
+// (row-major flat backing), regardless of the receiver's layout.
 func (d *Dataset) Clone() *Dataset {
-	out := &Dataset{Name: d.Name, Classes: d.Classes}
-	out.X = make([][]float64, len(d.X))
+	dim := d.Dim()
+	flat := make([]float64, len(d.X)*dim)
 	for i, row := range d.X {
-		out.X[i] = append([]float64(nil), row...)
+		copy(flat[i*dim:(i+1)*dim], row)
 	}
+	out := FromFlat(flat, len(d.X), dim)
+	out.Name = d.Name
+	out.Classes = d.Classes
 	out.Labels = append([]int(nil), d.Labels...)
 	out.Targets = append([]float64(nil), d.Targets...)
 	return out

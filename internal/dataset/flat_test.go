@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestFromFlatViewsShareStorage(t *testing.T) {
+	flat := []float64{1, 2, 3, 4, 5, 6}
+	d := FromFlat(flat, 3, 2)
+	d.Labels = []int{0, 1, 0}
+	d.Classes = 2
+	if d.Rows() != 3 || d.Dim() != 2 {
+		t.Fatalf("rows/dim = %d/%d", d.Rows(), d.Dim())
+	}
+	if got, ok := d.Flat(); !ok || &got[0] != &flat[0] {
+		t.Fatal("Flat does not return the original backing")
+	}
+	d.Row(1)[0] = 42
+	if flat[2] != 42 {
+		t.Fatal("Row is not a view into the flat backing")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFlatPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FromFlat(make([]float64, 5), 2, 3)
+}
+
+func TestFlattenPacksLiteralDataset(t *testing.T) {
+	d := &Dataset{
+		X:      [][]float64{{1, 2}, {3, 4}, {5, 6}},
+		Labels: []int{0, 1, 1},
+	}
+	d.Classes = 2
+	if _, ok := d.Flat(); ok {
+		t.Fatal("literal dataset reported contiguous before Flatten")
+	}
+	d.Flatten()
+	flat, ok := d.Flat()
+	if !ok {
+		t.Fatal("not contiguous after Flatten")
+	}
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i, v := range want {
+		if flat[i] != v {
+			t.Fatalf("flat[%d] = %v, want %v", i, flat[i], v)
+		}
+	}
+	// Idempotent: a second Flatten must keep the same backing.
+	d.Flatten()
+	if again, _ := d.Flat(); &again[0] != &flat[0] {
+		t.Fatal("Flatten reallocated a contiguous dataset")
+	}
+	// Repointing a row breaks contiguity, and Flat must notice.
+	d.X[1] = []float64{9, 9}
+	if _, ok := d.Flat(); ok {
+		t.Fatal("Flat missed a repointed row")
+	}
+}
+
+func TestSyntheticDatasetsAreContiguous(t *testing.T) {
+	for name, d := range map[string]*Dataset{
+		"mixture":    MNISTLike(10, 1),
+		"regression": Regression(RegressionConfig{Name: "r", N: 10, Dim: 3, Seed: 1}),
+		"iris":       IrisLike(9, 1),
+	} {
+		if _, ok := d.Flat(); !ok {
+			t.Errorf("%s dataset is not contiguous", name)
+		}
+	}
+}
+
+func TestSubsetIsNotContiguousButCloneIs(t *testing.T) {
+	d := MNISTLike(20, 2)
+	sub := d.Subset([]int{3, 1, 4})
+	if _, ok := sub.Flat(); ok {
+		t.Fatal("subset unexpectedly contiguous")
+	}
+	// Subset rows still alias the parent's storage.
+	if &sub.X[0][0] != &d.X[3][0] {
+		t.Fatal("subset row does not alias parent")
+	}
+	c := sub.Clone()
+	c.Classes = d.Classes
+	if _, ok := c.Flat(); !ok {
+		t.Fatal("clone not contiguous")
+	}
+	for i := range sub.X {
+		for j := range sub.X[i] {
+			if c.X[i][j] != sub.X[i][j] {
+				t.Fatalf("clone row %d differs", i)
+			}
+		}
+	}
+	// Clone must be independent of the original.
+	c.X[0][0] = -1
+	if sub.X[0][0] == -1 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestSplitPreservesRows(t *testing.T) {
+	d := MNISTLike(50, 3)
+	rng := rand.New(rand.NewPCG(1, 2))
+	train, test := d.Split(0.8, rng)
+	if train.N()+test.N() != d.N() {
+		t.Fatalf("split sizes %d+%d != %d", train.N(), test.N(), d.N())
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

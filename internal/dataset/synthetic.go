@@ -43,20 +43,17 @@ func Mixture(cfg MixtureConfig) *Dataset {
 		}
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0xd1b54a32d192ed03))
-	d := &Dataset{
-		Name:    cfg.Name,
-		X:       make([][]float64, cfg.N),
-		Labels:  make([]int, cfg.N),
-		Classes: cfg.Classes,
-	}
+	d := FromFlat(make([]float64, cfg.N*cfg.Dim), cfg.N, cfg.Dim)
+	d.Name = cfg.Name
+	d.Labels = make([]int, cfg.N)
+	d.Classes = cfg.Classes
 	sigma := cfg.Spread / math.Sqrt(float64(cfg.Dim))
 	for i := 0; i < cfg.N; i++ {
 		c := i % cfg.Classes // balanced classes
-		row := make([]float64, cfg.Dim)
+		row := d.X[i]
 		for j := range row {
 			row[j] = means[c][j] + sigma*rng.NormFloat64()
 		}
-		d.X[i] = row
 		d.Labels[i] = c
 	}
 	return d
@@ -173,20 +170,17 @@ func Regression(cfg RegressionConfig) *Dataset {
 	}
 	w := randomUnit(cfg.Dim, rand.New(rand.NewPCG(populationSeed(cfg.Name), 0xbf58476d1ce4e5b9)))
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x2545f4914f6cdd1d))
-	d := &Dataset{
-		Name:    cfg.Name,
-		X:       make([][]float64, cfg.N),
-		Targets: make([]float64, cfg.N),
-	}
+	d := FromFlat(make([]float64, cfg.N*cfg.Dim), cfg.N, cfg.Dim)
+	d.Name = cfg.Name
+	d.Targets = make([]float64, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		row := make([]float64, cfg.Dim)
+		row := d.X[i]
 		var norm, proj float64
 		for j := range row {
 			row[j] = rng.NormFloat64()
 			norm += row[j] * row[j]
 			proj += row[j] * w[j]
 		}
-		d.X[i] = row
 		d.Targets[i] = math.Sin(math.Sqrt(norm)) + proj + cfg.Noise*rng.NormFloat64()
 	}
 	return d
@@ -211,14 +205,16 @@ func IrisLike(n int, seed uint64) *Dataset {
 		{0.636, 0.322, 0.552, 0.275},
 	}
 	rng := rand.New(rand.NewPCG(seed, 0x6a09e667f3bcc909))
-	d := &Dataset{Name: "iris-like", X: make([][]float64, n), Labels: make([]int, n), Classes: 3}
+	d := FromFlat(make([]float64, n*4), n, 4)
+	d.Name = "iris-like"
+	d.Labels = make([]int, n)
+	d.Classes = 3
 	for i := 0; i < n; i++ {
 		c := i % 3
-		row := make([]float64, 4)
+		row := d.X[i]
 		for j := range row {
 			row[j] = means[c][j] + stds[c][j]*rng.NormFloat64()
 		}
-		d.X[i] = row
 		d.Labels[i] = c
 	}
 	return d

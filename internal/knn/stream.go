@@ -1,0 +1,152 @@
+package knn
+
+import (
+	"fmt"
+	"math"
+
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/vec"
+)
+
+// Stream is a batched producer of TestPoints: instead of eagerly
+// materializing the full Ntest×N distance matrix the way BuildTestPoints
+// does, it computes distances one batch of test rows at a time, reusing a
+// single batch-sized tile of backing buffers. Peak memory is therefore
+// bounded by BatchSize·N distances regardless of the test-set size.
+//
+// When both datasets are contiguous (dataset.Flat) and the metric is L2 or
+// squared L2, the tile is filled by the blocked kernel vec.SqL2Block, which
+// walks the training matrix cache-tile by cache-tile; otherwise it falls
+// back to row-at-a-time distance scans that are numerically identical to
+// BuildTestPoint's.
+//
+// The TestPoints returned by NextBatch alias the Stream's internal buffers
+// and are only valid until the next NextBatch call. Callers that need them
+// to persist (e.g. BuildTestPoints) must copy.
+type Stream struct {
+	kind   Kind
+	k      int
+	weight WeightFunc
+	metric vec.Metric
+	train  *dataset.Dataset
+	test   *dataset.Dataset
+
+	next int // next test row to produce
+
+	// Flat fast-path state: non-nil when both datasets are contiguous.
+	trainFlat []float64
+	testFlat  []float64
+
+	// Reused batch tile: distBuf is batch·N distances, correctBuf batch·N
+	// correctness indicators, tps the TestPoint headers themselves.
+	distBuf    []float64
+	correctBuf []bool
+	tps        []TestPoint
+}
+
+// NewStream validates the datasets exactly like BuildTestPoints and returns
+// a Stream positioned at the first test row.
+func NewStream(kind Kind, k int, weight WeightFunc, metric vec.Metric,
+	train, test *dataset.Dataset) (*Stream, error) {
+
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: K = %d, want positive", k)
+	}
+	if kind.IsWeighted() && weight == nil {
+		return nil, fmt.Errorf("knn: weighted utility requires a WeightFunc")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("knn: train: %w", err)
+	}
+	if err := test.Validate(); err != nil {
+		return nil, fmt.Errorf("knn: test: %w", err)
+	}
+	if kind.IsRegression() != train.IsRegression() || kind.IsRegression() != test.IsRegression() {
+		return nil, fmt.Errorf("knn: utility kind %v incompatible with dataset responses", kind)
+	}
+	if train.Dim() != test.Dim() {
+		return nil, fmt.Errorf("knn: train dim %d != test dim %d", train.Dim(), test.Dim())
+	}
+	s := &Stream{kind: kind, k: k, weight: weight, metric: metric, train: train, test: test}
+	if metric == vec.L2 || metric == vec.SquaredL2 {
+		if tf, ok := train.Flat(); ok {
+			if qf, ok := test.Flat(); ok {
+				s.trainFlat, s.testFlat = tf, qf
+			}
+		}
+	}
+	return s, nil
+}
+
+// NumTest returns the total number of test points the stream will produce.
+func (s *Stream) NumTest() int { return s.test.N() }
+
+// NumTrain returns the training-set size (the length of each Dist vector).
+func (s *Stream) NumTrain() int { return s.train.N() }
+
+// Reset rewinds the stream to the first test row.
+func (s *Stream) Reset() { s.next = 0 }
+
+// NextBatch fills dst with up to len(dst) TestPoints for the next test rows
+// and returns how many were produced; 0 means the stream is exhausted. The
+// returned TestPoints reuse the Stream's buffers and are invalidated by the
+// following NextBatch call.
+func (s *Stream) NextBatch(dst []*TestPoint) (int, error) {
+	b := len(dst)
+	if remaining := s.test.N() - s.next; b > remaining {
+		b = remaining
+	}
+	if b <= 0 {
+		return 0, nil
+	}
+	n := s.train.N()
+	if cap(s.distBuf) < b*n {
+		s.distBuf = make([]float64, b*n)
+	}
+	s.distBuf = s.distBuf[:b*n]
+	if cap(s.tps) < b {
+		s.tps = make([]TestPoint, b)
+	}
+	s.tps = s.tps[:b]
+
+	dim := s.train.Dim()
+	if s.trainFlat != nil && n > 0 && dim > 0 {
+		// Blocked tile of squared distances; L2 takes the root in place.
+		vec.SqL2Block(s.distBuf, s.testFlat[s.next*dim:(s.next+b)*dim], b, s.trainFlat, n, dim)
+		if s.metric == vec.L2 {
+			for i, v := range s.distBuf {
+				s.distBuf[i] = math.Sqrt(v)
+			}
+		}
+	} else {
+		for i := 0; i < b; i++ {
+			vec.Distances(s.metric, s.train.X, s.test.X[s.next+i], s.distBuf[i*n:(i+1)*n])
+		}
+	}
+
+	if !s.kind.IsRegression() {
+		if cap(s.correctBuf) < b*n {
+			s.correctBuf = make([]bool, b*n)
+		}
+		s.correctBuf = s.correctBuf[:b*n]
+	}
+	for i := 0; i < b; i++ {
+		j := s.next + i
+		tp := &s.tps[i]
+		*tp = TestPoint{Kind: s.kind, K: s.k, Weight: s.weight, Dist: s.distBuf[i*n : (i+1)*n]}
+		if s.kind.IsRegression() {
+			tp.Y = s.train.Targets
+			tp.YTest = s.test.Targets[j]
+		} else {
+			correct := s.correctBuf[i*n : (i+1)*n]
+			label := s.test.Labels[j]
+			for t, y := range s.train.Labels {
+				correct[t] = y == label
+			}
+			tp.Correct = correct
+		}
+		dst[i] = tp
+	}
+	s.next += b
+	return b, nil
+}

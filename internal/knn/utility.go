@@ -98,7 +98,14 @@ func (tp *TestPoint) N() int { return len(tp.Dist) }
 // Order returns training indices sorted by ascending (distance, index) — the
 // α ordering of Theorem 1.
 func (tp *TestPoint) Order() []int {
-	return vec.ArgsortBy(len(tp.Dist), func(i int) float64 { return tp.Dist[i] })
+	return tp.OrderInto(nil)
+}
+
+// OrderInto is Order writing into buf (reallocated only when too short) so
+// per-test-point hot loops can reuse one index buffer instead of allocating
+// N ints per call. The ordering is identical to Order's.
+func (tp *TestPoint) OrderInto(buf []int) []int {
+	return vec.ArgsortByInto(buf, len(tp.Dist), func(i int) float64 { return tp.Dist[i] })
 }
 
 // term is the additive contribution of training point i once it is among the

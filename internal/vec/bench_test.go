@@ -1,0 +1,84 @@
+package vec
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The storage benchmarks pin the flat row-major win: one query scanned
+// against N train rows held either as a contiguous row-major buffer or as a
+// slice of independently-allocated rows, plus the blocked tile kernel that
+// the streaming engine uses. Run with:
+//
+//	go test ./internal/vec -bench 'Scan|Block' -benchmem
+var benchShapes = []struct {
+	name   string
+	n, dim int
+}{
+	{"n1000_d32", 1000, 32},
+	{"n10000_d64", 10000, 64},
+}
+
+// scatteredRows allocates each row separately (the seed's [][]float64
+// layout), defeating the contiguity a flat scan enjoys.
+func scatteredRows(n, dim int, rng *rand.Rand) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, dim)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+func BenchmarkDistanceScanSlices(b *testing.B) {
+	for _, shape := range benchShapes {
+		b.Run(shape.name, func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(1, 1))
+			rows := scatteredRows(shape.n, shape.dim, rng)
+			q := make([]float64, shape.dim)
+			out := make([]float64, shape.n)
+			b.SetBytes(int64(shape.n * shape.dim * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Distances(SquaredL2, rows, q, out)
+			}
+		})
+	}
+}
+
+func BenchmarkDistanceScanFlat(b *testing.B) {
+	for _, shape := range benchShapes {
+		b.Run(shape.name, func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(1, 1))
+			flat, _ := randomFlat(shape.n, shape.dim, rng)
+			q := make([]float64, shape.dim)
+			out := make([]float64, shape.n)
+			b.SetBytes(int64(shape.n * shape.dim * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				DistancesFlat(SquaredL2, flat, shape.n, shape.dim, q, out)
+			}
+		})
+	}
+}
+
+// BenchmarkSqL2Block measures the blocked tile kernel at the engine's
+// default batch size: 64 queries against the train matrix per call.
+func BenchmarkSqL2Block(b *testing.B) {
+	const batch = 64
+	for _, shape := range benchShapes {
+		b.Run(shape.name, func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(2, 2))
+			trainFlat, _ := randomFlat(shape.n, shape.dim, rng)
+			testFlat, _ := randomFlat(batch, shape.dim, rng)
+			dst := make([]float64, batch*shape.n)
+			b.SetBytes(int64(batch * shape.n * shape.dim * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				SqL2Block(dst, testFlat, batch, trainFlat, shape.n, shape.dim)
+			}
+		})
+	}
+}

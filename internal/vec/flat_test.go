@@ -1,0 +1,92 @@
+package vec
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randomFlat(n, dim int, rng *rand.Rand) ([]float64, [][]float64) {
+	flat := make([]float64, n*dim)
+	rows := make([][]float64, n)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	for i := range rows {
+		rows[i] = flat[i*dim : (i+1)*dim]
+	}
+	return flat, rows
+}
+
+// The blocked kernel must agree bitwise with the row-at-a-time scan: it
+// performs the same subtract-square-accumulate sequence per pair.
+func TestSqL2BlockMatchesRowScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 1))
+	for _, shape := range [][3]int{{1, 1, 1}, {3, 7, 5}, {8, 64, 9}, {5, 130, 17}, {2, 200, 3}} {
+		nTest, nTrain, dim := shape[0], shape[1], shape[2]
+		trainFlat, trainRows := randomFlat(nTrain, dim, rng)
+		testFlat, testRows := randomFlat(nTest, dim, rng)
+		dst := SqL2Block(nil, testFlat, nTest, trainFlat, nTrain, dim)
+		for i := 0; i < nTest; i++ {
+			for j := 0; j < nTrain; j++ {
+				want := SqL2(trainRows[j], testRows[i])
+				if dst[i*nTrain+j] != want {
+					t.Fatalf("shape %v: dst[%d,%d] = %v, want %v", shape, i, j, dst[i*nTrain+j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSqL2BlockReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewPCG(92, 2))
+	trainFlat, _ := randomFlat(10, 4, rng)
+	testFlat, _ := randomFlat(3, 4, rng)
+	buf := make([]float64, 100)
+	dst := SqL2Block(buf, testFlat, 3, trainFlat, 10, 4)
+	if &dst[0] != &buf[0] {
+		t.Fatal("buffer not reused")
+	}
+	if len(dst) != 30 {
+		t.Fatalf("len %d, want 30", len(dst))
+	}
+}
+
+func TestDistancesFlatMatchesDistances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(93, 3))
+	flat, rows := randomFlat(12, 6, rng)
+	q := make([]float64, 6)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	for _, m := range []Metric{L2, SquaredL2, L1, Cosine} {
+		want := Distances(m, rows, q, nil)
+		got := DistancesFlat(m, flat, 12, 6, q, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("metric %v: dist[%d] = %v, want %v", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestArgsortByIntoMatchesArgsortBy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(94, 4))
+	keys := make([]float64, 200)
+	for i := range keys {
+		keys[i] = float64(rng.IntN(20)) // plenty of ties
+	}
+	key := func(i int) float64 { return keys[i] }
+	want := ArgsortBy(len(keys), key)
+	buf := make([]int, 0, len(keys))
+	got := ArgsortByInto(buf, len(keys), key)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("idx[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Reuse: a second call must not reallocate.
+	again := ArgsortByInto(got, len(keys), key)
+	if &again[0] != &got[0] {
+		t.Fatal("buffer not reused")
+	}
+}

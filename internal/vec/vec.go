@@ -176,6 +176,64 @@ func Distances(m Metric, points [][]float64, q []float64, out []float64) []float
 	return out
 }
 
+// DistancesFlat fills out[i] with metric(row i of flat, q) where flat is a
+// row-major n×dim matrix. If out is nil or too short a new slice is
+// allocated. Operating on one contiguous buffer avoids the per-row pointer
+// chase of the [][]float64 layout.
+func DistancesFlat(m Metric, flat []float64, n, dim int, q []float64, out []float64) []float64 {
+	if len(flat) != n*dim {
+		panic(fmt.Sprintf("vec: flat buffer has %d values, want %d×%d", len(flat), n, dim))
+	}
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	for i := 0; i < n; i++ {
+		out[i] = m.Distance(flat[i*dim:(i+1)*dim], q)
+	}
+	return out
+}
+
+// sqL2BlockTile is the number of train rows per cache tile of SqL2Block. At
+// 64 rows a tile of dim≤128 float64 features stays within a typical L2
+// cache, so every test row in the pass reads the tile from cache instead of
+// memory.
+const sqL2BlockTile = 64
+
+// SqL2Block computes the squared-L2 distance tile between every row of the
+// row-major nTest×dim matrix test and every row of the row-major nTrain×dim
+// matrix train, storing dst[i*nTrain+j] = ‖test_i − train_j‖². The train
+// matrix is walked in tiles of rows so each tile is read from cache once per
+// pass over the test rows — the blocked execution pattern that makes the
+// streaming distance producer cache-friendly. dst must have nTest*nTrain
+// capacity; the (possibly re-sliced) buffer is returned.
+func SqL2Block(dst, test []float64, nTest int, train []float64, nTrain, dim int) []float64 {
+	if len(test) != nTest*dim {
+		panic(fmt.Sprintf("vec: test buffer has %d values, want %d×%d", len(test), nTest, dim))
+	}
+	if len(train) != nTrain*dim {
+		panic(fmt.Sprintf("vec: train buffer has %d values, want %d×%d", len(train), nTrain, dim))
+	}
+	if cap(dst) < nTest*nTrain {
+		dst = make([]float64, nTest*nTrain)
+	}
+	dst = dst[:nTest*nTrain]
+	for j0 := 0; j0 < nTrain; j0 += sqL2BlockTile {
+		j1 := j0 + sqL2BlockTile
+		if j1 > nTrain {
+			j1 = nTrain
+		}
+		for i := 0; i < nTest; i++ {
+			q := test[i*dim : (i+1)*dim]
+			row := dst[i*nTrain : (i+1)*nTrain]
+			for j := j0; j < j1; j++ {
+				row[j] = SqL2(train[j*dim:(j+1)*dim], q)
+			}
+		}
+	}
+	return dst
+}
+
 // Argsort returns the permutation that sorts dist ascending. Ties are broken
 // by index so the result is deterministic.
 func Argsort(dist []float64) []int {
@@ -190,12 +248,40 @@ func Argsort(dist []float64) []int {
 // ArgsortBy returns indices 0..n-1 ordered ascending by key(i), ties broken
 // by index.
 func ArgsortBy(n int, key func(int) float64) []int {
-	idx := make([]int, n)
+	return ArgsortByInto(nil, n, key)
+}
+
+// ArgsortByInto is ArgsortBy writing into idx (reallocated only when too
+// short), so hot loops can reuse one index buffer across calls. The ordering
+// — ascending by key, ties broken by index — is identical to ArgsortBy's.
+func ArgsortByInto(idx []int, n int, key func(int) float64) []int {
+	if cap(idx) < n {
+		idx = make([]int, n)
+	}
+	idx = idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return key(idx[a]) < key(idx[b]) })
+	sort.Sort(&argsorter{idx: idx, key: key})
 	return idx
+}
+
+// argsorter sorts an index permutation by (key, index) without the closure
+// allocations of sort.SliceStable. The strict total order makes the result
+// identical to a stable sort on key alone.
+type argsorter struct {
+	idx []int
+	key func(int) float64
+}
+
+func (a *argsorter) Len() int      { return len(a.idx) }
+func (a *argsorter) Swap(i, j int) { a.idx[i], a.idx[j] = a.idx[j], a.idx[i] }
+func (a *argsorter) Less(i, j int) bool {
+	ki, kj := a.key(a.idx[i]), a.key(a.idx[j])
+	if ki != kj {
+		return ki < kj
+	}
+	return a.idx[i] < a.idx[j]
 }
 
 // Mean returns the arithmetic mean of a; it returns 0 for an empty slice.

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, vet, build, tests, and a race pass over
+# the execution engine. Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/core

@@ -5,28 +5,26 @@ import (
 
 	"knnshapley/internal/core"
 	"knnshapley/internal/knn"
-	"knnshapley/internal/vec"
 )
 
 // SellerValues computes the exact Shapley value of each *seller* when
 // sellers contribute multiple training points (Section 4, Theorem 8).
 // owners[i] names the seller (0..m-1) of training point i; every seller must
 // own at least one point. Cost grows like M^K — use SellerValuesMC beyond
-// small M·K.
+// small M·K. Test points stream through the valuation engine.
 func SellerValues(train, test *Dataset, owners []int, m int, cfg Config) ([]float64, error) {
-	tps, err := cfg.testPoints(train, test)
+	src, err := cfg.stream(train, test)
 	if err != nil {
 		return nil, err
 	}
-	sv := make([]float64, m)
-	for _, tp := range tps {
-		one, err := core.MultiSellerSV(tp, owners, m)
-		if err != nil {
-			return nil, err
-		}
-		vec.AXPY(sv, 1, one)
+	kern := core.MultiSellerKernel{Owners: owners, M: m}
+	sv, err := core.NewEngine[*knn.TestPoint](cfg.engine()).Run(src, kern)
+	if err != nil {
+		return nil, err
 	}
-	vec.Scale(sv, 1/float64(len(tps)))
+	if sv == nil {
+		sv = make([]float64, m)
+	}
 	return sv, nil
 }
 
@@ -38,7 +36,7 @@ func SellerValuesMC(train, test *Dataset, owners []int, m int, cfg Config, opts 
 	if err != nil {
 		return MCReport{}, err
 	}
-	res, err := core.MultiSellerMC(tps, owners, m, opts.internal())
+	res, err := core.MultiSellerMC(tps, owners, m, opts.internal(cfg))
 	if err != nil {
 		return MCReport{}, err
 	}
@@ -56,37 +54,24 @@ type CompositeReport struct {
 // (Eq. 28) that values the computation provider alongside the data sellers
 // (Theorems 9–11). With owners == nil every training point is its own
 // seller; otherwise sellers are valued at the curator level (Theorem 12).
+// Test points stream through the valuation engine.
 func CompositeValues(train, test *Dataset, owners []int, m int, cfg Config) (*CompositeReport, error) {
-	tps, err := cfg.testPoints(train, test)
+	src, err := cfg.stream(train, test)
 	if err != nil {
 		return nil, err
 	}
 	if owners == nil {
 		m = train.N()
 	}
-	acc := &CompositeReport{Sellers: make([]float64, m)}
-	for _, tp := range tps {
-		var res core.CompositeResult
-		switch {
-		case owners != nil:
-			res, err = core.CompositeMultiSellerSV(tp, owners, m)
-			if err != nil {
-				return nil, err
-			}
-		case tp.Kind == knn.UnweightedClass:
-			res = core.CompositeClassSV(tp)
-		case tp.Kind == knn.UnweightedRegress:
-			res = core.CompositeRegressSV(tp)
-		default:
-			res = core.CompositeWeightedSV(tp)
-		}
-		vec.AXPY(acc.Sellers, 1, res.Sellers)
-		acc.Analyst += res.Analyst
+	kern := core.CompositeKernel{Owners: owners, M: m}
+	sv, err := core.NewEngine[*knn.TestPoint](cfg.engine()).Run(src, kern)
+	if err != nil {
+		return nil, err
 	}
-	inv := 1 / float64(len(tps))
-	vec.Scale(acc.Sellers, inv)
-	acc.Analyst *= inv
-	return acc, nil
+	if sv == nil {
+		sv = make([]float64, m+1)
+	}
+	return &CompositeReport{Sellers: sv[:m], Analyst: sv[m]}, nil
 }
 
 // Utility returns the multi-test KNN utility ν(S) of an arbitrary training

@@ -36,7 +36,9 @@ func InverseDistance(eps float64) WeightFunc { return knn.InverseDistance(eps) }
 func ExpDecay(scale float64) WeightFunc { return knn.ExpDecay(scale) }
 
 // NewClassificationDataset builds a classification dataset from feature rows
-// and class labels (0-based; the class count is max(label)+1).
+// and class labels (0-based; the class count is max(label)+1). The features
+// are copied into the dataset's contiguous row-major storage, so later
+// mutations of x do not affect the dataset (and vice versa).
 func NewClassificationDataset(x [][]float64, labels []int) (*Dataset, error) {
 	classes := 0
 	for _, y := range labels {
@@ -44,20 +46,24 @@ func NewClassificationDataset(x [][]float64, labels []int) (*Dataset, error) {
 			classes = y + 1
 		}
 	}
-	d := &Dataset{X: x, Labels: labels, Classes: classes}
+	d := &Dataset{X: append([][]float64(nil), x...), Labels: labels, Classes: classes}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	d.Flatten()
 	return d, nil
 }
 
 // NewRegressionDataset builds a regression dataset from feature rows and
-// real-valued targets.
+// real-valued targets. The features are copied into the dataset's
+// contiguous row-major storage, so later mutations of x do not affect the
+// dataset (and vice versa).
 func NewRegressionDataset(x [][]float64, targets []float64) (*Dataset, error) {
-	d := &Dataset{X: x, Targets: targets}
+	d := &Dataset{X: append([][]float64(nil), x...), Targets: targets}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	d.Flatten()
 	return d, nil
 }
 
@@ -82,6 +88,10 @@ type Config struct {
 	Weight WeightFunc
 	// Workers bounds the parallel fan-out over test points (0 = all cores).
 	Workers int
+	// BatchSize bounds how many test points are materialized at once: the
+	// engine streams test points in batches, so peak memory is
+	// BatchSize·N distances rather than Ntest·N (0 = 64).
+	BatchSize int
 }
 
 func (c Config) kind(train *Dataset) knn.Kind {
@@ -104,27 +114,45 @@ func (c Config) testPoints(train, test *Dataset) ([]*knn.TestPoint, error) {
 	return knn.BuildTestPoints(c.kind(train), c.K, c.Weight, c.Metric, train, test)
 }
 
+// stream validates the configuration and returns a batched test-point
+// producer: distances are computed one engine batch at a time (with the
+// blocked vec.SqL2Block kernel on contiguous datasets) instead of eagerly
+// materializing the Ntest×N matrix.
+func (c Config) stream(train, test *Dataset) (*knn.Stream, error) {
+	if c.K <= 0 {
+		return nil, fmt.Errorf("knnshapley: Config.K = %d, want >= 1", c.K)
+	}
+	return knn.NewStream(c.kind(train), c.K, c.Weight, c.Metric, train, test)
+}
+
+func (c Config) engine() core.EngineConfig {
+	return core.EngineConfig{Workers: c.Workers, BatchSize: c.BatchSize}
+}
+
 // Exact computes the exact Shapley value of every training point with
-// respect to the KNN utility averaged over the test set.
+// respect to the KNN utility averaged over the test set. Test points are
+// streamed through the valuation engine in Config.BatchSize batches, so
+// peak memory stays at BatchSize·N distances however large the test set is.
 //
 // Unweighted utilities cost O(Ntest·N·(d + log N)) (Theorems 1 and 6).
 // Weighted utilities use the Theorem 7 counting algorithm whose cost grows
 // like N^K — call EstimateWeightedCost first and switch to MonteCarlo when
 // it is prohibitive.
 func Exact(train, test *Dataset, cfg Config) ([]float64, error) {
-	tps, err := cfg.testPoints(train, test)
+	src, err := cfg.stream(train, test)
 	if err != nil {
 		return nil, err
 	}
-	opts := core.Options{Workers: cfg.Workers}
+	var kern core.Kernel[*knn.TestPoint]
 	switch cfg.kind(train) {
 	case knn.UnweightedClass:
-		return core.ExactClassSVMulti(tps, opts), nil
+		kern = core.ExactClassKernel{N: train.N()}
 	case knn.UnweightedRegress:
-		return core.ExactRegressSVMulti(tps, opts), nil
+		kern = core.ExactRegressKernel{N: train.N()}
 	default:
-		return core.ExactWeightedSVMulti(tps, opts), nil
+		kern = core.WeightedKernel{N: train.N()}
 	}
+	return core.NewEngine[*knn.TestPoint](cfg.engine()).Run(src, kern)
 }
 
 // EstimateWeightedCost approximates the number of utility evaluations Exact
@@ -139,11 +167,12 @@ func Truncated(train, test *Dataset, cfg Config, eps float64) ([]float64, error)
 	if train.IsRegression() || cfg.Weight != nil {
 		return nil, fmt.Errorf("knnshapley: Truncated applies to unweighted classification")
 	}
-	tps, err := cfg.testPoints(train, test)
+	src, err := cfg.stream(train, test)
 	if err != nil {
 		return nil, err
 	}
-	return core.TruncatedClassSVMulti(tps, eps, core.Options{Workers: cfg.Workers}), nil
+	kern := core.TruncatedClassKernel{N: train.N(), Eps: eps}
+	return core.NewEngine[*knn.TestPoint](cfg.engine()).Run(src, kern)
 }
 
 // Monetize converts relative Shapley values into currency given an affine
