@@ -1,6 +1,7 @@
 package knnshapley
 
 import (
+	"context"
 	"fmt"
 
 	"knnshapley/internal/core"
@@ -73,32 +74,33 @@ type MCReport struct {
 
 // MonteCarlo estimates Shapley values with the improved Monte-Carlo
 // estimator (Algorithm 2): heap-incremental utility evaluation plus the
-// Bennett permutation budget of Theorem 5. It works for every utility kind
-// and is the recommended algorithm for weighted KNN, where exact computation
-// costs N^K. Test points stream through the valuation engine in
-// Config.BatchSize batches; each test point samples a deterministic
-// permutation stream derived from (Seed, test index).
+// Bennett permutation budget of Theorem 5. Each test point samples a
+// deterministic permutation stream derived from (Seed, test index).
+//
+// Deprecated: use New and Valuer.MonteCarlo, which honors a
+// context.Context (cancellation is checked every permutation).
 func MonteCarlo(train, test *Dataset, cfg Config, opts MCOptions) (MCReport, error) {
-	src, err := cfg.stream(train, test)
+	v, err := New(train, withConfig(cfg))
 	if err != nil {
 		return MCReport{}, err
 	}
-	res, err := core.ImprovedMCStream(src, cfg.kind(train), train.N(), cfg.K, opts.internal(cfg))
+	rep, err := v.MonteCarlo(context.Background(), test, opts)
 	if err != nil {
 		return MCReport{}, err
 	}
-	return MCReport(res), nil
+	return MCReport{SV: rep.Values, Permutations: rep.Permutations, Budget: rep.Budget,
+		UtilityEvals: rep.UtilityEvals}, nil
 }
 
 // BaselineMonteCarlo is the Section 2.2 baseline: permutation sampling with
 // from-scratch utility evaluation and the Hoeffding budget. It exists for
-// benchmarking against (Figures 5, 6 and 11); prefer MonteCarlo.
+// benchmarking against (Figures 5, 6 and 11); prefer Valuer.MonteCarlo.
 func BaselineMonteCarlo(train, test *Dataset, cfg Config, eps, delta float64, capT int, seed uint64) (MCReport, error) {
 	tps, err := cfg.testPoints(train, test)
 	if err != nil {
 		return MCReport{}, err
 	}
-	res, err := core.BaselineMC(tps, eps, delta, capT, seed)
+	res, err := core.BaselineMC(context.Background(), tps, eps, delta, capT, seed)
 	if err != nil {
 		return MCReport{}, err
 	}
@@ -109,6 +111,9 @@ func BaselineMonteCarlo(train, test *Dataset, cfg Config, eps, delta float64, ca
 // unweighted KNN classification by retrieving only K* = max{K, ⌈1/eps⌉}
 // neighbors per query from a p-stable LSH index (Theorems 2–4). Build it
 // once over the training set, then value batches or a stream of queries.
+//
+// Deprecated: use New and Valuer.LSH, which builds the index lazily and
+// caches it inside the session.
 type LSHValuer struct {
 	inner *core.LSHValuer
 }
@@ -132,7 +137,9 @@ func NewLSHValuer(train *Dataset, cfg Config, eps, delta float64, seed uint64) (
 }
 
 // Value returns approximate Shapley values averaged over the test set.
-func (v *LSHValuer) Value(test *Dataset) ([]float64, error) { return v.inner.Value(test) }
+func (v *LSHValuer) Value(test *Dataset) ([]float64, error) {
+	return v.inner.Value(context.Background(), test)
+}
 
 // ValueOne returns approximate Shapley values for a single streaming query.
 func (v *LSHValuer) ValueOne(q []float64, label int) []float64 {
@@ -151,6 +158,9 @@ func (v *LSHValuer) EstimatedContrast() float64 { return v.inner.Tuned().Contras
 // the classic alternative to LSH named in Section 3.2. Retrieval is exact
 // (δ = 0), so only the Theorem 2 truncation bounds the error; it excels in
 // low dimension while LSH wins in high dimension.
+//
+// Deprecated: use New and Valuer.KD, which builds the tree lazily and
+// caches it inside the session.
 type KDValuer struct {
 	inner   *core.KDValuer
 	workers int
@@ -174,7 +184,7 @@ func NewKDValuer(train *Dataset, cfg Config, eps float64) (*KDValuer, error) {
 // Value returns (eps, 0)-approximate Shapley values averaged over the test
 // set.
 func (v *KDValuer) Value(test *Dataset) ([]float64, error) {
-	return v.inner.Value(test, v.workers)
+	return v.inner.Value(context.Background(), test, v.workers)
 }
 
 // ValueOne values a single streaming query.

@@ -1,17 +1,22 @@
 // Command svcli values every training point of a CSV dataset with respect to
-// a KNN model and a test CSV, using any of the paper's algorithms.
+// a KNN model and a test CSV, using any of the paper's algorithms through
+// the session-based Valuer API.
 //
 // Usage:
 //
 //	svcli -train train.csv -test test.csv -k 5 -algo exact
 //	svcli -train train.csv -test test.csv -k 1 -algo lsh -eps 0.1 -delta 0.1
+//	svcli -train train.csv -test test.csv -k 2 -algo kd -eps 0.1 -timeout 30s
 //	svcli -train reg.csv -test regtest.csv -regression -k 3 -algo mc -eps 0.05 -range 2
 //
 // Output: one line per training point, "index,value", ordered by index; with
-// -top n only the n most valuable points are printed, descending.
+// -top n only the n most valuable points are printed, descending. -timeout
+// bounds the whole valuation through the context; an exceeded deadline
+// aborts mid-run and exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,13 +31,14 @@ func main() {
 		testPath   = flag.String("test", "", "test CSV")
 		regression = flag.Bool("regression", false, "treat the response column as a regression target")
 		k          = flag.Int("k", 5, "number of neighbors")
-		algo       = flag.String("algo", "exact", "exact|truncated|lsh|mc|baseline")
+		algo       = flag.String("algo", "exact", "exact|truncated|lsh|kd|mc|baseline")
 		eps        = flag.Float64("eps", 0.1, "approximation error target")
 		delta      = flag.Float64("delta", 0.1, "approximation failure probability")
 		weighted   = flag.Bool("weighted", false, "use inverse-distance weighted KNN")
 		rangeHW    = flag.Float64("range", 0, "utility-difference half-width for MC bounds (default 1/K for unweighted classification)")
 		seed       = flag.Uint64("seed", 1, "randomness seed")
 		top        = flag.Int("top", 0, "print only the top-n values, descending")
+		timeout    = flag.Duration("timeout", 0, "valuation deadline (0 = none)")
 	)
 	flag.Parse()
 	if *trainPath == "" || *testPath == "" {
@@ -43,38 +49,44 @@ func main() {
 
 	train := mustRead(*trainPath, *regression)
 	test := mustRead(*testPath, *regression)
-	cfg := knnshapley.Config{K: *k}
+
+	opts := []knnshapley.Option{knnshapley.WithK(*k)}
 	if *weighted {
-		cfg.Weight = knnshapley.InverseDistance(1e-3)
+		opts = append(opts, knnshapley.WithWeight(knnshapley.InverseDistance(1e-3)))
+	}
+	valuer, err := knnshapley.New(train, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
 	}
 
-	var sv []float64
-	var err error
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var rep *knnshapley.Report
 	switch *algo {
 	case "exact":
-		sv, err = knnshapley.Exact(train, test, cfg)
+		rep, err = valuer.Exact(ctx, test)
 	case "truncated":
-		sv, err = knnshapley.Truncated(train, test, cfg, *eps)
+		rep, err = valuer.Truncated(ctx, test, *eps)
 	case "lsh":
-		var v *knnshapley.LSHValuer
-		v, err = knnshapley.NewLSHValuer(train, cfg, *eps, *delta, *seed)
-		if err == nil {
-			sv, err = v.Value(test)
-		}
+		rep, err = valuer.LSH(ctx, test, *eps, *delta, *seed)
+	case "kd":
+		rep, err = valuer.KD(ctx, test, *eps)
 	case "mc":
-		var rep knnshapley.MCReport
-		rep, err = knnshapley.MonteCarlo(train, test, cfg, knnshapley.MCOptions{
+		rep, err = valuer.MonteCarlo(ctx, test, knnshapley.MCOptions{
 			Eps: *eps, Delta: *delta, Bound: knnshapley.Bennett,
 			RangeHalfWidth: *rangeHW, Heuristic: true, Seed: *seed,
 		})
-		sv = rep.SV
 		if err == nil {
 			fmt.Fprintf(os.Stderr, "mc: %d/%d permutations\n", rep.Permutations, rep.Budget)
 		}
 	case "baseline":
-		var rep knnshapley.MCReport
-		rep, err = knnshapley.BaselineMonteCarlo(train, test, cfg, *eps, *delta, 0, *seed)
-		sv = rep.SV
+		rep, err = valuer.BaselineMonteCarlo(ctx, test, *eps, *delta, 0, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "svcli: unknown algorithm %q\n", *algo)
 		os.Exit(2)
@@ -83,6 +95,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "svcli:", err)
 		os.Exit(1)
 	}
+	sv := rep.Values
 
 	if *top > 0 {
 		idx := make([]int, len(sv))

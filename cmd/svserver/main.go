@@ -1,9 +1,11 @@
-// Command svserver is the first serving surface of the valuation engine: an
-// HTTP daemon that computes KNN-Shapley values for JSON train/test payloads.
+// Command svserver is the serving surface of the valuation engine: an HTTP
+// daemon that computes KNN-Shapley values for JSON train/test payloads
+// through the session-based Valuer API, with per-request deadline
+// propagation and prompt cancellation when a client disconnects.
 //
 // Usage:
 //
-//	svserver -addr :8080 -max-body 67108864
+//	svserver -addr :8080 -max-body 67108864 -request-timeout 60s
 //
 // Endpoints:
 //
@@ -13,29 +15,46 @@
 // A /value request selects the algorithm and the engine knobs:
 //
 //	{
-//	  "algorithm": "exact" | "truncated" | "montecarlo",
+//	  "algorithm": "exact" | "truncated" | "montecarlo" | "sellers" |
+//	               "sellersmc" | "composite" | "lsh" | "kd",
 //	  "k": 3,
 //	  "metric": "l2" | "l1" | "cosine",
-//	  "eps": 0.1,            // truncated and montecarlo
-//	  "delta": 0.1,          // montecarlo
-//	  "seed": 7,             // montecarlo
+//	  "eps": 0.1,            // truncated, montecarlo, lsh, kd
+//	  "delta": 0.1,          // montecarlo, lsh
+//	  "seed": 7,             // montecarlo, sellersmc, lsh
+//	  "t": 0,                // montecarlo/sellersmc fixed budget (or cap)
+//	  "owners": [0,0,1,...], // sellers, sellersmc, composite (optional there)
+//	  "m": 2,                // seller count for owners-based games
 //	  "workers": 0,          // engine worker pool (0 = all cores)
 //	  "batchSize": 0,        // engine batch size (0 = 64)
 //	  "train": {"x": [[...]], "labels": [...]},        // or "targets": [...]
 //	  "test":  {"x": [[...]], "labels": [...]}
 //	}
 //
-// The response reports the values plus how they were computed:
+// The response carries the unified report of the Valuer API:
 //
-//	{"values": [...], "n": 100, "algorithm": "exact", "durationMs": 12}
+//	{"values": [...], "n": 100, "algorithm": "exact", "durationMs": 12,
+//	 "permutations": 0, "budget": 0, "utilityEvals": 0, "kStar": 0,
+//	 "analyst": 0.42}
 //
-// Each request builds its dataset once (flattened to the row-major layout)
-// and runs one engine over it; the streaming execution bounds the request's
-// peak memory at batchSize·N distances regardless of the test-set size.
+// "n" is always the training-set size. For the per-point algorithms values
+// has length n; for the seller-level games (sellers, sellersmc, composite)
+// it has length m — one share per seller — with the analyst's composite
+// share in "analyst".
+//
+// The request context is canceled when the client disconnects and bounded
+// by -request-timeout; a valuation aborted mid-flight returns a JSON error
+// with "canceled": true and the nginx-style 499 status (504 on a server
+// deadline). Each request builds its Valuer session once — the training set
+// is flattened and validated a single time — and the streaming execution
+// bounds the request's peak memory at batchSize·N distances regardless of
+// the test-set size.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -45,19 +64,26 @@ import (
 	"knnshapley"
 )
 
+// statusClientClosedRequest is the nginx convention for "client closed the
+// connection before the response was ready"; net/http happily writes any
+// registered or unregistered 3-digit status.
+const statusClientClosedRequest = 499
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		maxBody = flag.Int64("max-body", 64<<20, "maximum request body in bytes")
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxBody    = flag.Int64("max-body", 64<<20, "maximum request body in bytes")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request valuation deadline (0 = none)")
 	)
 	flag.Parse()
-	srv := &server{maxBody: *maxBody}
+	srv := &server{maxBody: *maxBody, timeout: *reqTimeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/value", srv.handleValue)
 	mux.HandleFunc("/healthz", srv.handleHealthz)
 	// Explicit timeouts so slow clients cannot pin connections open
 	// indefinitely while trickling large bodies (no WriteTimeout: big
-	// valuations legitimately take a while to compute and stream back).
+	// valuations legitimately take a while to compute and stream back;
+	// -request-timeout bounds the compute itself).
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
@@ -72,6 +98,7 @@ func main() {
 // server carries the per-process configuration of the daemon.
 type server struct {
 	maxBody int64
+	timeout time.Duration
 }
 
 // payload is one dataset in the wire format.
@@ -90,23 +117,31 @@ type valueRequest struct {
 	Delta     float64 `json:"delta,omitempty"`
 	T         int     `json:"t,omitempty"`
 	Seed      uint64  `json:"seed,omitempty"`
+	Owners    []int   `json:"owners,omitempty"`
+	M         int     `json:"m,omitempty"`
 	Workers   int     `json:"workers,omitempty"`
 	BatchSize int     `json:"batchSize,omitempty"`
 	Train     payload `json:"train"`
 	Test      payload `json:"test"`
 }
 
-// valueResponse is the body of a successful /value reply.
+// valueResponse is the body of a successful /value reply — the wire form of
+// the Valuer API's unified Report.
 type valueResponse struct {
 	Values       []float64 `json:"values"`
 	N            int       `json:"n"`
 	Algorithm    string    `json:"algorithm"`
 	Permutations int       `json:"permutations,omitempty"`
+	Budget       int       `json:"budget,omitempty"`
+	UtilityEvals int       `json:"utilityEvals,omitempty"`
+	KStar        int       `json:"kStar,omitempty"`
+	Analyst      *float64  `json:"analyst,omitempty"`
 	DurationMs   int64     `json:"durationMs"`
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error    string `json:"error"`
+	Canceled bool   `json:"canceled,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -126,9 +161,25 @@ func (s *server) handleValue(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode request: "+err.Error())
 		return
 	}
-	resp, status, err := compute(&req)
+	// The request context is canceled by net/http when the client
+	// disconnects; -request-timeout adds the server-side deadline. Both
+	// propagate into every engine batch and Monte-Carlo permutation loop.
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	resp, status, err := compute(ctx, &req)
 	if err != nil {
-		writeError(w, status, err.Error())
+		switch {
+		case errors.Is(err, context.Canceled):
+			writeCanceled(w, statusClientClosedRequest, "valuation canceled: client closed request")
+		case errors.Is(err, context.DeadlineExceeded):
+			writeCanceled(w, http.StatusGatewayTimeout, "valuation canceled: request deadline exceeded")
+		default:
+			writeError(w, status, err.Error())
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -137,8 +188,8 @@ func (s *server) handleValue(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// compute runs one valuation request through the engine.
-func compute(req *valueRequest) (*valueResponse, int, error) {
+// compute runs one valuation request through a fresh Valuer session.
+func compute(ctx context.Context, req *valueRequest) (*valueResponse, int, error) {
 	train, err := buildDataset(&req.Train)
 	if err != nil {
 		return nil, http.StatusBadRequest, fmt.Errorf("train: %w", err)
@@ -151,39 +202,70 @@ func compute(req *valueRequest) (*valueResponse, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	cfg := knnshapley.Config{
-		K:         req.K,
-		Metric:    metric,
-		Workers:   req.Workers,
-		BatchSize: req.BatchSize,
+	v, err := knnshapley.New(train,
+		knnshapley.WithK(req.K),
+		knnshapley.WithMetric(metric),
+		knnshapley.WithWorkers(req.Workers),
+		knnshapley.WithBatchSize(req.BatchSize),
+	)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
 	}
-	start := time.Now()
-	resp := &valueResponse{N: train.N(), Algorithm: req.Algorithm}
-	switch req.Algorithm {
-	case "exact", "":
-		resp.Algorithm = "exact"
-		resp.Values, err = knnshapley.Exact(train, test, cfg)
+
+	var rep *knnshapley.Report
+	algorithm := req.Algorithm
+	if algorithm == "" {
+		algorithm = "exact"
+	}
+	switch algorithm {
+	case "exact":
+		rep, err = v.Exact(ctx, test)
 	case "truncated":
-		resp.Values, err = knnshapley.Truncated(train, test, cfg, req.Eps)
+		rep, err = v.Truncated(ctx, test, req.Eps)
 	case "montecarlo":
-		opts := knnshapley.MCOptions{Eps: req.Eps, Delta: req.Delta, T: req.T, Seed: req.Seed}
-		if req.T > 0 && (req.Eps == 0 || req.Delta == 0) {
-			opts.Bound = knnshapley.Fixed
-		}
-		var rep knnshapley.MCReport
-		rep, err = knnshapley.MonteCarlo(train, test, cfg, opts)
-		resp.Values, resp.Permutations = rep.SV, rep.Permutations
+		rep, err = v.MonteCarlo(ctx, test, mcOptions(req))
+	case "sellers":
+		rep, err = v.Sellers(ctx, test, req.Owners, req.M)
+	case "sellersmc":
+		rep, err = v.SellersMC(ctx, test, req.Owners, req.M, mcOptions(req))
+	case "composite":
+		rep, err = v.Composite(ctx, test, req.Owners, req.M)
+	case "lsh":
+		rep, err = v.LSH(ctx, test, req.Eps, req.Delta, req.Seed)
+	case "kd":
+		rep, err = v.KD(ctx, test, req.Eps)
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
 	}
-	if resp.Values == nil {
-		resp.Values = make([]float64, train.N())
+	resp := &valueResponse{
+		Values:       rep.Values,
+		N:            train.N(),
+		Algorithm:    algorithm,
+		Permutations: rep.Permutations,
+		Budget:       rep.Budget,
+		UtilityEvals: rep.UtilityEvals,
+		KStar:        rep.KStar,
+		DurationMs:   rep.Duration.Milliseconds(),
 	}
-	resp.DurationMs = time.Since(start).Milliseconds()
+	if algorithm == "composite" {
+		analyst := rep.Analyst
+		resp.Analyst = &analyst
+	}
 	return resp, http.StatusOK, nil
+}
+
+// mcOptions maps the wire fields onto MCOptions, preserving the original
+// server behavior: a fixed budget T without (eps, delta) selects the Fixed
+// bound.
+func mcOptions(req *valueRequest) knnshapley.MCOptions {
+	opts := knnshapley.MCOptions{Eps: req.Eps, Delta: req.Delta, T: req.T, Seed: req.Seed}
+	if req.T > 0 && (req.Eps == 0 || req.Delta == 0) {
+		opts.Bound = knnshapley.Fixed
+	}
+	return opts
 }
 
 func buildDataset(p *payload) (*knnshapley.Dataset, error) {
@@ -210,6 +292,17 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(errorResponse{Error: msg}); err != nil {
+		log.Printf("svserver: encode error response: %v", err)
+	}
+}
+
+// writeCanceled reports a context-terminated valuation: the JSON body
+// carries "canceled": true so clients can tell an aborted run from a
+// rejected one.
+func writeCanceled(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(errorResponse{Error: msg, Canceled: true}); err != nil {
 		log.Printf("svserver: encode error response: %v", err)
 	}
 }

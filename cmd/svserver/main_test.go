@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"knnshapley"
 )
@@ -130,5 +132,156 @@ func TestHealthz(t *testing.T) {
 	srv.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestValueSellersAndComposite(t *testing.T) {
+	srv := &server{maxBody: 1 << 20}
+	req := testRequest()
+	req.Algorithm = "sellers"
+	req.Owners = []int{0, 0, 0, 1, 1, 1}
+	req.M = 2
+	rec, resp := postValue(t, srv, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sellers status %d: %s", rec.Code, rec.Body.String())
+	}
+	train, _ := knnshapley.NewClassificationDataset(req.Train.X, req.Train.Labels)
+	test, _ := knnshapley.NewClassificationDataset(req.Test.X, req.Test.Labels)
+	want, err := knnshapley.SellerValues(train, test, req.Owners, 2, knnshapley.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Values) != 2 {
+		t.Fatalf("%d seller values, want 2", len(resp.Values))
+	}
+	for j := range want {
+		if math.Abs(resp.Values[j]-want[j]) > 1e-12 {
+			t.Fatalf("seller %d = %v, want %v", j, resp.Values[j], want[j])
+		}
+	}
+
+	req.Algorithm = "composite"
+	rec, resp = postValue(t, srv, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("composite status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Analyst == nil {
+		t.Fatal("composite reply missing analyst share")
+	}
+	comp, err := knnshapley.CompositeValues(train, test, req.Owners, 2, knnshapley.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(*resp.Analyst-comp.Analyst) > 1e-12 {
+		t.Fatalf("analyst = %v, want %v", *resp.Analyst, comp.Analyst)
+	}
+
+	req.Algorithm = "sellersmc"
+	req.T = 50
+	if rec, resp = postValue(t, srv, req); rec.Code != http.StatusOK {
+		t.Fatalf("sellersmc status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Permutations == 0 {
+		t.Fatal("sellersmc reported zero permutations")
+	}
+}
+
+func TestValueLSHAndKD(t *testing.T) {
+	srv := &server{maxBody: 16 << 20}
+	train := knnshapley.SynthDeep(300, 3)
+	test := knnshapley.SynthDeep(5, 4)
+	req := valueRequest{
+		Algorithm: "kd", K: 2, Eps: 0.25,
+		Train: payload{X: train.X, Labels: train.Labels},
+		Test:  payload{X: test.X, Labels: test.Labels},
+	}
+	rec, resp := postValue(t, srv, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("kd status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.KStar != 4 {
+		t.Fatalf("kd kStar = %d, want 4", resp.KStar)
+	}
+	want, err := knnshapley.Truncated(train, test, knnshapley.Config{K: 2}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if resp.Values[i] != want[i] {
+			t.Fatalf("kd value %d = %v, want %v", i, resp.Values[i], want[i])
+		}
+	}
+
+	req.Algorithm = "lsh"
+	req.Delta = 0.1
+	req.Seed = 5
+	if rec, resp = postValue(t, srv, req); rec.Code != http.StatusOK {
+		t.Fatalf("lsh status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.KStar != 4 || len(resp.Values) != train.N() {
+		t.Fatalf("lsh report kStar=%d len=%d", resp.KStar, len(resp.Values))
+	}
+}
+
+// A client that disconnects mid-valuation cancels the request context;
+// the server must answer with the 499-style canceled JSON error.
+func TestValueClientDisconnect(t *testing.T) {
+	srv := &server{maxBody: 1 << 20}
+	body := testRequest()
+	body.Algorithm = "montecarlo"
+	body.T = 1 << 30 // far more permutations than could run before the check
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	req := httptest.NewRequest(http.MethodPost, "/value", bytes.NewReader(raw)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.handleValue(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status %d, want %d: %s", rec.Code, statusClientClosedRequest, rec.Body.String())
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatalf("decode error body: %v (%s)", err, rec.Body.String())
+	}
+	if !er.Canceled || er.Error == "" {
+		t.Fatalf("error body %+v, want canceled:true with a message", er)
+	}
+}
+
+// -request-timeout bounds the valuation; an exceeded deadline reports 504
+// with the canceled marker.
+func TestValueRequestTimeout(t *testing.T) {
+	srv := &server{maxBody: 1 << 20, timeout: time.Nanosecond}
+	body := testRequest()
+	body.Algorithm = "montecarlo"
+	body.T = 1 << 30
+	rec, _ := postValue(t, srv, body)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want %d: %s", rec.Code, http.StatusGatewayTimeout, rec.Body.String())
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if !er.Canceled {
+		t.Fatalf("error body %+v, want canceled:true", er)
+	}
+}
+
+func TestValueRejectsBadOwners(t *testing.T) {
+	srv := &server{maxBody: 1 << 20}
+	req := testRequest()
+	req.Algorithm = "sellers"
+	req.Owners = []int{0, 0, 0, 1, 1, 9} // owner out of range
+	req.M = 2
+	if rec, _ := postValue(t, srv, req); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad owners status %d", rec.Code)
+	}
+	req.Owners = nil // wrong length
+	if rec, _ := postValue(t, srv, req); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("missing owners status %d", rec.Code)
 	}
 }

@@ -19,25 +19,55 @@
 //   - and for composite games that value the computation provider (the
 //     "analyst") alongside the data sellers (Theorems 9–12).
 //
-// # Quick start
+// # Quick start: sessions
+//
+// The unit of work is a valuation session, the Valuer: construct it once
+// per training set with functional options, then issue as many valuations
+// as you like against it. Construction validates the data and packs it
+// into contiguous row-major storage a single time; the LSH and k-d indexes
+// behind the sublinear methods are built lazily on first use and cached in
+// the session.
 //
 //	train, test := /* your data */, /* held-out queries */
-//	sv, err := knnshapley.Exact(train, test, knnshapley.Config{K: 5})
-//	// sv[i] is the value of training point i; Σ sv = ν(I) − ν(∅).
+//	v, err := knnshapley.New(train, knnshapley.WithK(5))
+//	rep, err := v.Exact(ctx, test)
+//	// rep.Values[i] is the value of training point i; Σ = ν(I) − ν(∅).
+//
+// Every method takes a context.Context and returns a unified *Report
+// carrying the values plus how they were computed (Method, Duration, and —
+// where applicable — Permutations, Budget, UtilityEvals, KStar, Analyst).
+// Canceling the context (client disconnect, deadline) aborts an in-flight
+// valuation within one engine batch, and within one permutation inside the
+// Monte-Carlo loops, returning ctx.Err().
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	mc, err := v.MonteCarlo(ctx, test, knnshapley.MCOptions{Eps: 0.1, Delta: 0.1})
+//
+// A Valuer is safe for concurrent use; cmd/svserver holds one per request
+// and serves every algorithm behind a deadline-propagating HTTP handler.
+//
+// # Migrating from the free functions
+//
+// The original free functions (Exact, Truncated, MonteCarlo, SellerValues,
+// SellerValuesMC, CompositeValues, Utility, NewLSHValuer, NewKDValuer)
+// remain as deprecated wrappers that build a one-shot session internally
+// and produce bit-identical outputs; see README.md for the full migration
+// table. New code should construct a Valuer and pass a context.
 //
 // # Execution model: one engine, pluggable kernels, batched streaming
 //
-// Every valuation entry point (Exact, Truncated, MonteCarlo, SellerValues,
-// CompositeValues, and the LSH/k-d tree valuers) runs on a single internal
-// execution engine. The engine owns a bounded worker pool (Config.Workers
-// goroutines, period — workers are created before any work is enqueued),
-// streams test points from a producer in batches of Config.BatchSize, and
-// dispatches each test point to a pluggable per-test-point kernel (exact
-// classification, exact regression, truncated, weighted counting, Monte
-// Carlo permutation sampling, seller-level games). Per-worker scratch
-// buffers are reused across test points, so the hot paths are
-// allocation-free, and the engine reduces per-test-point results in stream
-// order, making outputs bit-identical for any worker count or batch size.
+// Every valuation method runs on a single internal execution engine. The
+// engine owns a bounded worker pool (WithWorkers goroutines, period —
+// workers are created before any work is enqueued), streams test points
+// from a producer in batches of WithBatchSize, and dispatches each test
+// point to a pluggable per-test-point kernel (exact classification, exact
+// regression, truncated, weighted counting, Monte Carlo permutation
+// sampling, seller-level games). Per-worker scratch buffers are reused
+// across test points, so the hot paths are allocation-free, and the engine
+// reduces per-test-point results in stream order, making outputs
+// bit-identical for any worker count or batch size. The run's context is
+// checked at every batch boundary.
 //
 // Distances are never materialized for the whole test set at once: the
 // streaming producer computes one batch of test×train distances at a time
@@ -54,8 +84,10 @@
 //
 // # Serving
 //
-// cmd/svserver exposes the engine over HTTP: POST a JSON train/test payload
-// to /value and get the Shapley values back. See the command's package
+// cmd/svserver exposes the sessions over HTTP: POST a JSON train/test
+// payload to /value and get the unified report back. Requests honor
+// -request-timeout and client disconnects (a canceled valuation returns a
+// 499-style JSON error with "canceled": true). See the command's package
 // comment for the wire format.
 //
 // See the examples/ directory for runnable end-to-end scenarios (data

@@ -1,6 +1,7 @@
 package knnshapley_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -67,4 +68,24 @@ func ExampleTruncated() {
 	fmt.Printf("non-zero values: %d of %d\n", nonzero, len(sv))
 	// Output:
 	// non-zero values: 1 of 8
+}
+
+// The session API: one Valuer per training set, contexts on every call,
+// a unified report back.
+func ExampleNew() {
+	train, _ := knnshapley.NewClassificationDataset(
+		[][]float64{{0}, {1}, {4}}, []int{1, 0, 1})
+	test, _ := knnshapley.NewClassificationDataset(
+		[][]float64{{0.1}}, []int{1})
+	v, _ := knnshapley.New(train, knnshapley.WithK(1))
+	rep, _ := v.Exact(context.Background(), test)
+	fmt.Println(rep.Method)
+	for i, val := range rep.Values {
+		fmt.Printf("point %d: %+.3f\n", i, val)
+	}
+	// Output:
+	// exact
+	// point 0: +0.833
+	// point 1: -0.167
+	// point 2: +0.333
 }

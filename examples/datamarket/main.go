@@ -2,13 +2,14 @@
 // patient records; a buyer pays for a KNN model trained on the pooled data,
 // and an analyst provides the computation. This example prices every
 // participant with the seller-level game (Theorem 8) and the composite game
-// (Theorems 9/12), mirroring the clinical-trial scenario of the paper's
-// introduction.
+// (Theorems 9/12) through one valuation session, mirroring the
+// clinical-trial scenario of the paper's introduction.
 //
 // Run with: go run ./examples/datamarket
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,19 +21,27 @@ func main() {
 	train := knnshapley.SynthMNIST(400, 1)
 	test := knnshapley.SynthMNIST(60, 2)
 	owners := knnshapley.AssignSellers(train.N(), sellers)
-	cfg := knnshapley.Config{K: 3}
 
-	// Data-only game: split the revenue among the hospitals.
-	sellerSV, err := knnshapley.SellerValues(train, test, owners, sellers, cfg)
+	// One session values the data-only game, the composite game and the
+	// utility audit without re-validating the training set.
+	valuer, err := knnshapley.New(train, knnshapley.WithK(3))
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
+
+	// Data-only game: split the revenue among the hospitals.
+	sellerRep, err := valuer.Sellers(ctx, test, owners, sellers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sellerSV := sellerRep.Values
 
 	all := make([]int, train.N())
 	for i := range all {
 		all[i] = i
 	}
-	utility, err := knnshapley.Utility(train, test, cfg, all)
+	utility, err := valuer.Utility(ctx, test, all)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,19 +57,19 @@ func main() {
 	// Composite game: the analyst is a player too and takes the lion's
 	// share (Eq. 88/89 show each seller keeps at most half its data-only
 	// differences).
-	comp, err := knnshapley.CompositeValues(train, test, owners, sellers, cfg)
+	comp, err := valuer.Composite(ctx, test, owners, sellers)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ncomposite game (analyst valued alongside hospitals):")
 	scale := revenue / utility
 	fmt.Printf("  analyst:    value %.5f -> $%8.2f\n", comp.Analyst, comp.Analyst*scale)
-	for j, v := range comp.Sellers {
+	for j, v := range comp.Values {
 		fmt.Printf("  hospital %d: value %.5f -> $%8.2f\n", j, v, v*scale)
 	}
 
 	var sellerTotal float64
-	for _, v := range comp.Sellers {
+	for _, v := range comp.Values {
 		sellerTotal += v
 	}
 	fmt.Printf("\nanalyst share: %.1f%% of the total utility\n",

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -28,10 +29,15 @@ func main() {
 	}
 	fmt.Printf("corrupted %d of %d training labels\n", len(flipped), train.N())
 
-	sv, err := knnshapley.Exact(train, test, knnshapley.Config{K: 5})
+	valuer, err := knnshapley.New(train, knnshapley.WithK(5))
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep, err := valuer.Exact(context.Background(), test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sv := rep.Values
 
 	// Rank points by ascending value and measure how many corrupted points
 	// appear in each low-value prefix.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -46,13 +47,16 @@ func main() {
 	lrSV := game.MonteCarloShapley(lrUtility, 400, rng)
 	lrTime := time.Since(start)
 
-	// (b) Exact KNN Shapley values through the public API.
-	start = time.Now()
-	knnSV, err := knnshapley.Exact(train, test, knnshapley.Config{K: 5})
+	// (b) Exact KNN Shapley values through the session API.
+	valuer, err := knnshapley.New(train, knnshapley.WithK(5))
 	if err != nil {
 		log.Fatal(err)
 	}
-	knnTime := time.Since(start)
+	rep, err := valuer.Exact(context.Background(), test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	knnSV, knnTime := rep.Values, rep.Duration
 
 	fmt.Printf("logistic-regression SV: %d retraining permutations in %v\n", 400, lrTime.Round(time.Millisecond))
 	fmt.Printf("KNN SV (exact):         %v\n\n", knnTime.Round(time.Microsecond))

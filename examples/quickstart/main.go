@@ -1,13 +1,15 @@
-// Quickstart: compute exact KNN Shapley values for a small training set and
-// inspect the most and least valuable points.
+// Quickstart: build a valuation session, compute exact KNN Shapley values
+// for a small training set and inspect the most and least valuable points.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	knnshapley "knnshapley"
 )
@@ -18,18 +20,26 @@ func main() {
 	train := knnshapley.SynthMNIST(500, 1)
 	test := knnshapley.SynthMNIST(50, 2)
 
-	cfg := knnshapley.Config{K: 5}
-	sv, err := knnshapley.Exact(train, test, cfg)
+	// One session per training set: the data is validated and packed into
+	// row-major storage here, once, and reused by every valuation call.
+	valuer, err := knnshapley.New(train, knnshapley.WithK(5))
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
+
+	rep, err := valuer.Exact(ctx, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sv := rep.Values
 
 	// Group rationality audit: values must sum to ν(I) − ν(∅).
 	all := make([]int, train.N())
 	for i := range all {
 		all[i] = i
 	}
-	full, err := knnshapley.Utility(train, test, cfg, all)
+	full, err := valuer.Utility(ctx, test, all)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +47,8 @@ func main() {
 	for _, v := range sv {
 		total += v
 	}
-	fmt.Printf("training points: %d   test queries: %d   K: %d\n", train.N(), test.N(), cfg.K)
+	fmt.Printf("training points: %d   test queries: %d   K: %d   (%s in %v)\n",
+		train.N(), test.N(), valuer.K(), rep.Method, rep.Duration.Round(time.Millisecond))
 	fmt.Printf("model utility ν(I) = %.4f   Σ Shapley values = %.4f\n", full, total)
 
 	idx := make([]int, len(sv))

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -18,11 +19,18 @@ func main() {
 	train := knnshapley.SynthRegression(300, 6, 0.2, 1)
 	test := knnshapley.SynthRegression(40, 6, 0.2, 2)
 
+	ctx := context.Background()
+
 	// Exact values for the unweighted KNN regressor (negative-MSE utility).
-	sv, err := knnshapley.Exact(train, test, knnshapley.Config{K: 5})
+	valuer, err := knnshapley.New(train, knnshapley.WithK(5))
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep, err := valuer.Exact(ctx, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sv := rep.Values
 	idx := make([]int, len(sv))
 	for i := range idx {
 		idx[i] = i
@@ -36,8 +44,12 @@ func main() {
 	// Weighted KNN regression: exact would cost ~N^K utility evaluations.
 	cost := knnshapley.EstimateWeightedCost(train.N(), 5)
 	fmt.Printf("\nweighted KNN: exact counting cost ≈ %.2g utility evals -> using Monte Carlo\n", cost)
-	cfgW := knnshapley.Config{K: 5, Weight: knnshapley.InverseDistance(0.5)}
-	rep, err := knnshapley.MonteCarlo(train, test, cfgW, knnshapley.MCOptions{
+	weighted, err := knnshapley.New(train, knnshapley.WithK(5),
+		knnshapley.WithWeight(knnshapley.InverseDistance(0.5)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrep, err := weighted.MonteCarlo(ctx, test, knnshapley.MCOptions{
 		Eps: 0.05, Delta: 0.1, Bound: knnshapley.Bennett,
 		RangeHalfWidth: 2, Heuristic: true, Seed: 3,
 	})
@@ -45,7 +57,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("  ran %d of %d budgeted permutations (%d incremental utility updates)\n",
-		rep.Permutations, rep.Budget, rep.UtilityEvals)
+		wrep.Permutations, wrep.Budget, wrep.UtilityEvals)
 
 	// The two utilities should broadly agree on which points matter.
 	var agree int
@@ -53,11 +65,11 @@ func main() {
 	for _, i := range idx[:30] {
 		top[i] = true
 	}
-	wIdx := make([]int, len(rep.SV))
+	wIdx := make([]int, len(wrep.Values))
 	for i := range wIdx {
 		wIdx[i] = i
 	}
-	sort.Slice(wIdx, func(a, b int) bool { return rep.SV[wIdx[a]] > rep.SV[wIdx[b]] })
+	sort.Slice(wIdx, func(a, b int) bool { return wrep.Values[wIdx[a]] > wrep.Values[wIdx[b]] })
 	for _, i := range wIdx[:30] {
 		if top[i] {
 			agree++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -17,7 +18,7 @@ import (
 //
 // It exists as the evaluation baseline of Figures 5–6 and 11; use ImprovedMC
 // for real workloads.
-func BaselineMC(tps []*knn.TestPoint, eps, delta float64, capT int, seed uint64) (MCResult, error) {
+func BaselineMC(ctx context.Context, tps []*knn.TestPoint, eps, delta float64, capT int, seed uint64) (MCResult, error) {
 	if len(tps) == 0 {
 		return MCResult{}, fmt.Errorf("core: no test points")
 	}
@@ -34,6 +35,9 @@ func BaselineMC(tps []*knn.TestPoint, eps, delta float64, capT int, seed uint64)
 		return knn.AverageUtility(tps, s)
 	}}
 	rng := rand.New(rand.NewPCG(seed, 0xabcdef0123456789))
-	sv := game.MonteCarloShapley(u, budget, rng)
+	sv, err := game.MonteCarloShapleyCtx(ctx, u, budget, rng)
+	if err != nil {
+		return MCResult{}, err
+	}
 	return MCResult{SV: sv, Permutations: budget, Budget: budget, UtilityEvals: budget * tp0.N() * len(tps)}, nil
 }

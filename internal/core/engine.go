@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -38,11 +39,13 @@ func (c EngineConfig) batch() int {
 
 // Source streams work items in batches. NextBatch fills dst with up to
 // len(dst) items and returns how many it produced; 0 means the stream is
-// exhausted. The Engine always finishes a batch completely before asking
-// for the next one, so sources may reuse the backing buffers of the items
-// they hand out (knn.Stream does exactly that).
+// exhausted. Sources must return ctx.Err() promptly once ctx is canceled —
+// together with the Engine's own per-batch check this bounds how long a
+// canceled run keeps computing. The Engine always finishes a batch
+// completely before asking for the next one, so sources may reuse the
+// backing buffers of the items they hand out (knn.Stream does exactly that).
 type Source[T any] interface {
-	NextBatch(dst []T) (int, error)
+	NextBatch(ctx context.Context, dst []T) (int, error)
 }
 
 // Kernel is a per-item valuation algorithm. One Kernel value is shared by
@@ -56,7 +59,10 @@ type Kernel[T any] interface {
 	// Compute writes item's value vector into dst (length OutLen, zeroed
 	// by the Engine). idx is the item's global position in the stream,
 	// which deterministic kernels (e.g. Monte Carlo) use for seeding.
-	Compute(idx int, item T, s *Scratch, dst []float64) error
+	// Long-running kernels (the Monte-Carlo permutation loops) must poll
+	// ctx and return ctx.Err() so cancellation aborts mid-item, not just
+	// between batches.
+	Compute(ctx context.Context, idx int, item T, s *Scratch, dst []float64) error
 }
 
 // SliceSource adapts an in-memory slice to the Source interface.
@@ -71,7 +77,10 @@ func NewSliceSource[T any](items []T) *SliceSource[T] {
 }
 
 // NextBatch implements Source.
-func (s *SliceSource[T]) NextBatch(dst []T) (int, error) {
+func (s *SliceSource[T]) NextBatch(ctx context.Context, dst []T) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	n := copy(dst, s.items[s.pos:])
 	s.pos += n
 	return n, nil
@@ -98,9 +107,10 @@ func NewEngine[T any](cfg EngineConfig) *Engine[T] { return &Engine[T]{cfg: cfg}
 
 // Run streams src through kern and returns the average of the per-item
 // value vectors, or nil when the source is empty (matching the seed
-// *SVMulti behavior on an empty test set).
-func (e *Engine[T]) Run(src Source[T], kern Kernel[T]) ([]float64, error) {
-	sv, count, err := e.RunSum(src, kern)
+// *SVMulti behavior on an empty test set). Cancellation of ctx aborts the
+// run within one engine batch and returns ctx.Err().
+func (e *Engine[T]) Run(ctx context.Context, src Source[T], kern Kernel[T]) ([]float64, error) {
+	sv, count, err := e.RunSum(ctx, src, kern)
 	if err != nil || count == 0 {
 		return nil, err
 	}
@@ -114,7 +124,10 @@ func (e *Engine[T]) Run(src Source[T], kern Kernel[T]) ([]float64, error) {
 // RunSum is Run without the final averaging: it returns the item count and
 // the plain sum of the per-item vectors, for callers that weight or
 // normalize differently.
-func (e *Engine[T]) RunSum(src Source[T], kern Kernel[T]) ([]float64, int, error) {
+func (e *Engine[T]) RunSum(ctx context.Context, src Source[T], kern Kernel[T]) ([]float64, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := kern.OutLen()
 	batch := e.cfg.batch()
 	workers := e.cfg.workers()
@@ -139,7 +152,7 @@ func (e *Engine[T]) RunSum(src Source[T], kern Kernel[T]) ([]float64, int, error
 				for i := range dst {
 					dst[i] = 0
 				}
-				if err := kern.Compute(jb.idx, jb.item, s, dst); err != nil {
+				if err := kern.Compute(ctx, jb.idx, jb.item, s, dst); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -154,7 +167,13 @@ func (e *Engine[T]) RunSum(src Source[T], kern Kernel[T]) ([]float64, int, error
 
 	total := 0
 	for {
-		nb, err := src.NextBatch(items)
+		// Per-batch cancellation point: a canceled context stops the run
+		// before the next batch is produced (kernels that loop for a long
+		// time poll ctx themselves).
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		nb, err := src.NextBatch(ctx, items)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"runtime"
 	"sync/atomic"
@@ -199,7 +200,7 @@ func TestEngineDeterministicAcrossSchedules(t *testing.T) {
 		{Workers: 7, BatchSize: 4},
 		{Workers: 16, BatchSize: 64},
 	} {
-		got, err := NewEngine[*knn.TestPoint](cfg).Run(NewSliceSource(tps), kern)
+		got, err := NewEngine[*knn.TestPoint](cfg).Run(context.Background(), NewSliceSource(tps), kern)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,7 +228,7 @@ type concurrencyKernel struct {
 }
 
 func (k *concurrencyKernel) OutLen() int { return k.n }
-func (k *concurrencyKernel) Compute(_ int, _ int, _ *Scratch, _ []float64) error {
+func (k *concurrencyKernel) Compute(_ context.Context, _ int, _ int, _ *Scratch, _ []float64) error {
 	cur := k.active.Add(1)
 	atomicMax(&k.maxActive, cur)
 	atomicMax(&k.maxGoronum, int64(runtime.NumGoroutine()))
@@ -246,7 +247,7 @@ func TestEngineBoundsGoroutines(t *testing.T) {
 	kern := &concurrencyKernel{n: 1}
 	work := make([]int, items)
 	_, count, err := NewEngine[int](EngineConfig{Workers: workers, BatchSize: 32}).
-		RunSum(NewSliceSource(work), kern)
+		RunSum(context.Background(), NewSliceSource(work), kern)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,11 +273,11 @@ type batchTrackingSource struct {
 	maxBatch int
 }
 
-func (s *batchTrackingSource) NextBatch(dst []*knn.TestPoint) (int, error) {
+func (s *batchTrackingSource) NextBatch(ctx context.Context, dst []*knn.TestPoint) (int, error) {
 	if len(dst) > s.maxBatch {
 		s.maxBatch = len(dst)
 	}
-	return s.inner.NextBatch(dst)
+	return s.inner.NextBatch(ctx, dst)
 }
 
 // Peak memory for a streaming exact run must be bounded by BatchSize·N
@@ -304,7 +305,7 @@ func TestEngineStreamingMemoryBounded(t *testing.T) {
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	eng := NewEngine[*knn.TestPoint](EngineConfig{Workers: 4, BatchSize: batchSize})
-	sv, err := eng.Run(src, ExactClassKernel{N: nTrain})
+	sv, err := eng.Run(context.Background(), src, ExactClassKernel{N: nTrain})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"knnshapley/internal/knn"
@@ -66,7 +67,7 @@ func mustRun(tps []*knn.TestPoint, opts Options, kern Kernel[*knn.TestPoint]) []
 	if len(tps) == 0 {
 		return nil
 	}
-	sv, err := NewEngine[*knn.TestPoint](opts.engine()).Run(NewSliceSource(tps), kern)
+	sv, err := NewEngine[*knn.TestPoint](opts.engine()).Run(context.Background(), NewSliceSource(tps), kern)
 	if err != nil {
 		panic(err)
 	}

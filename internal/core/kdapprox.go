@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"knnshapley/internal/dataset"
@@ -60,8 +61,8 @@ func (v *KDValuer) valueOneInto(q []float64, label int, s *Scratch, dst []float6
 }
 
 // Value averages ValueOne over a test set, streaming the queries through
-// the shared Engine.
-func (v *KDValuer) Value(test *dataset.Dataset, workers int) ([]float64, error) {
+// the shared Engine; a canceled ctx aborts within one engine batch.
+func (v *KDValuer) Value(ctx context.Context, test *dataset.Dataset, workers int) ([]float64, error) {
 	if test.IsRegression() {
 		return nil, fmt.Errorf("core: classification test set required")
 	}
@@ -72,5 +73,5 @@ func (v *KDValuer) Value(test *dataset.Dataset, workers int) ([]float64, error) 
 		return make([]float64, v.train.N()), nil
 	}
 	eng := NewEngine[labeledQuery](EngineConfig{Workers: workers})
-	return eng.Run(&querySource{test: test}, queryKernel{n: v.train.N(), value: v.valueOneInto})
+	return eng.Run(ctx, &querySource{test: test}, queryKernel{n: v.train.N(), value: v.valueOneInto})
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"knnshapley/internal/dataset"
@@ -21,7 +22,7 @@ func TestKDValuerMatchesTruncated(t *testing.T) {
 	if v.KStar() != 10 {
 		t.Fatalf("KStar = %d", v.KStar())
 	}
-	got, err := v.Value(test, 2)
+	got, err := v.Value(context.Background(), test, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,14 +56,14 @@ func TestKDValuerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.Value(reg, 1); err == nil {
+	if _, err := v.Value(context.Background(), reg, 1); err == nil {
 		t.Error("regression test set accepted")
 	}
 	short := dataset.Regression(dataset.RegressionConfig{N: 4, Dim: 2, Seed: 2})
 	short.Targets = nil
 	short.Labels = []int{0, 1, 0, 1}
 	short.Classes = 2
-	if _, err := v.Value(short, 1); err == nil {
+	if _, err := v.Value(context.Background(), short, 1); err == nil {
 		t.Error("dim mismatch accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"knnshapley/internal/dataset"
@@ -23,7 +24,7 @@ type ExactClassKernel struct {
 func (k ExactClassKernel) OutLen() int { return k.N }
 
 // Compute implements Kernel.
-func (k ExactClassKernel) Compute(_ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+func (k ExactClassKernel) Compute(_ context.Context, _ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
 	if err := checkTrainSize(tp, k.N); err != nil {
 		return err
 	}
@@ -41,7 +42,7 @@ type ExactRegressKernel struct {
 func (k ExactRegressKernel) OutLen() int { return k.N }
 
 // Compute implements Kernel.
-func (k ExactRegressKernel) Compute(_ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+func (k ExactRegressKernel) Compute(_ context.Context, _ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
 	if err := checkTrainSize(tp, k.N); err != nil {
 		return err
 	}
@@ -60,7 +61,7 @@ type TruncatedClassKernel struct {
 func (k TruncatedClassKernel) OutLen() int { return k.N }
 
 // Compute implements Kernel.
-func (k TruncatedClassKernel) Compute(_ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+func (k TruncatedClassKernel) Compute(_ context.Context, _ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
 	if err := checkTrainSize(tp, k.N); err != nil {
 		return err
 	}
@@ -79,7 +80,10 @@ type WeightedKernel struct {
 func (k WeightedKernel) OutLen() int { return k.N }
 
 // Compute implements Kernel.
-func (k WeightedKernel) Compute(_ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+func (k WeightedKernel) Compute(ctx context.Context, _ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := checkTrainSize(tp, k.N); err != nil {
 		return err
 	}
@@ -101,7 +105,10 @@ type MultiSellerKernel struct {
 func (k MultiSellerKernel) OutLen() int { return k.M }
 
 // Compute implements Kernel.
-func (k MultiSellerKernel) Compute(_ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+func (k MultiSellerKernel) Compute(ctx context.Context, _ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	one, err := MultiSellerSV(tp, k.Owners, k.M)
 	if err != nil {
 		return err
@@ -124,7 +131,10 @@ type CompositeKernel struct {
 func (k CompositeKernel) OutLen() int { return k.M + 1 }
 
 // Compute implements Kernel.
-func (k CompositeKernel) Compute(_ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+func (k CompositeKernel) Compute(ctx context.Context, _ int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var res CompositeResult
 	var err error
 	switch {
@@ -159,7 +169,10 @@ type querySource struct {
 }
 
 // NextBatch implements Source.
-func (s *querySource) NextBatch(dst []labeledQuery) (int, error) {
+func (s *querySource) NextBatch(ctx context.Context, dst []labeledQuery) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	n := s.test.N() - s.pos
 	if n > len(dst) {
 		n = len(dst)
@@ -183,7 +196,7 @@ type queryKernel struct {
 func (k queryKernel) OutLen() int { return k.n }
 
 // Compute implements Kernel.
-func (k queryKernel) Compute(_ int, item labeledQuery, s *Scratch, dst []float64) error {
+func (k queryKernel) Compute(_ context.Context, _ int, item labeledQuery, s *Scratch, dst []float64) error {
 	k.value(item.q, item.label, s, dst)
 	return nil
 }

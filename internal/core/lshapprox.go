@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -101,8 +102,9 @@ func (v *LSHValuer) valueOneInto(q []float64, label int, s *Scratch, dst []float
 }
 
 // Value averages ValueOne over a test set (Eq. 8 / Theorem 4), streaming
-// the queries through the shared Engine.
-func (v *LSHValuer) Value(test *dataset.Dataset) ([]float64, error) {
+// the queries through the shared Engine; a canceled ctx aborts within one
+// engine batch.
+func (v *LSHValuer) Value(ctx context.Context, test *dataset.Dataset) ([]float64, error) {
 	if test.IsRegression() {
 		return nil, fmt.Errorf("core: classification test set required")
 	}
@@ -113,5 +115,5 @@ func (v *LSHValuer) Value(test *dataset.Dataset) ([]float64, error) {
 		return make([]float64, v.train.N()), nil
 	}
 	eng := NewEngine[labeledQuery](EngineConfig{Workers: v.cfg.Workers})
-	return eng.Run(&querySource{test: test}, queryKernel{n: v.train.N(), value: v.valueOneInto})
+	return eng.Run(ctx, &querySource{test: test}, queryKernel{n: v.train.N(), value: v.valueOneInto})
 }

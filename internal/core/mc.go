@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync/atomic"
@@ -160,7 +161,7 @@ type MCKernel struct {
 func (k *MCKernel) OutLen() int { return k.N }
 
 // Compute implements Kernel.
-func (k *MCKernel) Compute(idx int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+func (k *MCKernel) Compute(ctx context.Context, idx int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
 	if err := checkTrainSize(tp, k.N); err != nil {
 		return err
 	}
@@ -179,6 +180,12 @@ func (k *MCKernel) Compute(idx int, tp *knn.TestPoint, s *Scratch, dst []float64
 	calm := 0
 	t := 0
 	for ; t < k.Budget; t++ {
+		// Per-permutation-chunk cancellation point: budgets routinely run to
+		// thousands of permutations, so waiting for the batch boundary would
+		// defeat prompt cancellation.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fisherYates(perm, rng)
 		inc.Reset()
 		prev := inc.Utility()
@@ -267,20 +274,20 @@ func ImprovedMC(tps []*knn.TestPoint, cfg MCConfig) (MCResult, error) {
 	if len(tps) == 0 {
 		return MCResult{}, fmt.Errorf("core: no test points")
 	}
-	return ImprovedMCStream(NewSliceSource(tps), tps[0].Kind, tps[0].N(), tps[0].K, cfg)
+	return ImprovedMCStream(context.Background(), NewSliceSource(tps), tps[0].Kind, tps[0].N(), tps[0].K, cfg)
 }
 
 // ImprovedMCStream is ImprovedMC over a streaming test-point source (e.g.
 // knn.Stream): peak memory stays bounded by the Engine batch size. kind, n
 // and k describe the utility the source produces, needed to derive the
 // permutation budget before any test point is materialized.
-func ImprovedMCStream(src Source[*knn.TestPoint], kind knn.Kind, n, k int, cfg MCConfig) (MCResult, error) {
+func ImprovedMCStream(ctx context.Context, src Source[*knn.TestPoint], kind knn.Kind, n, k int, cfg MCConfig) (MCResult, error) {
 	cfg, err := cfg.withDefaults(kind, k)
 	if err != nil {
 		return MCResult{}, err
 	}
 	kern := &MCKernel{N: n, Budget: cfg.Budget(n, k), Cfg: cfg}
-	sv, err := NewEngine[*knn.TestPoint](cfg.engine()).Run(src, kern)
+	sv, err := NewEngine[*knn.TestPoint](cfg.engine()).Run(ctx, src, kern)
 	if err != nil {
 		return MCResult{}, err
 	}
@@ -313,7 +320,7 @@ type SellerMCKernel struct {
 func (k *SellerMCKernel) OutLen() int { return k.M }
 
 // Compute implements Kernel.
-func (k *SellerMCKernel) Compute(idx int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
+func (k *SellerMCKernel) Compute(ctx context.Context, idx int, tp *knn.TestPoint, s *Scratch, dst []float64) error {
 	if err := checkTrainSize(tp, k.N); err != nil {
 		return err
 	}
@@ -331,6 +338,9 @@ func (k *SellerMCKernel) Compute(idx int, tp *knn.TestPoint, s *Scratch, dst []f
 	calm := 0
 	t := 0
 	for ; t < k.Budget; t++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fisherYates(perm, rng)
 		inc.Reset()
 		prev := inc.Utility()
@@ -385,7 +395,7 @@ func (k *SellerMCKernel) Compute(idx int, tp *knn.TestPoint, s *Scratch, dst []f
 
 // MultiSellerMC estimates seller-level Shapley values by permutation
 // sampling over sellers through the Engine.
-func MultiSellerMC(tps []*knn.TestPoint, owners []int, m int, cfg MCConfig) (MCResult, error) {
+func MultiSellerMC(ctx context.Context, tps []*knn.TestPoint, owners []int, m int, cfg MCConfig) (MCResult, error) {
 	if len(tps) == 0 {
 		return MCResult{}, fmt.Errorf("core: no test points")
 	}
@@ -405,7 +415,7 @@ func MultiSellerMC(tps []*knn.TestPoint, owners []int, m int, cfg MCConfig) (MCR
 		points[o] = append(points[o], i)
 	}
 	kern := &SellerMCKernel{N: n, M: m, Points: points, Budget: cfg.Budget(m, tps[0].K), Cfg: cfg}
-	sv, err := NewEngine[*knn.TestPoint](cfg.engine()).Run(NewSliceSource(tps), kern)
+	sv, err := NewEngine[*knn.TestPoint](cfg.engine()).Run(ctx, NewSliceSource(tps), kern)
 	if err != nil {
 		return MCResult{}, err
 	}

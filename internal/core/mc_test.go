@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -134,7 +135,7 @@ func TestMultiSellerMCConvergesToExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := MultiSellerMC([]*knn.TestPoint{tp}, owners, 6, MCConfig{Bound: BoundFixed, T: 5000, Seed: 6})
+	res, err := MultiSellerMC(context.Background(), []*knn.TestPoint{tp}, owners, 6, MCConfig{Bound: BoundFixed, T: 5000, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,10 +147,10 @@ func TestMultiSellerMCConvergesToExact(t *testing.T) {
 func TestMultiSellerMCValidation(t *testing.T) {
 	rng := rand.New(rand.NewPCG(2, 2))
 	tp := randomClassTP(6, 2, 1, rng)
-	if _, err := MultiSellerMC([]*knn.TestPoint{tp}, []int{0}, 2, MCConfig{Bound: BoundFixed, T: 1}); err == nil {
+	if _, err := MultiSellerMC(context.Background(), []*knn.TestPoint{tp}, []int{0}, 2, MCConfig{Bound: BoundFixed, T: 1}); err == nil {
 		t.Error("owner mismatch accepted")
 	}
-	if _, err := MultiSellerMC([]*knn.TestPoint{tp}, []int{0, 0, 0, 0, 0, 9}, 2, MCConfig{Bound: BoundFixed, T: 1}); err == nil {
+	if _, err := MultiSellerMC(context.Background(), []*knn.TestPoint{tp}, []int{0, 0, 0, 0, 0, 9}, 2, MCConfig{Bound: BoundFixed, T: 1}); err == nil {
 		t.Error("owner out of range accepted")
 	}
 }
@@ -158,7 +159,7 @@ func TestBaselineMCConvergesAndIsCostlier(t *testing.T) {
 	rng := rand.New(rand.NewPCG(2222, 22))
 	tp := randomClassTP(40, 3, 2, rng)
 	want := ExactClassSV(tp)
-	res, err := BaselineMC([]*knn.TestPoint{tp}, 0.1, 0.1, 2000, 7)
+	res, err := BaselineMC(context.Background(), []*knn.TestPoint{tp}, 0.1, 0.1, 2000, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestBaselineMCConvergesAndIsCostlier(t *testing.T) {
 func TestBaselineMCRejectsNonClassification(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 3))
 	reg := randomRegressTP(5, 1, rng)
-	if _, err := BaselineMC([]*knn.TestPoint{reg}, 0.1, 0.1, 10, 1); err == nil {
+	if _, err := BaselineMC(context.Background(), []*knn.TestPoint{reg}, 0.1, 0.1, 10, 1); err == nil {
 		t.Error("regression accepted")
 	}
 }

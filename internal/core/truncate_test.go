@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -85,7 +86,7 @@ func TestLSHValuerMatchesTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := v.Value(test)
+	got, err := v.Value(context.Background(), test)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestLSHValuerStreaming(t *testing.T) {
 		vec.AXPY(acc, 1, sv)
 	}
 	vec.Scale(acc, 0.25)
-	batch, err := v.Value(q)
+	batch, err := v.Value(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestLSHValuerValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := dataset.Regression(dataset.RegressionConfig{N: 5, Dim: train.Dim(), Seed: 3})
-	if _, err := v.Value(bad); err == nil {
+	if _, err := v.Value(context.Background(), bad); err == nil {
 		t.Error("regression test set accepted")
 	}
 }
@@ -159,7 +160,7 @@ func TestEngineVisitsEveryItem(t *testing.T) {
 			items[i] = i
 		}
 		eng := NewEngine[int](cfg)
-		sv, count, err := eng.RunSum(NewSliceSource(items), hitKernel{n: len(items)})
+		sv, count, err := eng.RunSum(context.Background(), NewSliceSource(items), hitKernel{n: len(items)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func TestEngineVisitsEveryItem(t *testing.T) {
 type hitKernel struct{ n int }
 
 func (k hitKernel) OutLen() int { return k.n }
-func (k hitKernel) Compute(_ int, item int, _ *Scratch, dst []float64) error {
+func (k hitKernel) Compute(_ context.Context, _ int, item int, _ *Scratch, dst []float64) error {
 	dst[item]++
 	return nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"knnshapley/internal/core"
@@ -232,7 +233,7 @@ func (c Fig13) Run() (*Table, error) {
 		}
 		var mc core.MCResult
 		mcTime := timed(func() {
-			mc, err = core.MultiSellerMC(tps, owners, m, core.MCConfig{
+			mc, err = core.MultiSellerMC(context.Background(), tps, owners, m, core.MCConfig{
 				Eps: 0.05, Delta: 0.1, Bound: core.BoundBennettApprox, Heuristic: true, Seed: c.Seed + 2,
 			})
 		})

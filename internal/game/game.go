@@ -7,6 +7,7 @@
 package game
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 )
@@ -95,13 +96,24 @@ func popcount(x uint) int {
 // ν from scratch for every prefix (no incremental structure), which is what
 // makes it O(T · N · cost(ν)).
 func MonteCarloShapley(u Utility, t int, rng *rand.Rand) []float64 {
+	sv, _ := MonteCarloShapleyCtx(context.Background(), u, t, rng)
+	return sv
+}
+
+// MonteCarloShapleyCtx is MonteCarloShapley with a per-permutation
+// cancellation point: a canceled ctx aborts the sampling loop and returns
+// ctx.Err() (the partial estimate is discarded).
+func MonteCarloShapleyCtx(ctx context.Context, u Utility, t int, rng *rand.Rand) ([]float64, error) {
 	n := u.N()
 	sv := make([]float64, n)
 	if n == 0 || t <= 0 {
-		return sv
+		return sv, nil
 	}
 	prefix := make([]int, 0, n)
 	for trial := 0; trial < t; trial++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		perm := rng.Perm(n)
 		prefix = prefix[:0]
 		prev := u.Value(prefix)
@@ -115,7 +127,7 @@ func MonteCarloShapley(u Utility, t int, rng *rand.Rand) []float64 {
 	for i := range sv {
 		sv[i] /= float64(t)
 	}
-	return sv
+	return sv, nil
 }
 
 // Composite wraps a data-only utility ν into the composite game ν_c of

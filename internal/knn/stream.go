@@ -1,6 +1,7 @@
 package knn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -90,8 +91,12 @@ func (s *Stream) Reset() { s.next = 0 }
 // NextBatch fills dst with up to len(dst) TestPoints for the next test rows
 // and returns how many were produced; 0 means the stream is exhausted. The
 // returned TestPoints reuse the Stream's buffers and are invalidated by the
-// following NextBatch call.
-func (s *Stream) NextBatch(dst []*TestPoint) (int, error) {
+// following NextBatch call. A canceled ctx aborts before the batch's
+// distance tile is computed and returns ctx.Err().
+func (s *Stream) NextBatch(ctx context.Context, dst []*TestPoint) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	b := len(dst)
 	if remaining := s.test.N() - s.next; b > remaining {
 		b = remaining

@@ -1,6 +1,7 @@
 package knn
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,7 +16,7 @@ func collect(t *testing.T, s *Stream, batch int) []*TestPoint {
 	var out []*TestPoint
 	dst := make([]*TestPoint, batch)
 	for {
-		n, err := s.NextBatch(dst)
+		n, err := s.NextBatch(context.Background(), dst)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: formatting, vet, build, tests, and a race pass over
-# the execution engine. Run from anywhere; operates on the repo root.
+# Tier-1 verification: formatting, vet (./... spans the library, commands
+# and examples), build, tests, a race pass over the execution engine, and a
+# race pass over the context-cancellation tests of the public API. Run from
+# anywhere; operates on the repo root. CI (.github/workflows/ci.yml) runs
+# exactly this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,3 +18,4 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/core
+go test -run TestCancel -race ./...

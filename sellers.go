@@ -1,46 +1,44 @@
 package knnshapley
 
 import (
-	"fmt"
-
-	"knnshapley/internal/core"
-	"knnshapley/internal/knn"
+	"context"
 )
 
 // SellerValues computes the exact Shapley value of each *seller* when
 // sellers contribute multiple training points (Section 4, Theorem 8).
 // owners[i] names the seller (0..m-1) of training point i; every seller must
 // own at least one point. Cost grows like M^K — use SellerValuesMC beyond
-// small M·K. Test points stream through the valuation engine.
+// small M·K.
+//
+// Deprecated: use New and Valuer.Sellers.
 func SellerValues(train, test *Dataset, owners []int, m int, cfg Config) ([]float64, error) {
-	src, err := cfg.stream(train, test)
+	v, err := New(train, withConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	kern := core.MultiSellerKernel{Owners: owners, M: m}
-	sv, err := core.NewEngine[*knn.TestPoint](cfg.engine()).Run(src, kern)
+	rep, err := v.Sellers(context.Background(), test, owners, m)
 	if err != nil {
 		return nil, err
 	}
-	if sv == nil {
-		sv = make([]float64, m)
-	}
-	return sv, nil
+	return rep.Values, nil
 }
 
 // SellerValuesMC estimates seller values by permutation sampling over
 // sellers with heap-incremental utilities — the scalable alternative for
 // large M or K (Figure 13).
+//
+// Deprecated: use New and Valuer.SellersMC.
 func SellerValuesMC(train, test *Dataset, owners []int, m int, cfg Config, opts MCOptions) (MCReport, error) {
-	tps, err := cfg.testPoints(train, test)
+	v, err := New(train, withConfig(cfg))
 	if err != nil {
 		return MCReport{}, err
 	}
-	res, err := core.MultiSellerMC(tps, owners, m, opts.internal(cfg))
+	rep, err := v.SellersMC(context.Background(), test, owners, m, opts)
 	if err != nil {
 		return MCReport{}, err
 	}
-	return MCReport(res), nil
+	return MCReport{SV: rep.Values, Permutations: rep.Permutations, Budget: rep.Budget,
+		UtilityEvals: rep.UtilityEvals}, nil
 }
 
 // CompositeReport is the outcome of a composite-game valuation: seller
@@ -54,38 +52,29 @@ type CompositeReport struct {
 // (Eq. 28) that values the computation provider alongside the data sellers
 // (Theorems 9–11). With owners == nil every training point is its own
 // seller; otherwise sellers are valued at the curator level (Theorem 12).
-// Test points stream through the valuation engine.
+//
+// Deprecated: use New and Valuer.Composite.
 func CompositeValues(train, test *Dataset, owners []int, m int, cfg Config) (*CompositeReport, error) {
-	src, err := cfg.stream(train, test)
+	v, err := New(train, withConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	if owners == nil {
-		m = train.N()
-	}
-	kern := core.CompositeKernel{Owners: owners, M: m}
-	sv, err := core.NewEngine[*knn.TestPoint](cfg.engine()).Run(src, kern)
+	rep, err := v.Composite(context.Background(), test, owners, m)
 	if err != nil {
 		return nil, err
 	}
-	if sv == nil {
-		sv = make([]float64, m+1)
-	}
-	return &CompositeReport{Sellers: sv[:m], Analyst: sv[m]}, nil
+	return &CompositeReport{Sellers: rep.Values, Analyst: rep.Analyst}, nil
 }
 
 // Utility returns the multi-test KNN utility ν(S) of an arbitrary training
 // subset (Eq. 8) — useful for auditing group rationality of reported values:
 // Utility(all) − Utility(nil) must equal the sum of the Shapley values.
+//
+// Deprecated: use New and Valuer.Utility.
 func Utility(train, test *Dataset, cfg Config, subset []int) (float64, error) {
-	tps, err := cfg.testPoints(train, test)
+	v, err := New(train, withConfig(cfg))
 	if err != nil {
 		return 0, err
 	}
-	for _, i := range subset {
-		if i < 0 || i >= train.N() {
-			return 0, fmt.Errorf("knnshapley: subset index %d outside [0,%d)", i, train.N())
-		}
-	}
-	return knn.AverageUtility(tps, subset), nil
+	return v.Utility(context.Background(), test, subset)
 }

@@ -1,6 +1,7 @@
 package knnshapley
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -130,29 +131,25 @@ func (c Config) engine() core.EngineConfig {
 }
 
 // Exact computes the exact Shapley value of every training point with
-// respect to the KNN utility averaged over the test set. Test points are
-// streamed through the valuation engine in Config.BatchSize batches, so
-// peak memory stays at BatchSize·N distances however large the test set is.
+// respect to the KNN utility averaged over the test set (Theorems 1, 6
+// and 7).
 //
-// Unweighted utilities cost O(Ntest·N·(d + log N)) (Theorems 1 and 6).
-// Weighted utilities use the Theorem 7 counting algorithm whose cost grows
-// like N^K — call EstimateWeightedCost first and switch to MonteCarlo when
-// it is prohibitive.
+// Deprecated: construct a session with New and call Valuer.Exact, which
+// reuses the validated training set across calls and honors a
+// context.Context. This wrapper builds a one-shot Valuer and produces
+// bit-identical values; the one behavioral change shared by all the
+// deprecated wrappers is that an empty or nil test set now returns a
+// descriptive error instead of nil values.
 func Exact(train, test *Dataset, cfg Config) ([]float64, error) {
-	src, err := cfg.stream(train, test)
+	v, err := New(train, withConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	var kern core.Kernel[*knn.TestPoint]
-	switch cfg.kind(train) {
-	case knn.UnweightedClass:
-		kern = core.ExactClassKernel{N: train.N()}
-	case knn.UnweightedRegress:
-		kern = core.ExactRegressKernel{N: train.N()}
-	default:
-		kern = core.WeightedKernel{N: train.N()}
+	rep, err := v.Exact(context.Background(), test)
+	if err != nil {
+		return nil, err
 	}
-	return core.NewEngine[*knn.TestPoint](cfg.engine()).Run(src, kern)
+	return rep.Values, nil
 }
 
 // EstimateWeightedCost approximates the number of utility evaluations Exact
@@ -163,16 +160,21 @@ func EstimateWeightedCost(n, k int) float64 { return core.EstimateWeightedCost(n
 // KNN classification: only the K* = max{K, ⌈1/eps⌉} nearest neighbors of
 // each test point receive (exact) values, everyone else zero. Guarantees
 // max_i |ŝ_i − s_i| ≤ eps and preserves the value ranking of the K* nearest.
+//
+// Deprecated: use New and Valuer.Truncated.
 func Truncated(train, test *Dataset, cfg Config, eps float64) ([]float64, error) {
-	if train.IsRegression() || cfg.Weight != nil {
+	if train != nil && (train.IsRegression() || cfg.Weight != nil) {
 		return nil, fmt.Errorf("knnshapley: Truncated applies to unweighted classification")
 	}
-	src, err := cfg.stream(train, test)
+	v, err := New(train, withConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	kern := core.TruncatedClassKernel{N: train.N(), Eps: eps}
-	return core.NewEngine[*knn.TestPoint](cfg.engine()).Run(src, kern)
+	rep, err := v.Truncated(context.Background(), test, eps)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Values, nil
 }
 
 // Monetize converts relative Shapley values into currency given an affine

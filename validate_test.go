@@ -1,0 +1,177 @@
+package knnshapley
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// The dataset constructors must reject malformed input with a descriptive
+// error — never a panic and never a silently broken dataset.
+func TestDatasetConstructorValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() (*Dataset, error)
+		wantErr string // substring of the error, "" = must succeed
+	}{
+		{
+			name: "valid classification",
+			build: func() (*Dataset, error) {
+				return NewClassificationDataset([][]float64{{0, 1}, {1, 0}}, []int{0, 1})
+			},
+		},
+		{
+			name: "valid regression",
+			build: func() (*Dataset, error) {
+				return NewRegressionDataset([][]float64{{0, 1}, {1, 0}}, []float64{0.5, -0.5})
+			},
+		},
+		{
+			name: "negative class label",
+			build: func() (*Dataset, error) {
+				return NewClassificationDataset([][]float64{{0}, {1}}, []int{0, -1})
+			},
+			wantErr: "label -1",
+		},
+		{
+			name: "fewer labels than rows",
+			build: func() (*Dataset, error) {
+				return NewClassificationDataset([][]float64{{0}, {1}, {2}}, []int{0, 1})
+			},
+			wantErr: "2 labels for 3 rows",
+		},
+		{
+			name: "more labels than rows",
+			build: func() (*Dataset, error) {
+				return NewClassificationDataset([][]float64{{0}}, []int{0, 1, 1})
+			},
+			wantErr: "3 labels for 1 rows",
+		},
+		{
+			name: "fewer targets than rows",
+			build: func() (*Dataset, error) {
+				return NewRegressionDataset([][]float64{{0}, {1}, {2}}, []float64{0.1})
+			},
+			wantErr: "1 targets for 3 rows",
+		},
+		{
+			name: "ragged feature rows",
+			build: func() (*Dataset, error) {
+				return NewClassificationDataset([][]float64{{0, 1}, {1}}, []int{0, 1})
+			},
+			wantErr: "row 1 has dim 1",
+		},
+		{
+			name: "rows without responses",
+			build: func() (*Dataset, error) {
+				return NewClassificationDataset([][]float64{{0}, {1}}, nil)
+			},
+			wantErr: "no responses",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := tc.build() // must not panic, under any input
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if _, ok := d.Flat(); !ok {
+					t.Fatal("constructor did not flatten the dataset")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("no error, want one containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// New must reject unusable sessions up front, once, with descriptive
+// errors — not on the first valuation call.
+func TestNewValuerValidation(t *testing.T) {
+	train := SynthMNIST(20, 1)
+	empty, err := NewClassificationDataset(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		train   *Dataset
+		opts    []Option
+		wantErr string
+	}{
+		{name: "valid", train: train, opts: []Option{WithK(3)}},
+		{name: "missing WithK", train: train, wantErr: "K = 0"},
+		{name: "negative K", train: train, opts: []Option{WithK(-2)}, wantErr: "K = -2"},
+		{name: "nil train", train: nil, opts: []Option{WithK(1)}, wantErr: "nil training set"},
+		{name: "empty train", train: empty, opts: []Option{WithK(1)}, wantErr: "empty training set"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := New(tc.train, tc.opts...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if v.Train() != tc.train {
+					t.Fatal("session does not hold the training set")
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want one containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Every valuation method must reject nil/empty test sets and bad seller
+// maps with a descriptive error instead of returning nil values.
+func TestValuerRejectsBadArguments(t *testing.T) {
+	train := SynthMNIST(30, 1)
+	v, err := New(train, WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	emptyTest, err := NewClassificationDataset(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, err error, want string) {
+		t.Helper()
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: error %v, want one containing %q", name, err, want)
+		}
+	}
+	_, err = v.Exact(ctx, emptyTest)
+	check("Exact empty test", err, "empty test set")
+	_, err = v.Exact(ctx, nil)
+	check("Exact nil test", err, "nil test set")
+	_, err = v.MonteCarlo(ctx, emptyTest, MCOptions{Bound: Fixed, T: 1})
+	check("MonteCarlo empty test", err, "empty test set")
+	_, err = v.Truncated(ctx, emptyTest, 0.1)
+	check("Truncated empty test", err, "empty test set")
+	_, err = v.KD(ctx, emptyTest, 0.1)
+	check("KD empty test", err, "empty test set")
+	_, err = v.Utility(ctx, emptyTest, nil)
+	check("Utility empty test", err, "empty test set")
+
+	test := SynthMNIST(4, 2)
+	owners := AssignSellers(train.N(), 3)
+	_, err = v.Sellers(ctx, test, owners[:10], 3)
+	check("Sellers short owners", err, "10 owners for 30 training points")
+	bad := append([]int(nil), owners...)
+	bad[5] = 7
+	_, err = v.Sellers(ctx, test, bad, 3)
+	check("Sellers owner out of range", err, "owner 7 of point 5 outside [0,3)")
+	_, err = v.SellersMC(ctx, test, owners, 0, MCOptions{Bound: Fixed, T: 1})
+	check("SellersMC m=0", err, "seller count m = 0")
+	_, err = v.Utility(ctx, test, []int{-1})
+	check("Utility bad subset", err, "subset index -1")
+}

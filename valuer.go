@@ -1,0 +1,469 @@
+package knnshapley
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"knnshapley/internal/core"
+	"knnshapley/internal/knn"
+)
+
+// Option configures a Valuer at construction time.
+type Option func(*Config)
+
+// WithK sets the number of neighbors K of the KNN utility (required, >= 1).
+func WithK(k int) Option { return func(c *Config) { c.K = k } }
+
+// WithMetric selects the distance metric ranking neighbors (default L2).
+func WithMetric(m Metric) Option { return func(c *Config) { c.Metric = m } }
+
+// WithWeight selects the weighted KNN utilities (Eqs. 26/27) instead of the
+// unweighted ones (Eqs. 5/25).
+func WithWeight(w WeightFunc) Option { return func(c *Config) { c.Weight = w } }
+
+// WithWorkers bounds the engine worker pool (default: all cores).
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithBatchSize bounds how many test points are in flight at once; peak
+// memory is BatchSize·N distances (default 64).
+func WithBatchSize(n int) Option { return func(c *Config) { c.BatchSize = n } }
+
+// withConfig replays a legacy Config wholesale — the adapter the deprecated
+// free functions use to construct their one-shot Valuer.
+func withConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// Report is the unified outcome of every Valuer method: the values plus how
+// they were computed. Fields beyond Values/Method/Duration are populated
+// only where they apply.
+type Report struct {
+	// Values holds one Shapley value per training point — or per seller for
+	// Sellers/SellersMC/Composite (the analyst's share is in Analyst).
+	Values []float64
+	// Method names the algorithm that produced the values: "exact",
+	// "truncated", "montecarlo", "sellers", "sellers-mc", "composite",
+	// "lsh" or "kd".
+	Method string
+	// Duration is the wall-clock time of the valuation.
+	Duration time.Duration
+	// Permutations is the largest permutation count any test point executed
+	// and Budget the bound-implied count (Monte-Carlo methods only).
+	Permutations, Budget int
+	// UtilityEvals counts incremental utility recomputations — the cost
+	// metric Algorithm 2's heap trick minimizes (Monte-Carlo methods only).
+	UtilityEvals int
+	// KStar is the retrieval depth max{K, ⌈1/eps⌉} (LSH/KD only).
+	KStar int
+	// Analyst is the computation provider's share (Composite only);
+	// Analyst + Σ Values = ν(I).
+	Analyst float64
+}
+
+// lshKey identifies one cached LSH index build.
+type lshKey struct {
+	eps, delta float64
+	seed       uint64
+}
+
+// lshEntry and kdEntry hold one lazily built index each. The sync.Once
+// keeps index construction out of the session mutex, so a slow build never
+// blocks cache hits for other keys — while still guaranteeing exactly one
+// build per key. A build error is cached too: it is deterministic in the
+// key and the training set.
+type lshEntry struct {
+	once sync.Once
+	v    *core.LSHValuer
+	err  error
+}
+
+type kdEntry struct {
+	once sync.Once
+	v    *core.KDValuer
+	err  error
+}
+
+// Valuer is a reusable valuation session over one training set: the
+// training set is flattened and validated once at construction, and the
+// LSH/k-d indexes the approximate methods need are built lazily on first
+// use and cached for reuse across calls. All methods take a
+// context.Context; cancellation aborts an in-flight valuation within one
+// engine batch (and within one permutation for the Monte-Carlo loops),
+// returning ctx.Err().
+//
+// A Valuer is safe for concurrent use by multiple goroutines.
+type Valuer struct {
+	train *Dataset
+	cfg   Config
+
+	mu          sync.Mutex
+	lsh         map[lshKey]*lshEntry
+	kd          map[float64]*kdEntry
+	indexBuilds int // ANN indexes constructed so far (tests assert reuse)
+}
+
+// New constructs a valuation session over train. The training set is
+// validated once, here, rather than on every call. Datasets from the
+// package constructors (NewClassificationDataset, ReadCSV, the synthetic
+// generators) are already contiguous and used as-is; a hand-assembled
+// Dataset that is not contiguous is copied into row-major storage so the
+// caller's value is never mutated. At minimum WithK must be supplied:
+//
+//	v, err := knnshapley.New(train, knnshapley.WithK(5))
+//	rep, err := v.Exact(ctx, test)
+func New(train *Dataset, opts ...Option) (*Valuer, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("knnshapley: Config.K = %d, want >= 1 (set WithK)", cfg.K)
+	}
+	if train == nil {
+		return nil, errors.New("knnshapley: nil training set")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("knnshapley: train: %w", err)
+	}
+	if train.N() == 0 {
+		return nil, errors.New("knnshapley: empty training set")
+	}
+	if _, ok := train.Flat(); !ok {
+		train = train.Clone() // contiguous copy; leaves the caller's dataset alone
+	}
+	return &Valuer{
+		train: train,
+		cfg:   cfg,
+		lsh:   make(map[lshKey]*lshEntry),
+		kd:    make(map[float64]*kdEntry),
+	}, nil
+}
+
+// Train returns the training set the session values against.
+func (v *Valuer) Train() *Dataset { return v.train }
+
+// K returns the session's KNN parameter.
+func (v *Valuer) K() int { return v.cfg.K }
+
+// checkTest rejects test sets the valuation methods cannot work with before
+// any distance is computed.
+func (v *Valuer) checkTest(test *Dataset) error {
+	if test == nil {
+		return errors.New("knnshapley: nil test set")
+	}
+	if test.N() == 0 {
+		return errors.New("knnshapley: empty test set")
+	}
+	return nil
+}
+
+// stream validates test and returns the batched test-point producer.
+func (v *Valuer) stream(test *Dataset) (*knn.Stream, error) {
+	if err := v.checkTest(test); err != nil {
+		return nil, err
+	}
+	return v.cfg.stream(v.train, test)
+}
+
+// testPoints validates test and materializes every test point eagerly, for
+// the methods that must revisit test points across permutations.
+func (v *Valuer) testPoints(test *Dataset) ([]*knn.TestPoint, error) {
+	if err := v.checkTest(test); err != nil {
+		return nil, err
+	}
+	return v.cfg.testPoints(v.train, test)
+}
+
+// checkOwners validates a seller assignment against the training set.
+func (v *Valuer) checkOwners(owners []int, m int) error {
+	if len(owners) != v.train.N() {
+		return fmt.Errorf("knnshapley: %d owners for %d training points", len(owners), v.train.N())
+	}
+	if m <= 0 {
+		return fmt.Errorf("knnshapley: seller count m = %d, want >= 1", m)
+	}
+	for i, o := range owners {
+		if o < 0 || o >= m {
+			return fmt.Errorf("knnshapley: owner %d of point %d outside [0,%d)", o, i, m)
+		}
+	}
+	return nil
+}
+
+// Exact computes the exact Shapley value of every training point with
+// respect to the KNN utility averaged over the test set (Theorems 1 and 6;
+// the Theorem 7 counting algorithm when the session is weighted). Test
+// points stream through the engine in WithBatchSize batches, so peak memory
+// stays at BatchSize·N distances however large the test set is.
+func (v *Valuer) Exact(ctx context.Context, test *Dataset) (*Report, error) {
+	start := time.Now()
+	src, err := v.stream(test)
+	if err != nil {
+		return nil, err
+	}
+	var kern core.Kernel[*knn.TestPoint]
+	switch v.cfg.kind(v.train) {
+	case knn.UnweightedClass:
+		kern = core.ExactClassKernel{N: v.train.N()}
+	case knn.UnweightedRegress:
+		kern = core.ExactRegressKernel{N: v.train.N()}
+	default:
+		kern = core.WeightedKernel{N: v.train.N()}
+	}
+	sv, err := core.NewEngine[*knn.TestPoint](v.cfg.engine()).Run(ctx, src, kern)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Values: sv, Method: "exact", Duration: time.Since(start)}, nil
+}
+
+// Truncated computes the (eps, 0)-approximation of Theorem 2 for unweighted
+// KNN classification: only the K* = max{K, ⌈1/eps⌉} nearest neighbors of
+// each test point receive (exact) values, everyone else zero.
+func (v *Valuer) Truncated(ctx context.Context, test *Dataset, eps float64) (*Report, error) {
+	start := time.Now()
+	if v.train.IsRegression() || v.cfg.Weight != nil {
+		return nil, errors.New("knnshapley: Truncated applies to unweighted classification")
+	}
+	src, err := v.stream(test)
+	if err != nil {
+		return nil, err
+	}
+	kern := core.TruncatedClassKernel{N: v.train.N(), Eps: eps}
+	sv, err := core.NewEngine[*knn.TestPoint](v.cfg.engine()).Run(ctx, src, kern)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Values: sv, Method: "truncated", KStar: core.KStar(v.cfg.K, eps),
+		Duration: time.Since(start)}, nil
+}
+
+// MonteCarlo estimates Shapley values with the improved Monte-Carlo
+// estimator (Algorithm 2): heap-incremental utility evaluation plus the
+// Bennett permutation budget of Theorem 5. It works for every utility kind
+// and is the recommended algorithm for weighted KNN, where exact
+// computation costs N^K. Cancellation is checked every permutation.
+func (v *Valuer) MonteCarlo(ctx context.Context, test *Dataset, opts MCOptions) (*Report, error) {
+	start := time.Now()
+	src, err := v.stream(test)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.ImprovedMCStream(ctx, src, v.cfg.kind(v.train), v.train.N(), v.cfg.K, opts.internal(v.cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Values: res.SV, Method: "montecarlo",
+		Permutations: res.Permutations, Budget: res.Budget, UtilityEvals: res.UtilityEvals,
+		Duration: time.Since(start)}, nil
+}
+
+// Sellers computes the exact Shapley value of each seller when sellers
+// contribute multiple training points (Section 4, Theorem 8). owners[i]
+// names the seller (0..m-1) of training point i; every seller must own at
+// least one point. Cost grows like M^K — use SellersMC beyond small M·K.
+func (v *Valuer) Sellers(ctx context.Context, test *Dataset, owners []int, m int) (*Report, error) {
+	start := time.Now()
+	if err := v.checkOwners(owners, m); err != nil {
+		return nil, err
+	}
+	src, err := v.stream(test)
+	if err != nil {
+		return nil, err
+	}
+	kern := core.MultiSellerKernel{Owners: owners, M: m}
+	sv, err := core.NewEngine[*knn.TestPoint](v.cfg.engine()).Run(ctx, src, kern)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Values: sv, Method: "sellers", Duration: time.Since(start)}, nil
+}
+
+// SellersMC estimates seller values by permutation sampling over sellers
+// with heap-incremental utilities — the scalable alternative for large M or
+// K (Figure 13). Cancellation is checked every permutation.
+func (v *Valuer) SellersMC(ctx context.Context, test *Dataset, owners []int, m int, opts MCOptions) (*Report, error) {
+	start := time.Now()
+	if err := v.checkOwners(owners, m); err != nil {
+		return nil, err
+	}
+	tps, err := v.testPoints(test)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.MultiSellerMC(ctx, tps, owners, m, opts.internal(v.cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Values: res.SV, Method: "sellers-mc",
+		Permutations: res.Permutations, Budget: res.Budget, UtilityEvals: res.UtilityEvals,
+		Duration: time.Since(start)}, nil
+}
+
+// Composite computes the exact Shapley values of the composite game
+// (Eq. 28) that values the computation provider alongside the data sellers
+// (Theorems 9–11). With owners == nil every training point is its own
+// seller; otherwise sellers are valued at the curator level (Theorem 12).
+// The report's Values holds the seller shares and Analyst the provider's.
+func (v *Valuer) Composite(ctx context.Context, test *Dataset, owners []int, m int) (*Report, error) {
+	start := time.Now()
+	if owners == nil {
+		m = v.train.N()
+	} else if err := v.checkOwners(owners, m); err != nil {
+		return nil, err
+	}
+	src, err := v.stream(test)
+	if err != nil {
+		return nil, err
+	}
+	kern := core.CompositeKernel{Owners: owners, M: m}
+	sv, err := core.NewEngine[*knn.TestPoint](v.cfg.engine()).Run(ctx, src, kern)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Values: sv[:m], Analyst: sv[m], Method: "composite",
+		Duration: time.Since(start)}, nil
+}
+
+// lshValuer returns the session's cached LSH index for (eps, delta, seed),
+// building it on first use. Index construction is the expensive part of the
+// sublinear approximation, which is exactly what the session exists to
+// amortize across calls; the mutex only guards the map, so an in-progress
+// build never blocks calls for other keys.
+func (v *Valuer) lshValuer(eps, delta float64, seed uint64) (*core.LSHValuer, error) {
+	if v.cfg.Weight != nil {
+		return nil, errors.New("knnshapley: the LSH approximation applies to unweighted classification")
+	}
+	if v.cfg.Metric != L2 {
+		return nil, errors.New("knnshapley: p-stable LSH requires the L2 metric")
+	}
+	key := lshKey{eps: eps, delta: delta, seed: seed}
+	v.mu.Lock()
+	e, ok := v.lsh[key]
+	if !ok {
+		e = &lshEntry{}
+		v.lsh[key] = e
+	}
+	v.mu.Unlock()
+	e.once.Do(func() {
+		e.v, e.err = core.NewLSHValuer(v.train, core.LSHConfig{
+			K: v.cfg.K, Eps: eps, Delta: delta, Seed: seed, Workers: v.cfg.Workers,
+		})
+		if e.err == nil {
+			v.mu.Lock()
+			v.indexBuilds++
+			v.mu.Unlock()
+		}
+	})
+	return e.v, e.err
+}
+
+// kdValuer returns the session's cached k-d tree for eps, building it on
+// first use.
+func (v *Valuer) kdValuer(eps float64) (*core.KDValuer, error) {
+	if v.cfg.Weight != nil {
+		return nil, errors.New("knnshapley: the truncated approximation applies to unweighted classification")
+	}
+	if v.cfg.Metric != L2 {
+		return nil, errors.New("knnshapley: the k-d tree backend requires the L2 metric")
+	}
+	v.mu.Lock()
+	e, ok := v.kd[eps]
+	if !ok {
+		e = &kdEntry{}
+		v.kd[eps] = e
+	}
+	v.mu.Unlock()
+	e.once.Do(func() {
+		e.v, e.err = core.NewKDValuer(v.train, v.cfg.K, eps, 0)
+		if e.err == nil {
+			v.mu.Lock()
+			v.indexBuilds++
+			v.mu.Unlock()
+		}
+	})
+	return e.v, e.err
+}
+
+// LSH computes sublinear (eps, delta)-approximate Shapley values for
+// unweighted KNN classification by retrieving only K* = max{K, ⌈1/eps⌉}
+// neighbors per query from a p-stable LSH index (Theorems 2–4). The index
+// for a given (eps, delta, seed) is tuned and built once per session and
+// reused by every later call.
+func (v *Valuer) LSH(ctx context.Context, test *Dataset, eps, delta float64, seed uint64) (*Report, error) {
+	start := time.Now()
+	if err := v.checkTest(test); err != nil {
+		return nil, err
+	}
+	inner, err := v.lshValuer(eps, delta, seed)
+	if err != nil {
+		return nil, err
+	}
+	sv, err := inner.Value(ctx, test)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Values: sv, Method: "lsh", KStar: inner.KStar(),
+		Duration: time.Since(start)}, nil
+}
+
+// KD computes (eps, 0)-approximate Shapley values for unweighted KNN
+// classification by retrieving the K* nearest neighbors from a k-d tree —
+// exact retrieval (δ = 0), so only the Theorem 2 truncation bounds the
+// error. The tree for a given eps is built once per session and reused.
+func (v *Valuer) KD(ctx context.Context, test *Dataset, eps float64) (*Report, error) {
+	start := time.Now()
+	if err := v.checkTest(test); err != nil {
+		return nil, err
+	}
+	inner, err := v.kdValuer(eps)
+	if err != nil {
+		return nil, err
+	}
+	sv, err := inner.Value(ctx, test, v.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Values: sv, Method: "kd", KStar: inner.KStar(),
+		Duration: time.Since(start)}, nil
+}
+
+// BaselineMonteCarlo is the Section 2.2 baseline estimator: permutation
+// sampling with from-scratch utility evaluation and the Hoeffding budget.
+// It exists for benchmarking against (Figures 5, 6 and 11); prefer
+// MonteCarlo. Cancellation is checked every permutation.
+func (v *Valuer) BaselineMonteCarlo(ctx context.Context, test *Dataset, eps, delta float64, capT int, seed uint64) (*Report, error) {
+	start := time.Now()
+	tps, err := v.testPoints(test)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.BaselineMC(ctx, tps, eps, delta, capT, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Values: res.SV, Method: "baseline",
+		Permutations: res.Permutations, Budget: res.Budget, UtilityEvals: res.UtilityEvals,
+		Duration: time.Since(start)}, nil
+}
+
+// Utility returns the multi-test KNN utility ν(S) of an arbitrary training
+// subset (Eq. 8) — useful for auditing group rationality of reported
+// values: Utility(all) − Utility(nil) must equal the sum of the Shapley
+// values.
+func (v *Valuer) Utility(ctx context.Context, test *Dataset, subset []int) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	for _, i := range subset {
+		if i < 0 || i >= v.train.N() {
+			return 0, fmt.Errorf("knnshapley: subset index %d outside [0,%d)", i, v.train.N())
+		}
+	}
+	tps, err := v.testPoints(test)
+	if err != nil {
+		return 0, err
+	}
+	return knn.AverageUtility(tps, subset), nil
+}

@@ -1,0 +1,285 @@
+package knnshapley
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// A session's LSH and k-d indexes are built once per parameter set and
+// reused by every later call — the point of holding a Valuer open.
+func TestValuerIndexBuiltOnce(t *testing.T) {
+	train := SynthDeep(600, 7)
+	test := SynthDeep(6, 8)
+	v, err := New(train, WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	first, err := v.KD(ctx, test, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.indexBuilds != 1 {
+		t.Fatalf("after first KD call: %d index builds, want 1", v.indexBuilds)
+	}
+	second, err := v.KD(ctx, test, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.indexBuilds != 1 {
+		t.Fatalf("after second KD call: %d index builds, want 1 (cache miss)", v.indexBuilds)
+	}
+	for i := range first.Values {
+		if first.Values[i] != second.Values[i] {
+			t.Fatalf("cached index changed value %d: %v != %v", i, first.Values[i], second.Values[i])
+		}
+	}
+	// A different eps is a different truncation depth — it must build anew.
+	if _, err := v.KD(ctx, test, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if v.indexBuilds != 2 {
+		t.Fatalf("after KD with new eps: %d index builds, want 2", v.indexBuilds)
+	}
+
+	lsh1, err := v.LSH(ctx, test, 0.1, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.indexBuilds != 3 {
+		t.Fatalf("after first LSH call: %d index builds, want 3", v.indexBuilds)
+	}
+	lsh2, err := v.LSH(ctx, test, 0.1, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.indexBuilds != 3 {
+		t.Fatalf("after second LSH call: %d index builds, want 3 (cache miss)", v.indexBuilds)
+	}
+	for i := range lsh1.Values {
+		if lsh1.Values[i] != lsh2.Values[i] {
+			t.Fatalf("cached LSH index changed value %d", i)
+		}
+	}
+}
+
+// Concurrent first calls must agree on a single cached index (run under
+// -race by verify.sh).
+func TestValuerIndexConcurrentBuild(t *testing.T) {
+	train := SynthDeep(300, 3)
+	test := SynthDeep(4, 4)
+	v, err := New(train, WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := v.KD(context.Background(), test, 0.1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if v.indexBuilds != 1 {
+		t.Fatalf("%d index builds under concurrency, want 1", v.indexBuilds)
+	}
+}
+
+// The deprecated free functions are wrappers over a one-shot Valuer and
+// must reproduce its outputs bit for bit.
+func TestDeprecatedWrappersBitIdentical(t *testing.T) {
+	train := SynthMNIST(120, 1)
+	test := SynthMNIST(9, 2)
+	ctx := context.Background()
+	v, err := New(train, WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := v.Exact(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Exact(train, test, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "Exact", old, rep.Values)
+
+	rep, err = v.Truncated(ctx, test, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err = Truncated(train, test, Config{K: 3}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "Truncated", old, rep.Values)
+
+	opts := MCOptions{Bound: Fixed, T: 64, Seed: 11}
+	rep, err = v.MonteCarlo(ctx, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRep, err := MonteCarlo(train, test, Config{K: 3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "MonteCarlo", oldRep.SV, rep.Values)
+	if oldRep.Permutations != rep.Permutations || oldRep.Budget != rep.Budget {
+		t.Fatalf("MonteCarlo metadata diverged: %+v vs %+v", oldRep, rep)
+	}
+
+	owners := AssignSellers(train.N(), 6)
+	rep, err = v.Sellers(ctx, test, owners, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err = SellerValues(train, test, owners, 6, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "Sellers", old, rep.Values)
+
+	rep, err = v.Composite(ctx, test, owners, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldComp, err := CompositeValues(train, test, owners, 6, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "Composite", oldComp.Sellers, rep.Values)
+	if oldComp.Analyst != rep.Analyst {
+		t.Fatalf("Composite analyst diverged: %v vs %v", oldComp.Analyst, rep.Analyst)
+	}
+
+	newU, err := v.Utility(ctx, test, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldU, err := Utility(train, test, Config{K: 3}, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newU != oldU {
+		t.Fatalf("Utility diverged: %v vs %v", newU, oldU)
+	}
+}
+
+func assertBitIdentical(t *testing.T, name string, old, now []float64) {
+	t.Helper()
+	if len(old) != len(now) {
+		t.Fatalf("%s: %d values vs %d", name, len(old), len(now))
+	}
+	for i := range old {
+		if old[i] != now[i] {
+			t.Fatalf("%s: value %d diverged: %v != %v (bitwise)", name, i, old[i], now[i])
+		}
+	}
+}
+
+// Reports must carry the method tag and a non-zero duration so callers can
+// log one uniform record per valuation.
+func TestReportMetadata(t *testing.T) {
+	train := SynthMNIST(80, 5)
+	test := SynthMNIST(5, 6)
+	v, err := New(train, WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rep, err := v.Exact(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "exact" || len(rep.Values) != train.N() {
+		t.Fatalf("report %+v", rep)
+	}
+	mc, err := v.MonteCarlo(ctx, test, MCOptions{Bound: Fixed, T: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Method != "montecarlo" || mc.Permutations == 0 || mc.Budget != 32 || mc.UtilityEvals == 0 {
+		t.Fatalf("mc report %+v", mc)
+	}
+	kd, err := v.KD(ctx, test, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kd.Method != "kd" || kd.KStar != 4 {
+		t.Fatalf("kd report method=%q kStar=%d", kd.Method, kd.KStar)
+	}
+}
+
+// New must not mutate a hand-assembled, non-contiguous dataset: the
+// session takes a flattened copy instead (datasets from the package
+// constructors are already contiguous and used as-is).
+func TestNewDoesNotMutateHandBuiltDataset(t *testing.T) {
+	rows := [][]float64{{0, 1}, {2, 3}, {4, 5}}
+	d := &Dataset{X: rows, Labels: []int{0, 1, 0}, Classes: 2}
+	v, err := New(d, WithK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Flat(); ok {
+		t.Fatal("New flattened the caller's dataset in place")
+	}
+	if &d.X[0][0] != &rows[0][0] {
+		t.Fatal("New repointed the caller's feature rows")
+	}
+	if v.Train() == d {
+		t.Fatal("session shares the non-contiguous dataset instead of copying")
+	}
+	if _, ok := v.Train().Flat(); !ok {
+		t.Fatal("session copy is not contiguous")
+	}
+	// The copy must value identically to the original data.
+	test := &Dataset{X: [][]float64{{0.1, 1.1}}, Labels: []int{0}, Classes: 2}
+	rep, err := v.Exact(context.Background(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 3 {
+		t.Fatalf("%d values", len(rep.Values))
+	}
+}
+
+// The baseline estimator is reachable from a session and honors the
+// context like every other method.
+func TestValuerBaselineMonteCarlo(t *testing.T) {
+	train := SynthMNIST(30, 1)
+	test := SynthMNIST(3, 2)
+	v, err := New(train, WithK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.BaselineMonteCarlo(context.Background(), test, 0.2, 0.2, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "baseline" || rep.Permutations == 0 || len(rep.Values) != train.N() {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+// Context cancellation reaches the baseline sampler's permutation loop.
+func TestCancelBaselineMonteCarlo(t *testing.T) {
+	train := SynthMNIST(300, 1)
+	test := SynthMNIST(3, 2)
+	v, err := New(train, WithK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := v.BaselineMonteCarlo(ctx, test, 0.01, 0.01, 1<<20, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
