@@ -1,0 +1,301 @@
+package knnshapley
+
+// Property-based checks of the Shapley axioms on the public API: for random
+// small datasets, the reported values must satisfy efficiency (they sum to
+// ν(D) − ν(∅) — "group rationality" in the paper's Section 2.1), symmetry
+// (identical training points receive identical values) and the null-player
+// intuition (a point that is never among any test point's K* neighbors is
+// worth (almost) nothing). internal/core has kernel-level axiom tests; these
+// run the full New → Valuer → Report pipeline the way a user would.
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randTrial draws one random classification train/test pair plus session
+// parameters. Features are uniform floats, so exact distance ties between
+// independently drawn points have probability zero.
+type trial struct {
+	train, test *Dataset
+	k           int
+}
+
+func randTrial(t *testing.T, rng *rand.Rand, regression bool) trial {
+	t.Helper()
+	n := 8 + rng.IntN(32)
+	dim := 1 + rng.IntN(4)
+	nTest := 1 + rng.IntN(5)
+	classes := 2 + rng.IntN(2)
+	k := 1 + rng.IntN(5)
+	rows := func(n int) [][]float64 {
+		x := make([][]float64, n)
+		for i := range x {
+			x[i] = make([]float64, dim)
+			for j := range x[i] {
+				x[i][j] = rng.Float64() * 10
+			}
+		}
+		return x
+	}
+	var train, test *Dataset
+	var err error
+	if regression {
+		targets := func(n int) []float64 {
+			y := make([]float64, n)
+			for i := range y {
+				y[i] = rng.NormFloat64()
+			}
+			return y
+		}
+		train, err = NewRegressionDataset(rows(n), targets(n))
+		if err == nil {
+			test, err = NewRegressionDataset(rows(nTest), targets(nTest))
+		}
+	} else {
+		labels := func(n int) []int {
+			y := make([]int, n)
+			for i := range y {
+				y[i] = rng.IntN(classes)
+			}
+			return y
+		}
+		train, err = NewClassificationDataset(rows(n), labels(n))
+		if err == nil {
+			test, err = NewClassificationDataset(rows(nTest), labels(nTest))
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trial{train: train, test: test, k: k}
+}
+
+func sumOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// gain returns ν(D) − ν(∅), the total value efficiency demands the Shapley
+// values split.
+func gain(t *testing.T, v *Valuer, test *Dataset) float64 {
+	t.Helper()
+	ctx := context.Background()
+	all := make([]int, v.Train().N())
+	for i := range all {
+		all[i] = i
+	}
+	uD, err := v.Utility(ctx, test, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0, err := v.Utility(ctx, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return uD - u0
+}
+
+// Efficiency: Σ_i sv_i = ν(D) − ν(∅) for Exact (classification and
+// regression), for Truncated (exactly when K* ≥ N, within N·eps otherwise),
+// and for Sellers at the seller level.
+func TestPropertyEfficiency(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewPCG(4001, 1))
+	for trialNo := 0; trialNo < 15; trialNo++ {
+		tr := randTrial(t, rng, trialNo%3 == 2)
+		v, err := New(tr.train, WithK(tr.k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := gain(t, v, tr.test)
+
+		rep, err := v.Exact(ctx, tr.test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(sumOf(rep.Values) - want); d > 1e-9 {
+			t.Fatalf("trial %d: exact efficiency broken: Σsv − (ν(D)−ν(∅)) = %g", trialNo, d)
+		}
+
+		if tr.train.IsRegression() {
+			continue // Truncated/Sellers apply to classification
+		}
+		n := tr.train.N()
+		// With eps ≤ 1/N the truncation keeps every point: exact efficiency.
+		full, err := v.Truncated(ctx, tr.test, 1/float64(2*n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(sumOf(full.Values) - want); d > 1e-9 {
+			t.Fatalf("trial %d: truncated(K*≥N) efficiency broken by %g", trialNo, d)
+		}
+		// With a coarse eps each point moves by at most eps (Theorem 2), so
+		// the sum moves by at most N·eps.
+		const eps = 0.2
+		coarse, err := v.Truncated(ctx, tr.test, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(sumOf(coarse.Values) - want); d > float64(n)*eps+1e-9 {
+			t.Fatalf("trial %d: truncated(eps=%g) sum drifted by %g > N·eps", trialNo, eps, d)
+		}
+
+		// Seller-level efficiency: shares of the m sellers split the same
+		// total gain (Theorem 8's game is over the same utility).
+		m := 2 + rng.IntN(3)
+		owners := make([]int, n)
+		for i := range owners {
+			owners[i] = i % m // round-robin: every seller owns ≥ 1 point
+		}
+		sellers, err := v.Sellers(ctx, tr.test, owners, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sellers.Values) != m {
+			t.Fatalf("trial %d: %d seller values for m=%d", trialNo, len(sellers.Values), m)
+		}
+		if d := math.Abs(sumOf(sellers.Values) - want); d > 1e-9 {
+			t.Fatalf("trial %d: seller efficiency broken by %g", trialNo, d)
+		}
+	}
+}
+
+// Symmetry: a duplicated training point (same features, same response) must
+// receive exactly the same value as its twin — under Exact for both data
+// kinds, under Truncated, and at the seller level when two sellers own
+// bit-identical point sets.
+func TestPropertySymmetry(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewPCG(4002, 2))
+	for trialNo := 0; trialNo < 15; trialNo++ {
+		regression := trialNo%3 == 2
+		tr := randTrial(t, rng, regression)
+		// Duplicate training point 0 (features and response) as point n-1 by
+		// rebuilding the dataset with the copy appended.
+		x := append(append([][]float64{}, tr.train.X...), tr.train.X[0])
+		var train *Dataset
+		var err error
+		if regression {
+			train, err = NewRegressionDataset(x, append(append([]float64{}, tr.train.Targets...), tr.train.Targets[0]))
+		} else {
+			train, err = NewClassificationDataset(x, append(append([]int{}, tr.train.Labels...), tr.train.Labels[0]))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		dup := train.N() - 1
+
+		v, err := New(train, WithK(tr.k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := v.Exact(ctx, tr.test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(rep.Values[0] - rep.Values[dup]); d > 1e-12 {
+			t.Fatalf("trial %d: exact values of duplicates differ by %g (%v vs %v)",
+				trialNo, d, rep.Values[0], rep.Values[dup])
+		}
+
+		if regression {
+			continue
+		}
+		// eps ≤ 1/N keeps K* ≥ N, so no truncation boundary can fall between
+		// the equal-distance twins.
+		trunc, err := v.Truncated(ctx, tr.test, 1/float64(2*train.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(trunc.Values[0] - trunc.Values[dup]); d > 1e-12 {
+			t.Fatalf("trial %d: truncated values of duplicates differ by %g", trialNo, d)
+		}
+
+		// Seller symmetry: seller 0 owns exactly {point 0}, seller 1 exactly
+		// {its duplicate}; everyone else belongs to seller 2.
+		owners := make([]int, train.N())
+		for i := range owners {
+			owners[i] = 2
+		}
+		owners[0], owners[dup] = 0, 1
+		sellers, err := v.Sellers(ctx, tr.test, owners, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(sellers.Values[0] - sellers.Values[1]); d > 1e-12 {
+			t.Fatalf("trial %d: twin sellers valued differently by %g (%v vs %v)",
+				trialNo, d, sellers.Values[0], sellers.Values[1])
+		}
+	}
+}
+
+// Null player: a planted point far beyond the rest of the training set — so
+// it is never among any test point's K* nearest neighbors — gets exactly 0
+// from Truncated and a value bounded by the Theorem 1 tail (|sv| ≤ 1/N) from
+// Exact; a seller owning only that point is likewise bounded by 1/M.
+func TestPropertyNullPlayer(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewPCG(4003, 3))
+	for trialNo := 0; trialNo < 15; trialNo++ {
+		tr := randTrial(t, rng, false)
+		// All base features live in [0,10]^dim; plant the null point at 1e6.
+		far := make([]float64, tr.train.Dim())
+		for j := range far {
+			far[j] = 1e6
+		}
+		x := append(append([][]float64{}, tr.train.X...), far)
+		labels := append(append([]int{}, tr.train.Labels...), tr.train.Labels[0])
+		train, err := NewClassificationDataset(x, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := train.N()
+		farIdx := n - 1
+
+		v, err := New(train, WithK(tr.k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := v.Exact(ctx, tr.test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The farthest point's exact value is s_N = 1[y match]/N per test
+		// point (Theorem 1's recursion base case), so |sv| ≤ 1/N.
+		if got := math.Abs(rep.Values[farIdx]); got > 1/float64(n)+1e-12 {
+			t.Fatalf("trial %d: far point exact value %g exceeds 1/N = %g", trialNo, got, 1/float64(n))
+		}
+
+		// eps = 0.25 gives K* = max{K, 4} < N: the far point is outside
+		// every test point's K* set and must be worth exactly zero.
+		trunc, err := v.Truncated(ctx, tr.test, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trunc.Values[farIdx] != 0 {
+			t.Fatalf("trial %d: truncated far-point value = %g, want exactly 0", trialNo, trunc.Values[farIdx])
+		}
+
+		// Seller level: the seller owning only the far point is bounded by
+		// the analogous 1/M tail.
+		m := 3
+		owners := make([]int, n)
+		for i := range owners {
+			owners[i] = i % (m - 1)
+		}
+		owners[farIdx] = m - 1
+		sellers, err := v.Sellers(ctx, tr.test, owners, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := math.Abs(sellers.Values[m-1]); got > 1/float64(m)+1e-12 {
+			t.Fatalf("trial %d: far seller value %g exceeds 1/M = %g", trialNo, got, 1/float64(m))
+		}
+	}
+}

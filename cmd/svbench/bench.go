@@ -51,8 +51,9 @@ func timeOp(f func() error) (int64, error) {
 }
 
 // runBenchJSON measures the engine's headline paths and writes the records
-// to path.
-func runBenchJSON(path string) error {
+// to path. maxN > 0 drops the sweep sizes above it — the CI smoke run uses
+// this to stay fast while keeping the schema identical to the full run.
+func runBenchJSON(path string, maxN int) error {
 	rep := benchReport{
 		Schema:    "svbench/1",
 		GoVersion: runtime.Version(),
@@ -61,6 +62,9 @@ func runBenchJSON(path string) error {
 		CPUs:      runtime.NumCPU(),
 	}
 	for _, n := range []int{1000, 10000, 100000} {
+		if maxN > 0 && n > maxN {
+			continue
+		}
 		train := dataset.MNISTLike(n, 1)
 		test := dataset.MNISTLike(benchNTest, 2)
 		cfg := knnshapley.Config{K: benchK}

@@ -14,6 +14,7 @@
 // records for the perf trajectory (BENCH_1.json):
 //
 //	svbench -benchjson BENCH_1.json
+//	svbench -benchjson BENCH_2.json -benchmax 10000   # CI smoke: skip N=1e5
 //
 // See DESIGN.md for the experiment-to-module index and EXPERIMENTS.md for
 // recorded paper-vs-measured results.
@@ -34,10 +35,11 @@ func main() {
 		scale     = flag.Float64("scale", 0, "dataset size multiplier for fig7/fig8/fig17 (default 0.01 of the paper's sizes)")
 		list      = flag.Bool("list", false, "list experiments")
 		benchJSON = flag.String("benchjson", "", "write engine micro-benchmark results to this JSON file and exit")
+		benchMax  = flag.Int("benchmax", 0, "with -benchjson: cap the training-set sizes measured (0 = full 1e3..1e5 sweep)")
 	)
 	flag.Parse()
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON); err != nil {
+		if err := runBenchJSON(*benchJSON, *benchMax); err != nil {
 			fmt.Fprintf(os.Stderr, "svbench: %v\n", err)
 			os.Exit(1)
 		}

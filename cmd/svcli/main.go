@@ -1,6 +1,7 @@
 // Command svcli values every training point of a CSV dataset with respect to
 // a KNN model and a test CSV, using any of the paper's algorithms through
-// the session-based Valuer API.
+// the session-based Valuer API — either in-process, or remotely against an
+// svserver daemon.
 //
 // Usage:
 //
@@ -9,6 +10,19 @@
 //	svcli -train train.csv -test test.csv -k 2 -algo kd -eps 0.1 -timeout 30s
 //	svcli -train reg.csv -test regtest.csv -regression -k 3 -algo mc -eps 0.05 -range 2
 //
+// With -server the computation runs on an svserver daemon instead of
+// in-process. The default remote mode POSTs /value and waits; with -async
+// the request is enqueued as a background job (POST /jobs) and polled every
+// -poll interval, with progress (test points processed) reported on stderr
+// until the job finishes — the shape long valuations at N=1e5 want:
+//
+//	svcli -train train.csv -test test.csv -k 5 -server http://localhost:8080
+//	svcli -train train.csv -test test.csv -k 5 -algo exact -server http://localhost:8080 -async
+//
+// An -async run that hits -timeout cancels its job (DELETE /jobs/{id}) so
+// the daemon stops computing, then exits non-zero. Identical resubmissions
+// are answered from the server's result cache instantly.
+//
 // Output: one line per training point, "index,value", ordered by index; with
 // -top n only the n most valuable points are printed, descending. -timeout
 // bounds the whole valuation through the context; an exceeded deadline
@@ -16,13 +30,19 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"time"
 
 	knnshapley "knnshapley"
+	"knnshapley/internal/wire"
 )
 
 func main() {
@@ -39,6 +59,9 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "randomness seed")
 		top        = flag.Int("top", 0, "print only the top-n values, descending")
 		timeout    = flag.Duration("timeout", 0, "valuation deadline (0 = none)")
+		serverURL  = flag.String("server", "", "svserver base URL; compute remotely instead of in-process")
+		async      = flag.Bool("async", false, "with -server: enqueue a job and poll instead of waiting synchronously")
+		poll       = flag.Duration("poll", 250*time.Millisecond, "with -async: status poll interval")
 	)
 	flag.Parse()
 	if *trainPath == "" || *testPath == "" {
@@ -50,16 +73,6 @@ func main() {
 	train := mustRead(*trainPath, *regression)
 	test := mustRead(*testPath, *regression)
 
-	opts := []knnshapley.Option{knnshapley.WithK(*k)}
-	if *weighted {
-		opts = append(opts, knnshapley.WithWeight(knnshapley.InverseDistance(1e-3)))
-	}
-	valuer, err := knnshapley.New(train, opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "svcli:", err)
-		os.Exit(1)
-	}
-
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -67,35 +80,19 @@ func main() {
 		defer cancel()
 	}
 
-	var rep *knnshapley.Report
-	switch *algo {
-	case "exact":
-		rep, err = valuer.Exact(ctx, test)
-	case "truncated":
-		rep, err = valuer.Truncated(ctx, test, *eps)
-	case "lsh":
-		rep, err = valuer.LSH(ctx, test, *eps, *delta, *seed)
-	case "kd":
-		rep, err = valuer.KD(ctx, test, *eps)
-	case "mc":
-		rep, err = valuer.MonteCarlo(ctx, test, knnshapley.MCOptions{
-			Eps: *eps, Delta: *delta, Bound: knnshapley.Bennett,
-			RangeHalfWidth: *rangeHW, Heuristic: true, Seed: *seed,
-		})
-		if err == nil {
-			fmt.Fprintf(os.Stderr, "mc: %d/%d permutations\n", rep.Permutations, rep.Budget)
+	var sv []float64
+	if *serverURL != "" {
+		if *weighted {
+			fmt.Fprintln(os.Stderr, "svcli: -weighted is not supported by the server wire format")
+			os.Exit(2)
 		}
-	case "baseline":
-		rep, err = valuer.BaselineMonteCarlo(ctx, test, *eps, *delta, 0, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "svcli: unknown algorithm %q\n", *algo)
-		os.Exit(2)
+		sv = runRemote(ctx, *serverURL, remoteOptions{
+			algo: *algo, k: *k, eps: *eps, delta: *delta, rangeHW: *rangeHW, seed: *seed,
+			async: *async, poll: *poll,
+		}, train, test)
+	} else {
+		sv = runLocal(ctx, train, test, *algo, *k, *eps, *delta, *rangeHW, *seed, *weighted)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "svcli:", err)
-		os.Exit(1)
-	}
-	sv := rep.Values
 
 	if *top > 0 {
 		idx := make([]int, len(sv))
@@ -114,6 +111,222 @@ func main() {
 	for i, v := range sv {
 		fmt.Printf("%d,%g\n", i, v)
 	}
+}
+
+// runLocal computes the values in-process through a one-shot session.
+func runLocal(ctx context.Context, train, test *knnshapley.Dataset, algo string, k int, eps, delta, rangeHW float64, seed uint64, weighted bool) []float64 {
+	opts := []knnshapley.Option{knnshapley.WithK(k)}
+	if weighted {
+		opts = append(opts, knnshapley.WithWeight(knnshapley.InverseDistance(1e-3)))
+	}
+	valuer, err := knnshapley.New(train, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
+	}
+
+	var rep *knnshapley.Report
+	switch algo {
+	case "exact":
+		rep, err = valuer.Exact(ctx, test)
+	case "truncated":
+		rep, err = valuer.Truncated(ctx, test, eps)
+	case "lsh":
+		rep, err = valuer.LSH(ctx, test, eps, delta, seed)
+	case "kd":
+		rep, err = valuer.KD(ctx, test, eps)
+	case "mc":
+		rep, err = valuer.MonteCarlo(ctx, test, knnshapley.MCOptions{
+			Eps: eps, Delta: delta, Bound: knnshapley.Bennett,
+			RangeHalfWidth: rangeHW, Heuristic: true, Seed: seed,
+		})
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "mc: %d/%d permutations\n", rep.Permutations, rep.Budget)
+		}
+	case "baseline":
+		rep, err = valuer.BaselineMonteCarlo(ctx, test, eps, delta, 0, seed)
+	default:
+		fmt.Fprintf(os.Stderr, "svcli: unknown algorithm %q\n", algo)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
+	}
+	return rep.Values
+}
+
+// valueResult is wire.ValueResponse plus the shared {"error": ...} field,
+// so one decode surfaces either a result or the server's error message.
+type valueResult struct {
+	wire.ValueResponse
+	Error string `json:"error"`
+}
+
+// remoteOptions carries the flag values the remote path ships on the wire
+// (job polling reuses wire.JobStatus directly — its Error field doubles as
+// the transport-error overlay).
+type remoteOptions struct {
+	algo       string
+	k          int
+	eps, delta float64
+	rangeHW    float64
+	seed       uint64
+	async      bool
+	poll       time.Duration
+}
+
+// runRemote ships the datasets to an svserver and returns the values —
+// synchronously via POST /value, or via the job API with progress polling.
+// Only the algorithms whose parameters svcli can fully express on the wire
+// are allowed; anything else is rejected here rather than failing with a
+// confusing server-side error. Remote Monte-Carlo uses the server's budget
+// rule (Bennett, no stopping heuristic), so its values can differ from a
+// local -algo mc run, which enables the heuristic.
+func runRemote(ctx context.Context, base string, opts remoteOptions, train, test *knnshapley.Dataset) []float64 {
+	algorithm := opts.algo
+	switch algorithm {
+	case "mc":
+		algorithm = "montecarlo"
+	case "exact", "truncated", "lsh", "kd", "montecarlo":
+	case "sellers", "sellersmc", "composite":
+		fmt.Fprintf(os.Stderr, "svcli: %s needs owners/m, which svcli has no flags for; POST the server directly\n", algorithm)
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "svcli: algorithm %q is not served remotely\n", opts.algo)
+		os.Exit(2)
+	}
+	if opts.rangeHW != 0 {
+		fmt.Fprintln(os.Stderr, "svcli: -range is not carried by the wire format; drop it or run locally")
+		os.Exit(2)
+	}
+	req := wire.ValueRequest{
+		Algorithm: algorithm, K: opts.k,
+		Eps: opts.eps, Delta: opts.delta, Seed: opts.seed,
+		Train: toWire(train), Test: toWire(test),
+	}
+	if algorithm == "exact" {
+		req.Eps, req.Delta = 0, 0 // not meaningful; keep cache keys canonical
+	}
+
+	if !opts.async {
+		var resp valueResult
+		status := postJSON(ctx, base+"/value", req, &resp)
+		if status != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "svcli: server: %s (HTTP %d)\n", resp.Error, status)
+			os.Exit(1)
+		}
+		if resp.Cached {
+			fmt.Fprintln(os.Stderr, "svcli: served from result cache")
+		}
+		return resp.Values
+	}
+
+	// Async: enqueue, then poll status until terminal.
+	var st wire.JobStatus
+	if status := postJSON(ctx, base+"/jobs", req, &st); status != http.StatusAccepted {
+		fmt.Fprintf(os.Stderr, "svcli: submit: %s (HTTP %d)\n", st.Error, status)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "svcli: job %s enqueued\n", st.ID)
+	for !terminal(st.Status) {
+		select {
+		case <-ctx.Done():
+			// Deadline or interrupt: stop the server-side work too.
+			cancelJob(base, st.ID)
+			fmt.Fprintf(os.Stderr, "\nsvcli: %v; job %s canceled\n", ctx.Err(), st.ID)
+			os.Exit(1)
+		case <-time.After(opts.poll):
+		}
+		if status := getJSON(ctx, base+"/jobs/"+st.ID, &st); status != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "\nsvcli: poll: %s (HTTP %d)\n", st.Error, status)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "\rsvcli: job %s %s %d/%d", st.ID, st.Status, st.Done, st.Total)
+	}
+	fmt.Fprintln(os.Stderr)
+	if st.Status != "done" {
+		fmt.Fprintf(os.Stderr, "svcli: job %s ended %s: %s\n", st.ID, st.Status, st.Error)
+		os.Exit(1)
+	}
+	if st.CacheHit {
+		fmt.Fprintln(os.Stderr, "svcli: served from result cache")
+	}
+	var resp valueResult
+	if status := getJSON(ctx, base+"/jobs/"+st.ID+"/result", &resp); status != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "svcli: result: %s (HTTP %d)\n", resp.Error, status)
+		os.Exit(1)
+	}
+	return resp.Values
+}
+
+func terminal(status string) bool {
+	return status == "done" || status == "failed" || status == "canceled"
+}
+
+func toWire(d *knnshapley.Dataset) wire.Payload {
+	return wire.Payload{X: d.X, Labels: d.Labels, Targets: d.Targets}
+}
+
+func postJSON(ctx context.Context, url string, body, out any) int {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(req, out)
+}
+
+func getJSON(ctx context.Context, url string, out any) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
+	}
+	return doJSON(req, out)
+}
+
+// cancelJob fires DELETE /jobs/{id} on a fresh short-lived context — the
+// request context is typically already dead when cancellation is wanted.
+func cancelJob(base, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+func doJSON(req *http.Request, out any) int {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
+	}
+	if out != nil && len(raw) > 0 {
+		// Error bodies share the {"error": ...} shape with valueResult and
+		// wire.JobStatus, so decoding into out surfaces the message.
+		if err := json.Unmarshal(raw, out); err != nil && resp.StatusCode < 300 {
+			fmt.Fprintf(os.Stderr, "svcli: decode %s: %v\n", req.URL, err)
+			os.Exit(1)
+		}
+	}
+	return resp.StatusCode
 }
 
 func mustRead(path string, regression bool) *knnshapley.Dataset {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"knnshapley/internal/jobs"
+)
+
+// FuzzDecodeValueRequest throws arbitrary bytes at the two JSON-decoding
+// endpoints. The contract under test: malformed or hostile bodies must come
+// back as a controlled JSON error — never a panic, never a 500. Bodies that
+// happen to decode into a valid tiny valuation are fine too; the per-job
+// timeout and the bounded queue keep fuzzer-crafted monster requests
+// (montecarlo with a 2^30 budget, say) from wedging the worker pool — such
+// a request legitimately ends in a deliberate 504.
+func FuzzDecodeValueRequest(f *testing.F) {
+	// A valid request, so the fuzzer starts near the interesting surface.
+	f.Add([]byte(`{"algorithm":"exact","k":2,` +
+		`"train":{"x":[[0,0],[1,0],[0,1],[5,5]],"labels":[0,0,0,1]},` +
+		`"test":{"x":[[0.2,0.1]],"labels":[0]}}`))
+	f.Add([]byte(`{"algorithm":"montecarlo","k":1,"t":1073741824,` +
+		`"train":{"x":[[0],[1]],"labels":[0,1]},"test":{"x":[[0]],"labels":[0]}}`))
+	f.Add([]byte(`{"algorithm":"exact","k":2,"train":{"x":[[0,0],[1]],"labels":[0,0]}}`)) // ragged
+	f.Add([]byte(`{"k":-9223372036854775808}`))
+	f.Add([]byte(`{"train":{"x":[[1e308,1e308]],"labels":[0],"targets":[1]}}`)) // both responses
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"algorithm":"exact","unknown":true}`))
+
+	srv := newServer(1<<20, 100*time.Millisecond, jobs.Config{
+		Workers:    1,
+		QueueDepth: 4,
+		JobTimeout: 100 * time.Millisecond,
+		TTL:        time.Second,
+	})
+	f.Cleanup(srv.mgr.Close)
+	mux := srv.routes()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, path := range []string{"/value", "/jobs"} {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, req) // any panic fails the fuzz run
+			switch rec.Code {
+			case http.StatusGatewayTimeout, http.StatusServiceUnavailable:
+				// Deliberate backpressure/timeout responses, not bugs.
+			default:
+				if rec.Code >= http.StatusInternalServerError {
+					t.Fatalf("POST %s with %q: status %d: %s", path, body, rec.Code, rec.Body.String())
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"knnshapley"
+	"knnshapley/internal/jobs"
+)
+
+// do drives one request through the full route table (so /jobs/{id} path
+// values resolve) and decodes the JSON body into out when non-nil.
+func do(t *testing.T, srv *server, method, path string, body any, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	srv.routes().ServeHTTP(rec, req)
+	if out != nil && rec.Code < 300 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+// pollUntil polls GET /jobs/{id} until the predicate holds or the deadline
+// lapses, returning the final status.
+func pollUntil(t *testing.T, srv *server, id string, pred func(jobStatusResponse) bool) jobStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var st jobStatusResponse
+	for time.Now().Before(deadline) {
+		rec := do(t, srv, http.MethodGet, "/jobs/"+id, nil, &st)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll %s: status %d: %s", id, rec.Code, rec.Body.String())
+		}
+		if pred(st) {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never satisfied predicate (last: %+v)", id, st)
+	return st
+}
+
+// The async happy path: enqueue, poll to done with full progress, fetch the
+// result, and match it against the library computed directly.
+func TestJobEndpointsLifecycle(t *testing.T) {
+	srv := newTestServer(t, 1<<20, 0)
+	req := testRequest()
+	var st jobStatusResponse
+	rec := do(t, srv, http.MethodPost, "/jobs", req, &st)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", rec.Code, rec.Body.String())
+	}
+	if st.ID == "" {
+		t.Fatalf("submit returned no job id: %+v", st)
+	}
+	final := pollUntil(t, srv, st.ID, func(s jobStatusResponse) bool { return s.Status == "done" })
+	if final.Done != 2 || final.Total != 2 {
+		t.Fatalf("progress %d/%d, want 2/2", final.Done, final.Total)
+	}
+	if final.StartedAt == nil || final.FinishedAt == nil {
+		t.Fatalf("done job missing timestamps: %+v", final)
+	}
+
+	var resp valueResponse
+	if rec := do(t, srv, http.MethodGet, "/jobs/"+st.ID+"/result", nil, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("result status %d: %s", rec.Code, rec.Body.String())
+	}
+	train, _ := knnshapley.NewClassificationDataset(req.Train.X, req.Train.Labels)
+	test, _ := knnshapley.NewClassificationDataset(req.Test.X, req.Test.Labels)
+	want, err := knnshapley.Exact(train, test, knnshapley.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(resp.Values[i]-want[i]) > 1e-12 {
+			t.Fatalf("value %d = %v, want %v", i, resp.Values[i], want[i])
+		}
+	}
+	if resp.N != 6 || resp.Algorithm != "exact" || resp.Fingerprint == "" {
+		t.Fatalf("result metadata %+v", resp)
+	}
+}
+
+// Unknown job ids 404 on every job endpoint; a pending job's result is a
+// 409, not an error.
+func TestJobEndpointsNotFoundAndConflict(t *testing.T) {
+	srv := newTestServer(t, 1<<20, 0)
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/jobs/nope"},
+		{http.MethodGet, "/jobs/nope/result"},
+		{http.MethodDelete, "/jobs/nope"},
+	} {
+		if rec := do(t, srv, probe.method, probe.path, nil, nil); rec.Code != http.StatusNotFound {
+			t.Fatalf("%s %s: status %d, want 404", probe.method, probe.path, rec.Code)
+		}
+	}
+
+	// A job that will grind for a long time: its result endpoint must
+	// report 409 while it is queued or running.
+	slow := testRequest()
+	slow.Algorithm = "montecarlo"
+	slow.T = 1 << 30
+	var st jobStatusResponse
+	if rec := do(t, srv, http.MethodPost, "/jobs", slow, &st); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodGet, "/jobs/"+st.ID+"/result", nil, nil); rec.Code != http.StatusConflict {
+		t.Fatalf("pending result status %d, want 409", rec.Code)
+	}
+	do(t, srv, http.MethodDelete, "/jobs/"+st.ID, nil, nil)
+}
+
+// DELETE mid-run ends the job canceled promptly and releases the worker:
+// with a single-worker manager, a subsequent job completes. The canceled
+// job's result endpoint reports the 499-style canceled error.
+func TestJobCancelMidRun(t *testing.T) {
+	srv := newServer(1<<20, 0, jobs.Config{Workers: 1, QueueDepth: 4})
+	t.Cleanup(srv.mgr.Close)
+
+	slow := testRequest()
+	slow.Algorithm = "montecarlo"
+	slow.T = 1 << 30 // effectively unbounded without cancellation
+	var st jobStatusResponse
+	if rec := do(t, srv, http.MethodPost, "/jobs", slow, &st); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d", rec.Code)
+	}
+	pollUntil(t, srv, st.ID, func(s jobStatusResponse) bool { return s.Status == "running" })
+
+	start := time.Now()
+	var canceled jobStatusResponse
+	if rec := do(t, srv, http.MethodDelete, "/jobs/"+st.ID, nil, &canceled); rec.Code != http.StatusOK {
+		t.Fatalf("cancel status %d: %s", rec.Code, rec.Body.String())
+	}
+	final := pollUntil(t, srv, st.ID, func(s jobStatusResponse) bool { return s.Status == "canceled" })
+	if wait := time.Since(start); wait > 5*time.Second {
+		t.Fatalf("cancellation took %v — the engine is not honoring the context", wait)
+	}
+	if final.Error == "" {
+		t.Fatalf("canceled job carries no error: %+v", final)
+	}
+	var er errorResponse
+	if rec := do(t, srv, http.MethodGet, "/jobs/"+st.ID+"/result", nil, nil); rec.Code != statusClientClosedRequest {
+		t.Fatalf("canceled result status %d, want %d", rec.Code, statusClientClosedRequest)
+	} else if json.Unmarshal(rec.Body.Bytes(), &er) != nil || !er.Canceled {
+		t.Fatalf("canceled result body %s", rec.Body.String())
+	}
+
+	// The single worker must be free again: a small exact job completes.
+	quick := testRequest()
+	var st2 jobStatusResponse
+	if rec := do(t, srv, http.MethodPost, "/jobs", quick, &st2); rec.Code != http.StatusAccepted {
+		t.Fatalf("post-cancel submit status %d", rec.Code)
+	}
+	pollUntil(t, srv, st2.ID, func(s jobStatusResponse) bool { return s.Status == "done" })
+}
+
+// An identical resubmission is served from the result cache: the job is
+// born done with cacheHit set, the values are identical, and the manager's
+// run counter proves the engine did not execute again. The synchronous
+// /value path shares the same cache.
+func TestJobCacheHitAndValuerReuse(t *testing.T) {
+	srv := newTestServer(t, 1<<20, 0)
+	req := testRequest()
+
+	var st jobStatusResponse
+	if rec := do(t, srv, http.MethodPost, "/jobs", req, &st); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d", rec.Code)
+	}
+	pollUntil(t, srv, st.ID, func(s jobStatusResponse) bool { return s.Status == "done" })
+	var first valueResponse
+	do(t, srv, http.MethodGet, "/jobs/"+st.ID+"/result", nil, &first)
+
+	var st2 jobStatusResponse
+	if rec := do(t, srv, http.MethodPost, "/jobs", req, &st2); rec.Code != http.StatusAccepted {
+		t.Fatalf("resubmit status %d", rec.Code)
+	}
+	if st2.Status != "done" || !st2.CacheHit {
+		t.Fatalf("resubmission status %+v, want instant cache hit", st2)
+	}
+	var second valueResponse
+	do(t, srv, http.MethodGet, "/jobs/"+st2.ID+"/result", nil, &second)
+	if !second.Cached {
+		t.Fatalf("cached result not marked: %+v", second)
+	}
+	for i := range first.Values {
+		if first.Values[i] != second.Values[i] {
+			t.Fatalf("cached value %d = %v, want %v", i, second.Values[i], first.Values[i])
+		}
+	}
+
+	// The synchronous wrapper rides the same cache...
+	rec, sync := postValue(t, srv, req)
+	if rec.Code != http.StatusOK || !sync.Cached {
+		t.Fatalf("sync /value after async: status %d cached=%v", rec.Code, sync.Cached)
+	}
+
+	// ...and the run counter proves the engine executed exactly once for
+	// the three requests, through one cached Valuer session.
+	if st := srv.mgr.Stats(); st.Runs != 1 || st.CacheHits != 2 || st.ValuerBuilds != 1 {
+		t.Fatalf("stats %+v, want runs=1 cacheHits=2 valuerBuilds=1", st)
+	}
+
+	// A different algorithm over the same payload is a cache miss but
+	// still reuses the session.
+	trunc := testRequest()
+	trunc.Algorithm = "truncated"
+	trunc.Eps = 0.4
+	if rec, _ := postValue(t, srv, trunc); rec.Code != http.StatusOK {
+		t.Fatalf("truncated status %d", rec.Code)
+	}
+	if st := srv.mgr.Stats(); st.Runs != 2 || st.ValuerBuilds != 1 {
+		t.Fatalf("stats after truncated %+v, want runs=2 valuerBuilds=1", st)
+	}
+}
+
+// The statz endpoint exposes manager counters.
+func TestStatz(t *testing.T) {
+	srv := newTestServer(t, 1<<20, 0)
+	if rec, _ := postValue(t, srv, testRequest()); rec.Code != http.StatusOK {
+		t.Fatalf("value status %d", rec.Code)
+	}
+	var stats map[string]any
+	if rec := do(t, srv, http.MethodGet, "/statz", nil, &stats); rec.Code != http.StatusOK {
+		t.Fatalf("statz status %d", rec.Code)
+	}
+	if stats["runs"].(float64) != 1 {
+		t.Fatalf("statz runs = %v, want 1", stats["runs"])
+	}
+}

@@ -1,18 +1,47 @@
 // Command svserver is the serving surface of the valuation engine: an HTTP
 // daemon that computes KNN-Shapley values for JSON train/test payloads
-// through the session-based Valuer API, with per-request deadline
-// propagation and prompt cancellation when a client disconnects.
+// through the session-based Valuer API, executed as managed background jobs
+// with progress, cancellation and result caching (internal/jobs).
 //
 // Usage:
 //
-//	svserver -addr :8080 -max-body 67108864 -request-timeout 60s
+//	svserver -addr :8080 -max-body 67108864 -request-timeout 60s \
+//	         -job-workers 2 -job-queue 64 -job-ttl 15m -job-cache 128
 //
 // Endpoints:
 //
-//	POST /value   — compute Shapley values for one train/test payload
-//	GET  /healthz — liveness probe
+//	POST   /jobs             — enqueue a valuation job (202 + job status)
+//	GET    /jobs/{id}        — poll job status and progress
+//	GET    /jobs/{id}/result — fetch the report of a done job
+//	DELETE /jobs/{id}        — cancel a queued or running job
+//	POST   /value            — submit-and-wait convenience wrapper
+//	GET    /healthz          — liveness probe
+//	GET    /statz            — job-manager counters
 //
-// A /value request selects the algorithm and the engine knobs:
+// # Job lifecycle
+//
+// A job moves queued → running → done | failed | canceled. POST /jobs
+// returns immediately with the job id; GET /jobs/{id} reports the state
+// plus progress as test points processed ("done"/"total", fed by the
+// engine's per-batch callback). Once done, GET /jobs/{id}/result returns
+// the same body POST /value would have. DELETE /jobs/{id} cancels: a queued
+// job terminates immediately, a running one as soon as the engine observes
+// the canceled context (within one batch, or one Monte-Carlo permutation),
+// releasing its worker. Terminal jobs stay pollable for -job-ttl.
+//
+// Results are cached in an LRU keyed by the content fingerprints of the
+// train/test sets, the algorithm and its parameters — resubmitting an
+// identical request returns a job that is already done ("cacheHit": true)
+// without recomputing. Worker count and batch size are deliberately not
+// part of the key: the engine's ordered reduction makes values
+// bit-identical across both. Valuer sessions are likewise reused across
+// requests via a fingerprint-keyed cache, so repeated valuations of the
+// same training payload skip re-validating and re-flattening it (and share
+// lazily built LSH/k-d indexes).
+//
+// # Request format
+//
+// POST /jobs and POST /value accept the same body:
 //
 //	{
 //	  "algorithm": "exact" | "truncated" | "montecarlo" | "sellers" |
@@ -31,24 +60,23 @@
 //	  "test":  {"x": [[...]], "labels": [...]}
 //	}
 //
-// The response carries the unified report of the Valuer API:
+// The result body carries the unified report of the Valuer API:
 //
 //	{"values": [...], "n": 100, "algorithm": "exact", "durationMs": 12,
 //	 "permutations": 0, "budget": 0, "utilityEvals": 0, "kStar": 0,
-//	 "analyst": 0.42}
+//	 "analyst": 0.42, "fingerprint": "a1b2...", "cached": false}
 //
 // "n" is always the training-set size. For the per-point algorithms values
 // has length n; for the seller-level games (sellers, sellersmc, composite)
 // it has length m — one share per seller — with the analyst's composite
 // share in "analyst".
 //
-// The request context is canceled when the client disconnects and bounded
-// by -request-timeout; a valuation aborted mid-flight returns a JSON error
+// POST /value enqueues through the same manager (so it shares the caches)
+// and waits; its context is canceled when the client disconnects and
+// bounded by -request-timeout, and either event also cancels the underlying
+// job so the worker is released. An aborted valuation returns a JSON error
 // with "canceled": true and the nginx-style 499 status (504 on a server
-// deadline). Each request builds its Valuer session once — the training set
-// is flattened and validated a single time — and the streaming execution
-// bounds the request's peak memory at batchSize·N distances regardless of
-// the test-set size.
+// deadline).
 package main
 
 import (
@@ -57,11 +85,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net/http"
 	"time"
 
 	"knnshapley"
+	"knnshapley/internal/jobs"
+	"knnshapley/internal/wire"
 )
 
 // statusClientClosedRequest is the nginx convention for "client closed the
@@ -73,20 +104,29 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		maxBody    = flag.Int64("max-body", 64<<20, "maximum request body in bytes")
-		reqTimeout = flag.Duration("request-timeout", 0, "per-request valuation deadline (0 = none)")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline for the synchronous /value path (0 = none)")
+		jobWorkers = flag.Int("job-workers", 0, "concurrent valuation jobs (0 = 2)")
+		jobQueue   = flag.Int("job-queue", 0, "queued-job bound before 429 (0 = 64)")
+		jobTTL     = flag.Duration("job-ttl", 0, "terminal-job retention (0 = 15m)")
+		jobCache   = flag.Int("job-cache", 0, "result-cache entries (0 = 128)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job compute deadline (0 = none)")
 	)
 	flag.Parse()
-	srv := &server{maxBody: *maxBody, timeout: *reqTimeout}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/value", srv.handleValue)
-	mux.HandleFunc("/healthz", srv.handleHealthz)
+	srv := newServer(*maxBody, *reqTimeout, jobs.Config{
+		Workers:    *jobWorkers,
+		QueueDepth: *jobQueue,
+		TTL:        *jobTTL,
+		CacheSize:  *jobCache,
+		JobTimeout: *jobTimeout,
+	})
+	defer srv.mgr.Close()
 	// Explicit timeouts so slow clients cannot pin connections open
 	// indefinitely while trickling large bodies (no WriteTimeout: big
 	// valuations legitimately take a while to compute and stream back;
 	// -request-timeout bounds the compute itself).
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           srv.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
@@ -99,49 +139,42 @@ func main() {
 type server struct {
 	maxBody int64
 	timeout time.Duration
+	mgr     *jobs.Manager
 }
 
-// payload is one dataset in the wire format.
-type payload struct {
-	X       [][]float64 `json:"x"`
-	Labels  []int       `json:"labels,omitempty"`
-	Targets []float64   `json:"targets,omitempty"`
+// newServer builds a server with its own job manager.
+func newServer(maxBody int64, timeout time.Duration, jcfg jobs.Config) *server {
+	return &server{maxBody: maxBody, timeout: timeout, mgr: jobs.New(jcfg)}
 }
 
-// valueRequest is the body of POST /value.
-type valueRequest struct {
-	Algorithm string  `json:"algorithm"`
-	K         int     `json:"k"`
-	Metric    string  `json:"metric,omitempty"`
-	Eps       float64 `json:"eps,omitempty"`
-	Delta     float64 `json:"delta,omitempty"`
-	T         int     `json:"t,omitempty"`
-	Seed      uint64  `json:"seed,omitempty"`
-	Owners    []int   `json:"owners,omitempty"`
-	M         int     `json:"m,omitempty"`
-	Workers   int     `json:"workers,omitempty"`
-	BatchSize int     `json:"batchSize,omitempty"`
-	Train     payload `json:"train"`
-	Test      payload `json:"test"`
+// routes wires the endpoint table.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /value", s.handleValue)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
 }
 
-// valueResponse is the body of a successful /value reply — the wire form of
-// the Valuer API's unified Report.
-type valueResponse struct {
-	Values       []float64 `json:"values"`
-	N            int       `json:"n"`
-	Algorithm    string    `json:"algorithm"`
-	Permutations int       `json:"permutations,omitempty"`
-	Budget       int       `json:"budget,omitempty"`
-	UtilityEvals int       `json:"utilityEvals,omitempty"`
-	KStar        int       `json:"kStar,omitempty"`
-	Analyst      *float64  `json:"analyst,omitempty"`
-	DurationMs   int64     `json:"durationMs"`
-}
+// The JSON types live in internal/wire, shared with cmd/svcli so the two
+// commands cannot drift; the local aliases keep the handlers readable.
+type (
+	payload           = wire.Payload
+	valueRequest      = wire.ValueRequest
+	valueResponse     = wire.ValueResponse
+	jobStatusResponse = wire.JobStatus
+	errorResponse     = wire.ErrorResponse
+)
 
-type errorResponse struct {
-	Error    string `json:"error"`
-	Canceled bool   `json:"canceled,omitempty"`
+// jobMeta is the submission context the result endpoint needs beyond the
+// Report itself; it rides along on the job via Spec.Meta.
+type jobMeta struct {
+	algorithm string
+	trainN    int
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -149,47 +182,153 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
+func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs": st.Jobs, "queued": st.Queued, "running": st.Running,
+		"cacheHits": st.CacheHits, "runs": st.Runs,
+		"valuerBuilds":  st.ValuerBuilds,
+		"reportEntries": st.ReportEntries, "valuerEntries": st.ValuerEntries,
+	})
+}
+
+// decodeRequest parses one valuation request body.
+func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (*valueRequest, error) {
+	var req valueRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	return &req, nil
+}
+
+// handleJobSubmit is POST /jobs: validate, enqueue, answer 202 with the
+// job's initial status (which is already "done" on a cache hit).
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	req, err := s.decodeRequest(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, status, err := s.buildSpec(req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	job, err := s.submit(w, spec)
+	if err != nil {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statusResponse(job.Snapshot()))
+}
+
+// submit maps manager-level submission errors onto HTTP backpressure.
+func (s *server) submit(w http.ResponseWriter, spec *jobs.Spec) (*jobs.Job, error) {
+	job, err := s.mgr.Submit(*spec)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	return job, err
+}
+
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusResponse(job.Snapshot()))
+}
+
+func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	snap := job.Snapshot()
+	if !snap.State.Terminal() {
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("job %s is %s; poll GET /jobs/%s until done", snap.ID, snap.State, snap.ID))
+		return
+	}
+	rep, err := job.Report()
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+	meta, _ := job.Meta().(jobMeta)
+	writeJSON(w, http.StatusOK, buildResponse(rep, meta, snap.CacheHit))
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusResponse(job.Snapshot()))
+}
+
+// handleValue is POST /value: the synchronous submit-and-wait wrapper over
+// the job manager, kept for one-shot clients. It shares the result and
+// session caches with the async path.
 func (s *server) handleValue(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var req valueRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decode request: "+err.Error())
+	req, err := s.decodeRequest(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, status, err := s.buildSpec(req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	job, err := s.submit(w, spec)
+	if err != nil {
 		return
 	}
 	// The request context is canceled by net/http when the client
-	// disconnects; -request-timeout adds the server-side deadline. Both
-	// propagate into every engine batch and Monte-Carlo permutation loop.
+	// disconnects; -request-timeout adds the server-side deadline. Either
+	// way the job itself is canceled too, releasing its worker.
 	ctx := r.Context()
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
-	resp, status, err := compute(ctx, &req)
+	rep, err := s.mgr.Wait(ctx, job)
 	if err != nil {
-		switch {
-		case errors.Is(err, context.Canceled):
-			writeCanceled(w, statusClientClosedRequest, "valuation canceled: client closed request")
-		case errors.Is(err, context.DeadlineExceeded):
-			writeCanceled(w, http.StatusGatewayTimeout, "valuation canceled: request deadline exceeded")
-		default:
-			writeError(w, status, err.Error())
+		if ctx.Err() != nil {
+			s.mgr.Cancel(job.ID())
 		}
+		writeRunError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("svserver: encode response: %v", err)
-	}
+	meta, _ := job.Meta().(jobMeta)
+	writeJSON(w, http.StatusOK, buildResponse(rep, meta, job.Snapshot().CacheHit))
 }
 
-// compute runs one valuation request through a fresh Valuer session.
-func compute(ctx context.Context, req *valueRequest) (*valueResponse, int, error) {
+// buildSpec validates a request and turns it into a job spec: datasets are
+// decoded and fingerprinted, the Valuer session is fetched from (or added
+// to) the fingerprint-keyed cache, and the Run closure dispatches to the
+// session method named by the algorithm. The int is the HTTP status for a
+// non-nil error.
+func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 	train, err := buildDataset(&req.Train)
 	if err != nil {
 		return nil, http.StatusBadRequest, fmt.Errorf("train: %w", err)
@@ -202,59 +341,128 @@ func compute(ctx context.Context, req *valueRequest) (*valueResponse, int, error
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	v, err := knnshapley.New(train,
-		knnshapley.WithK(req.K),
-		knnshapley.WithMetric(metric),
-		knnshapley.WithWorkers(req.Workers),
-		knnshapley.WithBatchSize(req.BatchSize),
-	)
-	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err
-	}
-
-	var rep *knnshapley.Report
 	algorithm := req.Algorithm
 	if algorithm == "" {
 		algorithm = "exact"
 	}
 	switch algorithm {
-	case "exact":
-		rep, err = v.Exact(ctx, test)
-	case "truncated":
-		rep, err = v.Truncated(ctx, test, req.Eps)
-	case "montecarlo":
-		rep, err = v.MonteCarlo(ctx, test, mcOptions(req))
-	case "sellers":
-		rep, err = v.Sellers(ctx, test, req.Owners, req.M)
-	case "sellersmc":
-		rep, err = v.SellersMC(ctx, test, req.Owners, req.M, mcOptions(req))
-	case "composite":
-		rep, err = v.Composite(ctx, test, req.Owners, req.M)
-	case "lsh":
-		rep, err = v.LSH(ctx, test, req.Eps, req.Delta, req.Seed)
-	case "kd":
-		rep, err = v.KD(ctx, test, req.Eps)
+	case "exact", "truncated", "montecarlo", "sellers", "sellersmc", "composite", "lsh", "kd":
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
+
+	// One session per (training content, session options): repeated
+	// requests over the same training payload skip re-validating and
+	// re-flattening it and share lazily built ANN indexes.
+	trainFP := train.Fingerprint()
+	valuerKey := fmt.Sprintf("%016x|k=%d|metric=%s|workers=%d|batch=%d",
+		trainFP, req.K, req.Metric, req.Workers, req.BatchSize)
+	v, err := s.mgr.Valuer(valuerKey, func() (*knnshapley.Valuer, error) {
+		return knnshapley.New(train,
+			knnshapley.WithK(req.K),
+			knnshapley.WithMetric(metric),
+			knnshapley.WithWorkers(req.Workers),
+			knnshapley.WithBatchSize(req.BatchSize),
+		)
+	})
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
 	}
+
+	// The result cache key spans everything that shapes the values — but
+	// deliberately not workers/batchSize: the engine's ordered reduction
+	// makes outputs bit-identical across both, so tuning knobs should not
+	// fragment the cache.
+	cacheKey := fmt.Sprintf("%016x|%016x|%s|k=%d|metric=%s|eps=%g|delta=%g|t=%d|seed=%d|m=%d|owners=%016x",
+		trainFP, test.Fingerprint(), algorithm, req.K, req.Metric,
+		req.Eps, req.Delta, req.T, req.Seed, req.M, ownersHash(req.Owners))
+
+	r := *req // keep the dispatch inputs alive independent of the caller
+	run := func(ctx context.Context) (*knnshapley.Report, error) {
+		switch algorithm {
+		case "exact":
+			return v.Exact(ctx, test)
+		case "truncated":
+			return v.Truncated(ctx, test, r.Eps)
+		case "montecarlo":
+			return v.MonteCarlo(ctx, test, mcOptions(&r))
+		case "sellers":
+			return v.Sellers(ctx, test, r.Owners, r.M)
+		case "sellersmc":
+			return v.SellersMC(ctx, test, r.Owners, r.M, mcOptions(&r))
+		case "composite":
+			return v.Composite(ctx, test, r.Owners, r.M)
+		case "lsh":
+			return v.LSH(ctx, test, r.Eps, r.Delta, r.Seed)
+		default: // "kd"; the algorithm set was validated above
+			return v.KD(ctx, test, r.Eps)
+		}
+	}
+	return &jobs.Spec{
+		CacheKey:   cacheKey,
+		TotalUnits: test.N(),
+		Run:        run,
+		Meta:       jobMeta{algorithm: algorithm, trainN: train.N()},
+	}, http.StatusOK, nil
+}
+
+// ownersHash condenses a possibly large owners slice into the cache key.
+func ownersHash(owners []int) uint64 {
+	if owners == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, o := range owners {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(o) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// buildResponse renders a Report in the wire format.
+func buildResponse(rep *knnshapley.Report, meta jobMeta, cached bool) *valueResponse {
 	resp := &valueResponse{
 		Values:       rep.Values,
-		N:            train.N(),
-		Algorithm:    algorithm,
+		N:            meta.trainN,
+		Algorithm:    meta.algorithm,
 		Permutations: rep.Permutations,
 		Budget:       rep.Budget,
 		UtilityEvals: rep.UtilityEvals,
 		KStar:        rep.KStar,
 		DurationMs:   rep.Duration.Milliseconds(),
+		Fingerprint:  fmt.Sprintf("%016x", rep.Fingerprint),
+		Cached:       cached,
 	}
-	if algorithm == "composite" {
+	if meta.algorithm == "composite" {
 		analyst := rep.Analyst
 		resp.Analyst = &analyst
 	}
-	return resp, http.StatusOK, nil
+	return resp
+}
+
+// statusResponse renders a job snapshot in the wire format.
+func statusResponse(s jobs.Snapshot) *jobStatusResponse {
+	resp := &jobStatusResponse{
+		ID:        s.ID,
+		Status:    string(s.State),
+		Done:      s.Done,
+		Total:     s.Total,
+		CacheHit:  s.CacheHit,
+		Error:     s.Err,
+		CreatedAt: s.Created,
+	}
+	if !s.Started.IsZero() {
+		t := s.Started
+		resp.StartedAt = &t
+	}
+	if !s.Finished.IsZero() {
+		t := s.Finished
+		resp.FinishedAt = &t
+	}
+	return resp
 }
 
 // mcOptions maps the wire fields onto MCOptions, preserving the original
@@ -288,21 +496,35 @@ func parseMetric(name string) (knnshapley.Metric, error) {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
+// writeRunError maps a job's terminal error onto the /value error
+// conventions: 499 for a canceled run, 504 for a lapsed deadline, 422 for a
+// valuation the engine rejected.
+func writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		writeCanceled(w, statusClientClosedRequest, "valuation canceled: "+err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeCanceled(w, http.StatusGatewayTimeout, "valuation canceled: "+err.Error())
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(errorResponse{Error: msg}); err != nil {
-		log.Printf("svserver: encode error response: %v", err)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		log.Printf("svserver: encode response: %v", err)
 	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
 }
 
 // writeCanceled reports a context-terminated valuation: the JSON body
 // carries "canceled": true so clients can tell an aborted run from a
 // rejected one.
 func writeCanceled(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(errorResponse{Error: msg, Canceled: true}); err != nil {
-		log.Printf("svserver: encode error response: %v", err)
-	}
+	writeJSON(w, status, errorResponse{Error: msg, Canceled: true})
 }

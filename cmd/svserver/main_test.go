@@ -11,7 +11,17 @@ import (
 	"time"
 
 	"knnshapley"
+	"knnshapley/internal/jobs"
 )
+
+// newTestServer builds a server whose job manager is torn down with the
+// test.
+func newTestServer(t *testing.T, maxBody int64, timeout time.Duration) *server {
+	t.Helper()
+	srv := newServer(maxBody, timeout, jobs.Config{Workers: 2, QueueDepth: 16})
+	t.Cleanup(srv.mgr.Close)
+	return srv
+}
 
 func postValue(t *testing.T, srv *server, body any) (*httptest.ResponseRecorder, valueResponse) {
 	t.Helper()
@@ -47,7 +57,7 @@ func testRequest() valueRequest {
 }
 
 func TestValueExactMatchesLibrary(t *testing.T) {
-	srv := &server{maxBody: 1 << 20}
+	srv := newTestServer(t, 1<<20, 0)
 	req := testRequest()
 	rec, resp := postValue(t, srv, req)
 	if rec.Code != http.StatusOK {
@@ -73,7 +83,7 @@ func TestValueExactMatchesLibrary(t *testing.T) {
 }
 
 func TestValueTruncatedAndMonteCarlo(t *testing.T) {
-	srv := &server{maxBody: 1 << 20}
+	srv := newTestServer(t, 1<<20, 0)
 	req := testRequest()
 	req.Algorithm = "truncated"
 	req.Eps = 0.4
@@ -93,7 +103,7 @@ func TestValueTruncatedAndMonteCarlo(t *testing.T) {
 }
 
 func TestValueRejectsBadRequests(t *testing.T) {
-	srv := &server{maxBody: 1 << 20}
+	srv := newTestServer(t, 1<<20, 0)
 	// Wrong method.
 	rec := httptest.NewRecorder()
 	srv.handleValue(rec, httptest.NewRequest(http.MethodGet, "/value", nil))
@@ -127,7 +137,7 @@ func TestValueRejectsBadRequests(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	srv := &server{}
+	srv := newTestServer(t, 1<<20, 0)
 	rec := httptest.NewRecorder()
 	srv.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK {
@@ -136,7 +146,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestValueSellersAndComposite(t *testing.T) {
-	srv := &server{maxBody: 1 << 20}
+	srv := newTestServer(t, 1<<20, 0)
 	req := testRequest()
 	req.Algorithm = "sellers"
 	req.Owners = []int{0, 0, 0, 1, 1, 1}
@@ -187,7 +197,7 @@ func TestValueSellersAndComposite(t *testing.T) {
 }
 
 func TestValueLSHAndKD(t *testing.T) {
-	srv := &server{maxBody: 16 << 20}
+	srv := newTestServer(t, 16<<20, 0)
 	train := knnshapley.SynthDeep(300, 3)
 	test := knnshapley.SynthDeep(5, 4)
 	req := valueRequest{
@@ -226,7 +236,7 @@ func TestValueLSHAndKD(t *testing.T) {
 // A client that disconnects mid-valuation cancels the request context;
 // the server must answer with the 499-style canceled JSON error.
 func TestValueClientDisconnect(t *testing.T) {
-	srv := &server{maxBody: 1 << 20}
+	srv := newTestServer(t, 1<<20, 0)
 	body := testRequest()
 	body.Algorithm = "montecarlo"
 	body.T = 1 << 30 // far more permutations than could run before the check
@@ -254,7 +264,7 @@ func TestValueClientDisconnect(t *testing.T) {
 // -request-timeout bounds the valuation; an exceeded deadline reports 504
 // with the canceled marker.
 func TestValueRequestTimeout(t *testing.T) {
-	srv := &server{maxBody: 1 << 20, timeout: time.Nanosecond}
+	srv := newTestServer(t, 1<<20, time.Nanosecond)
 	body := testRequest()
 	body.Algorithm = "montecarlo"
 	body.T = 1 << 30
@@ -272,7 +282,7 @@ func TestValueRequestTimeout(t *testing.T) {
 }
 
 func TestValueRejectsBadOwners(t *testing.T) {
-	srv := &server{maxBody: 1 << 20}
+	srv := newTestServer(t, 1<<20, 0)
 	req := testRequest()
 	req.Algorithm = "sellers"
 	req.Owners = []int{0, 0, 0, 1, 1, 9} // owner out of range

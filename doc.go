@@ -34,11 +34,15 @@
 //	// rep.Values[i] is the value of training point i; Σ = ν(I) − ν(∅).
 //
 // Every method takes a context.Context and returns a unified *Report
-// carrying the values plus how they were computed (Method, Duration, and —
-// where applicable — Permutations, Budget, UtilityEvals, KStar, Analyst).
+// carrying the values plus how they were computed (Method, Duration,
+// Fingerprint — the training set's content hash — TestPoints, and, where
+// applicable, Permutations, Budget, UtilityEvals, KStar, Analyst).
 // Canceling the context (client disconnect, deadline) aborts an in-flight
 // valuation within one engine batch, and within one permutation inside the
-// Monte-Carlo loops, returning ctx.Err().
+// Monte-Carlo loops, returning ctx.Err(). Wrapping the context with
+// ContextWithProgress makes the engine report test points processed after
+// every batch — per-call progress that works even on a Valuer shared by
+// many concurrent callers.
 //
 //	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 //	defer cancel()
@@ -82,13 +86,22 @@
 // assembled by hand from [][]float64 still work — they take the row-wise
 // fallback path.
 //
-// # Serving
+// # Serving: background jobs with result caching
 //
-// cmd/svserver exposes the sessions over HTTP: POST a JSON train/test
-// payload to /value and get the unified report back. Requests honor
-// -request-timeout and client disconnects (a canceled valuation returns a
-// 499-style JSON error with "canceled": true). See the command's package
-// comment for the wire format.
+// cmd/svserver exposes the sessions over HTTP through a bounded-worker job
+// manager (internal/jobs): POST /jobs enqueues a valuation and returns a
+// job id, GET /jobs/{id} reports state (queued, running, done, failed,
+// canceled) and progress (test points processed, fed by the engine's
+// progress callback), GET /jobs/{id}/result returns the report, and
+// DELETE /jobs/{id} cancels mid-flight through the context plumbing above.
+// Results are cached in an LRU keyed by the train/test content
+// fingerprints plus the algorithm and its parameters, and Valuer sessions
+// are reused across requests by training fingerprint — identical
+// resubmissions are answered from memory without touching the engine. The
+// synchronous POST /value remains as a submit-and-wait wrapper over the
+// same manager (a canceled valuation returns a 499-style JSON error with
+// "canceled": true). See the command's package comment for the wire
+// format, and examples/jobqueue for the manager driven in-process.
 //
 // See the examples/ directory for runnable end-to-end scenarios (data
 // debugging, data markets, streaming valuation) and cmd/svbench for the

@@ -21,6 +21,11 @@ type EngineConfig struct {
 	// BatchSize bounds how many work items are in flight at once
 	// (0 = DefaultBatchSize).
 	BatchSize int
+	// Progress, when non-nil, is called after every completed batch with the
+	// cumulative number of work items reduced so far. It runs on the
+	// goroutine driving Run, never concurrently with itself, and must be
+	// cheap: the engine does not produce the next batch until it returns.
+	Progress func(done int)
 }
 
 func (c EngineConfig) workers() int {
@@ -205,6 +210,9 @@ func (e *Engine[T]) RunSum(ctx context.Context, src Source[T], kern Kernel[T]) (
 			}
 		}
 		total += nb
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(total)
+		}
 	}
 	return acc, total, nil
 }

@@ -63,6 +63,12 @@ func (v *KDValuer) valueOneInto(q []float64, label int, s *Scratch, dst []float6
 // Value averages ValueOne over a test set, streaming the queries through
 // the shared Engine; a canceled ctx aborts within one engine batch.
 func (v *KDValuer) Value(ctx context.Context, test *dataset.Dataset, workers int) ([]float64, error) {
+	return v.ValueEngine(ctx, test, EngineConfig{Workers: workers})
+}
+
+// ValueEngine is Value with an explicit engine configuration, for callers
+// that want a Progress callback or a custom batch size on the query stream.
+func (v *KDValuer) ValueEngine(ctx context.Context, test *dataset.Dataset, ec EngineConfig) ([]float64, error) {
 	if test.IsRegression() {
 		return nil, fmt.Errorf("core: classification test set required")
 	}
@@ -72,6 +78,6 @@ func (v *KDValuer) Value(ctx context.Context, test *dataset.Dataset, workers int
 	if test.N() == 0 {
 		return make([]float64, v.train.N()), nil
 	}
-	eng := NewEngine[labeledQuery](EngineConfig{Workers: workers})
+	eng := NewEngine[labeledQuery](ec)
 	return eng.Run(ctx, &querySource{test: test}, queryKernel{n: v.train.N(), value: v.valueOneInto})
 }

@@ -105,6 +105,12 @@ func (v *LSHValuer) valueOneInto(q []float64, label int, s *Scratch, dst []float
 // the queries through the shared Engine; a canceled ctx aborts within one
 // engine batch.
 func (v *LSHValuer) Value(ctx context.Context, test *dataset.Dataset) ([]float64, error) {
+	return v.ValueEngine(ctx, test, EngineConfig{Workers: v.cfg.Workers})
+}
+
+// ValueEngine is Value with an explicit engine configuration, for callers
+// that want a Progress callback or a custom batch size on the query stream.
+func (v *LSHValuer) ValueEngine(ctx context.Context, test *dataset.Dataset, ec EngineConfig) ([]float64, error) {
 	if test.IsRegression() {
 		return nil, fmt.Errorf("core: classification test set required")
 	}
@@ -114,6 +120,9 @@ func (v *LSHValuer) Value(ctx context.Context, test *dataset.Dataset) ([]float64
 	if test.N() == 0 {
 		return make([]float64, v.train.N()), nil
 	}
-	eng := NewEngine[labeledQuery](EngineConfig{Workers: v.cfg.Workers})
+	if ec.Workers == 0 {
+		ec.Workers = v.cfg.Workers
+	}
+	eng := NewEngine[labeledQuery](ec)
 	return eng.Run(ctx, &querySource{test: test}, queryKernel{n: v.train.N(), value: v.valueOneInto})
 }

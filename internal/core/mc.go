@@ -72,6 +72,9 @@ type MCConfig struct {
 	Seed uint64
 	// Workers and BatchSize configure the Engine fan-out (0 = defaults).
 	Workers, BatchSize int
+	// Progress is forwarded to the Engine (see EngineConfig.Progress): it
+	// fires after every batch of test points completes all its permutations.
+	Progress func(done int)
 }
 
 func (c MCConfig) withDefaults(kind knn.Kind, k int) (MCConfig, error) {
@@ -100,7 +103,7 @@ func (c MCConfig) withDefaults(kind knn.Kind, k int) (MCConfig, error) {
 }
 
 func (c MCConfig) engine() EngineConfig {
-	return EngineConfig{Workers: c.Workers, BatchSize: c.BatchSize}
+	return EngineConfig{Workers: c.Workers, BatchSize: c.BatchSize, Progress: c.Progress}
 }
 
 // Budget returns the permutation budget the configuration implies for a

@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a stable 64-bit content hash of the dataset: shape,
+// features (bit patterns, so ±0 and NaN payloads are distinguished), and
+// responses. Two datasets with equal rows, labels/targets and class count
+// hash identically regardless of storage layout (flat or row-wise), which is
+// what lets a result cache recognize a re-submitted training or test set.
+// The hash says nothing about Name — a renamed copy is still the same data.
+func (d *Dataset) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(uint64(d.N()))
+	word(uint64(d.Dim()))
+	word(uint64(d.Classes))
+	if flat, ok := d.Flat(); ok {
+		// Contiguous fast path: hash the backing buffer in one sweep.
+		for _, v := range flat {
+			word(math.Float64bits(v))
+		}
+	} else {
+		for _, row := range d.X {
+			for _, v := range row {
+				word(math.Float64bits(v))
+			}
+		}
+	}
+	// Tag the response kind so a classification set and a regression set
+	// with bit-equal features cannot collide trivially.
+	word(uint64(len(d.Labels)))
+	for _, y := range d.Labels {
+		word(uint64(int64(y)))
+	}
+	word(uint64(len(d.Targets)))
+	for _, t := range d.Targets {
+		word(math.Float64bits(t))
+	}
+	return h.Sum64()
+}

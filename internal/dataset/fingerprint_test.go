@@ -1,0 +1,46 @@
+package dataset
+
+import "testing"
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() *Dataset {
+		d := FromFlat([]float64{0, 1, 2, 3}, 2, 2)
+		d.Labels = []int{0, 1}
+		d.Classes = 2
+		return d
+	}
+	fp := base().Fingerprint()
+	if fp != base().Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+
+	feature := base()
+	feature.X[1][1] = 3.0000000001
+	if feature.Fingerprint() == fp {
+		t.Fatal("feature change not reflected")
+	}
+	label := base()
+	label.Labels[0] = 1
+	if label.Fingerprint() == fp {
+		t.Fatal("label change not reflected")
+	}
+	// Same feature bits as regression data must hash differently.
+	reg := FromFlat([]float64{0, 1, 2, 3}, 2, 2)
+	reg.Targets = []float64{0, 1}
+	if reg.Fingerprint() == fp {
+		t.Fatal("classification and regression datasets collide")
+	}
+	// Name is presentation, not content.
+	named := base()
+	named.Name = "renamed"
+	if named.Fingerprint() != fp {
+		t.Fatal("Name leaked into the fingerprint")
+	}
+	// Shape matters even when the flat buffer is identical.
+	wide := FromFlat([]float64{0, 1, 2, 3}, 1, 4)
+	wide.Labels = []int{0}
+	wide.Classes = 1
+	if wide.Fingerprint() == base().Fingerprint() {
+		t.Fatal("1x4 and 2x2 datasets collide")
+	}
+}

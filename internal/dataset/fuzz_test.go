@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzFlatRoundTrip drives the storage-layout invariants with arbitrary
+// shapes and bit patterns (NaNs, infinities, subnormals included): a
+// FromFlat dataset must expose its buffer unchanged, Flatten must be a
+// no-op on contiguous data and must pack row-assembled data into a buffer
+// whose Flat view is bit-identical to the rows, and the content fingerprint
+// must not depend on the storage layout.
+func FuzzFlatRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(2), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(0), uint8(4), []byte{})
+	f.Add(uint8(1), uint8(0), []byte{0xff})
+	f.Add(uint8(5), uint8(3), []byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 1}) // NaN payload
+	f.Fuzz(func(t *testing.T, rowsB, dimB uint8, data []byte) {
+		rows := int(rowsB % 17)
+		dim := int(dimB % 9)
+		flat := make([]float64, rows*dim)
+		for i := range flat {
+			var word uint64
+			if off := i * 8; off+8 <= len(data) {
+				word = binary.LittleEndian.Uint64(data[off : off+8])
+			} else {
+				word = uint64(i) * 0x9e3779b97f4a7c15 // deterministic filler
+			}
+			flat[i] = math.Float64frombits(word)
+		}
+
+		d := FromFlat(flat, rows, dim)
+		d.Labels = make([]int, rows)
+		d.Classes = 1
+		if d.N() != rows {
+			t.Fatalf("N = %d, want %d", d.N(), rows)
+		}
+		if rows > 0 && d.Dim() != dim {
+			t.Fatalf("Dim = %d, want %d", d.Dim(), dim)
+		}
+		got, ok := d.Flat()
+		if !ok {
+			t.Fatal("FromFlat dataset not contiguous")
+		}
+		if len(flat) > 0 && &got[0] != &flat[0] {
+			t.Fatal("Flat returned a copy, want the original backing buffer")
+		}
+		d.Flatten() // must be a no-op on contiguous data
+		if again, _ := d.Flat(); len(flat) > 0 && &again[0] != &flat[0] {
+			t.Fatal("Flatten reallocated a contiguous dataset")
+		}
+
+		// Rebuild the same content from independently allocated rows and
+		// flatten: the packed buffer must match bit-for-bit, and the
+		// fingerprint must be layout-independent.
+		scattered := &Dataset{X: make([][]float64, rows), Labels: d.Labels, Classes: 1}
+		for i := 0; i < rows; i++ {
+			scattered.X[i] = append([]float64(nil), d.X[i]...)
+		}
+		scattered.Flatten()
+		packed, ok := scattered.Flat()
+		if !ok {
+			t.Fatal("flattened dataset not contiguous")
+		}
+		if len(packed) != len(flat) {
+			t.Fatalf("packed %d values, want %d", len(packed), len(flat))
+		}
+		for i := range packed {
+			if math.Float64bits(packed[i]) != math.Float64bits(flat[i]) {
+				t.Fatalf("packed[%d] = %x, want %x", i, math.Float64bits(packed[i]), math.Float64bits(flat[i]))
+			}
+		}
+		if d.Fingerprint() != scattered.Fingerprint() {
+			t.Fatal("fingerprint depends on storage layout")
+		}
+
+		// A cloned dataset is a contiguous deep copy with the same content.
+		clone := d.Clone()
+		if _, ok := clone.Flat(); !ok {
+			t.Fatal("Clone not contiguous")
+		}
+		if clone.Fingerprint() != d.Fingerprint() {
+			t.Fatal("clone fingerprint differs")
+		}
+	})
+}

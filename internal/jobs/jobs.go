@@ -1,0 +1,518 @@
+// Package jobs turns one-shot valuations into managed background work: a
+// bounded-worker job manager that runs any Valuer method as a cancellable
+// job with observable states (queued → running → done/failed/canceled),
+// per-job progress fed by the engine's batch callback, TTL-based retention
+// of finished jobs, and two LRU caches — valuation Reports keyed by
+// (training fingerprint, test fingerprint, method, parameters) and Valuer
+// sessions keyed by (training fingerprint, session options) — so a repeated
+// request is answered from memory instead of recomputing, and repeated
+// requests over the same training set reuse one validated, index-carrying
+// session.
+//
+// This is the serving half the paper's efficiency results ask for: once a
+// KNN-Shapley valuation is cheap enough to run interactively, a daemon still
+// needs somewhere to park the N=1e5 exact runs, a way to cancel them, and a
+// memory of what it already computed. cmd/svserver exposes this manager over
+// HTTP as POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result and
+// DELETE /jobs/{id}.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knnshapley"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The job lifecycle: Submit parks a job in StateQueued; a worker moves it to
+// StateRunning; it terminates in exactly one of StateDone, StateFailed or
+// StateCanceled and is retained for Config.TTL after that.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Errors returned by Submit and Wait.
+var (
+	// ErrQueueFull rejects a Submit when QueueDepth jobs are already
+	// waiting — the backpressure signal an HTTP front end maps to 429/503.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed rejects work after Close.
+	ErrClosed = errors.New("jobs: manager closed")
+)
+
+// Spec describes one valuation job.
+type Spec struct {
+	// CacheKey identifies the computation for the result cache. Equal keys
+	// must denote identical computations — conventionally the training-set
+	// fingerprint, test-set fingerprint, method name and every parameter.
+	// Empty disables caching for this job (e.g. non-deterministic runs the
+	// caller does not want replayed).
+	CacheKey string
+	// TotalUnits is the progress denominator — the number of test points the
+	// valuation will process. Zero means unknown until the engine reports.
+	TotalUnits int
+	// Run executes the valuation. The context it receives is canceled by
+	// DELETE-style cancellation, by Config.JobTimeout and by Manager.Close,
+	// and already carries a knnshapley progress callback wired to the job —
+	// passing it straight into a Valuer method is all a caller needs to do
+	// for progress to flow.
+	Run func(ctx context.Context) (*knnshapley.Report, error)
+	// Meta is opaque caller context retained with the job (e.g. the HTTP
+	// layer's response metadata); retrieve it with Job.Meta.
+	Meta any
+}
+
+// Config tunes a Manager. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (default 2).
+	// Each job itself fans out over the engine's worker pool, so this
+	// bounds valuations in flight, not CPU.
+	Workers int
+	// QueueDepth bounds jobs waiting to run (default 64); beyond it Submit
+	// returns ErrQueueFull.
+	QueueDepth int
+	// TTL is how long a terminal job stays retrievable (default 15m).
+	TTL time.Duration
+	// CacheSize bounds the report LRU (default 128 entries).
+	CacheSize int
+	// ValuerCacheSize bounds the session LRU (default 32 entries).
+	ValuerCacheSize int
+	// JobTimeout bounds one job's run time (0 = unbounded); an exceeded
+	// deadline fails the job.
+	JobTimeout time.Duration
+	// Now overrides the clock, for TTL tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.TTL <= 0 {
+		c.TTL = 15 * time.Minute
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.ValuerCacheSize <= 0 {
+		c.ValuerCacheSize = 32
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Job is one submitted valuation. All exported methods are safe for
+// concurrent use.
+type Job struct {
+	id   string
+	spec Spec
+
+	done  atomic.Int64 // test points processed
+	total atomic.Int64 // test points expected
+
+	mu       sync.Mutex
+	state    State
+	report   *knnshapley.Report
+	err      error
+	cacheHit bool
+	canceled bool // cancellation requested (possibly while still queued)
+	cancel   context.CancelFunc
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	doneCh chan struct{} // closed exactly once, on reaching a terminal state
+}
+
+// ID returns the manager-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Meta returns the Spec.Meta the job was submitted with.
+func (j *Job) Meta() any { return j.spec.Meta }
+
+// Snapshot is a point-in-time view of a job, safe to serialize.
+type Snapshot struct {
+	ID    string
+	State State
+	// Done and Total count test points processed / expected. Total may be 0
+	// until known.
+	Done, Total int
+	// CacheHit marks a job answered from the result cache without running.
+	CacheHit bool
+	// Err carries the failure or cancellation message of a terminal job.
+	Err                        string
+	Created, Started, Finished time.Time
+}
+
+// Snapshot returns the job's current state, progress and timestamps.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:       j.id,
+		State:    j.state,
+		Done:     int(j.done.Load()),
+		Total:    int(j.total.Load()),
+		CacheHit: j.cacheHit,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.err != nil {
+		s.Err = j.err.Error()
+	}
+	return s
+}
+
+// Report returns the job's result. It errors while the job is still
+// pending and reproduces the run's error for failed/canceled jobs. The
+// returned Report is shared (possibly with the result cache) and must be
+// treated as read-only.
+func (j *Job) Report() (*knnshapley.Report, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case !j.state.Terminal():
+		return nil, fmt.Errorf("jobs: job %s is %s", j.id, j.state)
+	case j.err != nil:
+		return nil, j.err
+	default:
+		return j.report, nil
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// observe is the progress sink installed on the job's context.
+func (j *Job) observe(done, total int) {
+	j.done.Store(int64(done))
+	if total > 0 {
+		j.total.Store(int64(total))
+	}
+}
+
+// requestCancel flips the job toward cancellation: a queued job terminates
+// immediately, a running one has its context canceled and terminates when
+// the engine unwinds. Terminal jobs are left untouched.
+func (j *Job) requestCancel(now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.canceled {
+		return
+	}
+	j.canceled = true
+	switch j.state {
+	case StateQueued:
+		// Finish right here: the worker that eventually pops the job from
+		// the queue will see canceled=true and skip it.
+		j.finishLocked(StateCanceled, nil, context.Canceled, now)
+	case StateRunning:
+		j.cancel()
+	}
+}
+
+// finishLocked moves the job to a terminal state. Callers hold j.mu.
+func (j *Job) finishLocked(state State, rep *knnshapley.Report, err error, now time.Time) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.report = rep
+	j.err = err
+	j.finished = now
+	close(j.doneCh)
+}
+
+// Manager owns the worker pool, the job table and the two caches.
+type Manager struct {
+	cfg   Config
+	queue chan *Job
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	reports *lru[*knnshapley.Report]
+	valuers *lru[*valuerEntry]
+	closed  bool
+
+	seq          atomic.Uint64
+	runs         atomic.Int64 // Spec.Run invocations, i.e. cache misses
+	hits         atomic.Int64 // jobs answered from the result cache
+	valuerBuilds atomic.Int64 // Valuer sessions constructed
+}
+
+// valuerEntry caches one session build, errors included; the sync.Once
+// keeps construction out of the manager mutex while guaranteeing a single
+// build per key (same pattern as the Valuer's own index cache).
+type valuerEntry struct {
+	once sync.Once
+	v    *knnshapley.Valuer
+	err  error
+}
+
+// New starts a Manager with cfg.Workers background workers.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		reports:    newLRU[*knnshapley.Report](cfg.CacheSize),
+		valuers:    newLRU[*valuerEntry](cfg.ValuerCacheSize),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+func (m *Manager) now() time.Time { return m.cfg.Now() }
+
+// Submit registers spec as a new job. A cache hit (same CacheKey as an
+// earlier completed job) returns a job that is already done, carrying the
+// cached Report, without consuming a worker; otherwise the job is enqueued
+// and runs when a worker frees up. ErrQueueFull and ErrClosed are the only
+// failure modes.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	now := m.now()
+	job := &Job{
+		spec:    spec,
+		state:   StateQueued,
+		created: now,
+		doneCh:  make(chan struct{}),
+	}
+	job.total.Store(int64(spec.TotalUnits))
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	m.sweepLocked(now)
+	job.id = fmt.Sprintf("j%06d", m.seq.Add(1))
+	if spec.CacheKey != "" {
+		if rep, ok := m.reports.get(spec.CacheKey); ok {
+			m.hits.Add(1)
+			job.mu.Lock()
+			job.cacheHit = true
+			job.done.Store(int64(rep.TestPoints))
+			job.total.Store(int64(rep.TestPoints))
+			job.finishLocked(StateDone, rep, nil, now)
+			job.mu.Unlock()
+			m.jobs[job.id] = job
+			return job, nil
+		}
+	}
+	select {
+	case m.queue <- job:
+		m.jobs[job.id] = job
+		return job, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a retained job by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(m.now())
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job: a queued job terminates
+// immediately, a running one as soon as the engine observes its canceled
+// context (within one batch, or one Monte-Carlo permutation). Canceling a
+// terminal job is a no-op. The second return is false when id is unknown.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, false
+	}
+	j.requestCancel(m.now())
+	return j, true
+}
+
+// Wait blocks until the job terminates or ctx is canceled, whichever comes
+// first, and returns the job's Report (or its terminal error). A Wait
+// abandoned by ctx leaves the job running — callers that want abandonment
+// to stop the work cancel the job themselves.
+func (m *Manager) Wait(ctx context.Context, j *Job) (*knnshapley.Report, error) {
+	select {
+	case <-j.Done():
+		return j.Report()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Valuer returns the cached session for key, building it with build on the
+// first request. Keys must encode everything that shapes the session:
+// training-set fingerprint plus the options handed to knnshapley.New. Build
+// errors are cached too (they are deterministic in the key).
+func (m *Manager) Valuer(key string, build func() (*knnshapley.Valuer, error)) (*knnshapley.Valuer, error) {
+	m.mu.Lock()
+	e, ok := m.valuers.get(key)
+	if !ok {
+		e = &valuerEntry{}
+		m.valuers.add(key, e)
+	}
+	m.mu.Unlock()
+	e.once.Do(func() {
+		e.v, e.err = build()
+		if e.err == nil {
+			m.valuerBuilds.Add(1)
+		}
+	})
+	return e.v, e.err
+}
+
+// Stats is a point-in-time view of the manager's counters, primarily for
+// tests and observability endpoints.
+type Stats struct {
+	// Jobs counts retained jobs (any state); Queued and Running break out
+	// the live ones.
+	Jobs, Queued, Running int
+	// CacheHits counts jobs served from the result cache; Runs counts
+	// Spec.Run invocations (the engine actually executing).
+	CacheHits, Runs int64
+	// ValuerBuilds counts sessions constructed (cache misses of Valuer).
+	ValuerBuilds int64
+	// ReportEntries and ValuerEntries are current cache occupancies.
+	ReportEntries, ValuerEntries int
+}
+
+// Stats returns current counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Jobs:          len(m.jobs),
+		CacheHits:     m.hits.Load(),
+		Runs:          m.runs.Load(),
+		ValuerBuilds:  m.valuerBuilds.Load(),
+		ReportEntries: m.reports.len(),
+		ValuerEntries: m.valuers.len(),
+	}
+	for _, j := range m.jobs {
+		switch j.Snapshot().State {
+		case StateQueued:
+			s.Queued++
+		case StateRunning:
+			s.Running++
+		}
+	}
+	return s
+}
+
+// Close stops accepting work, cancels every queued and running job and
+// waits for the workers to drain. It is idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.baseCancel()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// sweepLocked drops terminal jobs whose TTL has lapsed. Callers hold m.mu.
+func (m *Manager) sweepLocked(now time.Time) {
+	for id, j := range m.jobs {
+		s := j.Snapshot()
+		if s.State.Terminal() && now.Sub(s.Finished) > m.cfg.TTL {
+			delete(m.jobs, id)
+		}
+	}
+}
+
+// worker drains the queue until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.runJob(job)
+	}
+}
+
+// runJob executes one job end to end on the calling worker goroutine.
+func (m *Manager) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state.Terminal() {
+		// Canceled while queued; requestCancel already finished it.
+		job.mu.Unlock()
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, m.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
+	}
+	job.cancel = cancel
+	job.state = StateRunning
+	job.started = m.now()
+	job.mu.Unlock()
+
+	m.runs.Add(1)
+	rep, err := job.spec.Run(knnshapley.ContextWithProgress(ctx, job.observe))
+	cancel()
+	now := m.now()
+
+	job.mu.Lock()
+	requested := job.canceled
+	switch {
+	case err == nil:
+		job.finishLocked(StateDone, rep, nil, now)
+	case requested || errors.Is(err, context.Canceled):
+		// Explicit DELETE or manager shutdown; either way the caller asked.
+		job.finishLocked(StateCanceled, nil, err, now)
+	default:
+		// Includes a lapsed JobTimeout (context.DeadlineExceeded): the
+		// server imposed a limit the job overran — that is a failure, not a
+		// requested cancellation.
+		job.finishLocked(StateFailed, nil, err, now)
+	}
+	job.mu.Unlock()
+
+	// Populate the result cache outside job.mu (lock order: m.mu alone).
+	if err == nil && job.spec.CacheKey != "" && rep != nil {
+		m.mu.Lock()
+		m.reports.add(job.spec.CacheKey, rep)
+		m.mu.Unlock()
+	}
+}

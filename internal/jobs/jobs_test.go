@@ -1,0 +1,386 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"knnshapley"
+)
+
+// waitState polls until the job reaches want or the deadline lapses.
+func waitState(t *testing.T, j *Job, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := j.Snapshot(); s.State == want {
+			return s
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s (now %s)", j.ID(), want, j.Snapshot().State)
+	return Snapshot{}
+}
+
+// blockingSpec returns a job that signals on started and then holds a worker
+// until release is closed (or its context is canceled).
+func blockingSpec(started chan<- struct{}, release <-chan struct{}) Spec {
+	return Spec{Run: func(ctx context.Context) (*knnshapley.Report, error) {
+		if started != nil {
+			close(started)
+		}
+		select {
+		case <-release:
+			return &knnshapley.Report{Method: "block"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}}
+}
+
+func smallData(t *testing.T) (*knnshapley.Dataset, *knnshapley.Dataset) {
+	t.Helper()
+	train, err := knnshapley.NewClassificationDataset(
+		[][]float64{{0, 0}, {1, 0}, {0, 1}, {5, 5}, {5, 6}, {6, 5}},
+		[]int{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := knnshapley.NewClassificationDataset(
+		[][]float64{{0.2, 0.1}, {5.2, 5.1}}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+// The happy path: a real Exact valuation submitted as a job reaches done,
+// reports full progress, and its values match the direct computation.
+func TestJobLifecycle(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	train, test := smallData(t)
+	v, err := knnshapley.New(train, knnshapley.WithK(2), knnshapley.WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := m.Submit(Spec{
+		CacheKey:   "lifecycle",
+		TotalUnits: test.N(),
+		Run:        func(ctx context.Context) (*knnshapley.Report, error) { return v.Exact(ctx, test) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Wait(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := waitState(t, job, StateDone)
+	if s.Done != test.N() || s.Total != test.N() {
+		t.Fatalf("progress %d/%d, want %d/%d", s.Done, s.Total, test.N(), test.N())
+	}
+	if s.CacheHit {
+		t.Fatal("first run reported a cache hit")
+	}
+	want, err := v.Exact(context.Background(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Values {
+		if rep.Values[i] != want.Values[i] {
+			t.Fatalf("value %d = %v, want %v", i, rep.Values[i], want.Values[i])
+		}
+	}
+	if rep.Fingerprint == 0 || rep.Fingerprint != v.Fingerprint() {
+		t.Fatalf("report fingerprint %x, want %x", rep.Fingerprint, v.Fingerprint())
+	}
+}
+
+// A second submission with the same CacheKey is answered from the result
+// cache: it is done at Submit time, carries the identical Report, and the
+// engine (Spec.Run) does not execute again.
+func TestResultCacheHit(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	train, test := smallData(t)
+	v, err := knnshapley.New(train, knnshapley.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		CacheKey:   "hit-me",
+		TotalUnits: test.N(),
+		Run:        func(ctx context.Context) (*knnshapley.Report, error) { return v.Exact(ctx, test) },
+	}
+	first, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstRep, err := m.Wait(context.Background(), first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := second.Snapshot()
+	if s.State != StateDone || !s.CacheHit {
+		t.Fatalf("cached job state %s cacheHit=%v, want done from cache", s.State, s.CacheHit)
+	}
+	secondRep, err := second.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secondRep != firstRep {
+		t.Fatal("cache hit did not return the identical Report")
+	}
+	if st := m.Stats(); st.Runs != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats runs=%d hits=%d, want 1 and 1", st.Runs, st.CacheHits)
+	}
+}
+
+// Canceling a queued job terminates it without it ever holding a worker,
+// and canceling a running job releases the worker promptly for new work.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	running, err := m.Submit(blockingSpec(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	queued, err := m.Submit(blockingSpec(nil, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, ok := m.Cancel(queued.ID()); !ok || j.Snapshot().State != StateCanceled {
+		t.Fatalf("queued cancel: ok=%v state=%s", ok, j.Snapshot().State)
+	}
+
+	if _, ok := m.Cancel(running.ID()); !ok {
+		t.Fatal("running cancel: job not found")
+	}
+	s := waitState(t, running, StateCanceled)
+	if s.Err == "" {
+		t.Fatal("canceled job carries no error message")
+	}
+	if _, err := running.Report(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled job Report error = %v, want context.Canceled", err)
+	}
+
+	// The worker must be free again: a fresh job completes.
+	after, err := m.Submit(Spec{Run: func(ctx context.Context) (*knnshapley.Report, error) {
+		return &knnshapley.Report{Method: "after"}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := m.Wait(context.Background(), after); err != nil || rep.Method != "after" {
+		t.Fatalf("post-cancel job: rep=%+v err=%v", rep, err)
+	}
+	if _, ok := m.Cancel("j999999"); ok {
+		t.Fatal("cancel of unknown id reported success")
+	}
+}
+
+// With one worker busy and the queue at capacity, Submit applies
+// backpressure instead of queueing unboundedly.
+func TestQueueFull(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 1})
+	defer m.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := m.Submit(blockingSpec(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Submit(blockingSpec(nil, release)); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+	if _, err := m.Submit(blockingSpec(nil, release)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Submit error = %v, want ErrQueueFull", err)
+	}
+}
+
+// JobTimeout bounds a runaway job; exceeding it is a failure, not a
+// requested cancellation.
+func TestJobTimeout(t *testing.T) {
+	m := New(Config{Workers: 1, JobTimeout: 5 * time.Millisecond})
+	defer m.Close()
+	job, err := m.Submit(blockingSpec(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, StateFailed)
+	if _, err := job.Report(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out job error = %v, want deadline exceeded", err)
+	}
+}
+
+// Terminal jobs are retained for TTL and swept afterwards; the result cache
+// is unaffected by the sweep.
+func TestTTLRetention(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	m := New(Config{Workers: 1, TTL: time.Minute, Now: clock})
+	defer m.Close()
+	job, err := m.Submit(Spec{CacheKey: "ttl", Run: func(ctx context.Context) (*knnshapley.Report, error) {
+		return &knnshapley.Report{Method: "ttl"}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(job.ID()); !ok {
+		t.Fatal("job gone before TTL")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if _, ok := m.Get(job.ID()); ok {
+		t.Fatal("job retained beyond TTL")
+	}
+	// The cached result still answers a resubmission.
+	again, err := m.Submit(Spec{CacheKey: "ttl", Run: func(ctx context.Context) (*knnshapley.Report, error) {
+		t.Error("cache miss after TTL sweep")
+		return nil, errors.New("unreachable")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := again.Snapshot(); !s.CacheHit {
+		t.Fatalf("resubmission state %+v, want cache hit", s)
+	}
+}
+
+// The session cache builds each (fingerprint, options) Valuer exactly once,
+// evicts least-recently-used entries, and caches build errors.
+func TestValuerCache(t *testing.T) {
+	m := New(Config{Workers: 1, ValuerCacheSize: 2})
+	defer m.Close()
+	train, _ := smallData(t)
+	builds := 0
+	build := func() (*knnshapley.Valuer, error) {
+		builds++
+		return knnshapley.New(train, knnshapley.WithK(2))
+	}
+	a1, err := m.Valuer("a", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.Valuer("a", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || builds != 1 {
+		t.Fatalf("same key built %d sessions", builds)
+	}
+	if st := m.Stats(); st.ValuerBuilds != 1 {
+		t.Fatalf("stats valuerBuilds = %d, want 1", st.ValuerBuilds)
+	}
+	if _, err := m.Valuer("b", build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Valuer("c", build); err != nil {
+		t.Fatal(err)
+	}
+	// "a" was least recently used and must have been evicted: a rebuild.
+	if _, err := m.Valuer("a", build); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 4 {
+		t.Fatalf("builds = %d, want 4 (a, b, c, a-again)", builds)
+	}
+	// Errors are cached per key too.
+	fails := 0
+	bad := func() (*knnshapley.Valuer, error) { fails++; return nil, errors.New("boom") }
+	if _, err := m.Valuer("bad", bad); err == nil {
+		t.Fatal("bad build reported no error")
+	}
+	if _, err := m.Valuer("bad", bad); err == nil || fails != 1 {
+		t.Fatalf("cached error: err=%v fails=%d", err, fails)
+	}
+}
+
+// Close cancels running work, terminates queued jobs and rejects new ones.
+func TestClose(t *testing.T) {
+	m := New(Config{Workers: 1})
+	started := make(chan struct{})
+	running, err := m.Submit(blockingSpec(started, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit(blockingSpec(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if s := running.Snapshot().State; s != StateCanceled {
+		t.Fatalf("running job state after Close = %s", s)
+	}
+	if s := queued.Snapshot().State; s != StateCanceled {
+		t.Fatalf("queued job state after Close = %s", s)
+	}
+	if _, err := m.Submit(blockingSpec(nil, nil)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close Submit error = %v, want ErrClosed", err)
+	}
+	m.Close() // idempotent
+}
+
+// Hammer the manager from many goroutines to give the race detector
+// something to chew on: concurrent submits sharing one cache key, polls,
+// cancels and stats.
+func TestConcurrentSubmitPollCancel(t *testing.T) {
+	m := New(Config{Workers: 4, QueueDepth: 256})
+	defer m.Close()
+	train, test := smallData(t)
+	v, err := knnshapley.New(train, knnshapley.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				job, err := m.Submit(Spec{
+					CacheKey:   "shared",
+					TotalUnits: test.N(),
+					Run:        func(ctx context.Context) (*knnshapley.Report, error) { return v.Exact(ctx, test) },
+				})
+				if errors.Is(err, ErrQueueFull) {
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				job.Snapshot()
+				if g%2 == 0 {
+					if _, err := m.Wait(context.Background(), job); err != nil && !errors.Is(err, context.Canceled) {
+						t.Error(err)
+						return
+					}
+				} else {
+					m.Cancel(job.ID())
+				}
+				m.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,66 @@
+// Package wire defines the JSON types svserver speaks and svcli consumes —
+// one definition, imported by both commands, so the formats cannot drift.
+package wire
+
+import "time"
+
+// Payload is one dataset: feature rows plus either class labels or
+// regression targets.
+type Payload struct {
+	X       [][]float64 `json:"x"`
+	Labels  []int       `json:"labels,omitempty"`
+	Targets []float64   `json:"targets,omitempty"`
+}
+
+// ValueRequest is the body of POST /value and POST /jobs.
+type ValueRequest struct {
+	Algorithm string  `json:"algorithm"`
+	K         int     `json:"k"`
+	Metric    string  `json:"metric,omitempty"`
+	Eps       float64 `json:"eps,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	T         int     `json:"t,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	Owners    []int   `json:"owners,omitempty"`
+	M         int     `json:"m,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	BatchSize int     `json:"batchSize,omitempty"`
+	Train     Payload `json:"train"`
+	Test      Payload `json:"test"`
+}
+
+// ValueResponse is the body of a successful /value or /jobs/{id}/result
+// reply — the wire form of the Valuer API's unified Report.
+type ValueResponse struct {
+	Values       []float64 `json:"values"`
+	N            int       `json:"n"`
+	Algorithm    string    `json:"algorithm"`
+	Permutations int       `json:"permutations,omitempty"`
+	Budget       int       `json:"budget,omitempty"`
+	UtilityEvals int       `json:"utilityEvals,omitempty"`
+	KStar        int       `json:"kStar,omitempty"`
+	Analyst      *float64  `json:"analyst,omitempty"`
+	DurationMs   int64     `json:"durationMs"`
+	Fingerprint  string    `json:"fingerprint,omitempty"`
+	Cached       bool      `json:"cached,omitempty"`
+}
+
+// JobStatus is the wire form of a job snapshot.
+type JobStatus struct {
+	ID         string     `json:"id"`
+	Status     string     `json:"status"`
+	Done       int        `json:"done"`
+	Total      int        `json:"total"`
+	CacheHit   bool       `json:"cacheHit,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	CreatedAt  time.Time  `json:"createdAt"`
+	StartedAt  *time.Time `json:"startedAt,omitempty"`
+	FinishedAt *time.Time `json:"finishedAt,omitempty"`
+}
+
+// ErrorResponse is every error body; Canceled marks a context-terminated
+// valuation as opposed to a rejected one.
+type ErrorResponse struct {
+	Error    string `json:"error"`
+	Canceled bool   `json:"canceled,omitempty"`
+}

@@ -1,0 +1,37 @@
+package knnshapley
+
+import "context"
+
+// Progress observes a running valuation: done test points out of total have
+// been fully processed. It is invoked from the goroutine driving the engine
+// after every completed batch (so at most every WithBatchSize test points),
+// never concurrently with itself, and must return quickly — the engine does
+// not start the next batch until it does. total is the test-set size; for
+// the Monte-Carlo methods a test point counts as done once all of its
+// permutations have run.
+type Progress func(done, total int)
+
+// progressKey is the context key carrying a Progress callback; modeled on
+// net/http/httptrace, so one cached Valuer shared by many concurrent callers
+// can report per-call progress without per-call configuration.
+type progressKey struct{}
+
+// ContextWithProgress returns a context that makes every Valuer method
+// derived from it report progress to fn. Passing nil fn returns ctx
+// unchanged.
+func ContextWithProgress(ctx context.Context, fn Progress) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// progressFrom extracts the Progress callback installed by
+// ContextWithProgress, or nil.
+func progressFrom(ctx context.Context) Progress {
+	if ctx == nil {
+		return nil
+	}
+	fn, _ := ctx.Value(progressKey{}).(Progress)
+	return fn
+}

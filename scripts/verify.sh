@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: formatting, vet (./... spans the library, commands
-# and examples), build, tests, a race pass over the execution engine, and a
-# race pass over the context-cancellation tests of the public API. Run from
-# anywhere; operates on the repo root. CI (.github/workflows/ci.yml) runs
-# exactly this script.
+# and examples), build, tests, race passes over the execution engine, the
+# job manager and the context-cancellation paths, fuzz smoke runs over the
+# decode/storage surfaces, and a short svbench smoke emitting a BENCH_2.json
+# snapshot (to $BENCH_SMOKE, default /tmp/BENCH_2.json).
+# Run from anywhere; operates on the repo root. CI
+# (.github/workflows/ci.yml) runs exactly this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,4 +20,19 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/core
+go test -race ./internal/jobs
 go test -run TestCancel -race ./...
+go test -run 'TestJob|TestStatz' -race ./cmd/svserver
+
+# Fuzz smoke: ten seconds per decode/storage surface. New crashers land in
+# testdata/fuzz/ and fail the run.
+go test -run '^$' -fuzz FuzzFlatRoundTrip -fuzztime 10s ./internal/dataset
+go test -run '^$' -fuzz FuzzDecodeValueRequest -fuzztime 10s ./cmd/svserver
+
+# Perf smoke: the machine-readable engine micro-benchmarks, capped at
+# N=1e4 so the sweep stays seconds. Written OUTSIDE the repo (override with
+# BENCH_SMOKE; CI uploads it as an artifact) so the committed full-sweep
+# BENCH_2.json trajectory point is never clobbered by smoke numbers —
+# regenerate that one deliberately with:
+#   go run ./cmd/svbench -benchjson BENCH_2.json
+go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_2.json}" -benchmax 10000

@@ -59,6 +59,13 @@ type Report struct {
 	// Analyst is the computation provider's share (Composite only);
 	// Analyst + Σ Values = ν(I).
 	Analyst float64
+	// Fingerprint is the content hash of the training set the values were
+	// computed against (Valuer.Fingerprint) — the identity a result cache
+	// keys on.
+	Fingerprint uint64
+	// TestPoints is the number of test points the valuation averaged over —
+	// the total a Progress callback counts toward.
+	TestPoints int
 }
 
 // lshKey identifies one cached LSH index build.
@@ -101,6 +108,9 @@ type Valuer struct {
 	lsh         map[lshKey]*lshEntry
 	kd          map[float64]*kdEntry
 	indexBuilds int // ANN indexes constructed so far (tests assert reuse)
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // New constructs a valuation session over train. The training set is
@@ -145,6 +155,33 @@ func (v *Valuer) Train() *Dataset { return v.train }
 
 // K returns the session's KNN parameter.
 func (v *Valuer) K() int { return v.cfg.K }
+
+// Fingerprint returns the content hash of the session's training set
+// (Dataset.Fingerprint), computed once and cached. Every Report carries it,
+// so results can be cached and audited by training-set identity.
+func (v *Valuer) Fingerprint() uint64 {
+	v.fpOnce.Do(func() { v.fp = v.train.Fingerprint() })
+	return v.fp
+}
+
+// engine builds the per-call engine configuration: the session's Workers
+// and BatchSize plus, when ContextWithProgress installed a callback on ctx,
+// a per-batch progress hook reporting against total test points.
+func (v *Valuer) engine(ctx context.Context, total int) core.EngineConfig {
+	ec := v.cfg.engine()
+	if fn := progressFrom(ctx); fn != nil {
+		ec.Progress = func(done int) { fn(done, total) }
+	}
+	return ec
+}
+
+// report stamps the session-level Report fields shared by every method.
+func (v *Valuer) report(rep *Report, test *Dataset, start time.Time) *Report {
+	rep.Fingerprint = v.Fingerprint()
+	rep.TestPoints = test.N()
+	rep.Duration = time.Since(start)
+	return rep
+}
 
 // checkTest rejects test sets the valuation methods cannot work with before
 // any distance is computed.
@@ -211,11 +248,11 @@ func (v *Valuer) Exact(ctx context.Context, test *Dataset) (*Report, error) {
 	default:
 		kern = core.WeightedKernel{N: v.train.N()}
 	}
-	sv, err := core.NewEngine[*knn.TestPoint](v.cfg.engine()).Run(ctx, src, kern)
+	sv, err := core.NewEngine[*knn.TestPoint](v.engine(ctx, test.N())).Run(ctx, src, kern)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Values: sv, Method: "exact", Duration: time.Since(start)}, nil
+	return v.report(&Report{Values: sv, Method: "exact"}, test, start), nil
 }
 
 // Truncated computes the (eps, 0)-approximation of Theorem 2 for unweighted
@@ -231,12 +268,12 @@ func (v *Valuer) Truncated(ctx context.Context, test *Dataset, eps float64) (*Re
 		return nil, err
 	}
 	kern := core.TruncatedClassKernel{N: v.train.N(), Eps: eps}
-	sv, err := core.NewEngine[*knn.TestPoint](v.cfg.engine()).Run(ctx, src, kern)
+	sv, err := core.NewEngine[*knn.TestPoint](v.engine(ctx, test.N())).Run(ctx, src, kern)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Values: sv, Method: "truncated", KStar: core.KStar(v.cfg.K, eps),
-		Duration: time.Since(start)}, nil
+	return v.report(&Report{Values: sv, Method: "truncated",
+		KStar: core.KStar(v.cfg.K, eps)}, test, start), nil
 }
 
 // MonteCarlo estimates Shapley values with the improved Monte-Carlo
@@ -250,13 +287,15 @@ func (v *Valuer) MonteCarlo(ctx context.Context, test *Dataset, opts MCOptions) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.ImprovedMCStream(ctx, src, v.cfg.kind(v.train), v.train.N(), v.cfg.K, opts.internal(v.cfg))
+	mcfg := opts.internal(v.cfg)
+	mcfg.Progress = v.engine(ctx, test.N()).Progress
+	res, err := core.ImprovedMCStream(ctx, src, v.cfg.kind(v.train), v.train.N(), v.cfg.K, mcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Values: res.SV, Method: "montecarlo",
-		Permutations: res.Permutations, Budget: res.Budget, UtilityEvals: res.UtilityEvals,
-		Duration: time.Since(start)}, nil
+	return v.report(&Report{Values: res.SV, Method: "montecarlo",
+		Permutations: res.Permutations, Budget: res.Budget,
+		UtilityEvals: res.UtilityEvals}, test, start), nil
 }
 
 // Sellers computes the exact Shapley value of each seller when sellers
@@ -273,11 +312,11 @@ func (v *Valuer) Sellers(ctx context.Context, test *Dataset, owners []int, m int
 		return nil, err
 	}
 	kern := core.MultiSellerKernel{Owners: owners, M: m}
-	sv, err := core.NewEngine[*knn.TestPoint](v.cfg.engine()).Run(ctx, src, kern)
+	sv, err := core.NewEngine[*knn.TestPoint](v.engine(ctx, test.N())).Run(ctx, src, kern)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Values: sv, Method: "sellers", Duration: time.Since(start)}, nil
+	return v.report(&Report{Values: sv, Method: "sellers"}, test, start), nil
 }
 
 // SellersMC estimates seller values by permutation sampling over sellers
@@ -292,13 +331,15 @@ func (v *Valuer) SellersMC(ctx context.Context, test *Dataset, owners []int, m i
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.MultiSellerMC(ctx, tps, owners, m, opts.internal(v.cfg))
+	mcfg := opts.internal(v.cfg)
+	mcfg.Progress = v.engine(ctx, test.N()).Progress
+	res, err := core.MultiSellerMC(ctx, tps, owners, m, mcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Values: res.SV, Method: "sellers-mc",
-		Permutations: res.Permutations, Budget: res.Budget, UtilityEvals: res.UtilityEvals,
-		Duration: time.Since(start)}, nil
+	return v.report(&Report{Values: res.SV, Method: "sellers-mc",
+		Permutations: res.Permutations, Budget: res.Budget,
+		UtilityEvals: res.UtilityEvals}, test, start), nil
 }
 
 // Composite computes the exact Shapley values of the composite game
@@ -318,12 +359,12 @@ func (v *Valuer) Composite(ctx context.Context, test *Dataset, owners []int, m i
 		return nil, err
 	}
 	kern := core.CompositeKernel{Owners: owners, M: m}
-	sv, err := core.NewEngine[*knn.TestPoint](v.cfg.engine()).Run(ctx, src, kern)
+	sv, err := core.NewEngine[*knn.TestPoint](v.engine(ctx, test.N())).Run(ctx, src, kern)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Values: sv[:m], Analyst: sv[m], Method: "composite",
-		Duration: time.Since(start)}, nil
+	return v.report(&Report{Values: sv[:m], Analyst: sv[m],
+		Method: "composite"}, test, start), nil
 }
 
 // lshValuer returns the session's cached LSH index for (eps, delta, seed),
@@ -400,12 +441,12 @@ func (v *Valuer) LSH(ctx context.Context, test *Dataset, eps, delta float64, see
 	if err != nil {
 		return nil, err
 	}
-	sv, err := inner.Value(ctx, test)
+	sv, err := inner.ValueEngine(ctx, test, v.engine(ctx, test.N()))
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Values: sv, Method: "lsh", KStar: inner.KStar(),
-		Duration: time.Since(start)}, nil
+	return v.report(&Report{Values: sv, Method: "lsh",
+		KStar: inner.KStar()}, test, start), nil
 }
 
 // KD computes (eps, 0)-approximate Shapley values for unweighted KNN
@@ -421,12 +462,12 @@ func (v *Valuer) KD(ctx context.Context, test *Dataset, eps float64) (*Report, e
 	if err != nil {
 		return nil, err
 	}
-	sv, err := inner.Value(ctx, test, v.cfg.Workers)
+	sv, err := inner.ValueEngine(ctx, test, v.engine(ctx, test.N()))
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Values: sv, Method: "kd", KStar: inner.KStar(),
-		Duration: time.Since(start)}, nil
+	return v.report(&Report{Values: sv, Method: "kd",
+		KStar: inner.KStar()}, test, start), nil
 }
 
 // BaselineMonteCarlo is the Section 2.2 baseline estimator: permutation
@@ -443,9 +484,9 @@ func (v *Valuer) BaselineMonteCarlo(ctx context.Context, test *Dataset, eps, del
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Values: res.SV, Method: "baseline",
-		Permutations: res.Permutations, Budget: res.Budget, UtilityEvals: res.UtilityEvals,
-		Duration: time.Since(start)}, nil
+	return v.report(&Report{Values: res.SV, Method: "baseline",
+		Permutations: res.Permutations, Budget: res.Budget,
+		UtilityEvals: res.UtilityEvals}, test, start), nil
 }
 
 // Utility returns the multi-test KNN utility ν(S) of an arbitrary training
