@@ -9,19 +9,24 @@ import (
 
 	"knnshapley"
 	"knnshapley/internal/dataset"
+	"knnshapley/internal/registry"
 	"knnshapley/internal/vec"
+	"knnshapley/internal/wire"
 )
 
 // benchRecord is one micro-benchmark measurement. NsPerOp is nanoseconds
-// per test point for the valuation benchmarks and per full scan for the
-// storage benchmarks, so numbers stay comparable across N.
+// per test point for the valuation benchmarks, per full scan for the
+// storage benchmarks, and per request for the wire benchmarks, so numbers
+// stay comparable across N. BytesOnWire is the request body size for the
+// wire benchmarks (the upload-once/value-many comparison).
 type benchRecord struct {
-	Name    string `json:"name"`
-	N       int    `json:"n"`
-	Dim     int    `json:"dim"`
-	NTest   int    `json:"ntest,omitempty"`
-	NsPerOp int64  `json:"nsPerOp"`
-	TotalNs int64  `json:"totalNs"`
+	Name        string `json:"name"`
+	N           int    `json:"n"`
+	Dim         int    `json:"dim"`
+	NTest       int    `json:"ntest,omitempty"`
+	NsPerOp     int64  `json:"nsPerOp"`
+	TotalNs     int64  `json:"totalNs"`
+	BytesOnWire int64  `json:"bytesOnWire,omitempty"`
 }
 
 // benchReport is the BENCH_1.json schema.
@@ -135,6 +140,19 @@ func runBenchJSON(path string, maxN int) error {
 		rep.Results = append(rep.Results, benchRecord{
 			Name: "distscan_slices", N: n, Dim: train.Dim(), NsPerOp: sliceNs, TotalNs: sliceNs * reps,
 		})
+
+		// Serving-path comparison: what one request costs the server before
+		// any valuation happens — inline (decode the full JSON payload,
+		// validate, flatten, fingerprint) vs by-ref (resolve two registry
+		// IDs). This is the upload-once/value-many split of the dataset
+		// registry, measured at the wire/registry layer without HTTP
+		// overhead; cmd/svserver's BenchmarkValueInline/ByRef cover the full
+		// handler stack.
+		wireRecs, err := benchWire(n, train, test)
+		if err != nil {
+			return fmt.Errorf("wire n=%d: %w", n, err)
+		}
+		rep.Results = append(rep.Results, wireRecs...)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -147,4 +165,81 @@ func runBenchJSON(path string, maxN int) error {
 		return err
 	}
 	return f.Close()
+}
+
+// benchWire measures the per-request server-side dataset cost of the two
+// submission modes over reps requests each: "wire_inline" re-ships and
+// re-fingerprints the full training payload every time, "wire_byref"
+// resolves a pre-uploaded registry ID. NsPerOp is per request; BytesOnWire
+// is the JSON body size.
+func benchWire(n int, train, test *dataset.Dataset) ([]benchRecord, error) {
+	dir, err := os.MkdirTemp("", "svbench-registry-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	reg, err := registry.New(registry.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+
+	inlineReq := wire.ValueRequest{
+		Algorithm: "exact", K: benchK,
+		Train: &wire.Payload{X: train.X, Labels: train.Labels},
+		Test:  &wire.Payload{X: test.X, Labels: test.Labels},
+	}
+	inlineRaw, err := json.Marshal(inlineReq)
+	if err != nil {
+		return nil, err
+	}
+
+	const reps = 10
+	start := time.Now()
+	var trainID, testID string
+	for r := 0; r < reps; r++ {
+		var req wire.ValueRequest
+		if err := json.Unmarshal(inlineRaw, &req); err != nil {
+			return nil, err
+		}
+		for _, p := range []*wire.Payload{req.Train, req.Test} {
+			d := &dataset.Dataset{X: p.X, Labels: p.Labels, Targets: p.Targets}
+			d.Classes = train.Classes
+			h, _, err := reg.Put(d) // validates, flattens, fingerprints
+			if err != nil {
+				return nil, err
+			}
+			trainID, testID = testID, h.ID() // keep the last two IDs
+			h.Release()
+		}
+	}
+	inlineNs := time.Since(start).Nanoseconds() / reps
+
+	byrefRaw, err := json.Marshal(wire.ValueRequest{
+		Algorithm: "exact", K: benchK, TrainRef: trainID, TestRef: testID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		var req wire.ValueRequest
+		if err := json.Unmarshal(byrefRaw, &req); err != nil {
+			return nil, err
+		}
+		for _, id := range []string{req.TrainRef, req.TestRef} {
+			h, err := reg.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			h.Release()
+		}
+	}
+	byrefNs := time.Since(start).Nanoseconds() / reps
+
+	return []benchRecord{
+		{Name: "wire_inline", N: n, Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: inlineNs, TotalNs: inlineNs * reps, BytesOnWire: int64(len(inlineRaw))},
+		{Name: "wire_byref", N: n, Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: byrefNs, TotalNs: byrefNs * reps, BytesOnWire: int64(len(byrefRaw))},
+	}, nil
 }

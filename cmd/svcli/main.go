@@ -9,6 +9,7 @@
 //	svcli -train train.csv -test test.csv -k 1 -algo lsh -eps 0.1 -delta 0.1
 //	svcli -train train.csv -test test.csv -k 2 -algo kd -eps 0.1 -timeout 30s
 //	svcli -train reg.csv -test regtest.csv -regression -k 3 -algo mc -eps 0.05 -range 2
+//	svcli -train train.csv -test test.csv -k 3 -algo sellers -owners 0,0,1,1 -m 2
 //
 // With -server the computation runs on an svserver daemon instead of
 // in-process. The default remote mode POSTs /value and waits; with -async
@@ -18,6 +19,27 @@
 //
 //	svcli -train train.csv -test test.csv -k 5 -server http://localhost:8080
 //	svcli -train train.csv -test test.csv -k 5 -algo exact -server http://localhost:8080 -async
+//
+// # Upload-once, value-many
+//
+// The server holds a content-addressed dataset registry; svcli speaks it
+// through two subcommands and by-reference flags:
+//
+//	svcli upload -server http://localhost:8080 -data train.csv        # prints the dataset ID
+//	svcli datasets -server http://localhost:8080                      # list stored datasets
+//	svcli datasets -server http://localhost:8080 -id a1b2c3d4e5f60718 # one dataset's metadata
+//	svcli datasets -server http://localhost:8080 -delete a1b2c3d4e5f60718
+//
+//	svcli -train-ref a1b2... -test-ref 18f7... -k 5 -server http://localhost:8080
+//	svcli -train big.csv -test test.csv -k 5 -server http://localhost:8080 -by-ref
+//
+// upload ships the dataset in the compact binary wire format (pass -json to
+// send JSON instead) and is idempotent: re-uploading identical content
+// returns the same ID. -train-ref/-test-ref submit a valuation that carries
+// only the two IDs — bytes on the wire stay constant however large the
+// datasets are — and -by-ref uploads the local CSVs first (a no-op after
+// the first run) and then submits by reference. Repeated valuations of one
+// training set this way send its bytes exactly once.
 //
 // An -async run that hits -timeout cancels its job (DELETE /jobs/{id}) so
 // the daemon stops computing, then exits non-zero. Identical resubmissions
@@ -37,8 +59,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	knnshapley "knnshapley"
@@ -46,17 +71,32 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "upload":
+			runUpload(os.Args[2:])
+			return
+		case "datasets":
+			runDatasets(os.Args[2:])
+			return
+		}
+	}
 	var (
 		trainPath  = flag.String("train", "", "training CSV (features..., response)")
 		testPath   = flag.String("test", "", "test CSV")
+		trainRef   = flag.String("train-ref", "", "registry ID of an uploaded training set (with -server, instead of -train)")
+		testRef    = flag.String("test-ref", "", "registry ID of an uploaded test set (with -server, instead of -test)")
+		byRef      = flag.Bool("by-ref", false, "with -server: upload the CSVs to the registry first, then submit refs")
 		regression = flag.Bool("regression", false, "treat the response column as a regression target")
 		k          = flag.Int("k", 5, "number of neighbors")
-		algo       = flag.String("algo", "exact", "exact|truncated|lsh|kd|mc|baseline")
+		algo       = flag.String("algo", "exact", "exact|truncated|lsh|kd|mc|baseline|sellers|sellersmc|composite")
 		eps        = flag.Float64("eps", 0.1, "approximation error target")
 		delta      = flag.Float64("delta", 0.1, "approximation failure probability")
 		weighted   = flag.Bool("weighted", false, "use inverse-distance weighted KNN")
 		rangeHW    = flag.Float64("range", 0, "utility-difference half-width for MC bounds (default 1/K for unweighted classification)")
 		seed       = flag.Uint64("seed", 1, "randomness seed")
+		owners     = flag.String("owners", "", "comma-separated owner index per training point (sellers, sellersmc, composite)")
+		m          = flag.Int("m", 0, "seller count for owners-based games")
 		top        = flag.Int("top", 0, "print only the top-n values, descending")
 		timeout    = flag.Duration("timeout", 0, "valuation deadline (0 = none)")
 		serverURL  = flag.String("server", "", "svserver base URL; compute remotely instead of in-process")
@@ -64,14 +104,24 @@ func main() {
 		poll       = flag.Duration("poll", 250*time.Millisecond, "with -async: status poll interval")
 	)
 	flag.Parse()
-	if *trainPath == "" || *testPath == "" {
-		fmt.Fprintln(os.Stderr, "svcli: -train and -test are required")
+	if *serverURL == "" && (*trainRef != "" || *testRef != "" || *byRef) {
+		fatalf("-train-ref/-test-ref/-by-ref need -server")
+	}
+	needTrain := *trainPath == "" && *trainRef == ""
+	needTest := *testPath == "" && *testRef == ""
+	if needTrain || needTest {
+		fmt.Fprintln(os.Stderr, "svcli: -train and -test (or -train-ref/-test-ref) are required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	train := mustRead(*trainPath, *regression)
-	test := mustRead(*testPath, *regression)
+	var train, test *knnshapley.Dataset
+	if *trainPath != "" {
+		train = mustRead(*trainPath, *regression)
+	}
+	if *testPath != "" {
+		test = mustRead(*testPath, *regression)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -80,18 +130,27 @@ func main() {
 		defer cancel()
 	}
 
+	ownerIdx, err := parseOwners(*owners)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	var sv []float64
 	if *serverURL != "" {
 		if *weighted {
-			fmt.Fprintln(os.Stderr, "svcli: -weighted is not supported by the server wire format")
-			os.Exit(2)
+			fatalf("-weighted is not supported by the server wire format")
 		}
 		sv = runRemote(ctx, *serverURL, remoteOptions{
 			algo: *algo, k: *k, eps: *eps, delta: *delta, rangeHW: *rangeHW, seed: *seed,
+			owners: ownerIdx, m: *m,
+			trainRef: *trainRef, testRef: *testRef, byRef: *byRef,
 			async: *async, poll: *poll,
 		}, train, test)
 	} else {
-		sv = runLocal(ctx, train, test, *algo, *k, *eps, *delta, *rangeHW, *seed, *weighted)
+		sv = runLocal(ctx, train, test, localOptions{
+			algo: *algo, k: *k, eps: *eps, delta: *delta, rangeHW: *rangeHW,
+			seed: *seed, weighted: *weighted, owners: ownerIdx, m: *m,
+		})
 	}
 
 	if *top > 0 {
@@ -113,10 +172,44 @@ func main() {
 	}
 }
 
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "svcli: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// parseOwners splits "-owners 0,0,1,2" into indices.
+func parseOwners(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-owners: %q is not an integer", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// localOptions carries the flag values of an in-process run.
+type localOptions struct {
+	algo       string
+	k          int
+	eps, delta float64
+	rangeHW    float64
+	seed       uint64
+	weighted   bool
+	owners     []int
+	m          int
+}
+
 // runLocal computes the values in-process through a one-shot session.
-func runLocal(ctx context.Context, train, test *knnshapley.Dataset, algo string, k int, eps, delta, rangeHW float64, seed uint64, weighted bool) []float64 {
-	opts := []knnshapley.Option{knnshapley.WithK(k)}
-	if weighted {
+func runLocal(ctx context.Context, train, test *knnshapley.Dataset, o localOptions) []float64 {
+	opts := []knnshapley.Option{knnshapley.WithK(o.k)}
+	if o.weighted {
 		opts = append(opts, knnshapley.WithWeight(knnshapley.InverseDistance(1e-3)))
 	}
 	valuer, err := knnshapley.New(train, opts...)
@@ -126,28 +219,38 @@ func runLocal(ctx context.Context, train, test *knnshapley.Dataset, algo string,
 	}
 
 	var rep *knnshapley.Report
-	switch algo {
+	switch o.algo {
 	case "exact":
 		rep, err = valuer.Exact(ctx, test)
 	case "truncated":
-		rep, err = valuer.Truncated(ctx, test, eps)
+		rep, err = valuer.Truncated(ctx, test, o.eps)
 	case "lsh":
-		rep, err = valuer.LSH(ctx, test, eps, delta, seed)
+		rep, err = valuer.LSH(ctx, test, o.eps, o.delta, o.seed)
 	case "kd":
-		rep, err = valuer.KD(ctx, test, eps)
+		rep, err = valuer.KD(ctx, test, o.eps)
 	case "mc":
 		rep, err = valuer.MonteCarlo(ctx, test, knnshapley.MCOptions{
-			Eps: eps, Delta: delta, Bound: knnshapley.Bennett,
-			RangeHalfWidth: rangeHW, Heuristic: true, Seed: seed,
+			Eps: o.eps, Delta: o.delta, Bound: knnshapley.Bennett,
+			RangeHalfWidth: o.rangeHW, Heuristic: true, Seed: o.seed,
 		})
 		if err == nil {
 			fmt.Fprintf(os.Stderr, "mc: %d/%d permutations\n", rep.Permutations, rep.Budget)
 		}
 	case "baseline":
-		rep, err = valuer.BaselineMonteCarlo(ctx, test, eps, delta, 0, seed)
+		rep, err = valuer.BaselineMonteCarlo(ctx, test, o.eps, o.delta, 0, o.seed)
+	case "sellers":
+		rep, err = valuer.Sellers(ctx, test, o.owners, o.m)
+	case "sellersmc":
+		rep, err = valuer.SellersMC(ctx, test, o.owners, o.m, knnshapley.MCOptions{
+			Eps: o.eps, Delta: o.delta, RangeHalfWidth: o.rangeHW, Seed: o.seed,
+		})
+	case "composite":
+		rep, err = valuer.Composite(ctx, test, o.owners, o.m)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "composite: analyst share %g\n", rep.Analyst)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "svcli: unknown algorithm %q\n", algo)
-		os.Exit(2)
+		fatalf("unknown algorithm %q", o.algo)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svcli:", err)
@@ -167,22 +270,26 @@ type valueResult struct {
 // (job polling reuses wire.JobStatus directly — its Error field doubles as
 // the transport-error overlay).
 type remoteOptions struct {
-	algo       string
-	k          int
-	eps, delta float64
-	rangeHW    float64
-	seed       uint64
-	async      bool
-	poll       time.Duration
+	algo              string
+	k                 int
+	eps, delta        float64
+	rangeHW           float64
+	seed              uint64
+	owners            []int
+	m                 int
+	trainRef, testRef string
+	byRef             bool
+	async             bool
+	poll              time.Duration
 }
 
-// runRemote ships the datasets to an svserver and returns the values —
+// runRemote ships the valuation to an svserver and returns the values —
 // synchronously via POST /value, or via the job API with progress polling.
-// Only the algorithms whose parameters svcli can fully express on the wire
-// are allowed; anything else is rejected here rather than failing with a
-// confusing server-side error. Remote Monte-Carlo uses the server's budget
-// rule (Bennett, no stopping heuristic), so its values can differ from a
-// local -algo mc run, which enables the heuristic.
+// Datasets travel inline, by explicit -train-ref/-test-ref, or (with
+// -by-ref) are uploaded to the registry first so the request itself carries
+// only IDs. Remote Monte-Carlo uses the server's budget rule (Bennett, no
+// stopping heuristic), so its values can differ from a local -algo mc run,
+// which enables the heuristic.
 func runRemote(ctx context.Context, base string, opts remoteOptions, train, test *knnshapley.Dataset) []float64 {
 	algorithm := opts.algo
 	switch algorithm {
@@ -190,23 +297,36 @@ func runRemote(ctx context.Context, base string, opts remoteOptions, train, test
 		algorithm = "montecarlo"
 	case "exact", "truncated", "lsh", "kd", "montecarlo":
 	case "sellers", "sellersmc", "composite":
-		fmt.Fprintf(os.Stderr, "svcli: %s needs owners/m, which svcli has no flags for; POST the server directly\n", algorithm)
-		os.Exit(2)
+		if len(opts.owners) == 0 || opts.m <= 0 {
+			fatalf("%s needs -owners and -m", algorithm)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "svcli: algorithm %q is not served remotely\n", opts.algo)
-		os.Exit(2)
-	}
-	if opts.rangeHW != 0 {
-		fmt.Fprintln(os.Stderr, "svcli: -range is not carried by the wire format; drop it or run locally")
-		os.Exit(2)
+		fatalf("algorithm %q is not served remotely", opts.algo)
 	}
 	req := wire.ValueRequest{
 		Algorithm: algorithm, K: opts.k,
 		Eps: opts.eps, Delta: opts.delta, Seed: opts.seed,
-		Train: toWire(train), Test: toWire(test),
+		Owners: opts.owners, M: opts.m, RangeHalfWidth: opts.rangeHW,
+		TrainRef: opts.trainRef, TestRef: opts.testRef,
 	}
 	if algorithm == "exact" {
 		req.Eps, req.Delta = 0, 0 // not meaningful; keep cache keys canonical
+	}
+	if opts.byRef {
+		if train != nil {
+			req.TrainRef = uploadDataset(ctx, base, train, "train")
+			train = nil
+		}
+		if test != nil {
+			req.TestRef = uploadDataset(ctx, base, test, "test")
+			test = nil
+		}
+	}
+	if req.TrainRef == "" {
+		req.Train = toWire(train)
+	}
+	if req.TestRef == "" {
+		req.Test = toWire(test)
 	}
 
 	if !opts.async {
@@ -260,12 +380,175 @@ func runRemote(ctx context.Context, base string, opts remoteOptions, train, test
 	return resp.Values
 }
 
+// uploadBinary POSTs one dataset to the registry in the compact binary
+// wire format (its Name, if any, riding along as the ?name= hint) and
+// returns the server's response. Re-uploading identical content is
+// idempotent — same ID, Created false. Exits on any transport or server
+// error.
+func uploadBinary(ctx context.Context, base string, d *knnshapley.Dataset, what string) wire.UploadResponse {
+	var buf bytes.Buffer
+	if err := knnshapley.WriteBinary(&buf, d); err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
+	}
+	target := base + "/datasets"
+	if d.Name != "" {
+		target += "?name=" + url.QueryEscape(d.Name)
+	}
+	var resp struct {
+		wire.UploadResponse
+		Error string `json:"error"`
+	}
+	status := postBody(ctx, target, "application/octet-stream", buf.Bytes(), &resp)
+	if status != http.StatusCreated && status != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "svcli: upload %s: %s (HTTP %d)\n", what, resp.Error, status)
+		os.Exit(1)
+	}
+	return resp.UploadResponse
+}
+
+// uploadDataset is the -by-ref helper: ship one side's dataset, narrate on
+// stderr, return the content-addressed ID for the request body.
+func uploadDataset(ctx context.Context, base string, d *knnshapley.Dataset, side string) string {
+	resp := uploadBinary(ctx, base, d, side)
+	verb := "already stored as"
+	if resp.Created {
+		verb = "uploaded as"
+	}
+	fmt.Fprintf(os.Stderr, "svcli: %s %s %s (%d rows, %d bytes binary)\n",
+		side, verb, resp.ID, resp.Rows, resp.Bytes)
+	return resp.ID
+}
+
+// runUpload is the "svcli upload" subcommand: ship one CSV to the registry.
+func runUpload(args []string) {
+	fs := flag.NewFlagSet("upload", flag.ExitOnError)
+	var (
+		serverURL  = fs.String("server", "", "svserver base URL (required)")
+		dataPath   = fs.String("data", "", "CSV to upload (features..., response)")
+		regression = fs.Bool("regression", false, "treat the response column as a regression target")
+		name       = fs.String("name", "", "display name stored with the dataset")
+		asJSON     = fs.Bool("json", false, "upload as JSON instead of the compact binary format")
+		timeout    = fs.Duration("timeout", time.Minute, "upload deadline")
+	)
+	fs.Parse(args)
+	if *serverURL == "" || *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "svcli upload: -server and -data are required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	d := mustRead(*dataPath, *regression)
+	if *name != "" {
+		d.Name = *name
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var up wire.UploadResponse
+	if *asJSON {
+		var resp struct {
+			wire.UploadResponse
+			Error string `json:"error"`
+		}
+		status := postJSON(ctx, *serverURL+"/datasets", wire.Payload{
+			Name: d.Name, X: d.X, Labels: d.Labels, Targets: d.Targets,
+		}, &resp)
+		if status != http.StatusCreated && status != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "svcli: upload: %s (HTTP %d)\n", resp.Error, status)
+			os.Exit(1)
+		}
+		up = resp.UploadResponse
+	} else {
+		up = uploadBinary(ctx, *serverURL, d, *dataPath)
+	}
+	if up.Created {
+		fmt.Fprintf(os.Stderr, "svcli: uploaded %s (%d rows × %d features)\n", *dataPath, up.Rows, up.Dim)
+	} else {
+		fmt.Fprintf(os.Stderr, "svcli: %s already stored (%d rows × %d features)\n", *dataPath, up.Rows, up.Dim)
+	}
+	fmt.Println(up.ID)
+}
+
+// runDatasets is the "svcli datasets" subcommand: list, stat or delete.
+func runDatasets(args []string) {
+	fs := flag.NewFlagSet("datasets", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "", "svserver base URL (required)")
+		id        = fs.String("id", "", "show one dataset's metadata")
+		del       = fs.String("delete", "", "delete one dataset by ID")
+		timeout   = fs.Duration("timeout", 10*time.Second, "request deadline")
+	)
+	fs.Parse(args)
+	if *serverURL == "" {
+		fmt.Fprintln(os.Stderr, "svcli datasets: -server is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch {
+	case *del != "":
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, *serverURL+"/datasets/"+*del, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svcli:", err)
+			os.Exit(1)
+		}
+		var er wire.ErrorResponse
+		if status := doJSON(req, &er); status != http.StatusNoContent {
+			fmt.Fprintf(os.Stderr, "svcli: delete: %s (HTTP %d)\n", er.Error, status)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "svcli: deleted %s\n", *del)
+	case *id != "":
+		var info struct {
+			wire.DatasetInfo
+			Error string `json:"error"`
+		}
+		if status := getJSON(ctx, *serverURL+"/datasets/"+*id, &info); status != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "svcli: stat: %s (HTTP %d)\n", info.Error, status)
+			os.Exit(1)
+		}
+		printDataset(info.DatasetInfo)
+	default:
+		var list struct {
+			wire.DatasetListResponse
+			Error string `json:"error"`
+		}
+		if status := getJSON(ctx, *serverURL+"/datasets", &list); status != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "svcli: list: %s (HTTP %d)\n", list.Error, status)
+			os.Exit(1)
+		}
+		for _, info := range list.Datasets {
+			printDataset(info)
+		}
+	}
+}
+
+// printDataset renders one registry entry as a stable one-liner.
+func printDataset(info wire.DatasetInfo) {
+	kind := fmt.Sprintf("classes=%d", info.Classes)
+	if info.Regression {
+		kind = "regression"
+	}
+	tier := "disk"
+	if info.InMemory {
+		tier = "memory"
+	}
+	name := ""
+	if info.Name != "" {
+		name = " name=" + info.Name
+	}
+	fmt.Printf("%s rows=%d dim=%d %s bytes=%d tier=%s refs=%d%s\n",
+		info.ID, info.Rows, info.Dim, kind, info.Bytes, tier, info.Refs, name)
+}
+
 func terminal(status string) bool {
 	return status == "done" || status == "failed" || status == "canceled"
 }
 
-func toWire(d *knnshapley.Dataset) wire.Payload {
-	return wire.Payload{X: d.X, Labels: d.Labels, Targets: d.Targets}
+func toWire(d *knnshapley.Dataset) *wire.Payload {
+	return &wire.Payload{X: d.X, Labels: d.Labels, Targets: d.Targets}
 }
 
 func postJSON(ctx context.Context, url string, body, out any) int {
@@ -274,12 +557,16 @@ func postJSON(ctx context.Context, url string, body, out any) int {
 		fmt.Fprintln(os.Stderr, "svcli:", err)
 		os.Exit(1)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+	return postBody(ctx, url, "application/json", raw, out)
+}
+
+func postBody(ctx context.Context, url, contentType string, body []byte, out any) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svcli:", err)
 		os.Exit(1)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	return doJSON(req, out)
 }
 

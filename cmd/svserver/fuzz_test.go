@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"knnshapley/internal/jobs"
+	"knnshapley/internal/registry"
 )
 
 // FuzzDecodeValueRequest throws arbitrary bytes at the two JSON-decoding
@@ -31,13 +32,22 @@ func FuzzDecodeValueRequest(f *testing.F) {
 	f.Add([]byte(`[]`))
 	f.Add([]byte(``))
 	f.Add([]byte(`{"algorithm":"exact","unknown":true}`))
+	// By-reference requests: unknown refs, malformed refs, ref+inline mix.
+	f.Add([]byte(`{"algorithm":"exact","k":1,"trainRef":"0123456789abcdef","testRef":"fedcba9876543210"}`))
+	f.Add([]byte(`{"algorithm":"exact","k":1,"trainRef":"../../etc/passwd","test":{"x":[[0]],"labels":[0]}}`))
+	f.Add([]byte(`{"algorithm":"exact","k":1,` +
+		`"train":{"x":[[0],[1]],"labels":[0,1]},"trainRef":"0123456789abcdef",` +
+		`"test":{"x":[[0]],"labels":[0]}}`))
 
-	srv := newServer(1<<20, 100*time.Millisecond, jobs.Config{
+	srv, err := newServer(1<<20, 100*time.Millisecond, jobs.Config{
 		Workers:    1,
 		QueueDepth: 4,
 		JobTimeout: 100 * time.Millisecond,
 		TTL:        time.Second,
-	})
+	}, registry.Config{Dir: f.TempDir()})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Cleanup(srv.mgr.Close)
 	mux := srv.routes()
 

@@ -132,8 +132,7 @@ func TestJobEndpointsNotFoundAndConflict(t *testing.T) {
 // with a single-worker manager, a subsequent job completes. The canceled
 // job's result endpoint reports the 499-style canceled error.
 func TestJobCancelMidRun(t *testing.T) {
-	srv := newServer(1<<20, 0, jobs.Config{Workers: 1, QueueDepth: 4})
-	t.Cleanup(srv.mgr.Close)
+	srv := newTestServerCfg(t, 1<<20, 0, jobs.Config{Workers: 1, QueueDepth: 4})
 
 	slow := testRequest()
 	slow.Algorithm = "montecarlo"

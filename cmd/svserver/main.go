@@ -1,22 +1,53 @@
 // Command svserver is the serving surface of the valuation engine: an HTTP
-// daemon that computes KNN-Shapley values for JSON train/test payloads
-// through the session-based Valuer API, executed as managed background jobs
-// with progress, cancellation and result caching (internal/jobs).
+// daemon that computes KNN-Shapley values through the session-based Valuer
+// API, executed as managed background jobs with progress, cancellation and
+// result caching (internal/jobs), over a content-addressed dataset registry
+// (internal/registry) so training and test sets are uploaded once and
+// referenced by ID instead of re-shipped with every request.
 //
 // Usage:
 //
 //	svserver -addr :8080 -max-body 67108864 -request-timeout 60s \
-//	         -job-workers 2 -job-queue 64 -job-ttl 15m -job-cache 128
+//	         -job-workers 2 -job-queue 64 -job-ttl 15m -job-cache 128 \
+//	         -data-dir /var/lib/svserver -mem-budget 268435456
 //
 // Endpoints:
 //
+//	POST   /datasets         — upload a dataset (JSON or binary), get its ID
+//	GET    /datasets         — list stored datasets
+//	GET    /datasets/{id}    — dataset metadata
+//	DELETE /datasets/{id}    — delete (deferred while jobs hold it)
 //	POST   /jobs             — enqueue a valuation job (202 + job status)
 //	GET    /jobs/{id}        — poll job status and progress
 //	GET    /jobs/{id}/result — fetch the report of a done job
 //	DELETE /jobs/{id}        — cancel a queued or running job
 //	POST   /value            — submit-and-wait convenience wrapper
 //	GET    /healthz          — liveness probe
-//	GET    /statz            — job-manager counters
+//	GET    /statz            — job-manager and registry counters
+//
+// # Dataset registry
+//
+// POST /datasets stores a dataset under its content fingerprint and returns
+// the 16-hex-digit ID ("created": false on an idempotent re-upload of bytes
+// already held). Two body formats are accepted: the JSON payload object
+// ({"x": [[...]], "labels": [...]} or "targets", optional "name"), and —
+// with Content-Type: application/octet-stream — the compact binary format
+// of knnshapley.WriteBinary (magic "KNNS", shape header, contiguous float64
+// feature block, responses; ~3–4× smaller than JSON and decoded without
+// float parsing). Datasets persist under -data-dir as <id>.knnsb files and
+// survive restarts; a byte-budget LRU (-mem-budget) bounds the decoded
+// payloads kept in memory, with evicted datasets reloaded from disk on
+// demand. DELETE hides a dataset immediately; its file is removed once the
+// last running job holding it finishes.
+//
+// Valuation requests then carry "trainRef"/"testRef" instead of inline
+// "train"/"test" payloads — the upload-once/value-many split. Inline
+// payloads remain fully supported and are auto-registered on arrival; the
+// response echoes their minted refs so a client can switch to by-reference
+// submission after the first call. A by-ref request ships a few hundred
+// bytes regardless of dataset size, resolves its datasets by ID without
+// re-validating or re-fingerprinting them, and lands on the warm Valuer
+// session for that training set.
 //
 // # Job lifecycle
 //
@@ -27,17 +58,18 @@
 // the same body POST /value would have. DELETE /jobs/{id} cancels: a queued
 // job terminates immediately, a running one as soon as the engine observes
 // the canceled context (within one batch, or one Monte-Carlo permutation),
-// releasing its worker. Terminal jobs stay pollable for -job-ttl.
+// releasing its worker. Terminal jobs stay pollable for -job-ttl. Jobs pin
+// their datasets in the registry for their whole lifetime.
 //
-// Results are cached in an LRU keyed by the content fingerprints of the
+// Results are cached in an LRU keyed directly on the registry IDs of the
 // train/test sets, the algorithm and its parameters — resubmitting an
 // identical request returns a job that is already done ("cacheHit": true)
 // without recomputing. Worker count and batch size are deliberately not
 // part of the key: the engine's ordered reduction makes values
-// bit-identical across both. Valuer sessions are likewise reused across
-// requests via a fingerprint-keyed cache, so repeated valuations of the
-// same training payload skip re-validating and re-flattening it (and share
-// lazily built LSH/k-d indexes).
+// bit-identical across both. Valuer sessions are likewise keyed on the
+// training-set ID, so repeated valuations of the same training data skip
+// re-validating and re-flattening it (and share lazily built LSH/k-d
+// indexes).
 //
 // # Request format
 //
@@ -54,17 +86,21 @@
 //	  "t": 0,                // montecarlo/sellersmc fixed budget (or cap)
 //	  "owners": [0,0,1,...], // sellers, sellersmc, composite (optional there)
 //	  "m": 2,                // seller count for owners-based games
+//	  "rangeHalfWidth": 0,   // MC utility-range half-width (0 = default)
 //	  "workers": 0,          // engine worker pool (0 = all cores)
 //	  "batchSize": 0,        // engine batch size (0 = 64)
-//	  "train": {"x": [[...]], "labels": [...]},        // or "targets": [...]
-//	  "test":  {"x": [[...]], "labels": [...]}
+//	  "train": {"x": [[...]], "labels": [...]},  // or "targets": [...]
+//	  "test":  {"x": [[...]], "labels": [...]},
+//	  "trainRef": "a1b2c3d4e5f60718",  // instead of "train"
+//	  "testRef":  "18f7e6d5c4b3a291"   // instead of "test"
 //	}
 //
 // The result body carries the unified report of the Valuer API:
 //
 //	{"values": [...], "n": 100, "algorithm": "exact", "durationMs": 12,
 //	 "permutations": 0, "budget": 0, "utilityEvals": 0, "kStar": 0,
-//	 "analyst": 0.42, "fingerprint": "a1b2...", "cached": false}
+//	 "analyst": 0.42, "fingerprint": "a1b2...", "cached": false,
+//	 "trainRef": "a1b2c3d4e5f60718", "testRef": "18f7e6d5c4b3a291"}
 //
 // "n" is always the training-set size. For the per-point algorithms values
 // has length n; for the seller-level games (sellers, sellersmc, composite)
@@ -88,10 +124,13 @@ import (
 	"hash/fnv"
 	"log"
 	"net/http"
+	"os"
+	"strings"
 	"time"
 
 	"knnshapley"
 	"knnshapley/internal/jobs"
+	"knnshapley/internal/registry"
 	"knnshapley/internal/wire"
 )
 
@@ -110,16 +149,34 @@ func main() {
 		jobTTL     = flag.Duration("job-ttl", 0, "terminal-job retention (0 = 15m)")
 		jobCache   = flag.Int("job-cache", 0, "result-cache entries (0 = 128)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job compute deadline (0 = none)")
+		dataDir    = flag.String("data-dir", "", "dataset registry directory (empty = a fresh temp dir)")
+		memBudget  = flag.Int64("mem-budget", 0, "bytes of decoded datasets kept in memory (0 = 256 MiB)")
+		diskBudget = flag.Int64("disk-budget", 4<<30, "bytes of datasets kept on disk before LRU reclaim of unpinned ones (0 = unbounded)")
 	)
 	flag.Parse()
-	srv := newServer(*maxBody, *reqTimeout, jobs.Config{
+	dir := *dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "svserver-datasets-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir = tmp
+		log.Printf("svserver: dataset registry in %s (set -data-dir to persist across runs)", dir)
+	}
+	srv, err := newServer(*maxBody, *reqTimeout, jobs.Config{
 		Workers:    *jobWorkers,
 		QueueDepth: *jobQueue,
 		TTL:        *jobTTL,
 		CacheSize:  *jobCache,
 		JobTimeout: *jobTimeout,
-	})
+	}, registry.Config{Dir: dir, MemBudget: *memBudget, DiskBudget: *diskBudget})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.mgr.Close()
+	if n := len(srv.reg.List()); n > 0 {
+		log.Printf("svserver: recovered %d datasets from %s", n, dir)
+	}
 	// Explicit timeouts so slow clients cannot pin connections open
 	// indefinitely while trickling large bodies (no WriteTimeout: big
 	// valuations legitimately take a while to compute and stream back;
@@ -140,11 +197,16 @@ type server struct {
 	maxBody int64
 	timeout time.Duration
 	mgr     *jobs.Manager
+	reg     *registry.Registry
 }
 
-// newServer builds a server with its own job manager.
-func newServer(maxBody int64, timeout time.Duration, jcfg jobs.Config) *server {
-	return &server{maxBody: maxBody, timeout: timeout, mgr: jobs.New(jcfg)}
+// newServer builds a server with its own job manager and dataset registry.
+func newServer(maxBody int64, timeout time.Duration, jcfg jobs.Config, rcfg registry.Config) (*server, error) {
+	reg, err := registry.New(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &server{maxBody: maxBody, timeout: timeout, mgr: jobs.New(jcfg), reg: reg}, nil
 }
 
 // routes wires the endpoint table.
@@ -155,6 +217,10 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("POST /datasets", s.handleDatasetUpload)
+	mux.HandleFunc("GET /datasets", s.handleDatasetList)
+	mux.HandleFunc("GET /datasets/{id}", s.handleDatasetStat)
+	mux.HandleFunc("DELETE /datasets/{id}", s.handleDatasetDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
 	return mux
@@ -173,8 +239,9 @@ type (
 // jobMeta is the submission context the result endpoint needs beyond the
 // Report itself; it rides along on the job via Spec.Meta.
 type jobMeta struct {
-	algorithm string
-	trainN    int
+	algorithm         string
+	trainN            int
+	trainRef, testRef string
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -189,7 +256,142 @@ func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"cacheHits": st.CacheHits, "runs": st.Runs,
 		"valuerBuilds":  st.ValuerBuilds,
 		"reportEntries": st.ReportEntries, "valuerEntries": st.ValuerEntries,
+		"registry": registryStats(s.reg.Stats()),
 	})
+}
+
+// registryStats maps the registry counters onto the wire type.
+func registryStats(st registry.Stats) wire.RegistryStats {
+	return wire.RegistryStats{
+		Datasets:   st.Datasets,
+		Resident:   st.Resident,
+		MemBytes:   st.MemBytes,
+		DiskBytes:  st.DiskBytes,
+		MemBudget:  st.MemBudget,
+		DiskBudget: st.DiskBudget,
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		Loads:      st.Loads,
+		Evictions:  st.Evictions,
+		Puts:       st.Puts,
+		Reuploads:  st.Reuploads,
+		Deletes:    st.Deletes,
+		Reclaims:   st.Reclaims,
+	}
+}
+
+// datasetInfo maps one registry entry onto the wire type.
+func datasetInfo(info registry.Info) wire.DatasetInfo {
+	return wire.DatasetInfo{
+		ID:         info.ID,
+		Name:       info.Name,
+		Rows:       info.Rows,
+		Dim:        info.Dim,
+		Classes:    info.Classes,
+		Regression: info.Regression,
+		Bytes:      info.Bytes,
+		InMemory:   info.InMemory,
+		OnDisk:     info.OnDisk,
+		Refs:       info.Refs,
+		CreatedAt:  info.CreatedAt,
+	}
+}
+
+// handleDatasetUpload is POST /datasets: store the body's dataset under its
+// content fingerprint. JSON payloads share the {"x": ..., "labels": ...}
+// shape with inline valuation requests; Content-Type
+// application/octet-stream selects the compact binary format (optionally
+// named via ?name=). 201 marks new content, 200 an idempotent re-upload.
+func (s *server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	var d *knnshapley.Dataset
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		var err error
+		if d, err = knnshapley.ReadBinary(body); err != nil {
+			writeError(w, http.StatusBadRequest, "decode binary dataset: "+err.Error())
+			return
+		}
+		if name := r.URL.Query().Get("name"); name != "" {
+			d.Name = name
+		}
+	} else {
+		var p payload
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&p); err != nil {
+			writeError(w, http.StatusBadRequest, "decode dataset: "+err.Error())
+			return
+		}
+		var err error
+		if d, err = buildDataset(&p); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if d.N() == 0 {
+			writeError(w, http.StatusBadRequest, "empty dataset")
+			return
+		}
+	}
+	h, created, err := s.reg.Put(d)
+	if err != nil {
+		// Validation passed above, so a Put failure is the disk tier.
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	defer h.Release()
+	info, err := s.reg.Stat(h.ID())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, wire.UploadResponse{DatasetInfo: datasetInfo(info), Created: created})
+}
+
+func (s *server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	infos := s.reg.List()
+	resp := wire.DatasetListResponse{Datasets: make([]wire.DatasetInfo, len(infos))}
+	for i, info := range infos {
+		resp.Datasets[i] = datasetInfo(info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDatasetStat is GET /datasets/{id}: JSON metadata by default; with
+// Accept: application/octet-stream, the dataset itself in the binary
+// format (streamed from the disk tier without decoding).
+func (s *server) handleDatasetStat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if strings.Contains(r.Header.Get("Accept"), "application/octet-stream") {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := s.reg.WriteTo(w, id); err != nil {
+			if errors.Is(err, registry.ErrNotFound) {
+				// Nothing has been written yet (the lookup precedes any
+				// output), so the error status still goes through cleanly.
+				writeError(w, http.StatusNotFound, err.Error())
+			} else {
+				log.Printf("svserver: stream dataset %s: %v", id, err)
+			}
+		}
+		return
+	}
+	info, err := s.reg.Stat(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetInfo(info))
+}
+
+func (s *server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Delete(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // decodeRequest parses one valuation request body.
@@ -227,7 +429,9 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, statusResponse(job.Snapshot()))
 }
 
-// submit maps manager-level submission errors onto HTTP backpressure.
+// submit maps manager-level submission errors onto HTTP backpressure. A
+// rejected submission has already run the spec's OnFinish hook (releasing
+// its registry handles) inside Manager.Submit.
 func (s *server) submit(w http.ResponseWriter, spec *jobs.Spec) (*jobs.Job, error) {
 	job, err := s.mgr.Submit(*spec)
 	switch {
@@ -323,22 +527,68 @@ func (s *server) handleValue(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, buildResponse(rep, meta, job.Snapshot().CacheHit))
 }
 
-// buildSpec validates a request and turns it into a job spec: datasets are
-// decoded and fingerprinted, the Valuer session is fetched from (or added
-// to) the fingerprint-keyed cache, and the Run closure dispatches to the
-// session method named by the algorithm. The int is the HTTP status for a
-// non-nil error.
+// resolveDataset turns one side of a valuation request into a pinned
+// registry handle. A ref is a registry lookup — no payload decode, no
+// validation, no fingerprinting. An inline payload is decoded, validated
+// and auto-registered, so its content is addressable (and cached against)
+// from this request on. The int is the HTTP status for a non-nil error.
+func (s *server) resolveDataset(ref string, inline *payload, side string) (*registry.Handle, int, error) {
+	switch {
+	case ref != "" && inline != nil:
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("%s: give an inline payload or a ref, not both", side)
+	case ref != "":
+		h, err := s.reg.Get(ref)
+		if errors.Is(err, registry.ErrNotFound) {
+			return nil, http.StatusNotFound, fmt.Errorf("%s: %w", side, err)
+		}
+		if err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("%s: %w", side, err)
+		}
+		return h, 0, nil
+	case inline != nil:
+		d, err := buildDataset(inline)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("%s: %w", side, err)
+		}
+		if d.N() == 0 {
+			// An empty payload passes dataset validation but is useless for
+			// valuation and unstorable (no recoverable dimension) — reject
+			// it as a client error before the registry refuses it as a
+			// server one.
+			return nil, http.StatusBadRequest, fmt.Errorf("%s: empty dataset", side)
+		}
+		h, _, err := s.reg.Put(d)
+		if err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("%s: %w", side, err)
+		}
+		return h, 0, nil
+	default:
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("%s: missing dataset (inline payload or ref)", side)
+	}
+}
+
+// buildSpec validates a request and turns it into a job spec. Both dataset
+// sides resolve to pinned registry handles (held until the job terminates,
+// via Spec.OnFinish); the Valuer session and the result cache are keyed on
+// the registry IDs, so the by-ref hot path touches neither payload bytes
+// nor hashes. The int is the HTTP status for a non-nil error.
 func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
-	train, err := buildDataset(&req.Train)
+	trainH, status, err := s.resolveDataset(req.TrainRef, req.Train, "train")
 	if err != nil {
-		return nil, http.StatusBadRequest, fmt.Errorf("train: %w", err)
+		return nil, status, err
 	}
-	test, err := buildDataset(&req.Test)
+	testH, status, err := s.resolveDataset(req.TestRef, req.Test, "test")
 	if err != nil {
-		return nil, http.StatusBadRequest, fmt.Errorf("test: %w", err)
+		trainH.Release()
+		return nil, status, err
 	}
+	release := func() { trainH.Release(); testH.Release() }
+
 	metric, err := parseMetric(req.Metric)
 	if err != nil {
+		release()
 		return nil, http.StatusBadRequest, err
 	}
 	algorithm := req.Algorithm
@@ -348,15 +598,17 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 	switch algorithm {
 	case "exact", "truncated", "montecarlo", "sellers", "sellersmc", "composite", "lsh", "kd":
 	default:
+		release()
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
 
 	// One session per (training content, session options): repeated
-	// requests over the same training payload skip re-validating and
-	// re-flattening it and share lazily built ANN indexes.
-	trainFP := train.Fingerprint()
-	valuerKey := fmt.Sprintf("%016x|k=%d|metric=%s|workers=%d|batch=%d",
-		trainFP, req.K, req.Metric, req.Workers, req.BatchSize)
+	// requests over the same training set skip re-validating and
+	// re-flattening it and share lazily built ANN indexes. The registry ID
+	// already is the content fingerprint — nothing is re-hashed here.
+	train, test := trainH.Dataset(), testH.Dataset()
+	valuerKey := fmt.Sprintf("%s|k=%d|metric=%s|workers=%d|batch=%d",
+		trainH.ID(), req.K, req.Metric, req.Workers, req.BatchSize)
 	v, err := s.mgr.Valuer(valuerKey, func() (*knnshapley.Valuer, error) {
 		return knnshapley.New(train,
 			knnshapley.WithK(req.K),
@@ -366,6 +618,7 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 		)
 	})
 	if err != nil {
+		release()
 		return nil, http.StatusUnprocessableEntity, err
 	}
 
@@ -373,9 +626,9 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 	// deliberately not workers/batchSize: the engine's ordered reduction
 	// makes outputs bit-identical across both, so tuning knobs should not
 	// fragment the cache.
-	cacheKey := fmt.Sprintf("%016x|%016x|%s|k=%d|metric=%s|eps=%g|delta=%g|t=%d|seed=%d|m=%d|owners=%016x",
-		trainFP, test.Fingerprint(), algorithm, req.K, req.Metric,
-		req.Eps, req.Delta, req.T, req.Seed, req.M, ownersHash(req.Owners))
+	cacheKey := fmt.Sprintf("%s|%s|%s|k=%d|metric=%s|eps=%g|delta=%g|t=%d|seed=%d|m=%d|range=%g|owners=%016x",
+		trainH.ID(), testH.ID(), algorithm, req.K, req.Metric,
+		req.Eps, req.Delta, req.T, req.Seed, req.M, req.RangeHalfWidth, ownersHash(req.Owners))
 
 	r := *req // keep the dispatch inputs alive independent of the caller
 	run := func(ctx context.Context) (*knnshapley.Report, error) {
@@ -402,7 +655,11 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 		CacheKey:   cacheKey,
 		TotalUnits: test.N(),
 		Run:        run,
-		Meta:       jobMeta{algorithm: algorithm, trainN: train.N()},
+		Meta: jobMeta{
+			algorithm: algorithm, trainN: train.N(),
+			trainRef: trainH.ID(), testRef: testH.ID(),
+		},
+		OnFinish: release,
 	}, http.StatusOK, nil
 }
 
@@ -435,6 +692,8 @@ func buildResponse(rep *knnshapley.Report, meta jobMeta, cached bool) *valueResp
 		DurationMs:   rep.Duration.Milliseconds(),
 		Fingerprint:  fmt.Sprintf("%016x", rep.Fingerprint),
 		Cached:       cached,
+		TrainRef:     meta.trainRef,
+		TestRef:      meta.testRef,
 	}
 	if meta.algorithm == "composite" {
 		analyst := rep.Analyst
@@ -469,7 +728,10 @@ func statusResponse(s jobs.Snapshot) *jobStatusResponse {
 // server behavior: a fixed budget T without (eps, delta) selects the Fixed
 // bound.
 func mcOptions(req *valueRequest) knnshapley.MCOptions {
-	opts := knnshapley.MCOptions{Eps: req.Eps, Delta: req.Delta, T: req.T, Seed: req.Seed}
+	opts := knnshapley.MCOptions{
+		Eps: req.Eps, Delta: req.Delta, T: req.T, Seed: req.Seed,
+		RangeHalfWidth: req.RangeHalfWidth,
+	}
 	if req.T > 0 && (req.Eps == 0 || req.Delta == 0) {
 		opts.Bound = knnshapley.Fixed
 	}
@@ -477,10 +739,20 @@ func mcOptions(req *valueRequest) knnshapley.MCOptions {
 }
 
 func buildDataset(p *payload) (*knnshapley.Dataset, error) {
+	var d *knnshapley.Dataset
+	var err error
 	if len(p.Targets) > 0 {
-		return knnshapley.NewRegressionDataset(p.X, p.Targets)
+		d, err = knnshapley.NewRegressionDataset(p.X, p.Targets)
+	} else {
+		d, err = knnshapley.NewClassificationDataset(p.X, p.Labels)
 	}
-	return knnshapley.NewClassificationDataset(p.X, p.Labels)
+	if err != nil {
+		return nil, err
+	}
+	if p.Name != "" {
+		d.Name = p.Name
+	}
+	return d, nil
 }
 
 func parseMetric(name string) (knnshapley.Metric, error) {

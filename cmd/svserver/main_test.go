@@ -12,13 +12,22 @@ import (
 
 	"knnshapley"
 	"knnshapley/internal/jobs"
+	"knnshapley/internal/registry"
 )
 
 // newTestServer builds a server whose job manager is torn down with the
-// test.
+// test and whose dataset registry lives in a per-test temp dir.
 func newTestServer(t *testing.T, maxBody int64, timeout time.Duration) *server {
 	t.Helper()
-	srv := newServer(maxBody, timeout, jobs.Config{Workers: 2, QueueDepth: 16})
+	return newTestServerCfg(t, maxBody, timeout, jobs.Config{Workers: 2, QueueDepth: 16})
+}
+
+func newTestServerCfg(t *testing.T, maxBody int64, timeout time.Duration, jcfg jobs.Config) *server {
+	t.Helper()
+	srv, err := newServer(maxBody, timeout, jcfg, registry.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(srv.mgr.Close)
 	return srv
 }
@@ -45,11 +54,11 @@ func testRequest() valueRequest {
 	return valueRequest{
 		Algorithm: "exact",
 		K:         2,
-		Train: payload{
+		Train: &payload{
 			X:      [][]float64{{0, 0}, {1, 0}, {0, 1}, {5, 5}, {5, 6}, {6, 5}},
 			Labels: []int{0, 0, 0, 1, 1, 1},
 		},
-		Test: payload{
+		Test: &payload{
 			X:      [][]float64{{0.2, 0.1}, {5.2, 5.1}},
 			Labels: []int{0, 1},
 		},
@@ -202,8 +211,8 @@ func TestValueLSHAndKD(t *testing.T) {
 	test := knnshapley.SynthDeep(5, 4)
 	req := valueRequest{
 		Algorithm: "kd", K: 2, Eps: 0.25,
-		Train: payload{X: train.X, Labels: train.Labels},
-		Test:  payload{X: test.X, Labels: test.Labels},
+		Train: &payload{X: train.X, Labels: train.Labels},
+		Test:  &payload{X: test.X, Labels: test.Labels},
 	}
 	rec, resp := postValue(t, srv, req)
 	if rec.Code != http.StatusOK {

@@ -86,25 +86,43 @@
 // assembled by hand from [][]float64 still work — they take the row-wise
 // fallback path.
 //
-// # Serving: background jobs with result caching
+// # Serving: dataset registry, background jobs, result caching
 //
-// cmd/svserver exposes the sessions over HTTP through a bounded-worker job
-// manager (internal/jobs): POST /jobs enqueues a valuation and returns a
-// job id, GET /jobs/{id} reports state (queued, running, done, failed,
-// canceled) and progress (test points processed, fed by the engine's
-// progress callback), GET /jobs/{id}/result returns the report, and
-// DELETE /jobs/{id} cancels mid-flight through the context plumbing above.
-// Results are cached in an LRU keyed by the train/test content
-// fingerprints plus the algorithm and its parameters, and Valuer sessions
-// are reused across requests by training fingerprint — identical
-// resubmissions are answered from memory without touching the engine. The
-// synchronous POST /value remains as a submit-and-wait wrapper over the
-// same manager (a canceled valuation returns a 499-style JSON error with
-// "canceled": true). See the command's package comment for the wire
-// format, and examples/jobqueue for the manager driven in-process.
+// cmd/svserver exposes the sessions over HTTP. Datasets are first-class
+// server-side objects in a content-addressed registry
+// (internal/registry): POST /datasets stores a dataset once under its
+// content fingerprint — persisted on disk in the compact binary format of
+// WriteBinary/ReadBinary (magic "KNNS", shape header, contiguous
+// little-endian float64 feature block, responses; bit-exact round trip),
+// with a byte-budget LRU of decoded payloads in memory — and valuation
+// requests reference it by ID ("trainRef"/"testRef") instead of
+// re-shipping it as JSON. Uploads are idempotent, the store survives
+// restarts, GET/DELETE /datasets manage it (an octet-stream Accept header
+// downloads the binary back), deletion is refcounted so a running job
+// keeps its data, and a disk budget reclaims least-recently-used unpinned
+// datasets so auto-registration cannot grow the directory without bound.
+// Inline payloads still work and are auto-registered.
+//
+// Valuations run through a bounded-worker job manager (internal/jobs):
+// POST /jobs enqueues a valuation and returns a job id, GET /jobs/{id}
+// reports state (queued, running, done, failed, canceled) and progress
+// (test points processed, fed by the engine's progress callback),
+// GET /jobs/{id}/result returns the report, and DELETE /jobs/{id} cancels
+// mid-flight through the context plumbing above. Results are cached in an
+// LRU keyed directly on the registry IDs plus the algorithm and its
+// parameters, and Valuer sessions are keyed on the training-set ID — a
+// by-reference request is a pair of registry lookups landing on a warm
+// session, with no payload decode, re-validation or re-fingerprinting;
+// identical resubmissions are answered from memory without touching the
+// engine. The synchronous POST /value remains as a submit-and-wait
+// wrapper over the same manager (a canceled valuation returns a 499-style
+// JSON error with "canceled": true). See the command's package comment
+// for the wire format, examples/jobqueue for the job manager driven
+// in-process, and examples/registry for the upload-once/value-many stack.
 //
 // See the examples/ directory for runnable end-to-end scenarios (data
 // debugging, data markets, streaming valuation) and cmd/svbench for the
 // harness that regenerates every table and figure of the paper's evaluation
-// (plus -benchjson for the machine-readable perf trajectory).
+// (plus -benchjson for the machine-readable perf trajectory, including the
+// inline-vs-by-ref wire comparison).
 package knnshapley

@@ -1,0 +1,156 @@
+// Upload-once, value-many: the content-addressed dataset registry behind
+// cmd/svserver's POST /datasets, shown in-process. Datasets are stored once
+// under their content fingerprint — a compact binary file on disk plus a
+// byte-budget LRU of decoded payloads in memory — and every later valuation
+// references them by ID: no re-shipping, no re-validating, no
+// re-fingerprinting. The job manager keys its result cache and its Valuer
+// sessions on those same IDs, so the serving hot path is two map lookups.
+// Refcounting makes deletion safe: a dataset deleted mid-job vanishes from
+// the registry immediately but its bytes outlive the jobs that pinned it.
+//
+// Run with: go run ./examples/registry
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	knnshapley "knnshapley"
+	"knnshapley/internal/jobs"
+	"knnshapley/internal/registry"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "registry-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A registry with a deliberately tiny memory budget, so the second
+	// dataset evicts the first and a later Get has to reload it from disk.
+	reg, err := registry.New(registry.Config{Dir: dir, MemBudget: 6 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := jobs.New(jobs.Config{Workers: 2})
+	defer mgr.Close()
+
+	// Upload once. Put validates, flattens, fingerprints and persists; the
+	// returned handle pins the dataset while we hold it.
+	train := knnshapley.SynthMNIST(10000, 1)
+	test := knnshapley.SynthMNIST(128, 2)
+	trainH, created, err := reg.Put(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testH, _, err := reg.Put(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded train as %s (created=%v), test as %s\n",
+		trainH.ID(), created, testH.ID())
+
+	// Re-uploading identical content is an idempotent hit — same ID, no new
+	// bytes stored. This is what makes POST /datasets safe to retry.
+	dup, created, err := reg.Put(knnshapley.SynthMNIST(10000, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-upload: %s created=%v\n", dup.ID(), created)
+	dup.Release()
+
+	// Value many: every request carries only the two IDs. The Valuer
+	// session and the result cache are keyed on them directly.
+	valueByRef := func(trainID, testID string) *knnshapley.Report {
+		th, err := reg.Get(trainID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eh, err := reg.Get(testID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := mgr.Valuer(trainID+"|k=5", func() (*knnshapley.Valuer, error) {
+			return knnshapley.New(th.Dataset(), knnshapley.WithK(5))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		testSet := eh.Dataset()
+		job, err := mgr.Submit(jobs.Spec{
+			CacheKey:   trainID + "|" + testID + "|exact|k=5",
+			TotalUnits: testSet.N(),
+			Run: func(ctx context.Context) (*knnshapley.Report, error) {
+				return v.Exact(ctx, testSet)
+			},
+			// The job pins both datasets until it terminates — the hook
+			// cmd/svserver uses so DELETE /datasets cannot starve a run.
+			OnFinish: func() { th.Release(); eh.Release() },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := mgr.Wait(context.Background(), job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	first := valueByRef(trainH.ID(), testH.ID())
+	for i := 0; i < 4; i++ {
+		again := valueByRef(trainH.ID(), testH.ID())
+		for j := range first.Values {
+			if again.Values[j] != first.Values[j] {
+				log.Fatalf("value %d drifted across by-ref calls", j)
+			}
+		}
+	}
+	ms := mgr.Stats()
+	fmt.Printf("5 by-ref valuations: engine ran %d time(s), %d cache hits, %d session build(s)\n",
+		ms.Runs, ms.CacheHits, ms.ValuerBuilds)
+
+	// Memory pressure: a second large dataset blows the byte budget, the
+	// LRU spills the colder payload to its disk file, and the next Get
+	// reloads it transparently.
+	big, _, err := reg.Put(knnshapley.SynthMNIST(12000, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	big.Release()
+	rs := reg.Stats()
+	fmt.Printf("after a third dataset: %d stored, %d resident, %d KiB in memory (budget %d KiB), %d eviction(s)\n",
+		rs.Datasets, rs.Resident, rs.MemBytes>>10, rs.MemBudget>>10, rs.Evictions)
+	reload, err := reg.Get(trainH.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded %s from disk: %d rows intact (loads=%d)\n",
+		reload.ID(), reload.Dataset().N(), reg.Stats().Loads)
+	reload.Release()
+
+	// Deletion under load: the registry forgets the dataset at once, but
+	// the bytes survive until the last handle lets go.
+	still, err := reg.Get(testH.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.Delete(testH.ID()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := reg.Get(testH.ID()); err == nil {
+		log.Fatal("deleted dataset still visible")
+	}
+	fmt.Printf("deleted %s while held: %d rows still readable through the handle\n",
+		still.ID(), still.Dataset().N())
+	still.Release()
+	testH.Release()
+	trainH.Release()
+
+	rs = reg.Stats()
+	fmt.Printf("final: %d dataset(s), hits=%d misses=%d evictions=%d\n",
+		rs.Datasets, rs.Hits, rs.Misses, rs.Evictions)
+}

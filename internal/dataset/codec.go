@@ -101,6 +101,55 @@ func ReadCSV(r io.Reader, regression bool) (*Dataset, error) {
 
 const binaryMagic = uint32(0x4b4e4e53) // "KNNS"
 
+// BinaryHeader is the fixed 24-byte prefix of the binary dataset format:
+// magic "KNNS", version, flags (bit0 = regression), and the shape. It is
+// exported so a dataset registry can index on-disk files without decoding
+// their payloads.
+type BinaryHeader struct {
+	N, Dim, Classes int
+	Regression      bool
+}
+
+// PayloadBytes returns the encoded size of the feature/response payload
+// that follows the header.
+func (h BinaryHeader) PayloadBytes() int64 {
+	b := int64(h.N) * int64(h.Dim) * 8
+	if h.Regression {
+		return b + int64(h.N)*8
+	}
+	return b + int64(h.N)*4
+}
+
+// EncodedBytes returns the total encoded size, header included.
+func (h BinaryHeader) EncodedBytes() int64 { return 24 + h.PayloadBytes() }
+
+// ReadBinaryHeader decodes and validates the fixed header of a binary
+// dataset stream, leaving r positioned at the feature block.
+func ReadBinaryHeader(r io.Reader) (BinaryHeader, error) {
+	var hdr [6]uint32
+	for i := range hdr {
+		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return BinaryHeader{}, fmt.Errorf("dataset: binary header: %w", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return BinaryHeader{}, fmt.Errorf("dataset: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != 1 {
+		return BinaryHeader{}, fmt.Errorf("dataset: unsupported version %d", hdr[1])
+	}
+	h := BinaryHeader{
+		N: int(hdr[3]), Dim: int(hdr[4]), Classes: int(hdr[5]),
+		Regression: hdr[2]&1 != 0,
+	}
+	// n == 0 is rejected symmetrically with WriteBinary: an empty dataset
+	// has no recoverable dimension, so such a stream can only be forged.
+	if h.N <= 0 || h.N > 1<<31 || h.Dim <= 0 || h.Dim > 1<<20 {
+		return BinaryHeader{}, fmt.Errorf("dataset: implausible size n=%d dim=%d", h.N, h.Dim)
+	}
+	return h, nil
+}
+
 // WriteBinary writes the dataset in a compact little-endian binary format:
 // magic, version, flags (bit0 = regression), n, dim, classes, then n*dim
 // float64 features followed by the responses (float64 targets or int32
@@ -108,6 +157,12 @@ const binaryMagic = uint32(0x4b4e4e53) // "KNNS"
 func WriteBinary(w io.Writer, d *Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
+	}
+	if d.N() == 0 {
+		// An empty dataset has no recoverable dimension (Dim() is 0 with no
+		// rows), so its encoding could never be read back; reject it here
+		// rather than persist an unreadable file.
+		return errors.New("dataset: refusing to encode an empty dataset")
 	}
 	bw := bufio.NewWriter(w)
 	var flags uint32
@@ -147,52 +202,59 @@ func WriteBinary(w io.Writer, d *Dataset) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a dataset written by WriteBinary.
+// readChunk is how many values ReadBinary materializes per read. Buffers
+// grow with the bytes actually consumed, so a hostile header declaring a
+// huge shape fails fast on a short body instead of forcing a giant
+// allocation up front (the property FuzzBinaryCodec pins).
+const readChunk = 1 << 14
+
+// readFloatBlock reads want little-endian float64 bit patterns in chunks.
+func readFloatBlock(r io.Reader, want int, what string) ([]float64, error) {
+	out := make([]float64, 0, min(want, readChunk))
+	buf := make([]byte, 8*min(want, readChunk))
+	for len(out) < want {
+		c := min(want-len(out), readChunk)
+		if _, err := io.ReadFull(r, buf[:8*c]); err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", what, err)
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+	}
+	return out, nil
+}
+
+// ReadBinary parses a dataset written by WriteBinary. The decoded dataset is
+// contiguous (flat row-major backing) and round-trips WriteBinary
+// bit-identically, fingerprint included.
 func ReadBinary(r io.Reader) (*Dataset, error) {
 	br := bufio.NewReader(r)
-	var hdr [6]uint32
-	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, fmt.Errorf("dataset: binary header: %w", err)
-		}
+	h, err := ReadBinaryHeader(br)
+	if err != nil {
+		return nil, err
 	}
-	if hdr[0] != binaryMagic {
-		return nil, fmt.Errorf("dataset: bad magic %#x", hdr[0])
+	flat, err := readFloatBlock(br, h.N*h.Dim, "features")
+	if err != nil {
+		return nil, err
 	}
-	if hdr[1] != 1 {
-		return nil, fmt.Errorf("dataset: unsupported version %d", hdr[1])
-	}
-	regression := hdr[2]&1 != 0
-	n, dim, classes := int(hdr[3]), int(hdr[4]), int(hdr[5])
-	if n < 0 || dim <= 0 || n > 1<<31 || dim > 1<<20 {
-		return nil, fmt.Errorf("dataset: implausible size n=%d dim=%d", n, dim)
-	}
-	flat := make([]float64, n*dim)
-	raw := make([]byte, 8)
-	for i := range flat {
-		if _, err := io.ReadFull(br, raw); err != nil {
-			return nil, fmt.Errorf("dataset: features: %w", err)
-		}
-		flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
-	}
-	d := FromFlat(flat, n, dim)
+	d := FromFlat(flat, h.N, h.Dim)
 	d.Name = "binary"
-	d.Classes = classes
-	if regression {
-		d.Targets = make([]float64, n)
-		for i := range d.Targets {
-			if _, err := io.ReadFull(br, raw); err != nil {
-				return nil, fmt.Errorf("dataset: targets: %w", err)
-			}
-			d.Targets[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
+	d.Classes = h.Classes
+	if h.Regression {
+		if d.Targets, err = readFloatBlock(br, h.N, "targets"); err != nil {
+			return nil, err
 		}
 	} else {
-		d.Labels = make([]int, n)
-		for i := range d.Labels {
-			if _, err := io.ReadFull(br, raw[:4]); err != nil {
+		d.Labels = make([]int, 0, min(h.N, readChunk))
+		buf := make([]byte, 4*min(h.N, readChunk))
+		for len(d.Labels) < h.N {
+			c := min(h.N-len(d.Labels), readChunk)
+			if _, err := io.ReadFull(br, buf[:4*c]); err != nil {
 				return nil, fmt.Errorf("dataset: labels: %w", err)
 			}
-			d.Labels[i] = int(int32(binary.LittleEndian.Uint32(raw[:4])))
+			for i := 0; i < c; i++ {
+				d.Labels = append(d.Labels, int(int32(binary.LittleEndian.Uint32(buf[4*i:]))))
+			}
 		}
 	}
 	if err := d.Validate(); err != nil {

@@ -76,6 +76,15 @@ type Spec struct {
 	// Meta is opaque caller context retained with the job (e.g. the HTTP
 	// layer's response metadata); retrieve it with Job.Meta.
 	Meta any
+	// OnFinish, if set, runs exactly once when the job reaches a terminal
+	// state — done, failed or canceled, including the paths that never
+	// invoke Run (a result-cache hit at Submit, a cancellation while still
+	// queued, and a Submit rejected outright). It is the release hook for
+	// resources the job pins for its whole lifetime, e.g. dataset-registry
+	// handles for by-reference valuations. It runs outside the manager and
+	// job locks and must not block for long (it is called from the worker
+	// goroutine or the submitting/canceling caller).
+	OnFinish func()
 }
 
 // Config tunes a Manager. Zero values select the documented defaults.
@@ -143,6 +152,16 @@ type Job struct {
 	finished time.Time
 
 	doneCh chan struct{} // closed exactly once, on reaching a terminal state
+
+	finishOnce sync.Once // guards Spec.OnFinish
+}
+
+// finalize runs Spec.OnFinish exactly once. Callers invoke it only after
+// the job is terminal, and never while holding j.mu or the manager mutex.
+func (j *Job) finalize() {
+	if j.spec.OnFinish != nil {
+		j.finishOnce.Do(j.spec.OnFinish)
+	}
 }
 
 // ID returns the manager-assigned job identifier.
@@ -301,16 +320,29 @@ func (m *Manager) now() time.Time { return m.cfg.Now() }
 // earlier completed job) returns a job that is already done, carrying the
 // cached Report, without consuming a worker; otherwise the job is enqueued
 // and runs when a worker frees up. ErrQueueFull and ErrClosed are the only
-// failure modes.
-func (m *Manager) Submit(spec Spec) (*Job, error) {
+// failure modes. Once Submit has been called, Spec.OnFinish is guaranteed
+// to fire exactly once — immediately, for rejected submissions and cache
+// hits.
+func (m *Manager) Submit(spec Spec) (job *Job, err error) {
 	now := m.now()
-	job := &Job{
+	j := &Job{
 		spec:    spec,
 		state:   StateQueued,
 		created: now,
 		doneCh:  make(chan struct{}),
 	}
-	job.total.Store(int64(spec.TotalUnits))
+	j.total.Store(int64(spec.TotalUnits))
+	job = j
+
+	// Registered before the mutex defers so it runs after the locks are
+	// released: a rejected submission or a cache hit is already terminal
+	// from the caller's point of view and must release what the spec pins.
+	// (j, not the named return — error paths reset that to nil.)
+	defer func() {
+		if err != nil || j.Snapshot().State.Terminal() {
+			j.finalize()
+		}
+	}()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -360,6 +392,11 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 		return nil, false
 	}
 	j.requestCancel(m.now())
+	if j.Snapshot().State.Terminal() {
+		// Canceled while still queued: the worker will never touch this job,
+		// so its release hook fires here.
+		j.finalize()
+	}
 	return j, true
 }
 
@@ -472,8 +509,11 @@ func (m *Manager) worker() {
 func (m *Manager) runJob(job *Job) {
 	job.mu.Lock()
 	if job.state.Terminal() {
-		// Canceled while queued; requestCancel already finished it.
+		// Canceled while queued; requestCancel already finished it (and
+		// Cancel ran the release hook — finalize here is a once-guarded
+		// no-op kept for safety).
 		job.mu.Unlock()
+		job.finalize()
 		return
 	}
 	var ctx context.Context
@@ -515,4 +555,5 @@ func (m *Manager) runJob(job *Job) {
 		m.reports.add(job.spec.CacheKey, rep)
 		m.mu.Unlock()
 	}
+	job.finalize()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -383,4 +384,137 @@ func TestConcurrentSubmitPollCancel(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// OnFinish fires exactly once on every path to a terminal state: normal
+// completion, failure, result-cache hit, cancellation while queued, and a
+// Submit rejected by a full queue.
+func TestOnFinishFiresOnEveryTerminalPath(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 1})
+	defer m.Close()
+
+	counted := func(n *atomic.Int64) func() { return func() { n.Add(1) } }
+
+	// Normal completion (and, reused below, the cache-hit path).
+	var done atomic.Int64
+	spec := Spec{
+		CacheKey: "onfinish-done",
+		Run: func(ctx context.Context) (*knnshapley.Report, error) {
+			return &knnshapley.Report{Method: "noop"}, nil
+		},
+		OnFinish: counted(&done),
+	}
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, StateDone)
+	if got := done.Load(); got != 1 {
+		t.Fatalf("OnFinish ran %d times after completion, want 1", got)
+	}
+
+	// Cache hit: terminal at Submit, hook fires before Submit returns.
+	var hit atomic.Int64
+	spec.OnFinish = counted(&hit)
+	if _, err := m.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := hit.Load(); got != 1 {
+		t.Fatalf("OnFinish ran %d times on a cache hit, want 1", got)
+	}
+
+	// Failure.
+	var failed atomic.Int64
+	fj, err := m.Submit(Spec{
+		Run: func(ctx context.Context) (*knnshapley.Report, error) {
+			return nil, errors.New("boom")
+		},
+		OnFinish: counted(&failed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, fj, StateFailed)
+	if got := failed.Load(); got != 1 {
+		t.Fatalf("OnFinish ran %d times after failure, want 1", got)
+	}
+
+	// Cancel-while-queued and queue-full rejection: block the one worker,
+	// fill the one queue slot, then overflow it.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker, err := m.Submit(blockingSpec(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var queued atomic.Int64
+	qs := blockingSpec(nil, release)
+	qs.OnFinish = counted(&queued)
+	qj, err := m.Submit(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejected atomic.Int64
+	rs := blockingSpec(nil, release)
+	rs.OnFinish = counted(&rejected)
+	if _, err := m.Submit(rs); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Submit err %v, want ErrQueueFull", err)
+	}
+	if got := rejected.Load(); got != 1 {
+		t.Fatalf("OnFinish ran %d times on rejection, want 1", got)
+	}
+	if _, ok := m.Cancel(qj.ID()); !ok {
+		t.Fatal("cancel unknown job")
+	}
+	waitState(t, qj, StateCanceled)
+	if got := queued.Load(); got != 1 {
+		t.Fatalf("OnFinish ran %d times on queued-cancel, want 1", got)
+	}
+	close(release)
+	waitState(t, blocker, StateDone)
+
+	// Double-cancel and late cancel must not re-fire any hook.
+	m.Cancel(qj.ID())
+	m.Cancel(job.ID())
+	if queued.Load() != 1 || done.Load() != 1 {
+		t.Fatal("a second Cancel re-fired OnFinish")
+	}
+}
+
+// OnFinish fires when a running job is canceled mid-flight, after the run
+// unwinds.
+func TestOnFinishOnRunningCancel(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	var finished atomic.Int64
+	spec := blockingSpec(started, release)
+	spec.OnFinish = func() { finished.Add(1) }
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if finished.Load() != 0 {
+		t.Fatal("OnFinish fired before the job finished")
+	}
+	if _, ok := m.Cancel(job.ID()); !ok {
+		t.Fatal("cancel failed")
+	}
+	waitState(t, job, StateCanceled)
+	// The hook runs on the worker goroutine after the run unwinds; give it
+	// a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for finished.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := finished.Load(); got != 1 {
+		t.Fatalf("OnFinish ran %d times after running-cancel, want 1", got)
+	}
 }

@@ -4,15 +4,21 @@ package wire
 
 import "time"
 
-// Payload is one dataset: feature rows plus either class labels or
-// regression targets.
+// Payload is one inline dataset: feature rows plus either class labels or
+// regression targets. Name is optional metadata shown by the dataset
+// registry (content addressing ignores it).
 type Payload struct {
+	Name    string      `json:"name,omitempty"`
 	X       [][]float64 `json:"x"`
 	Labels  []int       `json:"labels,omitempty"`
 	Targets []float64   `json:"targets,omitempty"`
 }
 
-// ValueRequest is the body of POST /value and POST /jobs.
+// ValueRequest is the body of POST /value and POST /jobs. Each dataset side
+// is either inline (Train/Test) or by reference (TrainRef/TestRef, a
+// registry ID from POST /datasets) — never both. Inline payloads are
+// auto-registered, so the response of the first inline call yields the refs
+// for every later one.
 type ValueRequest struct {
 	Algorithm string  `json:"algorithm"`
 	K         int     `json:"k"`
@@ -23,14 +29,21 @@ type ValueRequest struct {
 	Seed      uint64  `json:"seed,omitempty"`
 	Owners    []int   `json:"owners,omitempty"`
 	M         int     `json:"m,omitempty"`
-	Workers   int     `json:"workers,omitempty"`
-	BatchSize int     `json:"batchSize,omitempty"`
-	Train     Payload `json:"train"`
-	Test      Payload `json:"test"`
+	// RangeHalfWidth is the utility-difference half-width feeding the
+	// Monte-Carlo budget bounds (0 = the algorithm's default).
+	RangeHalfWidth float64  `json:"rangeHalfWidth,omitempty"`
+	Workers        int      `json:"workers,omitempty"`
+	BatchSize      int      `json:"batchSize,omitempty"`
+	Train          *Payload `json:"train,omitempty"`
+	Test           *Payload `json:"test,omitempty"`
+	TrainRef       string   `json:"trainRef,omitempty"`
+	TestRef        string   `json:"testRef,omitempty"`
 }
 
 // ValueResponse is the body of a successful /value or /jobs/{id}/result
-// reply — the wire form of the Valuer API's unified Report.
+// reply — the wire form of the Valuer API's unified Report. TrainRef and
+// TestRef echo the registry IDs of the datasets used (minted on the fly for
+// inline payloads), so clients can switch to by-reference submission.
 type ValueResponse struct {
 	Values       []float64 `json:"values"`
 	N            int       `json:"n"`
@@ -43,6 +56,8 @@ type ValueResponse struct {
 	DurationMs   int64     `json:"durationMs"`
 	Fingerprint  string    `json:"fingerprint,omitempty"`
 	Cached       bool      `json:"cached,omitempty"`
+	TrainRef     string    `json:"trainRef,omitempty"`
+	TestRef      string    `json:"testRef,omitempty"`
 }
 
 // JobStatus is the wire form of a job snapshot.
@@ -56,6 +71,55 @@ type JobStatus struct {
 	CreatedAt  time.Time  `json:"createdAt"`
 	StartedAt  *time.Time `json:"startedAt,omitempty"`
 	FinishedAt *time.Time `json:"finishedAt,omitempty"`
+}
+
+// DatasetInfo is the wire form of one registry entry (GET /datasets,
+// GET /datasets/{id}).
+type DatasetInfo struct {
+	// ID is the content-addressed identifier: the 16-hex-digit fingerprint
+	// of the dataset, referenced by ValueRequest.TrainRef/TestRef.
+	ID         string    `json:"id"`
+	Name       string    `json:"name,omitempty"`
+	Rows       int       `json:"rows"`
+	Dim        int       `json:"dim"`
+	Classes    int       `json:"classes,omitempty"`
+	Regression bool      `json:"regression,omitempty"`
+	Bytes      int64     `json:"bytes"`
+	InMemory   bool      `json:"inMemory"`
+	OnDisk     bool      `json:"onDisk"`
+	Refs       int       `json:"refs"`
+	CreatedAt  time.Time `json:"createdAt"`
+}
+
+// UploadResponse is the body of POST /datasets: the stored dataset's
+// metadata plus whether this upload created it (false = idempotent
+// re-upload of content already held).
+type UploadResponse struct {
+	DatasetInfo
+	Created bool `json:"created"`
+}
+
+// DatasetListResponse is the body of GET /datasets.
+type DatasetListResponse struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// RegistryStats is the registry block of GET /statz.
+type RegistryStats struct {
+	Datasets   int   `json:"datasets"`
+	Resident   int   `json:"resident"`
+	MemBytes   int64 `json:"memBytes"`
+	DiskBytes  int64 `json:"diskBytes"`
+	MemBudget  int64 `json:"memBudget"`
+	DiskBudget int64 `json:"diskBudget,omitempty"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Loads      int64 `json:"loads"`
+	Evictions  int64 `json:"evictions"`
+	Puts       int64 `json:"puts"`
+	Reuploads  int64 `json:"reuploads"`
+	Deletes    int64 `json:"deletes"`
+	Reclaims   int64 `json:"reclaims"`
 }
 
 // ErrorResponse is every error body; Canceled marks a context-terminated

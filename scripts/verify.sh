@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: formatting, vet (./... spans the library, commands
 # and examples), build, tests, race passes over the execution engine, the
-# job manager and the context-cancellation paths, fuzz smoke runs over the
-# decode/storage surfaces, and a short svbench smoke emitting a BENCH_2.json
-# snapshot (to $BENCH_SMOKE, default /tmp/BENCH_2.json).
+# job manager, the dataset registry and the context-cancellation paths,
+# fuzz smoke runs over the decode/storage surfaces, a serving benchmark of
+# the upload-once/value-many registry path, and a short svbench smoke
+# emitting a BENCH_3.json snapshot (to $BENCH_SMOKE, default
+# /tmp/BENCH_3.json).
 # Run from anywhere; operates on the repo root. CI
 # (.github/workflows/ci.yml) runs exactly this script.
 set -euo pipefail
@@ -21,18 +23,25 @@ go build ./...
 go test ./...
 go test -race ./internal/core
 go test -race ./internal/jobs
+go test -race ./internal/registry
 go test -run TestCancel -race ./...
-go test -run 'TestJob|TestStatz' -race ./cmd/svserver
+go test -run 'TestJob|TestStatz|TestDataset|TestValueByRef|TestValueRef|TestQueuedCancel' -race ./cmd/svserver
 
 # Fuzz smoke: ten seconds per decode/storage surface. New crashers land in
 # testdata/fuzz/ and fail the run.
 go test -run '^$' -fuzz FuzzFlatRoundTrip -fuzztime 10s ./internal/dataset
+go test -run '^$' -fuzz FuzzBinaryCodec -fuzztime 10s ./internal/dataset
 go test -run '^$' -fuzz FuzzDecodeValueRequest -fuzztime 10s ./cmd/svserver
+
+# Serving smoke: the upload-once/value-many comparison through the real
+# HTTP handlers (inline re-ships and re-fingerprints the payload each call;
+# by-ref resolves two registry IDs).
+go test -run '^$' -bench 'BenchmarkValue' -benchtime 3x ./cmd/svserver
 
 # Perf smoke: the machine-readable engine micro-benchmarks, capped at
 # N=1e4 so the sweep stays seconds. Written OUTSIDE the repo (override with
 # BENCH_SMOKE; CI uploads it as an artifact) so the committed full-sweep
-# BENCH_2.json trajectory point is never clobbered by smoke numbers —
+# BENCH_3.json trajectory point is never clobbered by smoke numbers —
 # regenerate that one deliberately with:
-#   go run ./cmd/svbench -benchjson BENCH_2.json
-go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_2.json}" -benchmax 10000
+#   go run ./cmd/svbench -benchjson BENCH_3.json
+go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_3.json}" -benchmax 10000

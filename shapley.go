@@ -77,6 +77,19 @@ func ReadCSV(r io.Reader, regression bool) (*Dataset, error) {
 // WriteCSV writes a dataset in the ReadCSV layout.
 func WriteCSV(w io.Writer, d *Dataset) error { return dataset.WriteCSV(w, d) }
 
+// ReadBinary parses a dataset in the compact binary format (magic "KNNS",
+// version, shape, contiguous little-endian float64 feature block, then
+// responses). It is the format the svserver dataset registry persists and
+// accepts on POST /datasets with Content-Type application/octet-stream —
+// roughly 3–4× smaller than the JSON encoding and decoded without float
+// parsing.
+func ReadBinary(r io.Reader) (*Dataset, error) { return dataset.ReadBinary(r) }
+
+// WriteBinary writes a dataset in the ReadBinary format. The encoding is
+// canonical: equal datasets (by content fingerprint) encode to identical
+// bytes.
+func WriteBinary(w io.Writer, d *Dataset) error { return dataset.WriteBinary(w, d) }
+
 // Config selects the KNN utility whose Shapley values are computed.
 type Config struct {
 	// K is the number of neighbors (required, >= 1).
