@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -154,6 +155,17 @@ func runBenchJSON(path string, maxN int) error {
 		}
 		rep.Results = append(rep.Results, wireRecs...)
 	}
+
+	// Dispatch cost of the declarative entry point: Valuer.Evaluate's
+	// registry lookup + validation + interface call must stay under 1 µs
+	// per request on top of a direct method call (size-independent, so
+	// measured once).
+	dispatchRecs, err := benchDispatch()
+	if err != nil {
+		return fmt.Errorf("dispatch: %w", err)
+	}
+	rep.Results = append(rep.Results, dispatchRecs...)
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -165,6 +177,81 @@ func runBenchJSON(path string, maxN int) error {
 		return err
 	}
 	return f.Close()
+}
+
+// noopMethod is a registered do-nothing method, so "evaluate_dispatch"
+// times exactly the Evaluate machinery (lookup, validate, dispatch) and
+// not an algorithm.
+type noopMethod struct{}
+
+func (noopMethod) Name() string { return "svbench-noop" }
+func (noopMethod) Schema() knnshapley.MethodSchema {
+	return knnshapley.MethodSchema{Name: "svbench-noop", Description: "dispatch-overhead probe",
+		Params: []knnshapley.ParamSpec{}}
+}
+func (noopMethod) Validate() error  { return nil }
+func (noopMethod) CacheKey() string { return "" }
+func (noopMethod) Run(ctx context.Context, v *knnshapley.Valuer, test *knnshapley.Dataset) (*knnshapley.Report, error) {
+	return &knnshapley.Report{Method: "svbench-noop"}, nil
+}
+
+// benchDispatch compares a direct method call against the same valuation
+// through Evaluate ("evaluate_direct" vs "evaluate_wrapped", per request
+// over the full exact run) and isolates the pure dispatch cost against a
+// no-op method ("evaluate_dispatch", per request; must stay < 1 µs —
+// TestEvaluateDispatchOverhead enforces it).
+func benchDispatch() ([]benchRecord, error) {
+	knnshapley.Register(noopMethod{})
+	train := dataset.MNISTLike(256, 1)
+	test := dataset.MNISTLike(benchNTest, 2)
+	v, err := knnshapley.New(train, knnshapley.WithK(benchK))
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	const reps = 20
+	if _, err := v.Exact(ctx, test); err != nil { // warm up
+		return nil, err
+	}
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if _, err := v.Exact(ctx, test); err != nil {
+			return nil, err
+		}
+	}
+	directNs := time.Since(start).Nanoseconds() / reps
+
+	req := knnshapley.Request{Params: knnshapley.ExactParams{}, Test: test}
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		if _, err := v.Evaluate(ctx, req); err != nil {
+			return nil, err
+		}
+	}
+	wrappedNs := time.Since(start).Nanoseconds() / reps
+
+	const iters = 200000
+	noop := knnshapley.Request{Method: "svbench-noop", Test: test}
+	if _, err := v.Evaluate(ctx, noop); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := v.Evaluate(ctx, noop); err != nil {
+			return nil, err
+		}
+	}
+	dispatchTotal := time.Since(start).Nanoseconds()
+
+	return []benchRecord{
+		{Name: "evaluate_direct", N: train.N(), Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: directNs, TotalNs: directNs * reps},
+		{Name: "evaluate_wrapped", N: train.N(), Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: wrappedNs, TotalNs: wrappedNs * reps},
+		{Name: "evaluate_dispatch", N: iters,
+			NsPerOp: dispatchTotal / iters, TotalNs: dispatchTotal},
+	}, nil
 }
 
 // benchWire measures the per-request server-side dataset cost of the two

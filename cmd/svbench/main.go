@@ -9,12 +9,14 @@
 //	svbench -exp fig7 -scale 0.1 # 10% of the paper's dataset sizes
 //
 // With -benchjson FILE the command instead runs the engine micro-benchmarks
-// (exact / truncated / Monte-Carlo at N ∈ {1e3, 1e4, 1e5}, plus flat-storage
-// vs slice-of-slices distance scans) and writes machine-readable ns/op
-// records for the perf trajectory (BENCH_1.json):
+// (exact / truncated / Monte-Carlo at N ∈ {1e3, 1e4, 1e5}, flat-storage vs
+// slice-of-slices distance scans, the inline-vs-by-ref wire comparison, and
+// the Evaluate dispatch probes — evaluate_dispatch must stay < 1µs/req) and
+// writes machine-readable ns/op records for the perf trajectory
+// (BENCH_1.json):
 //
-//	svbench -benchjson BENCH_1.json
-//	svbench -benchjson BENCH_2.json -benchmax 10000   # CI smoke: skip N=1e5
+//	svbench -benchjson BENCH_4.json
+//	svbench -benchjson BENCH_4.json -benchmax 10000   # CI smoke: skip N=1e5
 //
 // See DESIGN.md for the experiment-to-module index and EXPERIMENTS.md for
 // recorded paper-vs-measured results.

@@ -1,6 +1,6 @@
 // Command svcli values every training point of a CSV dataset with respect to
 // a KNN model and a test CSV, using any of the paper's algorithms through
-// the session-based Valuer API — either in-process, or remotely against an
+// the declarative Evaluate API — either in-process, or remotely against an
 // svserver daemon.
 //
 // Usage:
@@ -10,6 +10,20 @@
 //	svcli -train train.csv -test test.csv -k 2 -algo kd -eps 0.1 -timeout 30s
 //	svcli -train reg.csv -test regtest.csv -regression -k 3 -algo mc -eps 0.05 -range 2
 //	svcli -train train.csv -test test.csv -k 3 -algo sellers -owners 0,0,1,1 -m 2
+//	svcli methods                                 # list algorithms + parameters
+//
+// -algo names any method of the valuation registry ("mc" is shorthand for
+// "montecarlo"); the parameter flags (-eps, -delta, -t, -seed, -bound,
+// -heuristic, -range, -owners, -m, -subset) are matched against the
+// method's self-describing schema, so each method consumes exactly the
+// parameters it declares and an explicitly set flag the method does not
+// take is an error. Explicit flags always ship; the flag defaults
+// (eps=0.1, delta=0.1, seed=1) are fallbacks used only when the explicit
+// flags alone do not validate — so `-algo mc -t 50` runs a fixed
+// 50-permutation budget, the same thing that request means on the wire.
+// "svcli methods" renders the schemas — offline for this binary's
+// registry, or, with -server, the daemon's GET /methods, which is
+// authoritative for what that server can run.
 //
 // With -server the computation runs on an svserver daemon instead of
 // in-process. The default remote mode POSTs /value and waits; with -async
@@ -19,6 +33,12 @@
 //
 //	svcli -train train.csv -test test.csv -k 5 -server http://localhost:8080
 //	svcli -train train.csv -test test.csv -k 5 -algo exact -server http://localhost:8080 -async
+//
+// Local and remote runs build the same parameter set, so a remote valuation
+// reproduces the local one bit for bit (identical requests are answered
+// from the server's result cache, marked "served from result cache"). On
+// any server rejection (4xx/5xx) svcli exits non-zero with a one-line
+// stderr message carrying the server's "error" field verbatim.
 //
 // # Upload-once, value-many
 //
@@ -79,6 +99,9 @@ func main() {
 		case "datasets":
 			runDatasets(os.Args[2:])
 			return
+		case "methods":
+			runMethods(os.Args[2:])
+			return
 		}
 	}
 	var (
@@ -89,14 +112,18 @@ func main() {
 		byRef      = flag.Bool("by-ref", false, "with -server: upload the CSVs to the registry first, then submit refs")
 		regression = flag.Bool("regression", false, "treat the response column as a regression target")
 		k          = flag.Int("k", 5, "number of neighbors")
-		algo       = flag.String("algo", "exact", "exact|truncated|lsh|kd|mc|baseline|sellers|sellersmc|composite")
+		algo       = flag.String("algo", "exact", `algorithm name from the registry ("svcli methods" lists them; mc = montecarlo)`)
 		eps        = flag.Float64("eps", 0.1, "approximation error target")
 		delta      = flag.Float64("delta", 0.1, "approximation failure probability")
 		weighted   = flag.Bool("weighted", false, "use inverse-distance weighted KNN")
 		rangeHW    = flag.Float64("range", 0, "utility-difference half-width for MC bounds (default 1/K for unweighted classification)")
 		seed       = flag.Uint64("seed", 1, "randomness seed")
+		t          = flag.Int("t", 0, "fixed Monte-Carlo permutation budget, or a cap on a statistical one")
+		bound      = flag.String("bound", "", "Monte-Carlo budget rule: "+strings.Join(knnshapley.BoundNames(), "|")+" (default bennett)")
+		heuristic  = flag.Bool("heuristic", false, "Monte-Carlo early-stopping heuristic (montecarlo, sellersmc)")
 		owners     = flag.String("owners", "", "comma-separated owner index per training point (sellers, sellersmc, composite)")
 		m          = flag.Int("m", 0, "seller count for owners-based games")
+		subset     = flag.String("subset", "", "comma-separated training indices of the coalition (utility)")
 		top        = flag.Int("top", 0, "print only the top-n values, descending")
 		timeout    = flag.Duration("timeout", 0, "valuation deadline (0 = none)")
 		serverURL  = flag.String("server", "", "svserver base URL; compute remotely instead of in-process")
@@ -104,6 +131,9 @@ func main() {
 		poll       = flag.Duration("poll", 250*time.Millisecond, "with -async: status poll interval")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
 	if *serverURL == "" && (*trainRef != "" || *testRef != "" || *byRef) {
 		fatalf("-train-ref/-test-ref/-by-ref need -server")
 	}
@@ -114,6 +144,39 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	name := *algo
+	if name == "mc" {
+		name = "montecarlo" // historical shorthand
+	}
+	method, ok := knnshapley.Lookup(name)
+	if !ok {
+		fatalf("unknown algorithm %q (registered: %s; \"svcli methods\" shows parameters)",
+			*algo, strings.Join(knnshapley.MethodNames(), ", "))
+	}
+
+	ownerIdx, err := parseIndexList("-owners", *owners)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	subsetIdx, err := parseIndexList("-subset", *subset)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// The flat flag namespace feeding any method's parameters, matched
+	// against its schema — no per-algorithm dispatch anywhere in this file.
+	paramFlags := map[string]string{ // wire parameter name → flag name
+		"eps": "eps", "delta": "delta", "t": "t", "seed": "seed",
+		"rangeHalfWidth": "range", "heuristic": "heuristic", "bound": "bound",
+		"owners": "owners", "m": "m", "subset": "subset",
+	}
+	paramValues := map[string]any{
+		"eps": *eps, "delta": *delta, "t": *t, "seed": *seed,
+		"rangeHalfWidth": *rangeHW, "heuristic": *heuristic, "bound": *bound,
+		"owners": ownerIdx, "m": *m, "subset": subsetIdx,
+	}
+	params := buildMethodParams(method, paramValues, paramFlags, explicit)
 
 	var train, test *knnshapley.Dataset
 	if *trainPath != "" {
@@ -130,27 +193,18 @@ func main() {
 		defer cancel()
 	}
 
-	ownerIdx, err := parseOwners(*owners)
-	if err != nil {
-		fatalf("%v", err)
-	}
-
 	var sv []float64
 	if *serverURL != "" {
 		if *weighted {
 			fatalf("-weighted is not supported by the server wire format")
 		}
 		sv = runRemote(ctx, *serverURL, remoteOptions{
-			algo: *algo, k: *k, eps: *eps, delta: *delta, rangeHW: *rangeHW, seed: *seed,
-			owners: ownerIdx, m: *m,
+			k: *k, params: params,
 			trainRef: *trainRef, testRef: *testRef, byRef: *byRef,
 			async: *async, poll: *poll,
 		}, train, test)
 	} else {
-		sv = runLocal(ctx, train, test, localOptions{
-			algo: *algo, k: *k, eps: *eps, delta: *delta, rangeHW: *rangeHW,
-			seed: *seed, weighted: *weighted, owners: ownerIdx, m: *m,
-		})
+		sv = runLocal(ctx, train, test, *k, *weighted, params)
 	}
 
 	if *top > 0 {
@@ -177,8 +231,8 @@ func fatalf(format string, args ...any) {
 	os.Exit(2)
 }
 
-// parseOwners splits "-owners 0,0,1,2" into indices.
-func parseOwners(s string) ([]int, error) {
+// parseIndexList splits "0,0,1,2" into indices.
+func parseIndexList(flagName, s string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -187,29 +241,90 @@ func parseOwners(s string) ([]int, error) {
 	for i, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			return nil, fmt.Errorf("-owners: %q is not an integer", p)
+			return nil, fmt.Errorf("%s: %q is not an integer", flagName, p)
 		}
 		out[i] = v
 	}
 	return out, nil
 }
 
-// localOptions carries the flag values of an in-process run.
-type localOptions struct {
-	algo       string
-	k          int
-	eps, delta float64
-	rangeHW    float64
-	seed       uint64
-	weighted   bool
-	owners     []int
-	m          int
+// include reports whether a flag value is worth sending as a parameter —
+// zero values are left to the method's defaults.
+func include(v any) bool {
+	switch x := v.(type) {
+	case float64:
+		return x != 0
+	case int:
+		return x != 0
+	case uint64:
+		return x != 0
+	case bool:
+		return x
+	case string:
+		return x != ""
+	case []int:
+		return len(x) > 0
+	}
+	return false
 }
 
-// runLocal computes the values in-process through a one-shot session.
-func runLocal(ctx context.Context, train, test *knnshapley.Dataset, o localOptions) []float64 {
-	opts := []knnshapley.Option{knnshapley.WithK(o.k)}
-	if o.weighted {
+// buildMethodParams assembles the method's typed parameters from the flag
+// namespace, driven by its self-describing schema. Explicitly set flags
+// are requests and always ship; flag defaults (eps=0.1, delta=0.1,
+// seed=1) are fallbacks, merged in only when the explicit flags alone do
+// not form a valid parameter set. So `-algo mc -t 50` means a fixed
+// 50-permutation budget — exactly what the same request means on the raw
+// wire — while a bare `-algo mc` still gets the Bennett (0.1, 0.1)
+// defaults. An explicitly set parameter flag the method does not declare
+// is an error rather than silently dropped. The JSON round trip through
+// DecodeParams is the same generic wire→params path the server uses.
+func buildMethodParams(m knnshapley.Method, values map[string]any, flagOf map[string]string, explicit map[string]bool) knnshapley.Method {
+	supported := map[string]bool{}
+	for _, spec := range m.Schema().Params {
+		supported[spec.Name] = true
+	}
+	for param, fl := range flagOf {
+		if explicit[fl] && !supported[param] {
+			fatalf("-%s is not a parameter of %s (\"svcli methods\" shows its schema)", fl, m.Name())
+		}
+	}
+	assemble := func(withDefaults bool) (knnshapley.Method, error) {
+		in := map[string]any{}
+		for _, spec := range m.Schema().Params {
+			v, ok := values[spec.Name]
+			if !ok || !include(v) {
+				continue
+			}
+			if !withDefaults && !explicit[flagOf[spec.Name]] {
+				continue
+			}
+			in[spec.Name] = v
+		}
+		raw, err := json.Marshal(in)
+		if err != nil {
+			fatalf("encode parameters: %v", err)
+		}
+		p, err := knnshapley.DecodeParams(m, raw)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return p, p.Validate()
+	}
+	if p, err := assemble(false); err == nil {
+		return p
+	}
+	p, err := assemble(true)
+	if err != nil {
+		fatalf("%s: %v", m.Name(), err)
+	}
+	return p
+}
+
+// runLocal computes the values in-process through a one-shot session and
+// the single Evaluate entry point.
+func runLocal(ctx context.Context, train, test *knnshapley.Dataset, k int, weighted bool, params knnshapley.Method) []float64 {
+	opts := []knnshapley.Option{knnshapley.WithK(k)}
+	if weighted {
 		opts = append(opts, knnshapley.WithWeight(knnshapley.InverseDistance(1e-3)))
 	}
 	valuer, err := knnshapley.New(train, opts...)
@@ -217,44 +332,16 @@ func runLocal(ctx context.Context, train, test *knnshapley.Dataset, o localOptio
 		fmt.Fprintln(os.Stderr, "svcli:", err)
 		os.Exit(1)
 	}
-
-	var rep *knnshapley.Report
-	switch o.algo {
-	case "exact":
-		rep, err = valuer.Exact(ctx, test)
-	case "truncated":
-		rep, err = valuer.Truncated(ctx, test, o.eps)
-	case "lsh":
-		rep, err = valuer.LSH(ctx, test, o.eps, o.delta, o.seed)
-	case "kd":
-		rep, err = valuer.KD(ctx, test, o.eps)
-	case "mc":
-		rep, err = valuer.MonteCarlo(ctx, test, knnshapley.MCOptions{
-			Eps: o.eps, Delta: o.delta, Bound: knnshapley.Bennett,
-			RangeHalfWidth: o.rangeHW, Heuristic: true, Seed: o.seed,
-		})
-		if err == nil {
-			fmt.Fprintf(os.Stderr, "mc: %d/%d permutations\n", rep.Permutations, rep.Budget)
-		}
-	case "baseline":
-		rep, err = valuer.BaselineMonteCarlo(ctx, test, o.eps, o.delta, 0, o.seed)
-	case "sellers":
-		rep, err = valuer.Sellers(ctx, test, o.owners, o.m)
-	case "sellersmc":
-		rep, err = valuer.SellersMC(ctx, test, o.owners, o.m, knnshapley.MCOptions{
-			Eps: o.eps, Delta: o.delta, RangeHalfWidth: o.rangeHW, Seed: o.seed,
-		})
-	case "composite":
-		rep, err = valuer.Composite(ctx, test, o.owners, o.m)
-		if err == nil {
-			fmt.Fprintf(os.Stderr, "composite: analyst share %g\n", rep.Analyst)
-		}
-	default:
-		fatalf("unknown algorithm %q", o.algo)
-	}
+	rep, err := valuer.Evaluate(ctx, knnshapley.Request{Params: params, Test: test})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svcli:", err)
 		os.Exit(1)
+	}
+	if rep.Budget > 0 {
+		fmt.Fprintf(os.Stderr, "svcli: %s: %d/%d permutations\n", rep.Method, rep.Permutations, rep.Budget)
+	}
+	if rep.Method == "composite" {
+		fmt.Fprintf(os.Stderr, "svcli: composite: analyst share %g\n", rep.Analyst)
 	}
 	return rep.Values
 }
@@ -270,13 +357,8 @@ type valueResult struct {
 // (job polling reuses wire.JobStatus directly — its Error field doubles as
 // the transport-error overlay).
 type remoteOptions struct {
-	algo              string
 	k                 int
-	eps, delta        float64
-	rangeHW           float64
-	seed              uint64
-	owners            []int
-	m                 int
+	params            knnshapley.Method
 	trainRef, testRef string
 	byRef             bool
 	async             bool
@@ -287,30 +369,15 @@ type remoteOptions struct {
 // synchronously via POST /value, or via the job API with progress polling.
 // Datasets travel inline, by explicit -train-ref/-test-ref, or (with
 // -by-ref) are uploaded to the registry first so the request itself carries
-// only IDs. Remote Monte-Carlo uses the server's budget rule (Bennett, no
-// stopping heuristic), so its values can differ from a local -algo mc run,
-// which enables the heuristic.
+// only IDs. The request body inlines the same typed parameters a local run
+// uses, so local and remote valuations are bit-identical.
 func runRemote(ctx context.Context, base string, opts remoteOptions, train, test *knnshapley.Dataset) []float64 {
-	algorithm := opts.algo
-	switch algorithm {
-	case "mc":
-		algorithm = "montecarlo"
-	case "exact", "truncated", "lsh", "kd", "montecarlo":
-	case "sellers", "sellersmc", "composite":
-		if len(opts.owners) == 0 || opts.m <= 0 {
-			fatalf("%s needs -owners and -m", algorithm)
-		}
-	default:
-		fatalf("algorithm %q is not served remotely", opts.algo)
+	if err := opts.params.Validate(); err != nil {
+		fatalf("%s: %v", opts.params.Name(), err)
 	}
 	req := wire.ValueRequest{
-		Algorithm: algorithm, K: opts.k,
-		Eps: opts.eps, Delta: opts.delta, Seed: opts.seed,
-		Owners: opts.owners, M: opts.m, RangeHalfWidth: opts.rangeHW,
+		Algorithm: opts.params.Name(), K: opts.k, Params: opts.params,
 		TrainRef: opts.trainRef, TestRef: opts.testRef,
-	}
-	if algorithm == "exact" {
-		req.Eps, req.Delta = 0, 0 // not meaningful; keep cache keys canonical
 	}
 	if opts.byRef {
 		if train != nil {
@@ -331,10 +398,9 @@ func runRemote(ctx context.Context, base string, opts remoteOptions, train, test
 
 	if !opts.async {
 		var resp valueResult
-		status := postJSON(ctx, base+"/value", req, &resp)
+		status, raw := postJSON(ctx, base+"/value", req, &resp)
 		if status != http.StatusOK {
-			fmt.Fprintf(os.Stderr, "svcli: server: %s (HTTP %d)\n", resp.Error, status)
-			os.Exit(1)
+			remoteFail("server", status, resp.Error, raw)
 		}
 		if resp.Cached {
 			fmt.Fprintln(os.Stderr, "svcli: served from result cache")
@@ -344,9 +410,8 @@ func runRemote(ctx context.Context, base string, opts remoteOptions, train, test
 
 	// Async: enqueue, then poll status until terminal.
 	var st wire.JobStatus
-	if status := postJSON(ctx, base+"/jobs", req, &st); status != http.StatusAccepted {
-		fmt.Fprintf(os.Stderr, "svcli: submit: %s (HTTP %d)\n", st.Error, status)
-		os.Exit(1)
+	if status, raw := postJSON(ctx, base+"/jobs", req, &st); status != http.StatusAccepted {
+		remoteFail("submit", status, st.Error, raw)
 	}
 	fmt.Fprintf(os.Stderr, "svcli: job %s enqueued\n", st.ID)
 	for !terminal(st.Status) {
@@ -358,9 +423,9 @@ func runRemote(ctx context.Context, base string, opts remoteOptions, train, test
 			os.Exit(1)
 		case <-time.After(opts.poll):
 		}
-		if status := getJSON(ctx, base+"/jobs/"+st.ID, &st); status != http.StatusOK {
-			fmt.Fprintf(os.Stderr, "\nsvcli: poll: %s (HTTP %d)\n", st.Error, status)
-			os.Exit(1)
+		if status, raw := getJSON(ctx, base+"/jobs/"+st.ID, &st); status != http.StatusOK {
+			fmt.Fprintln(os.Stderr)
+			remoteFail("poll", status, st.Error, raw)
 		}
 		fmt.Fprintf(os.Stderr, "\rsvcli: job %s %s %d/%d", st.ID, st.Status, st.Done, st.Total)
 	}
@@ -373,11 +438,91 @@ func runRemote(ctx context.Context, base string, opts remoteOptions, train, test
 		fmt.Fprintln(os.Stderr, "svcli: served from result cache")
 	}
 	var resp valueResult
-	if status := getJSON(ctx, base+"/jobs/"+st.ID+"/result", &resp); status != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "svcli: result: %s (HTTP %d)\n", resp.Error, status)
-		os.Exit(1)
+	if status, raw := getJSON(ctx, base+"/jobs/"+st.ID+"/result", &resp); status != http.StatusOK {
+		remoteFail("result", status, resp.Error, raw)
 	}
 	return resp.Values
+}
+
+// runMethods is the "svcli methods" subcommand: render the method registry
+// with each method's parameter schema — the server's GET /methods when
+// -server is given (authoritative for what that daemon runs), this binary's
+// built-in registry otherwise.
+func runMethods(args []string) {
+	fs := flag.NewFlagSet("methods", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "", "svserver base URL; omit to list this binary's built-in methods")
+		asJSON    = fs.Bool("json", false, "print the raw JSON schemas")
+		timeout   = fs.Duration("timeout", 10*time.Second, "request deadline")
+	)
+	fs.Parse(args)
+
+	var schemas []knnshapley.MethodSchema
+	if *serverURL == "" {
+		for _, m := range knnshapley.Methods() {
+			schemas = append(schemas, m.Schema())
+		}
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		var resp struct {
+			wire.MethodsResponse
+			Error string `json:"error"`
+		}
+		status, raw := getJSON(ctx, *serverURL+"/methods", &resp)
+		if status != http.StatusOK {
+			remoteFail("methods", status, resp.Error, raw)
+		}
+		schemas = resp.Methods
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(wire.MethodsResponse{Methods: schemas}); err != nil {
+			fmt.Fprintln(os.Stderr, "svcli:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, s := range schemas {
+		printMethod(s)
+	}
+}
+
+// printMethod renders one method schema for humans.
+func printMethod(s knnshapley.MethodSchema) {
+	fmt.Printf("%s — %s\n", s.Name, s.Description)
+	if len(s.Params) == 0 {
+		fmt.Println("  (no parameters)")
+	}
+	for _, p := range s.Params {
+		attrs := []string{p.Type}
+		if p.Required {
+			attrs = append(attrs, "required")
+		}
+		if p.Default != nil {
+			attrs = append(attrs, fmt.Sprintf("default %v", p.Default))
+		}
+		if p.Min != nil || p.Max != nil {
+			lo, hi := "-inf", "+inf"
+			if p.Min != nil {
+				lo = fmt.Sprintf("%g", *p.Min)
+			}
+			if p.Max != nil {
+				hi = fmt.Sprintf("%g", *p.Max)
+			}
+			brackets := "[]"
+			if p.Exclusive {
+				brackets = "()"
+			}
+			attrs = append(attrs, fmt.Sprintf("range %c%s, %s%c", brackets[0], lo, hi, brackets[1]))
+		}
+		if len(p.Enum) > 0 {
+			attrs = append(attrs, "one of "+strings.Join(p.Enum, "|"))
+		}
+		fmt.Printf("  %-16s %-34s %s\n", p.Name, strings.Join(attrs, ", "), p.Doc)
+	}
+	fmt.Println()
 }
 
 // uploadBinary POSTs one dataset to the registry in the compact binary
@@ -399,10 +544,9 @@ func uploadBinary(ctx context.Context, base string, d *knnshapley.Dataset, what 
 		wire.UploadResponse
 		Error string `json:"error"`
 	}
-	status := postBody(ctx, target, "application/octet-stream", buf.Bytes(), &resp)
+	status, raw := postBody(ctx, target, "application/octet-stream", buf.Bytes(), &resp)
 	if status != http.StatusCreated && status != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "svcli: upload %s: %s (HTTP %d)\n", what, resp.Error, status)
-		os.Exit(1)
+		remoteFail("upload "+what, status, resp.Error, raw)
 	}
 	return resp.UploadResponse
 }
@@ -450,12 +594,11 @@ func runUpload(args []string) {
 			wire.UploadResponse
 			Error string `json:"error"`
 		}
-		status := postJSON(ctx, *serverURL+"/datasets", wire.Payload{
+		status, raw := postJSON(ctx, *serverURL+"/datasets", wire.Payload{
 			Name: d.Name, X: d.X, Labels: d.Labels, Targets: d.Targets,
 		}, &resp)
 		if status != http.StatusCreated && status != http.StatusOK {
-			fmt.Fprintf(os.Stderr, "svcli: upload: %s (HTTP %d)\n", resp.Error, status)
-			os.Exit(1)
+			remoteFail("upload", status, resp.Error, raw)
 		}
 		up = resp.UploadResponse
 	} else {
@@ -495,9 +638,8 @@ func runDatasets(args []string) {
 			os.Exit(1)
 		}
 		var er wire.ErrorResponse
-		if status := doJSON(req, &er); status != http.StatusNoContent {
-			fmt.Fprintf(os.Stderr, "svcli: delete: %s (HTTP %d)\n", er.Error, status)
-			os.Exit(1)
+		if status, raw := doJSON(req, &er); status != http.StatusNoContent {
+			remoteFail("delete", status, er.Error, raw)
 		}
 		fmt.Fprintf(os.Stderr, "svcli: deleted %s\n", *del)
 	case *id != "":
@@ -505,9 +647,8 @@ func runDatasets(args []string) {
 			wire.DatasetInfo
 			Error string `json:"error"`
 		}
-		if status := getJSON(ctx, *serverURL+"/datasets/"+*id, &info); status != http.StatusOK {
-			fmt.Fprintf(os.Stderr, "svcli: stat: %s (HTTP %d)\n", info.Error, status)
-			os.Exit(1)
+		if status, raw := getJSON(ctx, *serverURL+"/datasets/"+*id, &info); status != http.StatusOK {
+			remoteFail("stat", status, info.Error, raw)
 		}
 		printDataset(info.DatasetInfo)
 	default:
@@ -515,9 +656,8 @@ func runDatasets(args []string) {
 			wire.DatasetListResponse
 			Error string `json:"error"`
 		}
-		if status := getJSON(ctx, *serverURL+"/datasets", &list); status != http.StatusOK {
-			fmt.Fprintf(os.Stderr, "svcli: list: %s (HTTP %d)\n", list.Error, status)
-			os.Exit(1)
+		if status, raw := getJSON(ctx, *serverURL+"/datasets", &list); status != http.StatusOK {
+			remoteFail("list", status, list.Error, raw)
 		}
 		for _, info := range list.Datasets {
 			printDataset(info)
@@ -551,7 +691,26 @@ func toWire(d *knnshapley.Dataset) *wire.Payload {
 	return &wire.Payload{X: d.X, Labels: d.Labels, Targets: d.Targets}
 }
 
-func postJSON(ctx context.Context, url string, body, out any) int {
+// remoteFail reports a server rejection the uniform way: one stderr line
+// carrying the server's "error" field verbatim (falling back to a body
+// snippet, then to the HTTP status text), then a non-zero exit — never a
+// panic, never a usage dump.
+func remoteFail(op string, status int, errMsg string, raw []byte) {
+	msg := strings.TrimSpace(errMsg)
+	if msg == "" {
+		msg = strings.Join(strings.Fields(string(raw)), " ")
+		if len(msg) > 300 {
+			msg = msg[:300] + "..."
+		}
+	}
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	fmt.Fprintf(os.Stderr, "svcli: %s: %s (HTTP %d)\n", op, msg, status)
+	os.Exit(1)
+}
+
+func postJSON(ctx context.Context, url string, body, out any) (int, []byte) {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svcli:", err)
@@ -560,7 +719,7 @@ func postJSON(ctx context.Context, url string, body, out any) int {
 	return postBody(ctx, url, "application/json", raw, out)
 }
 
-func postBody(ctx context.Context, url, contentType string, body []byte, out any) int {
+func postBody(ctx context.Context, url, contentType string, body []byte, out any) (int, []byte) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svcli:", err)
@@ -570,7 +729,7 @@ func postBody(ctx context.Context, url, contentType string, body []byte, out any
 	return doJSON(req, out)
 }
 
-func getJSON(ctx context.Context, url string, out any) int {
+func getJSON(ctx context.Context, url string, out any) (int, []byte) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svcli:", err)
@@ -593,7 +752,10 @@ func cancelJob(base, id string) {
 	}
 }
 
-func doJSON(req *http.Request, out any) int {
+// doJSON executes the request, decodes its JSON body into out (when the
+// body is decodable) and returns the HTTP status plus the raw body so
+// error paths can report the server's message verbatim.
+func doJSON(req *http.Request, out any) (int, []byte) {
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svcli:", err)
@@ -607,13 +769,15 @@ func doJSON(req *http.Request, out any) int {
 	}
 	if out != nil && len(raw) > 0 {
 		// Error bodies share the {"error": ...} shape with valueResult and
-		// wire.JobStatus, so decoding into out surfaces the message.
+		// wire.JobStatus, so decoding into out surfaces the message; an
+		// undecodable body on an error status falls through to the caller's
+		// remoteFail, which prints the raw snippet instead.
 		if err := json.Unmarshal(raw, out); err != nil && resp.StatusCode < 300 {
 			fmt.Fprintf(os.Stderr, "svcli: decode %s: %v\n", req.URL, err)
 			os.Exit(1)
 		}
 	}
-	return resp.StatusCode
+	return resp.StatusCode, raw
 }
 
 func mustRead(path string, regression bool) *knnshapley.Dataset {

@@ -117,7 +117,7 @@ func TestJobEndpointsNotFoundAndConflict(t *testing.T) {
 	// report 409 while it is queued or running.
 	slow := testRequest()
 	slow.Algorithm = "montecarlo"
-	slow.T = 1 << 30
+	slow.Params = knnshapley.MCParams{T: 1 << 30}
 	var st jobStatusResponse
 	if rec := do(t, srv, http.MethodPost, "/jobs", slow, &st); rec.Code != http.StatusAccepted {
 		t.Fatalf("submit status %d", rec.Code)
@@ -136,7 +136,7 @@ func TestJobCancelMidRun(t *testing.T) {
 
 	slow := testRequest()
 	slow.Algorithm = "montecarlo"
-	slow.T = 1 << 30 // effectively unbounded without cancellation
+	slow.Params = knnshapley.MCParams{T: 1 << 30} // effectively unbounded without cancellation
 	var st jobStatusResponse
 	if rec := do(t, srv, http.MethodPost, "/jobs", slow, &st); rec.Code != http.StatusAccepted {
 		t.Fatalf("submit status %d", rec.Code)
@@ -221,7 +221,7 @@ func TestJobCacheHitAndValuerReuse(t *testing.T) {
 	// still reuses the session.
 	trunc := testRequest()
 	trunc.Algorithm = "truncated"
-	trunc.Eps = 0.4
+	trunc.Params = knnshapley.TruncatedParams{Eps: 0.4}
 	if rec, _ := postValue(t, srv, trunc); rec.Code != http.StatusOK {
 		t.Fatalf("truncated status %d", rec.Code)
 	}

@@ -22,6 +22,7 @@
 //	GET    /jobs/{id}/result — fetch the report of a done job
 //	DELETE /jobs/{id}        — cancel a queued or running job
 //	POST   /value            — submit-and-wait convenience wrapper
+//	GET    /methods          — discover the served methods + param schemas
 //	GET    /healthz          — liveness probe
 //	GET    /statz            — job-manager and registry counters
 //
@@ -71,28 +72,32 @@
 // re-validating and re-flattening it (and share lazily built LSH/k-d
 // indexes).
 //
-// # Request format
+// # Request format and method discovery
 //
-// POST /jobs and POST /value accept the same body:
+// POST /jobs and POST /value accept the same declarative body: an envelope
+// (algorithm, k, metric, engine knobs, datasets inline or by ref) with the
+// algorithm's own parameters inlined beside it. The parameters are decoded
+// generically against the knnshapley method registry — this file contains
+// no per-algorithm dispatch, and a method registered in the root package is
+// served here automatically. GET /methods lists every served method with a
+// machine-readable parameter schema (name, type, required, default,
+// bounds); a parameter the named method does not take is a 400.
 //
 //	{
-//	  "algorithm": "exact" | "truncated" | "montecarlo" | "sellers" |
-//	               "sellersmc" | "composite" | "lsh" | "kd",
+//	  "algorithm": "exact" | "truncated" | "montecarlo" | "baseline" |
+//	               "sellers" | "sellersmc" | "composite" | "lsh" | "kd" |
+//	               "utility",           // anything GET /methods lists
 //	  "k": 3,
 //	  "metric": "l2" | "l1" | "cosine",
-//	  "eps": 0.1,            // truncated, montecarlo, lsh, kd
-//	  "delta": 0.1,          // montecarlo, lsh
-//	  "seed": 7,             // montecarlo, sellersmc, lsh
-//	  "t": 0,                // montecarlo/sellersmc fixed budget (or cap)
-//	  "owners": [0,0,1,...], // sellers, sellersmc, composite (optional there)
-//	  "m": 2,                // seller count for owners-based games
-//	  "rangeHalfWidth": 0,   // MC utility-range half-width (0 = default)
 //	  "workers": 0,          // engine worker pool (0 = all cores)
 //	  "batchSize": 0,        // engine batch size (0 = 64)
 //	  "train": {"x": [[...]], "labels": [...]},  // or "targets": [...]
 //	  "test":  {"x": [[...]], "labels": [...]},
 //	  "trainRef": "a1b2c3d4e5f60718",  // instead of "train"
-//	  "testRef":  "18f7e6d5c4b3a291"   // instead of "test"
+//	  "testRef":  "18f7e6d5c4b3a291",  // instead of "test"
+//	  // ...plus the method's own parameters, e.g. for montecarlo:
+//	  "eps": 0.1, "delta": 0.1, "seed": 7, "t": 0,
+//	  "bound": "bennett", "heuristic": false, "rangeHalfWidth": 0
 //	}
 //
 // The result body carries the unified report of the Valuer API:
@@ -121,8 +126,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -182,14 +187,19 @@ func main() {
 	// valuations legitimately take a while to compute and stream back;
 	// -request-timeout bounds the compute itself).
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("svserver listening on %s", *addr)
-	log.Fatal(hs.ListenAndServe())
+	// Listen explicitly so ":0" reports the kernel-assigned port — what
+	// scripts/verify.sh parses to drive the svcli-methods end-to-end check.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("svserver listening on %s", ln.Addr())
+	log.Fatal(hs.Serve(ln))
 }
 
 // server carries the per-process configuration of the daemon.
@@ -221,9 +231,24 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /datasets", s.handleDatasetList)
 	mux.HandleFunc("GET /datasets/{id}", s.handleDatasetStat)
 	mux.HandleFunc("DELETE /datasets/{id}", s.handleDatasetDelete)
+	mux.HandleFunc("GET /methods", s.handleMethods)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
 	return mux
+}
+
+// handleMethods is GET /methods: the server-side discovery surface. It
+// renders the registry's self-describing schemas — every algorithm this
+// build can run, each with its parameter names, types, required flags,
+// defaults and bounds — so clients enumerate capabilities instead of
+// hard-coding them.
+func (s *server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	ms := knnshapley.Methods()
+	resp := wire.MethodsResponse{Methods: make([]knnshapley.MethodSchema, len(ms))}
+	for i, m := range ms {
+		resp.Methods[i] = m.Schema()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // The JSON types live in internal/wire, shared with cmd/svcli so the two
@@ -574,7 +599,30 @@ func (s *server) resolveDataset(ref string, inline *payload, side string) (*regi
 // via Spec.OnFinish); the Valuer session and the result cache are keyed on
 // the registry IDs, so the by-ref hot path touches neither payload bytes
 // nor hashes. The int is the HTTP status for a non-nil error.
+//
+// There is no per-algorithm dispatch here: the request decode already
+// resolved the method and its typed parameters against the knnshapley
+// registry, the parameters validate themselves, and Valuer.Evaluate runs
+// them — registering a new method in the root package is all it takes to
+// serve it.
 func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
+	p := req.Params
+	if p == nil {
+		// Requests built in-process (tests, embedding) may skip the JSON
+		// decode that normally fills Params; resolve the name here.
+		name := req.Algorithm
+		if name == "" {
+			name = "exact"
+		}
+		var ok bool
+		if p, ok = knnshapley.Lookup(name); !ok {
+			return nil, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("%s: %w", p.Name(), err)
+	}
+
 	trainH, status, err := s.resolveDataset(req.TrainRef, req.Train, "train")
 	if err != nil {
 		return nil, status, err
@@ -586,20 +634,10 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 	}
 	release := func() { trainH.Release(); testH.Release() }
 
-	metric, err := parseMetric(req.Metric)
+	metric, err := knnshapley.ParseMetric(req.Metric)
 	if err != nil {
 		release()
 		return nil, http.StatusBadRequest, err
-	}
-	algorithm := req.Algorithm
-	if algorithm == "" {
-		algorithm = "exact"
-	}
-	switch algorithm {
-	case "exact", "truncated", "montecarlo", "sellers", "sellersmc", "composite", "lsh", "kd":
-	default:
-		release()
-		return nil, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
 
 	// One session per (training content, session options): repeated
@@ -622,64 +660,34 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 		return nil, http.StatusUnprocessableEntity, err
 	}
 
-	// The result cache key spans everything that shapes the values — but
-	// deliberately not workers/batchSize: the engine's ordered reduction
-	// makes outputs bit-identical across both, so tuning knobs should not
-	// fragment the cache.
-	cacheKey := fmt.Sprintf("%s|%s|%s|k=%d|metric=%s|eps=%g|delta=%g|t=%d|seed=%d|m=%d|range=%g|owners=%016x",
-		trainH.ID(), testH.ID(), algorithm, req.K, req.Metric,
-		req.Eps, req.Delta, req.T, req.Seed, req.M, req.RangeHalfWidth, ownersHash(req.Owners))
+	// The result cache key spans everything that shapes the values — the
+	// dataset IDs, the session options and the method's own canonicalized
+	// parameters (Params.CacheKey) — but deliberately not
+	// workers/batchSize: the engine's ordered reduction makes outputs
+	// bit-identical across both, so tuning knobs should not fragment the
+	// cache. Canonicalization means semantically identical requests hit
+	// regardless of entry point or field spelling.
+	cacheKey := fmt.Sprintf("%s|%s|%s|k=%d|metric=%s|%s",
+		trainH.ID(), testH.ID(), p.Name(), req.K, req.Metric, p.CacheKey())
 
-	r := *req // keep the dispatch inputs alive independent of the caller
 	run := func(ctx context.Context) (*knnshapley.Report, error) {
-		switch algorithm {
-		case "exact":
-			return v.Exact(ctx, test)
-		case "truncated":
-			return v.Truncated(ctx, test, r.Eps)
-		case "montecarlo":
-			return v.MonteCarlo(ctx, test, mcOptions(&r))
-		case "sellers":
-			return v.Sellers(ctx, test, r.Owners, r.M)
-		case "sellersmc":
-			return v.SellersMC(ctx, test, r.Owners, r.M, mcOptions(&r))
-		case "composite":
-			return v.Composite(ctx, test, r.Owners, r.M)
-		case "lsh":
-			return v.LSH(ctx, test, r.Eps, r.Delta, r.Seed)
-		default: // "kd"; the algorithm set was validated above
-			return v.KD(ctx, test, r.Eps)
-		}
+		return v.Evaluate(ctx, knnshapley.Request{Params: p, Test: test})
 	}
 	return &jobs.Spec{
 		CacheKey:   cacheKey,
 		TotalUnits: test.N(),
 		Run:        run,
 		Meta: jobMeta{
-			algorithm: algorithm, trainN: train.N(),
+			algorithm: p.Name(), trainN: train.N(),
 			trainRef: trainH.ID(), testRef: testH.ID(),
 		},
 		OnFinish: release,
 	}, http.StatusOK, nil
 }
 
-// ownersHash condenses a possibly large owners slice into the cache key.
-func ownersHash(owners []int) uint64 {
-	if owners == nil {
-		return 0
-	}
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, o := range owners {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(uint64(o) >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	return h.Sum64()
-}
-
-// buildResponse renders a Report in the wire format.
+// buildResponse renders a Report in the wire format. A cache-hit job
+// carries a report already marked CacheHit with a near-zero Duration (the
+// lookup, not the original run), so the wire duration is honest either way.
 func buildResponse(rep *knnshapley.Report, meta jobMeta, cached bool) *valueResponse {
 	resp := &valueResponse{
 		Values:       rep.Values,
@@ -691,11 +699,11 @@ func buildResponse(rep *knnshapley.Report, meta jobMeta, cached bool) *valueResp
 		KStar:        rep.KStar,
 		DurationMs:   rep.Duration.Milliseconds(),
 		Fingerprint:  fmt.Sprintf("%016x", rep.Fingerprint),
-		Cached:       cached,
+		Cached:       cached || rep.CacheHit,
 		TrainRef:     meta.trainRef,
 		TestRef:      meta.testRef,
 	}
-	if meta.algorithm == "composite" {
+	if rep.Method == "composite" {
 		analyst := rep.Analyst
 		resp.Analyst = &analyst
 	}
@@ -724,20 +732,6 @@ func statusResponse(s jobs.Snapshot) *jobStatusResponse {
 	return resp
 }
 
-// mcOptions maps the wire fields onto MCOptions, preserving the original
-// server behavior: a fixed budget T without (eps, delta) selects the Fixed
-// bound.
-func mcOptions(req *valueRequest) knnshapley.MCOptions {
-	opts := knnshapley.MCOptions{
-		Eps: req.Eps, Delta: req.Delta, T: req.T, Seed: req.Seed,
-		RangeHalfWidth: req.RangeHalfWidth,
-	}
-	if req.T > 0 && (req.Eps == 0 || req.Delta == 0) {
-		opts.Bound = knnshapley.Fixed
-	}
-	return opts
-}
-
 func buildDataset(p *payload) (*knnshapley.Dataset, error) {
 	var d *knnshapley.Dataset
 	var err error
@@ -753,19 +747,6 @@ func buildDataset(p *payload) (*knnshapley.Dataset, error) {
 		d.Name = p.Name
 	}
 	return d, nil
-}
-
-func parseMetric(name string) (knnshapley.Metric, error) {
-	switch name {
-	case "", "l2":
-		return knnshapley.L2, nil
-	case "l1":
-		return knnshapley.L1, nil
-	case "cosine":
-		return knnshapley.Cosine, nil
-	default:
-		return knnshapley.L2, fmt.Errorf("unknown metric %q", name)
-	}
 }
 
 // writeRunError maps a job's terminal error onto the /value error

@@ -95,13 +95,12 @@ func TestValueTruncatedAndMonteCarlo(t *testing.T) {
 	srv := newTestServer(t, 1<<20, 0)
 	req := testRequest()
 	req.Algorithm = "truncated"
-	req.Eps = 0.4
+	req.Params = knnshapley.TruncatedParams{Eps: 0.4}
 	if rec, _ := postValue(t, srv, req); rec.Code != http.StatusOK {
 		t.Fatalf("truncated status %d: %s", rec.Code, rec.Body.String())
 	}
 	req.Algorithm = "montecarlo"
-	req.T = 50
-	req.Eps = 0
+	req.Params = knnshapley.MCParams{T: 50}
 	rec, resp := postValue(t, srv, req)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("montecarlo status %d: %s", rec.Code, rec.Body.String())
@@ -157,16 +156,16 @@ func TestHealthz(t *testing.T) {
 func TestValueSellersAndComposite(t *testing.T) {
 	srv := newTestServer(t, 1<<20, 0)
 	req := testRequest()
+	owners := []int{0, 0, 0, 1, 1, 1}
 	req.Algorithm = "sellers"
-	req.Owners = []int{0, 0, 0, 1, 1, 1}
-	req.M = 2
+	req.Params = knnshapley.SellerParams{Owners: owners, M: 2}
 	rec, resp := postValue(t, srv, req)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("sellers status %d: %s", rec.Code, rec.Body.String())
 	}
 	train, _ := knnshapley.NewClassificationDataset(req.Train.X, req.Train.Labels)
 	test, _ := knnshapley.NewClassificationDataset(req.Test.X, req.Test.Labels)
-	want, err := knnshapley.SellerValues(train, test, req.Owners, 2, knnshapley.Config{K: 2})
+	want, err := knnshapley.SellerValues(train, test, owners, 2, knnshapley.Config{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,6 +179,7 @@ func TestValueSellersAndComposite(t *testing.T) {
 	}
 
 	req.Algorithm = "composite"
+	req.Params = knnshapley.CompositeParams{Owners: owners, M: 2}
 	rec, resp = postValue(t, srv, req)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("composite status %d: %s", rec.Code, rec.Body.String())
@@ -187,7 +187,7 @@ func TestValueSellersAndComposite(t *testing.T) {
 	if resp.Analyst == nil {
 		t.Fatal("composite reply missing analyst share")
 	}
-	comp, err := knnshapley.CompositeValues(train, test, req.Owners, 2, knnshapley.Config{K: 2})
+	comp, err := knnshapley.CompositeValues(train, test, owners, 2, knnshapley.Config{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,8 @@ func TestValueSellersAndComposite(t *testing.T) {
 	}
 
 	req.Algorithm = "sellersmc"
-	req.T = 50
+	req.Params = knnshapley.SellerMCParams{Owners: owners, M: 2,
+		MCParams: knnshapley.MCParams{T: 50}}
 	if rec, resp = postValue(t, srv, req); rec.Code != http.StatusOK {
 		t.Fatalf("sellersmc status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -210,7 +211,7 @@ func TestValueLSHAndKD(t *testing.T) {
 	train := knnshapley.SynthDeep(300, 3)
 	test := knnshapley.SynthDeep(5, 4)
 	req := valueRequest{
-		Algorithm: "kd", K: 2, Eps: 0.25,
+		Algorithm: "kd", K: 2, Params: knnshapley.KDParams{Eps: 0.25},
 		Train: &payload{X: train.X, Labels: train.Labels},
 		Test:  &payload{X: test.X, Labels: test.Labels},
 	}
@@ -232,8 +233,7 @@ func TestValueLSHAndKD(t *testing.T) {
 	}
 
 	req.Algorithm = "lsh"
-	req.Delta = 0.1
-	req.Seed = 5
+	req.Params = knnshapley.LSHParams{Eps: 0.25, Delta: 0.1, Seed: 5}
 	if rec, resp = postValue(t, srv, req); rec.Code != http.StatusOK {
 		t.Fatalf("lsh status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -248,7 +248,7 @@ func TestValueClientDisconnect(t *testing.T) {
 	srv := newTestServer(t, 1<<20, 0)
 	body := testRequest()
 	body.Algorithm = "montecarlo"
-	body.T = 1 << 30 // far more permutations than could run before the check
+	body.Params = knnshapley.MCParams{T: 1 << 30} // far more permutations than could run before the check
 	raw, err := json.Marshal(body)
 	if err != nil {
 		t.Fatal(err)
@@ -276,7 +276,7 @@ func TestValueRequestTimeout(t *testing.T) {
 	srv := newTestServer(t, 1<<20, time.Nanosecond)
 	body := testRequest()
 	body.Algorithm = "montecarlo"
-	body.T = 1 << 30
+	body.Params = knnshapley.MCParams{T: 1 << 30}
 	rec, _ := postValue(t, srv, body)
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want %d: %s", rec.Code, http.StatusGatewayTimeout, rec.Body.String())
@@ -294,12 +294,12 @@ func TestValueRejectsBadOwners(t *testing.T) {
 	srv := newTestServer(t, 1<<20, 0)
 	req := testRequest()
 	req.Algorithm = "sellers"
-	req.Owners = []int{0, 0, 0, 1, 1, 9} // owner out of range
-	req.M = 2
+	req.Params = knnshapley.SellerParams{
+		Owners: []int{0, 0, 0, 1, 1, 9}, M: 2} // owner out of range
 	if rec, _ := postValue(t, srv, req); rec.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("bad owners status %d", rec.Code)
 	}
-	req.Owners = nil // wrong length
+	req.Params = knnshapley.SellerParams{M: 2} // missing owners
 	if rec, _ := postValue(t, srv, req); rec.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("missing owners status %d", rec.Code)
 	}

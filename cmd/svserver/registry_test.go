@@ -219,7 +219,7 @@ func TestJobHoldsDatasetAcrossDelete(t *testing.T) {
 
 	slow := testRequest()
 	slow.Algorithm = "montecarlo"
-	slow.T = 1 << 30
+	slow.Params = knnshapley.MCParams{T: 1 << 30}
 	var st jobStatusResponse
 	if rec := do(t, srv, http.MethodPost, "/jobs", slow, &st); rec.Code != http.StatusAccepted {
 		t.Fatalf("submit status %d", rec.Code)
@@ -267,7 +267,7 @@ func TestQueuedCancelReleasesDatasetRefs(t *testing.T) {
 
 	slow := testRequest()
 	slow.Algorithm = "montecarlo"
-	slow.T = 1 << 30
+	slow.Params = knnshapley.MCParams{T: 1 << 30}
 	var running jobStatusResponse
 	if rec := do(t, srv, http.MethodPost, "/jobs", slow, &running); rec.Code != http.StatusAccepted {
 		t.Fatalf("submit status %d", rec.Code)
@@ -277,7 +277,7 @@ func TestQueuedCancelReleasesDatasetRefs(t *testing.T) {
 	queued := testRequest() // same content → pins the same two datasets again
 	queued.K = 1            // but a different session/cache key, so no cache hit
 	queued.Algorithm = "montecarlo"
-	queued.T = 1 << 30
+	queued.Params = knnshapley.MCParams{T: 1 << 30}
 	var qst jobStatusResponse
 	if rec := do(t, srv, http.MethodPost, "/jobs", queued, &qst); rec.Code != http.StatusAccepted {
 		t.Fatalf("queued submit status %d", rec.Code)

@@ -19,7 +19,7 @@
 //   - and for composite games that value the computation provider (the
 //     "analyst") alongside the data sellers (Theorems 9–12).
 //
-// # Quick start: sessions
+// # Quick start: sessions and one declarative entry point
 //
 // The unit of work is a valuation session, the Valuer: construct it once
 // per training set with functional options, then issue as many valuations
@@ -33,9 +33,36 @@
 //	rep, err := v.Exact(ctx, test)
 //	// rep.Values[i] is the value of training point i; Σ = ν(I) − ν(∅).
 //
-// Every method takes a context.Context and returns a unified *Report
-// carrying the values plus how they were computed (Method, Duration,
-// Fingerprint — the training set's content hash — TestPoints, and, where
+// Behind every named method sits one entry point, Evaluate, and a
+// declarative request: which method, with which parameters, against which
+// test set. Each algorithm is a registered Method whose typed parameter
+// struct (ExactParams, TruncatedParams{Eps}, MCParams, SellerParams,
+// LSHParams, …) knows how to validate itself (Validate), how to identify
+// its computation for result caches (CacheKey) and how to run
+// (Run(ctx, *Valuer, *Dataset)):
+//
+//	rep, err := v.Evaluate(ctx, knnshapley.Request{
+//	    Params: knnshapley.MCParams{Eps: 0.1, Delta: 0.1, Seed: 7},
+//	    Test:   test,
+//	})
+//	rep, err = v.Evaluate(ctx, knnshapley.Request{Method: "exact", Test: test})
+//
+// The named methods (v.Exact, v.Truncated, v.MonteCarlo, v.Sellers,
+// v.SellersMC, v.Composite, v.LSH, v.KD, v.BaselineMonteCarlo, v.Utility)
+// are thin wrappers over Evaluate and produce bit-identical values (pinned
+// by TestEvaluateMatchesMethodsBitIdentical); dispatch costs well under a
+// microsecond per request (TestEvaluateDispatchOverhead enforces < 1µs).
+//
+// The package registry (Register, Lookup, Methods) is what makes methods
+// discoverable: each exposes a machine-readable MethodSchema (parameter
+// names, types, required flags, defaults, bounds) that cmd/svserver serves
+// as GET /methods and "svcli methods" renders. Registering a new Method —
+// one Register call plus a kernel — makes it reachable from Evaluate, the
+// wire protocol and the CLI with no transport changes.
+//
+// Every report is unified: *Report carries the values plus how they were
+// computed (Method, Duration, Fingerprint — the training set's content
+// hash — TestPoints, CacheHit for cache-served results, and, where
 // applicable, Permutations, Budget, UtilityEvals, KStar, Analyst).
 // Canceling the context (client disconnect, deadline) aborts an in-flight
 // valuation within one engine batch, and within one permutation inside the
@@ -57,7 +84,8 @@
 // SellerValuesMC, CompositeValues, Utility, NewLSHValuer, NewKDValuer)
 // remain as deprecated wrappers that build a one-shot session internally
 // and produce bit-identical outputs; see README.md for the full migration
-// table. New code should construct a Valuer and pass a context.
+// table (v1 free functions → v2 sessions → the declarative Evaluate). New
+// code should construct a Valuer and pass a context.
 //
 // # Execution model: one engine, pluggable kernels, batched streaming
 //
@@ -114,9 +142,13 @@
 // by-reference request is a pair of registry lookups landing on a warm
 // session, with no payload decode, re-validation or re-fingerprinting;
 // identical resubmissions are answered from memory without touching the
-// engine. The synchronous POST /value remains as a submit-and-wait
+// engine (the replayed report is marked CacheHit with the near-zero lookup
+// duration). Result-cache keys are built from Params.CacheKey, so
+// semantically identical requests hit regardless of entry point or
+// spelling. The synchronous POST /value remains as a submit-and-wait
 // wrapper over the same manager (a canceled valuation returns a 499-style
-// JSON error with "canceled": true). See the command's package comment
+// JSON error with "canceled": true), and GET /methods publishes the param
+// schema of every served algorithm. See the command's package comment
 // for the wire format, examples/jobqueue for the job manager driven
 // in-process, and examples/registry for the upload-once/value-many stack.
 //

@@ -70,6 +70,46 @@ func ExampleTruncated() {
 	// non-zero values: 1 of 8
 }
 
+// The declarative entry point: every algorithm is a registered Method,
+// a request names one (or carries its typed params), and Evaluate runs it.
+// The named methods (v.Exact, v.Truncated, …) are thin wrappers over this.
+func ExampleValuer_Evaluate() {
+	train, _ := knnshapley.NewClassificationDataset(
+		[][]float64{{0}, {1}, {4}}, []int{1, 0, 1})
+	test, _ := knnshapley.NewClassificationDataset(
+		[][]float64{{0.1}}, []int{1})
+	v, _ := knnshapley.New(train, knnshapley.WithK(1))
+
+	// By typed params — compile-time safe, self-validating.
+	rep, _ := v.Evaluate(context.Background(), knnshapley.Request{
+		Params: knnshapley.TruncatedParams{Eps: 0.5},
+		Test:   test,
+	})
+	fmt.Printf("%s: %d values\n", rep.Method, len(rep.Values))
+
+	// By name — the registered defaults run (here: exact has none).
+	rep, _ = v.Evaluate(context.Background(), knnshapley.Request{Method: "exact", Test: test})
+	fmt.Printf("%s: %+.3f\n", rep.Method, rep.Values[0])
+	// Output:
+	// truncated: 3 values
+	// exact: +0.833
+}
+
+// Server-side method discovery: every registered method describes itself —
+// name, parameters, types, requiredness, bounds. GET /methods serves
+// exactly this.
+func ExampleMethods() {
+	m, _ := knnshapley.Lookup("truncated")
+	schema := m.Schema()
+	fmt.Println(schema.Name)
+	for _, p := range schema.Params {
+		fmt.Printf("  %s (%s, required=%v)\n", p.Name, p.Type, p.Required)
+	}
+	// Output:
+	// truncated
+	//   eps (float, required=true)
+}
+
 // The session API: one Valuer per training set, contexts on every call,
 // a unified report back.
 func ExampleNew() {

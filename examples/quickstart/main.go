@@ -28,11 +28,24 @@ func main() {
 	}
 	ctx := context.Background()
 
-	rep, err := valuer.Exact(ctx, test)
+	// Every algorithm routes through one declarative entry point: name a
+	// registered method (or hand over its typed params — here the exact
+	// method, which has none) and Evaluate runs it. valuer.Exact(ctx, test)
+	// is the equivalent convenience wrapper.
+	rep, err := valuer.Evaluate(ctx, knnshapley.Request{Method: "exact", Test: test})
 	if err != nil {
 		log.Fatal(err)
 	}
 	sv := rep.Values
+
+	// The registry is introspectable: every method describes its own
+	// parameters ("svcli methods" and the server's GET /methods render
+	// exactly this).
+	fmt.Print("registered methods:")
+	for _, name := range knnshapley.MethodNames() {
+		fmt.Print(" ", name)
+	}
+	fmt.Println()
 
 	// Group rationality audit: values must sum to ν(I) − ν(∅).
 	all := make([]int, train.N())

@@ -354,11 +354,18 @@ func (m *Manager) Submit(spec Spec) (job *Job, err error) {
 	if spec.CacheKey != "" {
 		if rep, ok := m.reports.get(spec.CacheKey); ok {
 			m.hits.Add(1)
+			// The job carries a copy marked as a hit, with the (near-zero)
+			// lookup duration instead of the original run's — replaying the
+			// old wall-clock time would misreport what this request cost.
+			// The cached report itself stays pristine for later audits.
+			hit := *rep
+			hit.CacheHit = true
+			hit.Duration = m.now().Sub(now)
 			job.mu.Lock()
 			job.cacheHit = true
 			job.done.Store(int64(rep.TestPoints))
 			job.total.Store(int64(rep.TestPoints))
-			job.finishLocked(StateDone, rep, nil, now)
+			job.finishLocked(StateDone, &hit, nil, now)
 			job.mu.Unlock()
 			m.jobs[job.id] = job
 			return job, nil

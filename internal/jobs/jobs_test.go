@@ -136,8 +136,20 @@ func TestResultCacheHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if secondRep != firstRep {
-		t.Fatal("cache hit did not return the identical Report")
+	// The hit is a marked copy of the cached report: same values, CacheHit
+	// set, and the (near-zero) lookup duration instead of the original
+	// run's wall-clock time.
+	if &secondRep.Values[0] != &firstRep.Values[0] {
+		t.Fatal("cache hit recomputed or copied the values")
+	}
+	if !secondRep.CacheHit {
+		t.Fatal("cached report not marked CacheHit")
+	}
+	if secondRep.Duration >= firstRep.Duration {
+		t.Fatalf("cached Duration %v not below the original run's %v", secondRep.Duration, firstRep.Duration)
+	}
+	if firstRep.CacheHit {
+		t.Fatal("cache hit mutated the cached report itself")
 	}
 	if st := m.Stats(); st.Runs != 1 || st.CacheHits != 1 {
 		t.Fatalf("stats runs=%d hits=%d, want 1 and 1", st.Runs, st.CacheHits)

@@ -1,8 +1,23 @@
 // Package wire defines the JSON types svserver speaks and svcli consumes —
 // one definition, imported by both commands, so the formats cannot drift.
+//
+// Valuation requests are declarative: the envelope carries the session
+// fields (algorithm, k, metric, engine knobs, datasets by payload or ref)
+// and everything else is the algorithm's own parameters, decoded
+// generically against the method registry of the root package
+// (knnshapley.Lookup + knnshapley.DecodeParams). Neither command contains
+// per-algorithm field mapping; registering a new method in the root
+// package makes it servable here unchanged.
 package wire
 
-import "time"
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"knnshapley"
+)
 
 // Payload is one inline dataset: feature rows plus either class labels or
 // regression targets. Name is optional metadata shown by the dataset
@@ -19,25 +34,118 @@ type Payload struct {
 // registry ID from POST /datasets) — never both. Inline payloads are
 // auto-registered, so the response of the first inline call yields the refs
 // for every later one.
+//
+// The struct fields are the request envelope; the algorithm's own
+// parameters live in Params, a typed knnshapley parameter struct
+// (TruncatedParams, MCParams, …). On the wire they are inlined at the top
+// level of the JSON object — {"algorithm": "truncated", "k": 3,
+// "eps": 0.1, ...} — and MarshalJSON/UnmarshalJSON translate between the
+// two shapes, resolving Params against the method registry. An unknown
+// algorithm, or a parameter the named method does not take, is a decode
+// error.
 type ValueRequest struct {
-	Algorithm string  `json:"algorithm"`
-	K         int     `json:"k"`
-	Metric    string  `json:"metric,omitempty"`
-	Eps       float64 `json:"eps,omitempty"`
-	Delta     float64 `json:"delta,omitempty"`
-	T         int     `json:"t,omitempty"`
-	Seed      uint64  `json:"seed,omitempty"`
-	Owners    []int   `json:"owners,omitempty"`
-	M         int     `json:"m,omitempty"`
-	// RangeHalfWidth is the utility-difference half-width feeding the
-	// Monte-Carlo budget bounds (0 = the algorithm's default).
-	RangeHalfWidth float64  `json:"rangeHalfWidth,omitempty"`
-	Workers        int      `json:"workers,omitempty"`
-	BatchSize      int      `json:"batchSize,omitempty"`
-	Train          *Payload `json:"train,omitempty"`
-	Test           *Payload `json:"test,omitempty"`
-	TrainRef       string   `json:"trainRef,omitempty"`
-	TestRef        string   `json:"testRef,omitempty"`
+	Algorithm string   `json:"algorithm,omitempty"`
+	K         int      `json:"k,omitempty"`
+	Metric    string   `json:"metric,omitempty"`
+	Workers   int      `json:"workers,omitempty"`
+	BatchSize int      `json:"batchSize,omitempty"`
+	Train     *Payload `json:"train,omitempty"`
+	Test      *Payload `json:"test,omitempty"`
+	TrainRef  string   `json:"trainRef,omitempty"`
+	TestRef   string   `json:"testRef,omitempty"`
+	// Params carries the algorithm's parameters (inlined on the wire).
+	// After a successful decode it is never nil: an absent algorithm
+	// defaults to "exact", absent parameters to the method's defaults.
+	Params knnshapley.Method `json:"-"`
+}
+
+// envelopeFields are the top-level JSON keys owned by the request envelope;
+// every other key belongs to the method's parameters. Matching is
+// case-insensitive, like encoding/json's own field matching.
+var envelopeFields = map[string]bool{
+	"algorithm": true, "k": true, "metric": true,
+	"workers": true, "batchsize": true,
+	"train": true, "test": true, "trainref": true, "testref": true,
+}
+
+// MarshalJSON inlines Params at the top level of the envelope object and
+// fills an empty Algorithm from the params' method name.
+func (r ValueRequest) MarshalJSON() ([]byte, error) {
+	type plain ValueRequest // drops the methods, keeps the tags
+	if r.Algorithm == "" && r.Params != nil {
+		r.Algorithm = r.Params.Name()
+	}
+	env, err := json.Marshal(plain(r))
+	if err != nil || r.Params == nil {
+		return env, err
+	}
+	pb, err := json.Marshal(r.Params)
+	if err != nil {
+		return nil, err
+	}
+	var merged, params map[string]json.RawMessage
+	if err := json.Unmarshal(env, &merged); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(pb, &params); err != nil {
+		return nil, fmt.Errorf("parameters for %s are not a JSON object: %w", r.Params.Name(), err)
+	}
+	for k, v := range params {
+		if envelopeFields[strings.ToLower(k)] {
+			return nil, fmt.Errorf("parameter %q of %s collides with an envelope field", k, r.Params.Name())
+		}
+		merged[k] = v
+	}
+	return json.Marshal(merged)
+}
+
+// UnmarshalJSON splits the flat wire object into the envelope and the
+// method parameters, resolving the latter against the registry — the single
+// generic decode path for every algorithm, current and future.
+func (r *ValueRequest) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	env := make(map[string]json.RawMessage, len(raw))
+	params := make(map[string]json.RawMessage)
+	for k, v := range raw {
+		if envelopeFields[strings.ToLower(k)] {
+			env[k] = v
+		} else {
+			params[k] = v
+		}
+	}
+	envBytes, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	type plain ValueRequest
+	if err := json.Unmarshal(envBytes, (*plain)(r)); err != nil {
+		return err
+	}
+	name := r.Algorithm
+	if name == "" {
+		name = "exact"
+	}
+	m, ok := knnshapley.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (registered: %s; see GET /methods)",
+			r.Algorithm, strings.Join(knnshapley.MethodNames(), ", "))
+	}
+	var pb []byte
+	if len(params) > 0 {
+		if pb, err = json.Marshal(params); err != nil {
+			return err
+		}
+	}
+	p, err := knnshapley.DecodeParams(m, pb)
+	if err != nil {
+		return err
+	}
+	r.Algorithm = name
+	r.Params = p
+	return nil
 }
 
 // ValueResponse is the body of a successful /value or /jobs/{id}/result
@@ -120,6 +228,14 @@ type RegistryStats struct {
 	Reuploads  int64 `json:"reuploads"`
 	Deletes    int64 `json:"deletes"`
 	Reclaims   int64 `json:"reclaims"`
+}
+
+// MethodsResponse is the body of GET /methods: the machine-readable schema
+// of every registered valuation method — name, parameter names, types,
+// required flags, defaults and bounds — so clients can discover the server's
+// capabilities instead of hard-coding them.
+type MethodsResponse struct {
+	Methods []knnshapley.MethodSchema `json:"methods"`
 }
 
 // ErrorResponse is every error body; Canceled marks a context-terminated

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"knnshapley"
+)
+
+// A ValueRequest round-trips through the flat wire shape: the params are
+// inlined at the top level on the way out and resolved back into the typed
+// struct on the way in.
+func TestValueRequestRoundTrip(t *testing.T) {
+	req := ValueRequest{
+		K: 3, Metric: "l2", TrainRef: "0123456789abcdef", TestRef: "fedcba9876543210",
+		Params: knnshapley.MCParams{Eps: 0.1, Delta: 0.2, Seed: 7, Heuristic: true},
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		t.Fatal(err)
+	}
+	if flat["algorithm"] != "montecarlo" {
+		t.Fatalf("algorithm %v, want montecarlo (filled from params)", flat["algorithm"])
+	}
+	if flat["eps"] != 0.1 || flat["heuristic"] != true {
+		t.Fatalf("params not inlined: %v", flat)
+	}
+
+	var back ValueRequest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.K != 3 || back.TrainRef != req.TrainRef || back.Algorithm != "montecarlo" {
+		t.Fatalf("envelope %+v", back)
+	}
+	mc, ok := back.Params.(knnshapley.MCParams)
+	if !ok || mc != req.Params.(knnshapley.MCParams) {
+		t.Fatalf("params %#v, want %#v", back.Params, req.Params)
+	}
+}
+
+func TestValueRequestDecodeErrors(t *testing.T) {
+	var req ValueRequest
+	if err := json.Unmarshal([]byte(`{"algorithm":"mystery","k":1}`), &req); err == nil ||
+		!strings.Contains(err.Error(), `unknown algorithm "mystery"`) {
+		t.Fatalf("unknown algorithm: %v", err)
+	}
+	if err := json.Unmarshal([]byte(`{"algorithm":"exact","k":1,"eps":0.5}`), &req); err == nil ||
+		!strings.Contains(err.Error(), "exact") {
+		t.Fatalf("misdirected parameter: %v", err)
+	}
+	if err := json.Unmarshal([]byte(`[]`), &req); err == nil {
+		t.Fatal("non-object accepted")
+	}
+}
+
+// An absent algorithm defaults to exact with its default params, and the
+// decoded request always carries non-nil Params.
+func TestValueRequestDefaults(t *testing.T) {
+	var req ValueRequest
+	if err := json.Unmarshal([]byte(`{"k":2,"trainRef":"a","testRef":"b"}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Algorithm != "exact" || req.Params == nil || req.Params.Name() != "exact" {
+		t.Fatalf("defaults %+v (params %v)", req, req.Params)
+	}
+	// Field matching stays case-insensitive like encoding/json.
+	if err := json.Unmarshal([]byte(`{"Algorithm":"kd","K":2,"Eps":0.5}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Algorithm != "kd" || req.K != 2 || req.Params.(knnshapley.KDParams).Eps != 0.5 {
+		t.Fatalf("case-insensitive decode %+v (params %#v)", req, req.Params)
+	}
+}

@@ -1,0 +1,207 @@
+package knnshapley
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Method is one valuation algorithm behind the declarative API: a named,
+// self-describing, validatable, runnable parameter set. The typed parameter
+// structs (ExactParams, TruncatedParams, MCParams, …) implement it, so a
+// populated params value IS the method instance — construct one, hand it to
+// Valuer.Evaluate, and the algorithm runs with those parameters.
+//
+// The package registry holds one zero-value prototype per algorithm
+// (Register/Lookup/Methods); a prototype doubles as the method's defaults
+// when a Request names a method without params. Registration is what makes
+// a method discoverable — servable by name over the wire and listed by
+// GET /methods — but Evaluate also accepts unregistered Method values, so
+// external packages can define and run their own algorithms through the
+// same entry point.
+type Method interface {
+	// Name is the registry identifier ("exact", "lsh", …) — the string wire
+	// requests carry in their "algorithm" field.
+	Name() string
+	// Schema describes the method and its parameters machine-readably; it
+	// is what GET /methods serves.
+	Schema() MethodSchema
+	// Validate checks the receiver's parameter values (the checks that do
+	// not need a training set; dataset-dependent checks, like an owners
+	// slice matching the training size, happen in Run).
+	Validate() error
+	// CacheKey canonically encodes the parameters: two values with equal
+	// (Name, CacheKey) denote the same computation, regardless of how they
+	// were constructed or which entry point produced them. Engine tuning
+	// knobs (workers, batch size) never appear in it — the engine's ordered
+	// reduction makes outputs bit-identical across both.
+	CacheKey() string
+	// Run executes the algorithm on the session v against test.
+	Run(ctx context.Context, v *Valuer, test *Dataset) (*Report, error)
+}
+
+// ParamSpec describes one method parameter machine-readably — the unit of
+// the self-describing schema GET /methods serves.
+type ParamSpec struct {
+	// Name is the wire/JSON field name of the parameter.
+	Name string `json:"name"`
+	// Type is the parameter's wire type: "float", "int", "uint", "bool",
+	// "string" or "[]int".
+	Type string `json:"type"`
+	// Required marks parameters the method cannot run without.
+	Required bool `json:"required,omitempty"`
+	// Default is the value an omitted parameter takes (nil = the type's
+	// zero value).
+	Default any `json:"default,omitempty"`
+	// Min and Max bound the accepted range where one applies. A nil bound
+	// is unbounded; Exclusive marks both bounds as strict (<, not ≤).
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// Exclusive marks Min/Max as strict bounds.
+	Exclusive bool `json:"exclusive,omitempty"`
+	// Enum lists the accepted values of a string-typed parameter.
+	Enum []string `json:"enum,omitempty"`
+	// Doc is a one-line human description.
+	Doc string `json:"doc,omitempty"`
+}
+
+// MethodSchema is the machine-readable description of one method: its
+// registry name, a one-line description and its parameter specs.
+type MethodSchema struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description"`
+	Params      []ParamSpec `json:"params"`
+}
+
+var (
+	methodsMu sync.RWMutex
+	methods   = make(map[string]Method)
+)
+
+// Register adds a method prototype (conventionally the zero value of its
+// parameter struct) to the package registry under m.Name(), making it
+// discoverable by Lookup/Methods and servable by name. It panics on an
+// empty name or a duplicate registration — both are programmer errors at
+// init time. The package's ten algorithms are pre-registered.
+func Register(m Method) {
+	name := m.Name()
+	if name == "" {
+		panic("knnshapley: Register: empty method name")
+	}
+	methodsMu.Lock()
+	defer methodsMu.Unlock()
+	if _, dup := methods[name]; dup {
+		panic(fmt.Sprintf("knnshapley: Register: duplicate method %q", name))
+	}
+	methods[name] = m
+}
+
+// Lookup returns the registered prototype for name — zero-value parameters,
+// usable directly as a method's defaults or as the decode target for wire
+// parameters (DecodeParams).
+func Lookup(name string) (Method, bool) {
+	methodsMu.RLock()
+	defer methodsMu.RUnlock()
+	m, ok := methods[name]
+	return m, ok
+}
+
+// Methods returns every registered method prototype, sorted by name — the
+// server-side discovery surface behind GET /methods.
+func Methods() []Method {
+	methodsMu.RLock()
+	defer methodsMu.RUnlock()
+	out := make([]Method, 0, len(methods))
+	for _, m := range methods {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// MethodNames returns the sorted names of every registered method.
+func MethodNames() []string {
+	ms := Methods()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// Request is one declarative valuation request: which method, with which
+// parameters, against which test set. Exactly this triple — nothing about
+// how to execute it — which is what lets every entry point (library calls,
+// wire requests, job specs) share one dispatch path.
+type Request struct {
+	// Method names the algorithm. It may be empty when Params is set (the
+	// params imply their method); when both are set they must agree.
+	Method string
+	// Params carries the algorithm's parameters. nil selects the registered
+	// method's defaults (its zero-value prototype).
+	Params Method
+	// Test is the test set the valuation averages over.
+	Test *Dataset
+}
+
+// Evaluate is the single entry point of the valuation API: it resolves the
+// request's method, validates its parameters and runs it on the session.
+// The named methods (Exact, Truncated, MonteCarlo, …) are thin wrappers
+// over Evaluate and produce bit-identical outputs; new algorithms become
+// reachable here by a Register call alone.
+func (v *Valuer) Evaluate(ctx context.Context, req Request) (*Report, error) {
+	p := req.Params
+	switch {
+	case p == nil && req.Method == "":
+		return nil, errors.New("knnshapley: empty Request: set Method and/or Params")
+	case p == nil:
+		m, ok := Lookup(req.Method)
+		if !ok {
+			return nil, fmt.Errorf("knnshapley: unknown method %q (registered: %s)",
+				req.Method, strings.Join(MethodNames(), ", "))
+		}
+		p = m
+	case req.Method != "" && req.Method != p.Name():
+		return nil, fmt.Errorf("knnshapley: Request.Method %q disagrees with its %q params",
+			req.Method, p.Name())
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("knnshapley: %s: %w", p.Name(), err)
+	}
+	return p.Run(ctx, v, req.Test)
+}
+
+// DecodeParams unmarshals a JSON object onto a fresh copy of method's
+// parameter struct and returns it — the single generic wire→params path:
+// one reflective decode serves every method, so transports never grow
+// per-algorithm field mapping. Unknown fields are rejected (they are a
+// misdirected parameter, not ignorable noise). nil or empty data returns
+// the method's defaults. The result is not validated; callers run
+// Method.Validate (or Valuer.Evaluate, which does) next.
+func DecodeParams(method Method, data []byte) (Method, error) {
+	rt := reflect.TypeOf(method)
+	for rt.Kind() == reflect.Pointer {
+		rt = rt.Elem()
+	}
+	pv := reflect.New(rt)
+	if len(data) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(pv.Interface()); err != nil {
+			return nil, fmt.Errorf("parameters for %s: %w", method.Name(), err)
+		}
+	}
+	if p, ok := pv.Elem().Interface().(Method); ok {
+		return p, nil
+	}
+	if p, ok := pv.Interface().(Method); ok { // pointer-receiver prototypes
+		return p, nil
+	}
+	return nil, fmt.Errorf("parameters for %s: %T does not implement Method", method.Name(), pv.Interface())
+}

@@ -1,0 +1,142 @@
+package knnshapley
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Every parameter struct must reject out-of-range values with a
+// descriptive error — the validation contract GET /methods advertises.
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		params  Method
+		wantErr string // substring, "" = must validate
+	}{
+		{name: "exact ok", params: ExactParams{}},
+
+		{name: "truncated ok", params: TruncatedParams{Eps: 0.1}},
+		{name: "truncated eps missing", params: TruncatedParams{}, wantErr: "eps = 0"},
+		{name: "truncated eps negative", params: TruncatedParams{Eps: -1}, wantErr: "eps = -1"},
+
+		{name: "mc bennett ok", params: MCParams{Eps: 0.1, Delta: 0.1}},
+		{name: "mc fixed via t", params: MCParams{T: 50}}, // the wire convention
+		{name: "mc explicit fixed", params: MCParams{Bound: Fixed, T: 1}},
+		{name: "mc seed max", params: MCParams{Eps: 0.1, Delta: 0.1, Seed: math.MaxUint64}},
+		{name: "mc eps missing", params: MCParams{}, wantErr: "eps = 0"},
+		{name: "mc eps negative", params: MCParams{Eps: -0.5, Delta: 0.1}, wantErr: "eps = -0.5"},
+		{name: "mc delta missing", params: MCParams{Eps: 0.1}, wantErr: "delta = 0"},
+		{name: "mc delta one", params: MCParams{Eps: 0.1, Delta: 1}, wantErr: "delta = 1"},
+		{name: "mc negative cap", params: MCParams{Eps: 0.1, Delta: 0.1, T: -1}, wantErr: "t = -1"},
+		{name: "mc fixed without t", params: MCParams{Bound: Fixed}, wantErr: "t = 0"},
+		{name: "mc unknown bound", params: MCParams{Bound: Bound(42), Eps: 0.1, Delta: 0.1}, wantErr: "unknown bound 42"},
+		{name: "mc negative range", params: MCParams{Eps: 0.1, Delta: 0.1, RangeHalfWidth: -2}, wantErr: "rangeHalfWidth = -2"},
+
+		{name: "baseline ok", params: BaselineParams{Eps: 0.2, Delta: 0.2}},
+		{name: "baseline eps missing", params: BaselineParams{Delta: 0.2}, wantErr: "eps = 0"},
+		{name: "baseline delta high", params: BaselineParams{Eps: 0.2, Delta: 1.5}, wantErr: "delta = 1.5"},
+		{name: "baseline negative cap", params: BaselineParams{Eps: 0.2, Delta: 0.2, T: -3}, wantErr: "t = -3"},
+
+		{name: "sellers ok", params: SellerParams{Owners: []int{0, 1, 0}, M: 2}},
+		{name: "sellers nil owners", params: SellerParams{M: 2}, wantErr: "owners required"},
+		{name: "sellers m zero", params: SellerParams{Owners: []int{0, 0}}, wantErr: "seller count m = 0"},
+		{name: "sellers m negative", params: SellerParams{Owners: []int{0}, M: -1}, wantErr: "seller count m = -1"},
+		{name: "sellers owner high", params: SellerParams{Owners: []int{0, 2}, M: 2}, wantErr: "owner 2 of point 1 outside [0,2)"},
+		{name: "sellers owner negative", params: SellerParams{Owners: []int{-1}, M: 2}, wantErr: "owner -1 of point 0"},
+
+		{name: "sellersmc ok", params: SellerMCParams{Owners: []int{0}, M: 1, MCParams: MCParams{T: 10}}},
+		{name: "sellersmc nil owners", params: SellerMCParams{M: 1, MCParams: MCParams{T: 10}}, wantErr: "owners required"},
+		{name: "sellersmc mc invalid", params: SellerMCParams{Owners: []int{0}, M: 1}, wantErr: "eps = 0"},
+
+		{name: "composite nil owners ok", params: CompositeParams{}},
+		{name: "composite owners ok", params: CompositeParams{Owners: []int{0, 1}, M: 2}},
+		{name: "composite m zero", params: CompositeParams{Owners: []int{0}}, wantErr: "seller count m = 0"},
+
+		{name: "lsh ok", params: LSHParams{Eps: 0.1, Delta: 0.1, Seed: 7}},
+		{name: "lsh eps missing", params: LSHParams{Delta: 0.1}, wantErr: "eps = 0"},
+		{name: "lsh delta missing", params: LSHParams{Eps: 0.1}, wantErr: "delta = 0"},
+		{name: "lsh delta one", params: LSHParams{Eps: 0.1, Delta: 1}, wantErr: "delta = 1"},
+
+		{name: "kd ok", params: KDParams{Eps: 2}},
+		{name: "kd eps missing", params: KDParams{}, wantErr: "eps = 0"},
+		{name: "kd eps negative", params: KDParams{Eps: -0.1}, wantErr: "eps = -0.1"},
+
+		{name: "utility empty ok", params: UtilityParams{}},
+		{name: "utility subset ok", params: UtilityParams{Subset: []int{0, 5}}},
+		{name: "utility negative index", params: UtilityParams{Subset: []int{-1}}, wantErr: "subset index -1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.params.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want one containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// CacheKey must canonicalize: semantically identical parameter sets map to
+// one key however they were spelled, and distinct parameters never share
+// one (within a method).
+func TestParamsCacheKeyCanonical(t *testing.T) {
+	// The wire convention (t without eps/delta) and the explicit Fixed
+	// bound are the same computation — one cache entry.
+	implicit := MCParams{T: 50}
+	explicit := MCParams{Bound: Fixed, T: 50}
+	if implicit.CacheKey() != explicit.CacheKey() {
+		t.Fatalf("implicit fixed %q != explicit fixed %q", implicit.CacheKey(), explicit.CacheKey())
+	}
+	if (MCParams{Eps: 0.1, Delta: 0.1}).CacheKey() == (MCParams{Eps: 0.2, Delta: 0.1}).CacheKey() {
+		t.Fatal("different eps share a cache key")
+	}
+	if (ExactParams{}).CacheKey() != "" {
+		t.Fatalf("exact cache key %q, want empty", (ExactParams{}).CacheKey())
+	}
+	a := SellerParams{Owners: []int{0, 1, 0}, M: 2}
+	b := SellerParams{Owners: []int{0, 1, 1}, M: 2}
+	if a.CacheKey() == b.CacheKey() {
+		t.Fatal("different owners share a cache key")
+	}
+	if (CompositeParams{}).CacheKey() == (CompositeParams{Owners: []int{0}, M: 1}).CacheKey() {
+		t.Fatal("nil-owners composite shares a key with an owners one")
+	}
+	// The key must be stable across calls (maps, hashing).
+	if a.CacheKey() != a.CacheKey() {
+		t.Fatal("cache key not deterministic")
+	}
+}
+
+// The Bound enum round-trips through JSON as its wire name and rejects
+// garbage.
+func TestBoundJSON(t *testing.T) {
+	for _, b := range []Bound{Bennett, BennettApprox, Hoeffding, Fixed} {
+		p, err := ParseBound(b.String())
+		if err != nil || p != b {
+			t.Fatalf("ParseBound(%q) = %v, %v", b.String(), p, err)
+		}
+	}
+	var out MCParams
+	if _, err := DecodeParams(MCParams{}, []byte(`{"bound":"hoeffding","eps":0.1,"delta":0.1}`)); err != nil {
+		t.Fatalf("decode string bound: %v", err)
+	}
+	p, err := DecodeParams(MCParams{}, []byte(`{"bound":"fixed","t":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.(MCParams).Bound != Fixed {
+		t.Fatalf("bound = %v, want fixed", p.(MCParams).Bound)
+	}
+	if _, err := DecodeParams(MCParams{}, []byte(`{"bound":"bogus"}`)); err == nil {
+		t.Fatal("bogus bound accepted")
+	}
+	if err := out.Bound.UnmarshalJSON([]byte(`1`)); err != nil || out.Bound != BennettApprox {
+		t.Fatalf("integer bound: %v %v", out.Bound, err)
+	}
+}

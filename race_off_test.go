@@ -1,0 +1,8 @@
+//go:build !race
+
+package knnshapley
+
+// raceEnabled reports whether this test binary was built with -race, so
+// wall-clock performance gates can skip instead of flaking on the
+// instrumentation overhead.
+const raceEnabled = false

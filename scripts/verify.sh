@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: formatting, vet (./... spans the library, commands
-# and examples), build, tests, race passes over the execution engine, the
-# job manager, the dataset registry and the context-cancellation paths,
-# fuzz smoke runs over the decode/storage surfaces, a serving benchmark of
-# the upload-once/value-many registry path, and a short svbench smoke
-# emitting a BENCH_3.json snapshot (to $BENCH_SMOKE, default
-# /tmp/BENCH_3.json).
+# and examples), build, tests (including the method-registry Validate
+# tables, the Evaluate equivalence suite and the <1µs dispatch-overhead
+# gate), race passes over the execution engine, the job manager, the
+# dataset registry and the context-cancellation paths, fuzz smoke runs
+# over the decode/storage surfaces, a serving benchmark of the
+# upload-once/value-many registry path, a method-discovery end-to-end run
+# (a real svserver answering "svcli methods"), and a short svbench smoke
+# emitting a BENCH_4.json snapshot (to $BENCH_SMOKE, default
+# /tmp/BENCH_4.json) that includes the evaluate_dispatch record.
 # Run from anywhere; operates on the repo root. CI
 # (.github/workflows/ci.yml) runs exactly this script.
 set -euo pipefail
@@ -25,7 +28,8 @@ go test -race ./internal/core
 go test -race ./internal/jobs
 go test -race ./internal/registry
 go test -run TestCancel -race ./...
-go test -run 'TestJob|TestStatz|TestDataset|TestValueByRef|TestValueRef|TestQueuedCancel' -race ./cmd/svserver
+go test -run 'TestJob|TestStatz|TestDataset|TestValueByRef|TestValueRef|TestQueuedCancel|TestMethods' -race ./cmd/svserver
+go test -run 'TestEvaluate|TestParams' -race .
 
 # Fuzz smoke: ten seconds per decode/storage surface. New crashers land in
 # testdata/fuzz/ and fail the run.
@@ -38,10 +42,44 @@ go test -run '^$' -fuzz FuzzDecodeValueRequest -fuzztime 10s ./cmd/svserver
 # by-ref resolves two registry IDs).
 go test -run '^$' -bench 'BenchmarkValue' -benchtime 3x ./cmd/svserver
 
+# Method discovery end-to-end: a real svserver process on an ephemeral
+# port, interrogated by "svcli methods" — the declarative surface a client
+# sees, checked for every built-in algorithm.
+bindir=$(mktemp -d)
+logfile="$bindir/svserver.log"
+mkdir -p "$bindir/data"
+go build -o "$bindir" ./cmd/svserver ./cmd/svcli
+"$bindir/svserver" -addr 127.0.0.1:0 -data-dir "$bindir/data" >"$logfile" 2>&1 &
+svpid=$!
+cleanup() { kill "$svpid" 2>/dev/null || true; rm -rf "$bindir"; }
+trap cleanup EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*svserver listening on \(.*\)$/\1/p' "$logfile" | head -n1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "svserver did not start:" >&2
+    cat "$logfile" >&2
+    exit 1
+fi
+methods_out=$("$bindir/svcli" methods -server "http://$addr")
+for name in exact truncated montecarlo baseline sellers sellersmc composite lsh kd utility; do
+    # Herestring, not a pipe: grep -q exiting on an early match would
+    # SIGPIPE the writer and trip pipefail.
+    if ! grep -q "^$name " <<<"$methods_out"; then
+        echo "svcli methods: method $name missing from GET /methods output:" >&2
+        printf '%s\n' "$methods_out" >&2
+        exit 1
+    fi
+done
+kill "$svpid"
+
 # Perf smoke: the machine-readable engine micro-benchmarks, capped at
 # N=1e4 so the sweep stays seconds. Written OUTSIDE the repo (override with
 # BENCH_SMOKE; CI uploads it as an artifact) so the committed full-sweep
-# BENCH_3.json trajectory point is never clobbered by smoke numbers —
+# BENCH_4.json trajectory point is never clobbered by smoke numbers —
 # regenerate that one deliberately with:
-#   go run ./cmd/svbench -benchjson BENCH_3.json
-go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_3.json}" -benchmax 10000
+#   go run ./cmd/svbench -benchjson BENCH_4.json
+go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_4.json}" -benchmax 10000

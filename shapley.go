@@ -27,6 +27,21 @@ const (
 	Cosine = vec.Cosine
 )
 
+// ParseMetric maps a wire metric name onto its Metric; the empty string
+// selects the L2 default.
+func ParseMetric(name string) (Metric, error) {
+	switch name {
+	case "", "l2":
+		return L2, nil
+	case "l1":
+		return L1, nil
+	case "cosine":
+		return Cosine, nil
+	default:
+		return L2, fmt.Errorf("unknown metric %q (want l2, l1, cosine)", name)
+	}
+}
+
 // WeightFunc maps a neighbor distance to its vote weight in weighted KNN.
 type WeightFunc = knn.WeightFunc
 

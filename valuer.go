@@ -66,6 +66,10 @@ type Report struct {
 	// TestPoints is the number of test points the valuation averaged over —
 	// the total a Progress callback counts toward.
 	TestPoints int
+	// CacheHit marks a report answered from a result cache rather than
+	// computed; Duration is then the (near-zero) lookup time, not the
+	// original run's.
+	CacheHit bool
 }
 
 // lshKey identifies one cached LSH index build.
@@ -233,47 +237,19 @@ func (v *Valuer) checkOwners(owners []int, m int) error {
 // the Theorem 7 counting algorithm when the session is weighted). Test
 // points stream through the engine in WithBatchSize batches, so peak memory
 // stays at BatchSize·N distances however large the test set is.
+//
+// It is a thin wrapper over Evaluate with ExactParams.
 func (v *Valuer) Exact(ctx context.Context, test *Dataset) (*Report, error) {
-	start := time.Now()
-	src, err := v.stream(test)
-	if err != nil {
-		return nil, err
-	}
-	var kern core.Kernel[*knn.TestPoint]
-	switch v.cfg.kind(v.train) {
-	case knn.UnweightedClass:
-		kern = core.ExactClassKernel{N: v.train.N()}
-	case knn.UnweightedRegress:
-		kern = core.ExactRegressKernel{N: v.train.N()}
-	default:
-		kern = core.WeightedKernel{N: v.train.N()}
-	}
-	sv, err := core.NewEngine[*knn.TestPoint](v.engine(ctx, test.N())).Run(ctx, src, kern)
-	if err != nil {
-		return nil, err
-	}
-	return v.report(&Report{Values: sv, Method: "exact"}, test, start), nil
+	return v.Evaluate(ctx, Request{Params: ExactParams{}, Test: test})
 }
 
 // Truncated computes the (eps, 0)-approximation of Theorem 2 for unweighted
 // KNN classification: only the K* = max{K, ⌈1/eps⌉} nearest neighbors of
 // each test point receive (exact) values, everyone else zero.
+//
+// It is a thin wrapper over Evaluate with TruncatedParams.
 func (v *Valuer) Truncated(ctx context.Context, test *Dataset, eps float64) (*Report, error) {
-	start := time.Now()
-	if v.train.IsRegression() || v.cfg.Weight != nil {
-		return nil, errors.New("knnshapley: Truncated applies to unweighted classification")
-	}
-	src, err := v.stream(test)
-	if err != nil {
-		return nil, err
-	}
-	kern := core.TruncatedClassKernel{N: v.train.N(), Eps: eps}
-	sv, err := core.NewEngine[*knn.TestPoint](v.engine(ctx, test.N())).Run(ctx, src, kern)
-	if err != nil {
-		return nil, err
-	}
-	return v.report(&Report{Values: sv, Method: "truncated",
-		KStar: core.KStar(v.cfg.K, eps)}, test, start), nil
+	return v.Evaluate(ctx, Request{Params: TruncatedParams{Eps: eps}, Test: test})
 }
 
 // MonteCarlo estimates Shapley values with the improved Monte-Carlo
@@ -281,65 +257,33 @@ func (v *Valuer) Truncated(ctx context.Context, test *Dataset, eps float64) (*Re
 // Bennett permutation budget of Theorem 5. It works for every utility kind
 // and is the recommended algorithm for weighted KNN, where exact
 // computation costs N^K. Cancellation is checked every permutation.
+//
+// It is a thin wrapper over Evaluate with MCParams (the fields map one for
+// one).
 func (v *Valuer) MonteCarlo(ctx context.Context, test *Dataset, opts MCOptions) (*Report, error) {
-	start := time.Now()
-	src, err := v.stream(test)
-	if err != nil {
-		return nil, err
-	}
-	mcfg := opts.internal(v.cfg)
-	mcfg.Progress = v.engine(ctx, test.N()).Progress
-	res, err := core.ImprovedMCStream(ctx, src, v.cfg.kind(v.train), v.train.N(), v.cfg.K, mcfg)
-	if err != nil {
-		return nil, err
-	}
-	return v.report(&Report{Values: res.SV, Method: "montecarlo",
-		Permutations: res.Permutations, Budget: res.Budget,
-		UtilityEvals: res.UtilityEvals}, test, start), nil
+	return v.Evaluate(ctx, Request{Params: MCParams(opts), Test: test})
 }
 
 // Sellers computes the exact Shapley value of each seller when sellers
 // contribute multiple training points (Section 4, Theorem 8). owners[i]
 // names the seller (0..m-1) of training point i; every seller must own at
 // least one point. Cost grows like M^K — use SellersMC beyond small M·K.
+//
+// It is a thin wrapper over Evaluate with SellerParams.
 func (v *Valuer) Sellers(ctx context.Context, test *Dataset, owners []int, m int) (*Report, error) {
-	start := time.Now()
-	if err := v.checkOwners(owners, m); err != nil {
-		return nil, err
-	}
-	src, err := v.stream(test)
-	if err != nil {
-		return nil, err
-	}
-	kern := core.MultiSellerKernel{Owners: owners, M: m}
-	sv, err := core.NewEngine[*knn.TestPoint](v.engine(ctx, test.N())).Run(ctx, src, kern)
-	if err != nil {
-		return nil, err
-	}
-	return v.report(&Report{Values: sv, Method: "sellers"}, test, start), nil
+	return v.Evaluate(ctx, Request{Params: SellerParams{Owners: owners, M: m}, Test: test})
 }
 
 // SellersMC estimates seller values by permutation sampling over sellers
 // with heap-incremental utilities — the scalable alternative for large M or
 // K (Figure 13). Cancellation is checked every permutation.
+//
+// It is a thin wrapper over Evaluate with SellerMCParams.
 func (v *Valuer) SellersMC(ctx context.Context, test *Dataset, owners []int, m int, opts MCOptions) (*Report, error) {
-	start := time.Now()
-	if err := v.checkOwners(owners, m); err != nil {
-		return nil, err
-	}
-	tps, err := v.testPoints(test)
-	if err != nil {
-		return nil, err
-	}
-	mcfg := opts.internal(v.cfg)
-	mcfg.Progress = v.engine(ctx, test.N()).Progress
-	res, err := core.MultiSellerMC(ctx, tps, owners, m, mcfg)
-	if err != nil {
-		return nil, err
-	}
-	return v.report(&Report{Values: res.SV, Method: "sellers-mc",
-		Permutations: res.Permutations, Budget: res.Budget,
-		UtilityEvals: res.UtilityEvals}, test, start), nil
+	return v.Evaluate(ctx, Request{
+		Params: SellerMCParams{Owners: owners, M: m, MCParams: MCParams(opts)},
+		Test:   test,
+	})
 }
 
 // Composite computes the exact Shapley values of the composite game
@@ -347,24 +291,10 @@ func (v *Valuer) SellersMC(ctx context.Context, test *Dataset, owners []int, m i
 // (Theorems 9–11). With owners == nil every training point is its own
 // seller; otherwise sellers are valued at the curator level (Theorem 12).
 // The report's Values holds the seller shares and Analyst the provider's.
+//
+// It is a thin wrapper over Evaluate with CompositeParams.
 func (v *Valuer) Composite(ctx context.Context, test *Dataset, owners []int, m int) (*Report, error) {
-	start := time.Now()
-	if owners == nil {
-		m = v.train.N()
-	} else if err := v.checkOwners(owners, m); err != nil {
-		return nil, err
-	}
-	src, err := v.stream(test)
-	if err != nil {
-		return nil, err
-	}
-	kern := core.CompositeKernel{Owners: owners, M: m}
-	sv, err := core.NewEngine[*knn.TestPoint](v.engine(ctx, test.N())).Run(ctx, src, kern)
-	if err != nil {
-		return nil, err
-	}
-	return v.report(&Report{Values: sv[:m], Analyst: sv[m],
-		Method: "composite"}, test, start), nil
+	return v.Evaluate(ctx, Request{Params: CompositeParams{Owners: owners, M: m}, Test: test})
 }
 
 // lshValuer returns the session's cached LSH index for (eps, delta, seed),
@@ -432,79 +362,46 @@ func (v *Valuer) kdValuer(eps float64) (*core.KDValuer, error) {
 // neighbors per query from a p-stable LSH index (Theorems 2–4). The index
 // for a given (eps, delta, seed) is tuned and built once per session and
 // reused by every later call.
+//
+// It is a thin wrapper over Evaluate with LSHParams.
 func (v *Valuer) LSH(ctx context.Context, test *Dataset, eps, delta float64, seed uint64) (*Report, error) {
-	start := time.Now()
-	if err := v.checkTest(test); err != nil {
-		return nil, err
-	}
-	inner, err := v.lshValuer(eps, delta, seed)
-	if err != nil {
-		return nil, err
-	}
-	sv, err := inner.ValueEngine(ctx, test, v.engine(ctx, test.N()))
-	if err != nil {
-		return nil, err
-	}
-	return v.report(&Report{Values: sv, Method: "lsh",
-		KStar: inner.KStar()}, test, start), nil
+	return v.Evaluate(ctx, Request{Params: LSHParams{Eps: eps, Delta: delta, Seed: seed}, Test: test})
 }
 
 // KD computes (eps, 0)-approximate Shapley values for unweighted KNN
 // classification by retrieving the K* nearest neighbors from a k-d tree —
 // exact retrieval (δ = 0), so only the Theorem 2 truncation bounds the
 // error. The tree for a given eps is built once per session and reused.
+//
+// It is a thin wrapper over Evaluate with KDParams.
 func (v *Valuer) KD(ctx context.Context, test *Dataset, eps float64) (*Report, error) {
-	start := time.Now()
-	if err := v.checkTest(test); err != nil {
-		return nil, err
-	}
-	inner, err := v.kdValuer(eps)
-	if err != nil {
-		return nil, err
-	}
-	sv, err := inner.ValueEngine(ctx, test, v.engine(ctx, test.N()))
-	if err != nil {
-		return nil, err
-	}
-	return v.report(&Report{Values: sv, Method: "kd",
-		KStar: inner.KStar()}, test, start), nil
+	return v.Evaluate(ctx, Request{Params: KDParams{Eps: eps}, Test: test})
 }
 
 // BaselineMonteCarlo is the Section 2.2 baseline estimator: permutation
 // sampling with from-scratch utility evaluation and the Hoeffding budget.
 // It exists for benchmarking against (Figures 5, 6 and 11); prefer
 // MonteCarlo. Cancellation is checked every permutation.
+//
+// It is a thin wrapper over Evaluate with BaselineParams.
 func (v *Valuer) BaselineMonteCarlo(ctx context.Context, test *Dataset, eps, delta float64, capT int, seed uint64) (*Report, error) {
-	start := time.Now()
-	tps, err := v.testPoints(test)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.BaselineMC(ctx, tps, eps, delta, capT, seed)
-	if err != nil {
-		return nil, err
-	}
-	return v.report(&Report{Values: res.SV, Method: "baseline",
-		Permutations: res.Permutations, Budget: res.Budget,
-		UtilityEvals: res.UtilityEvals}, test, start), nil
+	return v.Evaluate(ctx, Request{
+		Params: BaselineParams{Eps: eps, Delta: delta, T: capT, Seed: seed},
+		Test:   test,
+	})
 }
 
 // Utility returns the multi-test KNN utility ν(S) of an arbitrary training
 // subset (Eq. 8) — useful for auditing group rationality of reported
 // values: Utility(all) − Utility(nil) must equal the sum of the Shapley
 // values.
+//
+// It is a thin wrapper over Evaluate with UtilityParams, unwrapping the
+// single utility from the report.
 func (v *Valuer) Utility(ctx context.Context, test *Dataset, subset []int) (float64, error) {
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	for _, i := range subset {
-		if i < 0 || i >= v.train.N() {
-			return 0, fmt.Errorf("knnshapley: subset index %d outside [0,%d)", i, v.train.N())
-		}
-	}
-	tps, err := v.testPoints(test)
+	rep, err := v.Evaluate(ctx, Request{Params: UtilityParams{Subset: subset}, Test: test})
 	if err != nil {
 		return 0, err
 	}
-	return knn.AverageUtility(tps, subset), nil
+	return rep.Values[0], nil
 }
