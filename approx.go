@@ -156,7 +156,7 @@ func MonteCarlo(train, test *Dataset, cfg Config, opts MCOptions) (MCReport, err
 // from-scratch utility evaluation and the Hoeffding budget. It exists for
 // benchmarking against (Figures 5, 6 and 11); prefer Valuer.MonteCarlo.
 func BaselineMonteCarlo(train, test *Dataset, cfg Config, eps, delta float64, capT int, seed uint64) (MCReport, error) {
-	tps, err := cfg.testPoints(train, test)
+	tps, err := cfg.testPoints(train, test, nil)
 	if err != nil {
 		return MCReport{}, err
 	}

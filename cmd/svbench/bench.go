@@ -87,6 +87,21 @@ func runBenchJSON(path string, maxN int) error {
 			NsPerOp: ns / benchNTest, TotalNs: ns,
 		})
 
+		// Same exact valuation in the float32 compute mode: half the scan
+		// bandwidth, distances within single-precision rounding.
+		ns, err = timeOp(func() error {
+			_, err := knnshapley.Exact(train, test,
+				knnshapley.Config{K: benchK, Precision: knnshapley.Float32})
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("exact_f32 n=%d: %w", n, err)
+		}
+		rep.Results = append(rep.Results, benchRecord{
+			Name: "exact_f32", N: n, Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: ns / benchNTest, TotalNs: ns,
+		})
+
 		ns, err = timeOp(func() error {
 			_, err := knnshapley.Truncated(train, test, cfg, 0.01)
 			return err
@@ -112,30 +127,51 @@ func runBenchJSON(path string, maxN int) error {
 			NsPerOp: ns / benchNTest, TotalNs: ns,
 		})
 
-		// Storage comparison: one query scanned against the training set
-		// held flat (row-major) vs as independently-allocated rows.
+		// Storage/kernel comparison, all per one query·training-set scan:
+		// the norm-precompute GEMV kernel over the flat matrix (float64 and
+		// float32 storage, norms precomputed outside the timer — the
+		// per-session cost a Valuer amortizes) vs the definitional
+		// row-at-a-time scan over independently-allocated rows.
 		flat, ok := train.Flat()
 		if !ok {
 			return fmt.Errorf("train dataset not contiguous")
+		}
+		testFlat, ok := test.Flat()
+		if !ok {
+			return fmt.Errorf("test dataset not contiguous")
 		}
 		scattered := make([][]float64, train.N())
 		for i := range scattered {
 			scattered[i] = append([]float64(nil), train.X[i]...)
 		}
-		q := test.X[0]
-		out := make([]float64, train.N())
+		norms := vec.SqNorms(nil, flat, train.N(), train.Dim())
+		flat32 := vec.ToFloat32(nil, flat)
+		norms32 := vec.SqNorms32(nil, flat32, train.N(), train.Dim())
+		testFlat32 := vec.ToFloat32(nil, testFlat)
+		out := make([]float64, benchNTest*train.N())
 		const reps = 50
 		start := time.Now()
 		for r := 0; r < reps; r++ {
-			vec.DistancesFlat(vec.SquaredL2, flat, train.N(), train.Dim(), q, out)
+			vec.SqL2NormDotBatch(out, flat, train.N(), train.Dim(), norms, testFlat, benchNTest)
 		}
-		flatNs := time.Since(start).Nanoseconds() / reps
+		normdotNs := time.Since(start).Nanoseconds() / (reps * benchNTest)
 		rep.Results = append(rep.Results, benchRecord{
-			Name: "distscan_flat", N: n, Dim: train.Dim(), NsPerOp: flatNs, TotalNs: flatNs * reps,
+			Name: "distscan_normdot", N: n, Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: normdotNs, TotalNs: normdotNs * reps * benchNTest,
 		})
 		start = time.Now()
 		for r := 0; r < reps; r++ {
-			vec.Distances(vec.SquaredL2, scattered, q, out)
+			vec.SqL2NormDotBatch32(out, flat32, train.N(), train.Dim(), norms32, testFlat32, benchNTest)
+		}
+		normdot32Ns := time.Since(start).Nanoseconds() / (reps * benchNTest)
+		rep.Results = append(rep.Results, benchRecord{
+			Name: "distscan_normdot32", N: n, Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: normdot32Ns, TotalNs: normdot32Ns * reps * benchNTest,
+		})
+		q := test.X[0]
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			vec.Distances(vec.SquaredL2, scattered, q, out[:train.N()])
 		}
 		sliceNs := time.Since(start).Nanoseconds() / reps
 		rep.Results = append(rep.Results, benchRecord{

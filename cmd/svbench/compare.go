@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// compareMinNs is the floor below which a record is reported but never
+// enforced: sub-10µs measurements (registry lookups, dispatch probes) are
+// dominated by timer and scheduler noise, so a ratio there is not evidence
+// of a regression.
+const compareMinNs = 10_000
+
+// runCompare diffs the nsPerOp of two svbench reports record by record
+// (matched on name/n/dim) and returns an error — making svbench exit
+// non-zero — when any matched record with a baseline of at least 10µs got
+// slower than threshold× the old number. New records and records whose
+// sweep sizes differ are reported but never fail, so the full-run baseline
+// can be diffed against a size-capped smoke run.
+func runCompare(newPath, oldPath string, threshold float64) error {
+	if threshold <= 0 {
+		return fmt.Errorf("compare threshold %v, want > 0", threshold)
+	}
+	oldRep, err := readBenchReport(oldPath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	newRep, err := readBenchReport(newPath)
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+
+	type key struct {
+		name   string
+		n, dim int
+	}
+	old := make(map[key]benchRecord, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		old[key{r.Name, r.N, r.Dim}] = r
+	}
+
+	fmt.Printf("%-24s %10s %12s %12s %8s\n", "benchmark", "n", "old ns/op", "new ns/op", "ratio")
+	var failures []string
+	matched := 0
+	for _, r := range newRep.Results {
+		o, ok := old[key{r.Name, r.N, r.Dim}]
+		if !ok {
+			fmt.Printf("%-24s %10d %12s %12d %8s\n", r.Name, r.N, "-", r.NsPerOp, "new")
+			continue
+		}
+		matched++
+		ratio := float64(r.NsPerOp) / float64(o.NsPerOp)
+		verdict := ""
+		if o.NsPerOp >= compareMinNs && ratio > threshold {
+			verdict = "  REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s n=%d: %d -> %d ns/op (%.2fx > %.2fx)",
+				r.Name, r.N, o.NsPerOp, r.NsPerOp, ratio, threshold))
+		}
+		fmt.Printf("%-24s %10d %12d %12d %7.2fx%s\n", r.Name, r.N, o.NsPerOp, r.NsPerOp, ratio, verdict)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no records of %s match the baseline %s", newPath, oldPath)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "svbench: regression:", f)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed past %.2fx", len(failures), threshold)
+	}
+	fmt.Printf("%d record(s) within %.2fx of %s\n", matched, threshold, oldPath)
+	return nil
+}
+
+func readBenchReport(path string) (*benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != "svbench/1" {
+		return nil, fmt.Errorf("%s: schema %q, want svbench/1", path, rep.Schema)
+	}
+	return &rep, nil
+}

@@ -15,8 +15,16 @@
 // writes machine-readable ns/op records for the perf trajectory
 // (BENCH_1.json):
 //
-//	svbench -benchjson BENCH_4.json
-//	svbench -benchjson BENCH_4.json -benchmax 10000   # CI smoke: skip N=1e5
+//	svbench -benchjson BENCH_5.json
+//	svbench -benchjson BENCH_5.json -benchmax 10000   # CI smoke: skip N=1e5
+//
+// With -compare OLD.json the freshly written report is diffed against a
+// committed baseline record by record (matched on name/n/dim) and svbench
+// exits non-zero when any record at least 10µs in the baseline got slower
+// than -threshold× the old ns/op — the perf-regression gate scripts/verify.sh
+// runs against the committed BENCH_5.json:
+//
+//	svbench -benchjson /tmp/now.json -benchmax 10000 -compare BENCH_5.json -threshold 4
 //
 // See DESIGN.md for the experiment-to-module index and EXPERIMENTS.md for
 // recorded paper-vs-measured results.
@@ -38,12 +46,24 @@ func main() {
 		list      = flag.Bool("list", false, "list experiments")
 		benchJSON = flag.String("benchjson", "", "write engine micro-benchmark results to this JSON file and exit")
 		benchMax  = flag.Int("benchmax", 0, "with -benchjson: cap the training-set sizes measured (0 = full 1e3..1e5 sweep)")
+		compare   = flag.String("compare", "", "with -benchjson: diff the fresh report against this baseline JSON and fail on regressions")
+		threshold = flag.Float64("threshold", 2, "with -compare: fail when a record exceeds this multiple of its baseline ns/op")
 	)
 	flag.Parse()
+	if *compare != "" && *benchJSON == "" {
+		fmt.Fprintln(os.Stderr, "svbench: -compare requires -benchjson")
+		os.Exit(2)
+	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *benchMax); err != nil {
 			fmt.Fprintf(os.Stderr, "svbench: %v\n", err)
 			os.Exit(1)
+		}
+		if *compare != "" {
+			if err := runCompare(*benchJSON, *compare, *threshold); err != nil {
+				fmt.Fprintf(os.Stderr, "svbench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

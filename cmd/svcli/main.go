@@ -81,7 +81,6 @@ import (
 	"net/http"
 	"net/url"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -116,6 +115,7 @@ func main() {
 		eps        = flag.Float64("eps", 0.1, "approximation error target")
 		delta      = flag.Float64("delta", 0.1, "approximation failure probability")
 		weighted   = flag.Bool("weighted", false, "use inverse-distance weighted KNN")
+		precision  = flag.String("precision", "", "distance-scan precision: float64 (default, bit-exact) or float32 (faster, single-precision rounding)")
 		rangeHW    = flag.Float64("range", 0, "utility-difference half-width for MC bounds (default 1/K for unweighted classification)")
 		seed       = flag.Uint64("seed", 1, "randomness seed")
 		t          = flag.Int("t", 0, "fixed Monte-Carlo permutation budget, or a cap on a statistical one")
@@ -163,6 +163,10 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	prec, err := knnshapley.ParsePrecision(*precision)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	// The flat flag namespace feeding any method's parameters, matched
 	// against its schema — no per-algorithm dispatch anywhere in this file.
@@ -199,24 +203,16 @@ func main() {
 			fatalf("-weighted is not supported by the server wire format")
 		}
 		sv = runRemote(ctx, *serverURL, remoteOptions{
-			k: *k, params: params,
+			k: *k, params: params, precision: *precision,
 			trainRef: *trainRef, testRef: *testRef, byRef: *byRef,
 			async: *async, poll: *poll,
 		}, train, test)
 	} else {
-		sv = runLocal(ctx, train, test, *k, *weighted, params)
+		sv = runLocal(ctx, train, test, *k, *weighted, prec, params)
 	}
 
 	if *top > 0 {
-		idx := make([]int, len(sv))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool { return sv[idx[a]] > sv[idx[b]] })
-		if *top < len(idx) {
-			idx = idx[:*top]
-		}
-		for _, i := range idx {
+		for _, i := range knnshapley.TopIndices(sv, *top) {
 			fmt.Printf("%d,%g\n", i, sv[i])
 		}
 		return
@@ -322,8 +318,8 @@ func buildMethodParams(m knnshapley.Method, values map[string]any, flagOf map[st
 
 // runLocal computes the values in-process through a one-shot session and
 // the single Evaluate entry point.
-func runLocal(ctx context.Context, train, test *knnshapley.Dataset, k int, weighted bool, params knnshapley.Method) []float64 {
-	opts := []knnshapley.Option{knnshapley.WithK(k)}
+func runLocal(ctx context.Context, train, test *knnshapley.Dataset, k int, weighted bool, prec knnshapley.Precision, params knnshapley.Method) []float64 {
+	opts := []knnshapley.Option{knnshapley.WithK(k), knnshapley.WithPrecision(prec)}
 	if weighted {
 		opts = append(opts, knnshapley.WithWeight(knnshapley.InverseDistance(1e-3)))
 	}
@@ -359,6 +355,7 @@ type valueResult struct {
 type remoteOptions struct {
 	k                 int
 	params            knnshapley.Method
+	precision         string
 	trainRef, testRef string
 	byRef             bool
 	async             bool
@@ -377,7 +374,8 @@ func runRemote(ctx context.Context, base string, opts remoteOptions, train, test
 	}
 	req := wire.ValueRequest{
 		Algorithm: opts.params.Name(), K: opts.k, Params: opts.params,
-		TrainRef: opts.trainRef, TestRef: opts.testRef,
+		Precision: opts.precision,
+		TrainRef:  opts.trainRef, TestRef: opts.testRef,
 	}
 	if opts.byRef {
 		if train != nil {

@@ -639,18 +639,24 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 		release()
 		return nil, http.StatusBadRequest, err
 	}
+	precision, err := knnshapley.ParsePrecision(req.Precision)
+	if err != nil {
+		release()
+		return nil, http.StatusBadRequest, err
+	}
 
 	// One session per (training content, session options): repeated
 	// requests over the same training set skip re-validating and
 	// re-flattening it and share lazily built ANN indexes. The registry ID
 	// already is the content fingerprint — nothing is re-hashed here.
 	train, test := trainH.Dataset(), testH.Dataset()
-	valuerKey := fmt.Sprintf("%s|k=%d|metric=%s|workers=%d|batch=%d",
-		trainH.ID(), req.K, req.Metric, req.Workers, req.BatchSize)
+	valuerKey := fmt.Sprintf("%s|k=%d|metric=%s|precision=%s|workers=%d|batch=%d",
+		trainH.ID(), req.K, req.Metric, precision, req.Workers, req.BatchSize)
 	v, err := s.mgr.Valuer(valuerKey, func() (*knnshapley.Valuer, error) {
 		return knnshapley.New(train,
 			knnshapley.WithK(req.K),
 			knnshapley.WithMetric(metric),
+			knnshapley.WithPrecision(precision),
 			knnshapley.WithWorkers(req.Workers),
 			knnshapley.WithBatchSize(req.BatchSize),
 		)
@@ -665,10 +671,12 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 	// parameters (Params.CacheKey) — but deliberately not
 	// workers/batchSize: the engine's ordered reduction makes outputs
 	// bit-identical across both, so tuning knobs should not fragment the
-	// cache. Canonicalization means semantically identical requests hit
-	// regardless of entry point or field spelling.
-	cacheKey := fmt.Sprintf("%s|%s|%s|k=%d|metric=%s|%s",
-		trainH.ID(), testH.ID(), p.Name(), req.K, req.Metric, p.CacheKey())
+	// cache. Precision IS part of the key (float32 changes distances, hence
+	// values), written canonically so "" and "float64" share an entry.
+	// Canonicalization means semantically identical requests hit regardless
+	// of entry point or field spelling.
+	cacheKey := fmt.Sprintf("%s|%s|%s|k=%d|metric=%s|precision=%s|%s",
+		trainH.ID(), testH.ID(), p.Name(), req.K, req.Metric, precision, p.CacheKey())
 
 	run := func(ctx context.Context) (*knnshapley.Report, error) {
 		return v.Evaluate(ctx, knnshapley.Request{Params: p, Test: test})

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
-	"sort"
 
 	knnshapley "knnshapley"
 )
@@ -41,11 +40,7 @@ func main() {
 
 	// Rank points by ascending value and measure how many corrupted points
 	// appear in each low-value prefix.
-	idx := make([]int, len(sv))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return sv[idx[a]] < sv[idx[b]] })
+	idx := knnshapley.BottomIndices(sv, len(sv))
 
 	fmt.Println("\nfraction of corrupted labels found when inspecting the")
 	fmt.Println("lowest-valued x% of the training set (random baseline = x%):")

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
-	"sort"
 	"time"
 
 	knnshapley "knnshapley"
@@ -64,13 +63,8 @@ func main() {
 	fmt.Printf("spearman = %.3f\n", stats.Spearman(knnSV, lrSV))
 
 	bottom := func(sv []float64, k int) map[int]bool {
-		idx := make([]int, len(sv))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool { return sv[idx[a]] < sv[idx[b]] })
 		set := map[int]bool{}
-		for _, i := range idx[:k] {
+		for _, i := range knnshapley.BottomIndices(sv, k) {
 			set[i] = true
 		}
 		return set

@@ -8,7 +8,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"sort"
 	"time"
 
 	knnshapley "knnshapley"
@@ -64,11 +63,7 @@ func main() {
 		train.N(), test.N(), valuer.K(), rep.Method, rep.Duration.Round(time.Millisecond))
 	fmt.Printf("model utility ν(I) = %.4f   Σ Shapley values = %.4f\n", full, total)
 
-	idx := make([]int, len(sv))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return sv[idx[a]] > sv[idx[b]] })
+	idx := knnshapley.TopIndices(sv, len(sv))
 
 	fmt.Println("\nmost valuable training points:")
 	for _, i := range idx[:5] {

@@ -10,7 +10,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"sort"
 
 	knnshapley "knnshapley"
 )
@@ -31,11 +30,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sv := rep.Values
-	idx := make([]int, len(sv))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return sv[idx[a]] > sv[idx[b]] })
+	idx := knnshapley.TopIndices(sv, len(sv))
 	fmt.Println("unweighted KNN regression (exact, Theorem 6):")
 	fmt.Printf("  best  point %3d: %+.6f (target %+.3f)\n", idx[0], sv[idx[0]], train.Targets[idx[0]])
 	fmt.Printf("  worst point %3d: %+.6f (target %+.3f)\n",
@@ -65,12 +60,7 @@ func main() {
 	for _, i := range idx[:30] {
 		top[i] = true
 	}
-	wIdx := make([]int, len(wrep.Values))
-	for i := range wIdx {
-		wIdx[i] = i
-	}
-	sort.Slice(wIdx, func(a, b int) bool { return wrep.Values[wIdx[a]] > wrep.Values[wIdx[b]] })
-	for _, i := range wIdx[:30] {
+	for _, i := range knnshapley.TopIndices(wrep.Values, 30) {
 		if top[i] {
 			agree++
 		}

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sync"
 
+	"knnshapley/internal/kheap"
 	"knnshapley/internal/knn"
+	"knnshapley/internal/vec"
 )
 
 // DefaultBatchSize is the number of work items an Engine materializes at
@@ -226,6 +228,8 @@ type Scratch struct {
 	ints   []int
 	floats [4][]float64
 	bools  []bool
+	heap   *kheap.Heap
+	sorter vec.DistSorter
 }
 
 // NewScratch returns an empty scratch space.
@@ -268,9 +272,23 @@ func (s *Scratch) Bools(n int) []bool {
 	return s.bools
 }
 
-// OrderOf returns tp's distance ordering using the scratch index buffer.
+// OrderOf returns tp's distance ordering using the scratch index buffer
+// and the worker-owned radix sorter (same ordering as tp.OrderInto, zero
+// steady-state allocation).
 func (s *Scratch) OrderOf(tp *knn.TestPoint) []int {
-	s.order = tp.OrderInto(s.order)
+	s.order = s.sorter.ArgsortInto(s.order, tp.Dist)
+	return s.order
+}
+
+// TopKOf returns the first k entries of tp's distance ordering — the same
+// prefix OrderOf would produce — via heap partial selection in
+// O(N + k log k) instead of sorting all N. It shares the scratch index
+// buffer with OrderOf, so the two results must not be held simultaneously.
+func (s *Scratch) TopKOf(tp *knn.TestPoint, k int) []int {
+	if s.heap == nil || s.heap.K() != k {
+		s.heap = kheap.New(k)
+	}
+	s.order = s.heap.TopKInto(s.order, tp.Dist)
 	return s.order
 }
 

@@ -36,12 +36,22 @@ func TruncatedClassSV(tp *knn.TestPoint, eps float64) []float64 {
 // into a zeroed dst of length tp.N().
 func truncatedClassSVInto(tp *knn.TestPoint, eps float64, s *Scratch, dst []float64) {
 	requireKind(tp, knn.UnweightedClass)
-	order := s.OrderOf(tp)
-	correct := s.Bools(len(order))
-	for rank, id := range order {
+	n := tp.N()
+	kStar := KStar(tp.K, eps)
+	var ranking []int
+	if kStar < n {
+		// Only the K* nearest neighbors get nonzero values, so partial
+		// selection replaces the full argsort: the K*-prefix of the α
+		// ordering is all the recursion consults.
+		ranking = s.TopKOf(tp, kStar)
+	} else {
+		ranking = s.OrderOf(tp)
+	}
+	correct := s.Bools(len(ranking))
+	for rank, id := range ranking {
 		correct[rank] = tp.Correct[id]
 	}
-	truncatedFromRankingInto(order, correct, tp.N(), tp.K, eps, dst)
+	truncatedFromRankingInto(ranking, correct, n, tp.K, eps, dst)
 }
 
 // TruncatedClassSVMulti averages TruncatedClassSV over test points through

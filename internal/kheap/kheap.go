@@ -137,9 +137,41 @@ func (h *Heap) siftDown(i int) {
 	}
 }
 
+// TopKInto fills dst (reallocated only when too short) with the indices of
+// the min(K, len(dist)) smallest values in dist, ordered by ascending value
+// with ties broken by ascending index — the same prefix a full argsort of
+// dist would produce. It is the partial-select primitive behind the
+// truncated Shapley path: O(N + K log K) against the O(N log N) full sort.
+//
+// The call resets the heap, and sorting happens in place on the heap's
+// storage, so the heap holds no usable state afterwards; reuse it only
+// through further TopKInto calls (or Reset). Keys must not be NaN.
+func (h *Heap) TopKInto(dst []int, dist []float64) []int {
+	h.Reset()
+	for i, d := range dist {
+		h.Push(i, d)
+	}
+	items := h.items
+	// Insertion sort in place: at most K items and K is small.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && less(items[j], items[j-1]); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	if cap(dst) < len(items) {
+		dst = make([]int, len(items))
+	}
+	dst = dst[:len(items)]
+	for i, it := range items {
+		dst[i] = it.ID
+	}
+	return dst
+}
+
 // TopK returns the indices of the k smallest values in dist, ordered by
 // ascending distance with ties broken by ascending index. It is the
-// selection primitive used by brute-force KNN search.
+// selection primitive used by brute-force KNN search; hot loops should hold
+// a Heap and use TopKInto instead.
 func TopK(dist []float64, k int) []int {
 	if k > len(dist) {
 		k = len(dist)
@@ -147,14 +179,5 @@ func TopK(dist []float64, k int) []int {
 	if k <= 0 {
 		return nil
 	}
-	h := New(k)
-	for i, d := range dist {
-		h.Push(i, d)
-	}
-	items := h.Sorted()
-	out := make([]int, len(items))
-	for i, it := range items {
-		out[i] = it.ID
-	}
-	return out
+	return New(k).TopKInto(nil, dist)
 }

@@ -188,3 +188,41 @@ func BenchmarkPushK10(b *testing.B) {
 		h.Push(i, keys[i%len(keys)])
 	}
 }
+
+// TopKInto must return exactly the first min(K, n) entries of a full stable
+// argsort of the distances — the Theorem 1 α-ordering prefix — and reuse
+// both the heap and the destination buffer across calls.
+func TestTopKIntoMatchesArgsortPrefix(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	h := New(9)
+	var dst []int
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntN(40)
+		dist := make([]float64, n)
+		for i := range dist {
+			dist[i] = float64(rng.IntN(6)) // heavy ties
+		}
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(a, b int) bool { return dist[want[a]] < dist[want[b]] })
+		k := h.K()
+		if k > n {
+			k = n
+		}
+		prev := dst
+		dst = h.TopKInto(dst, dist)
+		if len(dst) != k {
+			t.Fatalf("trial %d: len = %d, want %d", trial, len(dst), k)
+		}
+		if len(prev) > 0 && len(dst) > 0 && cap(prev) >= len(dst) && &dst[0] != &prev[:1][0] {
+			t.Fatalf("trial %d: dst buffer not reused", trial)
+		}
+		for i := 0; i < k; i++ {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d: dst[%d] = %d, want %d (dist %v)", trial, i, dst[i], want[i], dist)
+			}
+		}
+	}
+}

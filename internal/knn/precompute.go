@@ -1,0 +1,98 @@
+package knn
+
+import (
+	"fmt"
+
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/vec"
+)
+
+// Precision selects the storage/compute width of the distance scan.
+type Precision int
+
+const (
+	// Float64 is the default: double-precision storage and arithmetic,
+	// bit-identical across batch groupings and platforms.
+	Float64 Precision = iota
+	// Float32 stores the training matrix (and streams each query) in single
+	// precision, halving scan bandwidth and doubling SIMD width. Distances
+	// are widened back to float64, accurate to single-precision rounding:
+	// relative error of order dim·2⁻²⁴ on well-scaled features.
+	Float32
+)
+
+// String returns the wire name of the precision.
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// ParsePrecision converts a wire name ("float64", "float32", or "" for the
+// default) into a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "float64", "f64":
+		return Float64, nil
+	case "float32", "f32":
+		return Float32, nil
+	default:
+		return 0, fmt.Errorf("knn: unknown precision %q (want float64 or float32)", s)
+	}
+}
+
+// Precomp is the per-training-set state of the norm-precompute distance
+// scan: the squared norm of every training row (so the per-query scan is a
+// single dot sweep via ‖a−q‖² = ‖a‖²+‖q‖²−2a·q), and in Float32 mode the
+// training matrix itself converted once to single precision. Built once per
+// Valuer session and shared by every batch of every request.
+type Precomp struct {
+	precision Precision
+
+	// Float64 mode.
+	norms []float64
+
+	// Float32 mode.
+	flat32  []float32
+	norms32 []float32
+}
+
+// Precision returns the compute mode the precomputation was built for.
+func (p *Precomp) Precision() Precision {
+	if p == nil {
+		return Float64
+	}
+	return p.precision
+}
+
+// NewPrecomp builds the scan precomputation for the training set, or
+// returns nil when the fast path does not apply (non-Euclidean metric or a
+// non-contiguous dataset): every consumer treats a nil *Precomp as "use the
+// definitional row-at-a-time scan".
+func NewPrecomp(train *dataset.Dataset, metric vec.Metric, precision Precision) *Precomp {
+	if metric != vec.L2 && metric != vec.SquaredL2 {
+		return nil
+	}
+	flat, ok := train.Flat()
+	if !ok {
+		return nil
+	}
+	n, dim := train.N(), train.Dim()
+	if n == 0 || dim == 0 {
+		return nil
+	}
+	p := &Precomp{precision: precision}
+	switch precision {
+	case Float32:
+		p.flat32 = vec.ToFloat32(nil, flat)
+		p.norms32 = vec.SqNorms32(nil, p.flat32, n, dim)
+	default:
+		p.norms = vec.SqNorms(nil, flat, n, dim)
+	}
+	return p
+}

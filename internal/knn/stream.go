@@ -15,11 +15,13 @@ import (
 // single batch-sized tile of backing buffers. Peak memory is therefore
 // bounded by BatchSize·N distances regardless of the test-set size.
 //
-// When both datasets are contiguous (dataset.Flat) and the metric is L2 or
-// squared L2, the tile is filled by the blocked kernel vec.SqL2Block, which
-// walks the training matrix cache-tile by cache-tile; otherwise it falls
-// back to row-at-a-time distance scans that are numerically identical to
-// BuildTestPoint's.
+// For the Euclidean metrics the tile is filled by the norm-precompute GEMV
+// kernel vec.SqL2NormDotBatch: training-row squared norms are computed once
+// (or taken from a shared Precomp, which may also hold a float32 copy of
+// the training matrix), so each batch is a single dot sweep over the
+// training matrix. Distances are bit-identical to BuildTestPoint's for
+// every batch size and query grouping. Other metrics fall back to
+// row-at-a-time distance scans.
 //
 // The TestPoints returned by NextBatch alias the Stream's internal buffers
 // and are only valid until the next NextBatch call. Callers that need them
@@ -31,24 +33,41 @@ type Stream struct {
 	metric vec.Metric
 	train  *dataset.Dataset
 	test   *dataset.Dataset
+	pre    *Precomp
 
 	next int // next test row to produce
 
-	// Flat fast-path state: non-nil when both datasets are contiguous.
+	// Flat fast-path state: non-nil when the respective dataset is
+	// contiguous and the metric is Euclidean.
 	trainFlat []float64
 	testFlat  []float64
 
 	// Reused batch tile: distBuf is batch·N distances, correctBuf batch·N
-	// correctness indicators, tps the TestPoint headers themselves.
+	// correctness indicators, tps the TestPoint headers themselves. qBuf
+	// gathers non-contiguous query rows; q32 holds the float32 conversion
+	// of the query batch in Float32 mode.
 	distBuf    []float64
 	correctBuf []bool
 	tps        []TestPoint
+	qBuf       []float64
+	q32        []float32
 }
 
 // NewStream validates the datasets exactly like BuildTestPoints and returns
-// a Stream positioned at the first test row.
+// a Stream positioned at the first test row. The scan precomputation is
+// built internally at Float64 precision; use NewStreamPre to share one
+// Precomp (or select Float32) across streams.
 func NewStream(kind Kind, k int, weight WeightFunc, metric vec.Metric,
 	train, test *dataset.Dataset) (*Stream, error) {
+	return NewStreamPre(kind, k, weight, metric, train, test, nil)
+}
+
+// NewStreamPre is NewStream with a caller-supplied scan precomputation,
+// letting a session build norms (and the float32 training copy) once and
+// reuse them across every stream. pre must have been built by NewPrecomp
+// from the same train/metric; nil means build a Float64 one here.
+func NewStreamPre(kind Kind, k int, weight WeightFunc, metric vec.Metric,
+	train, test *dataset.Dataset, pre *Precomp) (*Stream, error) {
 
 	if k <= 0 {
 		return nil, fmt.Errorf("knn: K = %d, want positive", k)
@@ -68,12 +87,16 @@ func NewStream(kind Kind, k int, weight WeightFunc, metric vec.Metric,
 	if train.Dim() != test.Dim() {
 		return nil, fmt.Errorf("knn: train dim %d != test dim %d", train.Dim(), test.Dim())
 	}
-	s := &Stream{kind: kind, k: k, weight: weight, metric: metric, train: train, test: test}
+	s := &Stream{kind: kind, k: k, weight: weight, metric: metric, train: train, test: test, pre: pre}
 	if metric == vec.L2 || metric == vec.SquaredL2 {
 		if tf, ok := train.Flat(); ok {
-			if qf, ok := test.Flat(); ok {
-				s.trainFlat, s.testFlat = tf, qf
-			}
+			s.trainFlat = tf
+		}
+		if qf, ok := test.Flat(); ok {
+			s.testFlat = qf
+		}
+		if s.pre == nil {
+			s.pre = NewPrecomp(train, metric, Float64)
 		}
 	}
 	return s, nil
@@ -115,15 +138,42 @@ func (s *Stream) NextBatch(ctx context.Context, dst []*TestPoint) (int, error) {
 	s.tps = s.tps[:b]
 
 	dim := s.train.Dim()
-	if s.trainFlat != nil && n > 0 && dim > 0 {
-		// Blocked tile of squared distances; L2 takes the root in place.
-		vec.SqL2Block(s.distBuf, s.testFlat[s.next*dim:(s.next+b)*dim], b, s.trainFlat, n, dim)
+	switch {
+	case s.pre != nil && s.trainFlat != nil && n > 0 && dim > 0:
+		// GEMV tile of squared distances via the norm-precompute identity;
+		// L2 takes the root in place.
+		q := s.queryBlock(b, dim)
+		if s.pre.precision == Float32 {
+			if cap(s.q32) < b*dim {
+				s.q32 = make([]float32, b*dim)
+			}
+			s.q32 = vec.ToFloat32(s.q32[:0], q)
+			vec.SqL2NormDotBatch32(s.distBuf, s.pre.flat32, n, dim, s.pre.norms32, s.q32, b)
+		} else {
+			vec.SqL2NormDotBatch(s.distBuf, s.trainFlat, n, dim, s.pre.norms, q, b)
+		}
 		if s.metric == vec.L2 {
 			for i, v := range s.distBuf {
 				s.distBuf[i] = math.Sqrt(v)
 			}
 		}
-	} else {
+	case s.metric == vec.L2 || s.metric == vec.SquaredL2:
+		// Non-contiguous training rows: same normdot formula row by row, so
+		// the distances still match the tile path bit for bit.
+		var norms []float64
+		if s.pre != nil {
+			norms = s.pre.norms
+		}
+		for i := 0; i < b; i++ {
+			tile := s.distBuf[i*n : (i+1)*n]
+			sqL2ScanRows(tile, s.train.X, norms, s.test.X[s.next+i])
+			if s.metric == vec.L2 {
+				for t, v := range tile {
+					tile[t] = math.Sqrt(v)
+				}
+			}
+		}
+	default:
 		for i := 0; i < b; i++ {
 			vec.Distances(s.metric, s.train.X, s.test.X[s.next+i], s.distBuf[i*n:(i+1)*n])
 		}
@@ -154,4 +204,38 @@ func (s *Stream) NextBatch(ctx context.Context, dst []*TestPoint) (int, error) {
 	}
 	s.next += b
 	return b, nil
+}
+
+// queryBlock returns the next b test rows as one contiguous b×dim block:
+// a plain subslice when the test set is flat, otherwise a gather into a
+// reused buffer.
+func (s *Stream) queryBlock(b, dim int) []float64 {
+	if s.testFlat != nil {
+		return s.testFlat[s.next*dim : (s.next+b)*dim]
+	}
+	if cap(s.qBuf) < b*dim {
+		s.qBuf = make([]float64, b*dim)
+	}
+	s.qBuf = s.qBuf[:b*dim]
+	for i := 0; i < b; i++ {
+		copy(s.qBuf[i*dim:(i+1)*dim], s.test.X[s.next+i])
+	}
+	return s.qBuf
+}
+
+// sqL2ScanRows fills out[i] with the squared Euclidean distance from q to
+// rows[i] using the same norm-precompute expression as the batched kernel
+// (norms[i] may be nil to compute row norms inline), so row-at-a-time and
+// tiled scans agree bit for bit.
+func sqL2ScanRows(out []float64, rows [][]float64, norms []float64, q []float64) {
+	qn := vec.SqNorm(q)
+	if norms != nil {
+		for i, row := range rows {
+			out[i] = vec.SqL2NormDot(row, q, norms[i], qn)
+		}
+		return
+	}
+	for i, row := range rows {
+		out[i] = vec.SqL2NormDot(row, q, vec.SqNorm(row), qn)
+	}
 }

@@ -1,7 +1,7 @@
 package knn
 
 import (
-	"fmt"
+	"context"
 
 	"knnshapley/internal/dataset"
 	"knnshapley/internal/vec"
@@ -9,35 +9,43 @@ import (
 
 // BuildTestPoints constructs one TestPoint per row of the test set, each
 // holding precomputed distances from every training point. This is the
-// O(N·Ntest·d) distance pass shared by every valuation algorithm.
+// O(N·Ntest·d) distance pass shared by every valuation algorithm. It runs
+// the batched Stream scan internally (deep-copying each tile), so the
+// distances are bit-identical to both NextBatch's and BuildTestPoint's.
 func BuildTestPoints(kind Kind, k int, weight WeightFunc, metric vec.Metric,
 	train, test *dataset.Dataset) ([]*TestPoint, error) {
+	return BuildTestPointsPre(kind, k, weight, metric, train, test, nil)
+}
 
-	if err := train.Validate(); err != nil {
-		return nil, fmt.Errorf("knn: train: %w", err)
+// BuildTestPointsPre is BuildTestPoints with a caller-supplied scan
+// precomputation (see NewStreamPre); nil builds a Float64 one internally.
+func BuildTestPointsPre(kind Kind, k int, weight WeightFunc, metric vec.Metric,
+	train, test *dataset.Dataset, pre *Precomp) ([]*TestPoint, error) {
+
+	s, err := NewStreamPre(kind, k, weight, metric, train, test, pre)
+	if err != nil {
+		return nil, err
 	}
-	if err := test.Validate(); err != nil {
-		return nil, fmt.Errorf("knn: test: %w", err)
-	}
-	if kind.IsRegression() != train.IsRegression() || kind.IsRegression() != test.IsRegression() {
-		return nil, fmt.Errorf("knn: utility kind %v incompatible with dataset responses", kind)
-	}
-	if train.Dim() != test.Dim() {
-		return nil, fmt.Errorf("knn: train dim %d != test dim %d", train.Dim(), test.Dim())
-	}
-	tps := make([]*TestPoint, test.N())
-	for j := range test.X {
-		var label int
-		var target float64
-		if kind.IsRegression() {
-			target = test.Targets[j]
-		} else {
-			label = test.Labels[j]
+	const batch = 64
+	tps := make([]*TestPoint, 0, test.N())
+	buf := make([]*TestPoint, batch)
+	for {
+		b, err := s.NextBatch(context.Background(), buf)
+		if err != nil {
+			return nil, err
 		}
-		tps[j] = BuildTestPoint(kind, k, weight, metric,
-			train.X, train.Labels, train.Targets, test.X[j], label, target)
+		if b == 0 {
+			return tps, nil
+		}
+		for _, tp := range buf[:b] {
+			cp := *tp
+			cp.Dist = append([]float64(nil), tp.Dist...)
+			if tp.Correct != nil {
+				cp.Correct = append([]bool(nil), tp.Correct...)
+			}
+			tps = append(tps, &cp)
+		}
 	}
-	return tps, nil
 }
 
 // AverageUtility returns the mean of ν(S) across the test points — the

@@ -2,6 +2,7 @@ package knn
 
 import (
 	"fmt"
+	"math"
 
 	"knnshapley/internal/kheap"
 	"knnshapley/internal/vec"
@@ -80,7 +81,20 @@ func BuildTestPoint(kind Kind, k int, weight WeightFunc, metric vec.Metric,
 		panic("knn: weighted utility requires a WeightFunc")
 	}
 	tp := &TestPoint{Kind: kind, K: k, Weight: weight, YTest: qTarget}
-	tp.Dist = vec.Distances(metric, trainX, q, nil)
+	switch metric {
+	case vec.L2, vec.SquaredL2:
+		// Same norm-precompute expression as the streamed GEMV tile, so the
+		// singular and batched builders agree bit for bit.
+		tp.Dist = make([]float64, len(trainX))
+		sqL2ScanRows(tp.Dist, trainX, nil, q)
+		if metric == vec.L2 {
+			for i, v := range tp.Dist {
+				tp.Dist[i] = math.Sqrt(v)
+			}
+		}
+	default:
+		tp.Dist = vec.Distances(metric, trainX, q, nil)
+	}
 	if kind.IsRegression() {
 		tp.Y = trainTargets
 	} else {
@@ -103,9 +117,10 @@ func (tp *TestPoint) Order() []int {
 
 // OrderInto is Order writing into buf (reallocated only when too short) so
 // per-test-point hot loops can reuse one index buffer instead of allocating
-// N ints per call. The ordering is identical to Order's.
+// N ints per call. The ordering is identical to Order's. It hands Dist
+// straight to the radix argsort — no closure, no comparison sort.
 func (tp *TestPoint) OrderInto(buf []int) []int {
-	return vec.ArgsortByInto(buf, len(tp.Dist), func(i int) float64 { return tp.Dist[i] })
+	return vec.ArgsortDistInto(buf, tp.Dist)
 }
 
 // term is the additive contribution of training point i once it is among the

@@ -1,0 +1,172 @@
+package vec
+
+import (
+	"math"
+	"sync"
+)
+
+// ArgsortDistInto fills idx (reallocated only when too short) with
+// 0..len(dist)-1 ordered ascending by (dist, index) — the α ordering of
+// Theorem 1 — and returns it. It is the total-order primitive of the exact
+// Shapley recursion and the hot half of the per-test-point cost, so it is
+// an LSD radix sort on the order-monotone bit pattern of each distance
+// (8-bit digits, index payload, one upfront histogram pass that skips
+// digits shared by every key) instead of a comparison sort: O(N) passes
+// versus O(N log N) comparisons through interfaces.
+//
+// The ordering matches a stable comparison sort on the values exactly,
+// for every float64 input: -0 and +0 compare equal and fall back to index
+// order, and NaN sorts after +Inf (with NaN ties again by index). Small
+// inputs (< radixMinN) use an insertion sort on the identical key
+// transform, so the order never depends on input size.
+func ArgsortDistInto(idx []int, dist []float64) []int {
+	idx, done := argsortSmall(idx, dist)
+	if done {
+		return idx
+	}
+	s := distSortPool.Get().(*distSortScratch)
+	s.sort(idx, dist)
+	distSortPool.Put(s)
+	return idx
+}
+
+// DistSorter is an owned radix scratch for the ArgsortDistInto ordering.
+// Callers that sort on every test point (the engine's per-worker Scratch)
+// hold one instead of using the package-level pool: the buffers then live
+// exactly as long as the worker, with no cross-worker pool traffic — and
+// no reallocation churn under the race detector, whose sync.Pool
+// deliberately drops a fraction of Puts. The zero value is ready to use.
+type DistSorter struct{ s distSortScratch }
+
+// ArgsortInto is ArgsortDistInto using the sorter's owned scratch.
+func (ds *DistSorter) ArgsortInto(idx []int, dist []float64) []int {
+	idx, done := argsortSmall(idx, dist)
+	if done {
+		return idx
+	}
+	ds.s.sort(idx, dist)
+	return idx
+}
+
+// argsortSmall resizes idx and handles the sub-radixMinN insertion-sort
+// case shared by the pool and owned-scratch entry points; done reports
+// whether the sort already happened.
+func argsortSmall(idx []int, dist []float64) ([]int, bool) {
+	n := len(dist)
+	if cap(idx) < n {
+		idx = make([]int, n)
+	}
+	idx = idx[:n]
+	if n >= radixMinN {
+		return idx, false
+	}
+	for i := range idx {
+		idx[i] = i
+	}
+	insertionArgsortBits(idx, dist)
+	return idx, true
+}
+
+// radixMinN is the input size below which the radix machinery (histogram
+// zeroing, scratch traffic) loses to a plain insertion sort.
+const radixMinN = 64
+
+// distKeyBits maps v onto bits whose unsigned order equals the (v, ties
+// pending) comparison order for all floats: negative values flip entirely,
+// non-negative values set the sign bit. Adding 0 first normalizes -0 to +0
+// so the two zeros map to one key and ties resolve by index.
+func distKeyBits(v float64) uint64 {
+	b := math.Float64bits(v + 0)
+	if b>>63 != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// insertionArgsortBits sorts idx ascending by (distKeyBits(dist[i]), i).
+func insertionArgsortBits(idx []int, dist []float64) {
+	for i := 1; i < len(idx); i++ {
+		x := idx[i]
+		kx := distKeyBits(dist[x])
+		j := i
+		for ; j > 0; j-- {
+			y := idx[j-1]
+			ky := distKeyBits(dist[y])
+			if ky < kx || (ky == kx && y < x) {
+				break
+			}
+			idx[j] = y
+		}
+		idx[j] = x
+	}
+}
+
+// distSortScratch holds the radix buffers: keys plus a double-buffered
+// (key, index) pair per element. A sync.Pool amortizes them across calls
+// and workers without threading a scratch parameter through OrderInto.
+type distSortScratch struct {
+	keys, tmpKeys []uint64
+	tmpIdx        []int
+}
+
+var distSortPool = sync.Pool{New: func() any { return new(distSortScratch) }}
+
+func (s *distSortScratch) sort(idx []int, dist []float64) {
+	n := len(dist)
+	if cap(s.keys) < n {
+		s.keys = make([]uint64, n)
+		s.tmpKeys = make([]uint64, n)
+		s.tmpIdx = make([]int, n)
+	}
+	keys, tmpKeys, tmpIdx := s.keys[:n], s.tmpKeys[:n], s.tmpIdx[:n]
+
+	// Key extraction plus all eight digit histograms in one pass.
+	var hist [8][256]uint32
+	for i := 0; i < n; i++ {
+		k := distKeyBits(dist[i])
+		keys[i] = k
+		idx[i] = i
+		hist[0][k&0xff]++
+		hist[1][(k>>8)&0xff]++
+		hist[2][(k>>16)&0xff]++
+		hist[3][(k>>24)&0xff]++
+		hist[4][(k>>32)&0xff]++
+		hist[5][(k>>40)&0xff]++
+		hist[6][(k>>48)&0xff]++
+		hist[7][(k>>56)&0xff]++
+	}
+
+	src, dst := keys, tmpKeys
+	srcI, dstI := idx, tmpIdx
+	for pass := 0; pass < 8; pass++ {
+		h := &hist[pass]
+		shift := uint(pass * 8)
+		// A digit every key shares permutes nothing: skip the pass. This
+		// is the common case for the high exponent bytes of a bounded
+		// distance range.
+		if int(h[(src[0]>>shift)&0xff]) == n {
+			continue
+		}
+		var offs [256]uint32
+		var sum uint32
+		for v := 0; v < 256; v++ {
+			offs[v] = sum
+			sum += h[v]
+		}
+		for i := 0; i < n; i++ {
+			k := src[i]
+			v := (k >> shift) & 0xff
+			o := offs[v]
+			offs[v] = o + 1
+			dst[o] = k
+			dstI[o] = srcI[i]
+		}
+		src, dst = dst, src
+		srcI, dstI = dstI, srcI
+	}
+	// LSD stability plus the ascending initial fill makes equal keys come
+	// out in ascending index order — the tie rule of the α ordering.
+	if &srcI[0] != &idx[0] {
+		copy(idx, srcI)
+	}
+}

@@ -1,0 +1,141 @@
+package vec
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// refArgsort is the specification: a stable comparison sort ascending by
+// value (ties keep ascending index), with the same key transform for
+// exotic floats (−0 equals +0, NaN after +Inf).
+func refArgsort(dist []float64) []int {
+	idx := make([]int, len(dist))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return distKeyBits(dist[idx[a]]) < distKeyBits(dist[idx[b]])
+	})
+	return idx
+}
+
+func checkArgsort(t *testing.T, dist []float64, got []int) {
+	t.Helper()
+	want := refArgsort(dist)
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("n=%d: idx[%d] = %d (dist %v), want %d (dist %v)",
+				len(dist), i, got[i], dist[got[i]], want[i], dist[want[i]])
+		}
+	}
+}
+
+// Sizes straddle radixMinN so both the insertion and the radix path run.
+func TestArgsortDistIntoMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 1))
+	for _, n := range []int{0, 1, 2, 3, 7, radixMinN - 1, radixMinN, radixMinN + 1, 200, 1000} {
+		dist := make([]float64, n)
+		for i := range dist {
+			dist[i] = rng.NormFloat64() * 100
+		}
+		checkArgsort(t, dist, ArgsortDistInto(nil, dist))
+	}
+}
+
+// A worker-owned DistSorter must produce the exact ordering of the pooled
+// entry point, including across reuses (stale scratch contents from a
+// previous, larger sort must not leak into the next).
+func TestDistSorterMatchesArgsortDistInto(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 9))
+	var ds DistSorter
+	var buf []int
+	for _, n := range []int{1000, 3, radixMinN, 0, 500, 1000} {
+		dist := make([]float64, n)
+		for i := range dist {
+			dist[i] = rng.NormFloat64() * 100
+		}
+		want := ArgsortDistInto(nil, dist)
+		buf = ds.ArgsortInto(buf, dist)
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("n=%d: idx[%d] = %d, want %d", n, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// Heavy ties: the radix payload scatter must preserve ascending index
+// within equal keys (the α-ordering tie rule of Theorem 1).
+func TestArgsortDistIntoTies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 2))
+	for _, n := range []int{5, radixMinN, 500} {
+		dist := make([]float64, n)
+		for i := range dist {
+			dist[i] = float64(rng.IntN(4)) // few distinct values, many ties
+		}
+		checkArgsort(t, dist, ArgsortDistInto(nil, dist))
+	}
+}
+
+// Exotic floats: ±0 must compare equal (index decides), negatives sort
+// before positives, NaN after +Inf — on both the radix and the insertion
+// path.
+func TestArgsortDistIntoExoticFloats(t *testing.T) {
+	base := []float64{
+		0, math.Copysign(0, -1), 1, -1, math.Inf(1), math.Inf(-1),
+		math.NaN(), 1e-300, -1e-300, math.MaxFloat64, -math.MaxFloat64, 2, 0,
+	}
+	small := append([]float64(nil), base...)
+	checkArgsort(t, small, ArgsortDistInto(nil, small))
+	big := make([]float64, 0, 26*len(base))
+	for i := 0; i < 26; i++ {
+		big = append(big, base...)
+	}
+	checkArgsort(t, big, ArgsortDistInto(nil, big))
+}
+
+func TestArgsortDistIntoReusesBuffer(t *testing.T) {
+	dist := []float64{3, 1, 2}
+	buf := make([]int, 0, 8)
+	got := ArgsortDistInto(buf, dist)
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("buffer not reused")
+	}
+	again := ArgsortDistInto(got, dist)
+	if &again[0] != &got[0] {
+		t.Fatal("buffer not reused on second call")
+	}
+}
+
+// FuzzArgsortDist feeds arbitrary byte-derived float64s (including NaN
+// payloads, infinities and denormals) through both sort paths.
+func FuzzArgsortDist(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, false)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255, 255, 255, 255, 255}, true)
+	f.Fuzz(func(t *testing.T, raw []byte, grow bool) {
+		n := len(raw) / 8
+		if n == 0 {
+			return
+		}
+		dist := make([]float64, 0, n*9)
+		for i := 0; i < n; i++ {
+			var bits uint64
+			for j := 0; j < 8; j++ {
+				bits = bits<<8 | uint64(raw[i*8+j])
+			}
+			dist = append(dist, math.Float64frombits(bits))
+		}
+		if grow {
+			// Replicate past radixMinN so the radix path runs too.
+			for len(dist) < radixMinN+1 {
+				dist = append(dist, dist...)
+			}
+		}
+		checkArgsort(t, dist, ArgsortDistInto(nil, dist))
+	})
+}

@@ -7,10 +7,10 @@ import (
 
 // The storage benchmarks pin the flat row-major win: one query scanned
 // against N train rows held either as a contiguous row-major buffer or as a
-// slice of independently-allocated rows, plus the blocked tile kernel that
-// the streaming engine uses. Run with:
+// slice of independently-allocated rows, plus the norm-precompute GEMV
+// kernel that the streaming engine uses and the radix argsort. Run with:
 //
-//	go test ./internal/vec -bench 'Scan|Block' -benchmem
+//	go test ./internal/vec -bench 'Scan|NormDot|Argsort' -benchmem
 var benchShapes = []struct {
 	name   string
 	n, dim int
@@ -64,20 +64,61 @@ func BenchmarkDistanceScanFlat(b *testing.B) {
 	}
 }
 
-// BenchmarkSqL2Block measures the blocked tile kernel at the engine's
-// default batch size: 64 queries against the train matrix per call.
-func BenchmarkSqL2Block(b *testing.B) {
+// BenchmarkSqL2NormDotBatch measures the GEMV-shaped norm-precompute
+// kernel at the engine's default batch size: 64 queries against the train
+// matrix per call, float64 and float32 storage.
+func BenchmarkSqL2NormDotBatch(b *testing.B) {
 	const batch = 64
 	for _, shape := range benchShapes {
 		b.Run(shape.name, func(b *testing.B) {
 			rng := rand.New(rand.NewPCG(2, 2))
 			trainFlat, _ := randomFlat(shape.n, shape.dim, rng)
 			testFlat, _ := randomFlat(batch, shape.dim, rng)
+			norms := SqNorms(nil, trainFlat, shape.n, shape.dim)
 			dst := make([]float64, batch*shape.n)
 			b.SetBytes(int64(batch * shape.n * shape.dim * 8))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				SqL2Block(dst, testFlat, batch, trainFlat, shape.n, shape.dim)
+				SqL2NormDotBatch(dst, trainFlat, shape.n, shape.dim, norms, testFlat, batch)
+			}
+		})
+	}
+}
+
+func BenchmarkSqL2NormDotBatch32(b *testing.B) {
+	const batch = 64
+	for _, shape := range benchShapes {
+		b.Run(shape.name, func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(2, 2))
+			trainFlat, _ := randomFlat(shape.n, shape.dim, rng)
+			testFlat, _ := randomFlat(batch, shape.dim, rng)
+			trainFlat32 := ToFloat32(nil, trainFlat)
+			testFlat32 := ToFloat32(nil, testFlat)
+			norms32 := SqNorms32(nil, trainFlat32, shape.n, shape.dim)
+			dst := make([]float64, batch*shape.n)
+			b.SetBytes(int64(batch * shape.n * shape.dim * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				SqL2NormDotBatch32(dst, trainFlat32, shape.n, shape.dim, norms32, testFlat32, batch)
+			}
+		})
+	}
+}
+
+// BenchmarkArgsortDist measures the radix argsort against the generic
+// closure-key path on the same keys.
+func BenchmarkArgsortDist(b *testing.B) {
+	for _, shape := range benchShapes {
+		b.Run(shape.name, func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(3, 3))
+			dist := make([]float64, shape.n)
+			for i := range dist {
+				dist[i] = rng.Float64() * 20
+			}
+			idx := make([]int, shape.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ArgsortDistInto(idx, dist)
 			}
 		})
 	}

@@ -1,0 +1,790 @@
+// SSE2 dot-product kernels behind the norm-precompute distance scan.
+//
+// float64: each query accumulates into a single 2-lane xmm register —
+// per 4-element chunk the products of elements {i, i+1} and {i+2, i+3}
+// are added into the same register (lane 0 collects even offsets, lane 1
+// odd offsets), the scalar tail accumulates into lane 0, and the final
+// value is lane0 + lane1.
+//
+// float32: each query accumulates into TWO 4-lane xmm registers — lanes
+// are offsets mod 8, chunk {i..i+3} adds into the first register and
+// {i+4..i+7} into the second, so the two ADDPS per chunk are independent
+// and the per-chunk critical path is a single ADDPS (the f32 scan is
+// compute-bound where the f64 scan is bandwidth-bound; the shorter chain
+// is what lets it reach the 2x traffic advantage). The scalar tail
+// accumulates into lane 0, and the final value is
+// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+//
+// dot4x64/dot4x32 run four queries against one row with private
+// accumulators per query, so each query's sum uses exactly the tree of
+// the single-query kernels — distances therefore do not depend on how
+// queries are grouped into batches. dotTreeGo64 and dotTreeGo32
+// (dot_kernels.go) mirror the trees in pure Go; the kernels here must
+// stay bit-identical to them (TestDotKernelsMatchGoTree).
+//
+// The float32 kernels exist twice: an SSE2 body (the amd64 v1 baseline;
+// two xmm accumulators per query) and an AVX body (one ymm accumulator
+// per query — the 8-lane tree is exactly one 256-bit register, so the
+// wide kernel computes the same bits with half the instructions).
+// dot_amd64.go picks at startup via cpuHasAVX; TestDot32AVXMatchesSSE
+// pins the two bodies against each other. The float64 kernels are SSE2
+// only — their 2-lane tree is frozen by the float64 golden files, and
+// the f64 scan is memory-bound where extra width would not pay anyway.
+// No FMA anywhere: fused multiply-adds round differently.
+
+#include "textflag.h"
+
+// func dot1x64(a, b []float64) float64
+TEXT ·dot1x64(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	XORPS X0, X0
+	MOVQ  CX, BX
+	SHRQ  $2, BX
+	JZ    tail
+loop4:
+	MOVUPD 0(SI), X4
+	MOVUPD 16(SI), X5
+	MOVUPD 0(DI), X6
+	MOVUPD 16(DI), X7
+	MULPD  X4, X6
+	MULPD  X5, X7
+	ADDPD  X6, X0
+	ADDPD  X7, X0
+	ADDQ   $32, SI
+	ADDQ   $32, DI
+	DECQ   BX
+	JNZ    loop4
+tail:
+	ANDQ $3, CX
+	JZ   done
+tailloop:
+	MOVSD 0(SI), X4
+	MULSD 0(DI), X4
+	ADDSD X4, X0
+	ADDQ  $8, SI
+	ADDQ  $8, DI
+	DECQ  CX
+	JNZ   tailloop
+done:
+	MOVAPD   X0, X1
+	UNPCKHPD X1, X1
+	ADDSD    X1, X0
+	MOVSD    X0, ret+48(FP)
+	RET
+
+// func dot1x32sse(a, b []float32) float32
+TEXT ·dot1x32sse(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	XORPS X0, X0
+	XORPS X1, X1
+	MOVQ  CX, BX
+	SHRQ  $3, BX
+	JZ    tail
+loop8:
+	MOVUPS 0(SI), X4
+	MOVUPS 16(SI), X5
+	MOVUPS 0(DI), X6
+	MOVUPS 16(DI), X7
+	MULPS  X4, X6
+	MULPS  X5, X7
+	ADDPS  X6, X0
+	ADDPS  X7, X1
+	ADDQ   $32, SI
+	ADDQ   $32, DI
+	DECQ   BX
+	JNZ    loop8
+tail:
+	ANDQ $7, CX
+	JZ   done
+tailloop:
+	MOVSS 0(SI), X4
+	MULSS 0(DI), X4
+	ADDSS X4, X0
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  CX
+	JNZ   tailloop
+done:
+	// Fold the 8 lanes: lanes 4-7 onto 0-3, then the 4-lane horizontal
+	// sum ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+	ADDPS   X1, X0
+	MOVAPS  X0, X1
+	MOVHLPS X1, X1
+	ADDPS   X1, X0
+	MOVAPS  X0, X1
+	SHUFPS  $0x55, X1, X1
+	ADDSS   X1, X0
+	MOVSS   X0, ret+48(FP)
+	RET
+
+// func dot4x64(row, q0, q1, q2, q3 []float64, out *[4]float64)
+TEXT ·dot4x64(SB), NOSPLIT, $0-128
+	MOVQ row_base+0(FP), SI
+	MOVQ row_len+8(FP), CX
+	MOVQ q0_base+24(FP), DI
+	MOVQ q1_base+48(FP), R8
+	MOVQ q2_base+72(FP), R9
+	MOVQ q3_base+96(FP), R10
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	MOVQ  CX, BX
+	SHRQ  $2, BX
+	JZ    tail
+loop4:
+	MOVUPD 0(SI), X4
+	MOVUPD 16(SI), X5
+	MOVUPD 0(DI), X6
+	MOVUPD 16(DI), X7
+	MULPD  X4, X6
+	MULPD  X5, X7
+	ADDPD  X6, X0
+	ADDPD  X7, X0
+	MOVUPD 0(R8), X6
+	MOVUPD 16(R8), X7
+	MULPD  X4, X6
+	MULPD  X5, X7
+	ADDPD  X6, X1
+	ADDPD  X7, X1
+	MOVUPD 0(R9), X6
+	MOVUPD 16(R9), X7
+	MULPD  X4, X6
+	MULPD  X5, X7
+	ADDPD  X6, X2
+	ADDPD  X7, X2
+	MOVUPD 0(R10), X6
+	MOVUPD 16(R10), X7
+	MULPD  X4, X6
+	MULPD  X5, X7
+	ADDPD  X6, X3
+	ADDPD  X7, X3
+	ADDQ   $32, SI
+	ADDQ   $32, DI
+	ADDQ   $32, R8
+	ADDQ   $32, R9
+	ADDQ   $32, R10
+	DECQ   BX
+	JNZ    loop4
+tail:
+	ANDQ $3, CX
+	JZ   done
+tailloop:
+	MOVSD 0(SI), X4
+	MOVSD 0(DI), X6
+	MULSD X4, X6
+	ADDSD X6, X0
+	MOVSD 0(R8), X6
+	MULSD X4, X6
+	ADDSD X6, X1
+	MOVSD 0(R9), X6
+	MULSD X4, X6
+	ADDSD X6, X2
+	MOVSD 0(R10), X6
+	MULSD X4, X6
+	ADDSD X6, X3
+	ADDQ  $8, SI
+	ADDQ  $8, DI
+	ADDQ  $8, R8
+	ADDQ  $8, R9
+	ADDQ  $8, R10
+	DECQ  CX
+	JNZ   tailloop
+done:
+	MOVQ     out+120(FP), AX
+	MOVAPD   X0, X4
+	UNPCKHPD X4, X4
+	ADDSD    X4, X0
+	MOVSD    X0, 0(AX)
+	MOVAPD   X1, X4
+	UNPCKHPD X4, X4
+	ADDSD    X4, X1
+	MOVSD    X1, 8(AX)
+	MOVAPD   X2, X4
+	UNPCKHPD X4, X4
+	ADDSD    X4, X2
+	MOVSD    X2, 16(AX)
+	MOVAPD   X3, X4
+	UNPCKHPD X4, X4
+	ADDSD    X4, X3
+	MOVSD    X3, 24(AX)
+	RET
+
+// func dot4x32sse(row, q0, q1, q2, q3 []float32, out *[4]float32)
+//
+// Accumulator pairs per query: q0 in X0:X1, q1 in X2:X3, q2 in X4:X5,
+// q3 in X6:X7 (first register lanes 0-3, second lanes 4-7). Row chunks
+// load into X8:X9; X10:X11 are the per-query product temporaries.
+TEXT ·dot4x32sse(SB), NOSPLIT, $0-128
+	MOVQ row_base+0(FP), SI
+	MOVQ row_len+8(FP), CX
+	MOVQ q0_base+24(FP), DI
+	MOVQ q1_base+48(FP), R8
+	MOVQ q2_base+72(FP), R9
+	MOVQ q3_base+96(FP), R10
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+	MOVQ  CX, BX
+	SHRQ  $3, BX
+	JZ    tail
+loop8:
+	MOVUPS 0(SI), X8
+	MOVUPS 16(SI), X9
+	MOVUPS 0(DI), X10
+	MOVUPS 16(DI), X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X0
+	ADDPS  X11, X1
+	MOVUPS 0(R8), X10
+	MOVUPS 16(R8), X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X2
+	ADDPS  X11, X3
+	MOVUPS 0(R9), X10
+	MOVUPS 16(R9), X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X4
+	ADDPS  X11, X5
+	MOVUPS 0(R10), X10
+	MOVUPS 16(R10), X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X6
+	ADDPS  X11, X7
+	ADDQ   $32, SI
+	ADDQ   $32, DI
+	ADDQ   $32, R8
+	ADDQ   $32, R9
+	ADDQ   $32, R10
+	DECQ   BX
+	JNZ    loop8
+tail:
+	ANDQ $7, CX
+	JZ   done
+tailloop:
+	MOVSS 0(SI), X8
+	MOVSS 0(DI), X10
+	MULSS X8, X10
+	ADDSS X10, X0
+	MOVSS 0(R8), X10
+	MULSS X8, X10
+	ADDSS X10, X2
+	MOVSS 0(R9), X10
+	MULSS X8, X10
+	ADDSS X10, X4
+	MOVSS 0(R10), X10
+	MULSS X8, X10
+	ADDSS X10, X6
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	ADDQ  $4, R8
+	ADDQ  $4, R9
+	ADDQ  $4, R10
+	DECQ  CX
+	JNZ   tailloop
+done:
+	MOVQ    out+120(FP), AX
+	ADDPS   X1, X0
+	MOVAPS  X0, X8
+	MOVHLPS X8, X8
+	ADDPS   X8, X0
+	MOVAPS  X0, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X0
+	MOVSS   X0, 0(AX)
+	ADDPS   X3, X2
+	MOVAPS  X2, X8
+	MOVHLPS X8, X8
+	ADDPS   X8, X2
+	MOVAPS  X2, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X2
+	MOVSS   X2, 4(AX)
+	ADDPS   X5, X4
+	MOVAPS  X4, X8
+	MOVHLPS X8, X8
+	ADDPS   X8, X4
+	MOVAPS  X4, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X4
+	MOVSS   X4, 8(AX)
+	ADDPS   X7, X6
+	MOVAPS  X6, X8
+	MOVHLPS X8, X8
+	ADDPS   X8, X6
+	MOVAPS  X6, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X6
+	MOVSS   X6, 12(AX)
+	RET
+
+// func dot1x32avx(a, b []float32) float32
+//
+// The 8-lane tree in one ymm accumulator: a chunk's eight products land
+// on lanes 0-7 with a single VADDPS, so the per-chunk critical path is
+// one add — same bits as dot1x32sse, half the instructions. Lanes 4-7
+// are extracted to X1 before the scalar tail (VEX 128-bit writes zero
+// the upper half), the tail accumulates into lane 0, and the fold is
+// the shared ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+TEXT ·dot1x32avx(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	VXORPS Y0, Y0, Y0
+	MOVQ   CX, BX
+	SHRQ   $3, BX
+	JZ     fold
+loop8:
+	VMOVUPS 0(SI), Y4
+	VMULPS  0(DI), Y4, Y4
+	VADDPS  Y4, Y0, Y0
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    BX
+	JNZ     loop8
+fold:
+	VEXTRACTF128 $1, Y0, X1
+	VZEROUPPER
+	ANDQ $7, CX
+	JZ   combine
+tailloop:
+	MOVSS 0(SI), X4
+	MULSS 0(DI), X4
+	ADDSS X4, X0
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  CX
+	JNZ   tailloop
+combine:
+	ADDPS   X1, X0
+	MOVAPS  X0, X1
+	MOVHLPS X1, X1
+	ADDPS   X1, X0
+	MOVAPS  X0, X1
+	SHUFPS  $0x55, X1, X1
+	ADDSS   X1, X0
+	MOVSS   X0, ret+48(FP)
+	RET
+
+// func dot4x32avx(row, q0, q1, q2, q3 []float32, out *[4]float32)
+//
+// One ymm accumulator per query (Y0-Y3), row chunk in Y8, per-query
+// product temporaries Y9-Y12. Upper halves are extracted to X4-X7
+// before the scalar tail; the folds match dot4x32sse exactly.
+TEXT ·dot4x32avx(SB), NOSPLIT, $0-128
+	MOVQ row_base+0(FP), SI
+	MOVQ row_len+8(FP), CX
+	MOVQ q0_base+24(FP), DI
+	MOVQ q1_base+48(FP), R8
+	MOVQ q2_base+72(FP), R9
+	MOVQ q3_base+96(FP), R10
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ   CX, BX
+	SHRQ   $3, BX
+	JZ     fold
+loop8:
+	VMOVUPS 0(SI), Y8
+	VMOVUPS 0(DI), Y9
+	VMOVUPS 0(R8), Y10
+	VMOVUPS 0(R9), Y11
+	VMOVUPS 0(R10), Y12
+	VMULPS  Y8, Y9, Y9
+	VMULPS  Y8, Y10, Y10
+	VMULPS  Y8, Y11, Y11
+	VMULPS  Y8, Y12, Y12
+	VADDPS  Y9, Y0, Y0
+	VADDPS  Y10, Y1, Y1
+	VADDPS  Y11, Y2, Y2
+	VADDPS  Y12, Y3, Y3
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, R8
+	ADDQ    $32, R9
+	ADDQ    $32, R10
+	DECQ    BX
+	JNZ     loop8
+fold:
+	VEXTRACTF128 $1, Y0, X4
+	VEXTRACTF128 $1, Y1, X5
+	VEXTRACTF128 $1, Y2, X6
+	VEXTRACTF128 $1, Y3, X7
+	VZEROUPPER
+	ANDQ $7, CX
+	JZ   combine
+tailloop:
+	MOVSS 0(SI), X8
+	MOVSS 0(DI), X10
+	MULSS X8, X10
+	ADDSS X10, X0
+	MOVSS 0(R8), X10
+	MULSS X8, X10
+	ADDSS X10, X1
+	MOVSS 0(R9), X10
+	MULSS X8, X10
+	ADDSS X10, X2
+	MOVSS 0(R10), X10
+	MULSS X8, X10
+	ADDSS X10, X3
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	ADDQ  $4, R8
+	ADDQ  $4, R9
+	ADDQ  $4, R10
+	DECQ  CX
+	JNZ   tailloop
+combine:
+	MOVQ    out+120(FP), AX
+	ADDPS   X4, X0
+	MOVAPS  X0, X8
+	MOVHLPS X8, X8
+	ADDPS   X8, X0
+	MOVAPS  X0, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X0
+	MOVSS   X0, 0(AX)
+	ADDPS   X5, X1
+	MOVAPS  X1, X8
+	MOVHLPS X8, X8
+	ADDPS   X8, X1
+	MOVAPS  X1, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X1
+	MOVSS   X1, 4(AX)
+	ADDPS   X6, X2
+	MOVAPS  X2, X8
+	MOVHLPS X8, X8
+	ADDPS   X8, X2
+	MOVAPS  X2, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X2
+	MOVSS   X2, 8(AX)
+	ADDPS   X7, X3
+	MOVAPS  X3, X8
+	MOVHLPS X8, X8
+	ADDPS   X8, X3
+	MOVAPS  X3, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X3
+	MOVSS   X3, 12(AX)
+	RET
+
+// func cpuHasAVX() bool
+//
+// True when the CPU reports AVX and the OS has enabled xmm+ymm state
+// saving (OSXSAVE set and XCR0 bits 1-2 set) — the complete condition
+// for VEX 256-bit instructions to be usable.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, DX
+	ANDL $(1<<27 | 1<<28), DX
+	CMPL DX, $(1<<27 | 1<<28)
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func gemv4x32sse(dst4 []float64, n int, flat []float32, dim int, norms []float32, q0, q1, q2, q3 []float32, qn *[4]float32)
+//
+// One whole four-query distance group in a single call: for every row r,
+// accumulate the four dots with the 8-lane tree (accumulator pairs
+// X0:X1, X2:X3, X4:X5, X6:X7), fold them TRANSPOSED into one packed
+// register (each lane ends up exactly (x0+x2)+(x1+x3) of that query's
+// 4-lane partials — the same association as the scalar fold), then
+// finish v = nr + qn - 2·dot, the <0 clamp, and the float64 widening as
+// packed lane-wise ops (IEEE identical to the scalar expressions of
+// sqL2Gemv4x32Go). Row data is indexed by BX so the query base pointers
+// never move; distance rows d0..d3 are the n-strided columns of dst4
+// (R11 walks d0/d1, R13 = R11 + 2n·8 walks d2/d3, R12 = n·8).
+// X12 holds the packed query norms, X13 a packed zero for the clamp;
+// BP (saved) walks the row norms.
+TEXT ·gemv4x32sse(SB), NOSPLIT, $16-192
+	MOVQ BP, 8(SP)
+	MOVQ dst4_base+0(FP), R11
+	MOVQ n+24(FP), AX
+	TESTQ AX, AX
+	JZ   done
+	MOVQ AX, R12
+	SHLQ $3, R12
+	LEAQ (R11)(R12*2), R13
+	MOVQ flat_base+32(FP), SI
+	MOVQ dim+56(FP), CX
+	MOVQ norms_base+64(FP), BP
+	MOVQ q0_base+88(FP), DI
+	MOVQ q1_base+112(FP), R8
+	MOVQ q2_base+136(FP), R9
+	MOVQ q3_base+160(FP), R10
+	MOVQ qn+184(FP), DX
+	MOVUPS (DX), X12
+	XORPS X13, X13
+	MOVQ CX, BX
+	SHLQ $2, BX
+	MOVQ BX, 0(SP)
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	SHLQ $2, DX
+rowloop:
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+	XORQ  BX, BX
+	TESTQ DX, DX
+	JZ    tailcheck
+chunk:
+	MOVUPS (SI)(BX*1), X8
+	MOVUPS 16(SI)(BX*1), X9
+	MOVUPS (DI)(BX*1), X10
+	MOVUPS 16(DI)(BX*1), X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X0
+	ADDPS  X11, X1
+	MOVUPS (R8)(BX*1), X10
+	MOVUPS 16(R8)(BX*1), X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X2
+	ADDPS  X11, X3
+	MOVUPS (R9)(BX*1), X10
+	MOVUPS 16(R9)(BX*1), X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X4
+	ADDPS  X11, X5
+	MOVUPS (R10)(BX*1), X10
+	MOVUPS 16(R10)(BX*1), X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X6
+	ADDPS  X11, X7
+	ADDQ   $32, BX
+	CMPQ   BX, DX
+	JLT    chunk
+tailcheck:
+	MOVQ 0(SP), CX
+	CMPQ BX, CX
+	JGE  fold
+tailloop:
+	MOVSS (SI)(BX*1), X8
+	MOVSS (DI)(BX*1), X10
+	MULSS X8, X10
+	ADDSS X10, X0
+	MOVSS (R8)(BX*1), X10
+	MULSS X8, X10
+	ADDSS X10, X2
+	MOVSS (R9)(BX*1), X10
+	MULSS X8, X10
+	ADDSS X10, X4
+	MOVSS (R10)(BX*1), X10
+	MULSS X8, X10
+	ADDSS X10, X6
+	ADDQ  $4, BX
+	CMPQ  BX, CX
+	JLT   tailloop
+fold:
+	ADDPS    X1, X0
+	ADDPS    X3, X2
+	ADDPS    X5, X4
+	ADDPS    X7, X6
+	MOVAPS   X0, X8
+	UNPCKLPS X2, X0
+	UNPCKHPS X2, X8
+	MOVAPS   X4, X9
+	UNPCKLPS X6, X4
+	UNPCKHPS X6, X9
+	MOVAPS   X0, X10
+	MOVLHPS  X4, X0
+	MOVHLPS  X10, X4
+	MOVAPS   X8, X10
+	MOVLHPS  X9, X8
+	MOVHLPS  X10, X9
+	ADDPS    X8, X0
+	ADDPS    X9, X4
+	ADDPS    X4, X0
+	MOVSS    (BP), X1
+	SHUFPS   $0x00, X1, X1
+	ADDPS    X12, X1
+	ADDPS    X0, X0
+	SUBPS    X0, X1
+	MOVAPS   X1, X2
+	CMPPS    X13, X2, $1
+	ANDNPS   X1, X2
+	CVTPS2PD X2, X0
+	MOVAPS   X2, X1
+	MOVHLPS  X1, X1
+	CVTPS2PD X1, X1
+	MOVSD    X0, (R11)
+	UNPCKHPD X0, X0
+	MOVSD    X0, (R11)(R12*1)
+	MOVSD    X1, (R13)
+	UNPCKHPD X1, X1
+	MOVSD    X1, (R13)(R12*1)
+	ADDQ $8, R11
+	ADDQ $8, R13
+	ADDQ $4, BP
+	ADDQ CX, SI
+	DECQ AX
+	JNZ  rowloop
+done:
+	MOVQ 8(SP), BP
+	RET
+
+// func gemv4x32avx(dst4 []float64, n int, flat []float32, dim int, norms []float32, q0, q1, q2, q3 []float32, qn *[4]float32)
+//
+// The AVX body of the group sweep: one ymm accumulator per query
+// (Y0-Y3, products in Y4-Y7, row chunk in Y8), lanes 4-7 extracted to
+// X8-X11 before the scalar tail, then the identical transposed fold and
+// packed distance epilogue of gemv4x32sse. Register map otherwise as in
+// gemv4x32sse.
+TEXT ·gemv4x32avx(SB), NOSPLIT, $16-192
+	MOVQ BP, 8(SP)
+	MOVQ dst4_base+0(FP), R11
+	MOVQ n+24(FP), AX
+	TESTQ AX, AX
+	JZ   done
+	MOVQ AX, R12
+	SHLQ $3, R12
+	LEAQ (R11)(R12*2), R13
+	MOVQ flat_base+32(FP), SI
+	MOVQ dim+56(FP), CX
+	MOVQ norms_base+64(FP), BP
+	MOVQ q0_base+88(FP), DI
+	MOVQ q1_base+112(FP), R8
+	MOVQ q2_base+136(FP), R9
+	MOVQ q3_base+160(FP), R10
+	MOVQ qn+184(FP), DX
+	MOVUPS (DX), X12
+	XORPS X13, X13
+	MOVQ CX, BX
+	SHLQ $2, BX
+	MOVQ BX, 0(SP)
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	SHLQ $2, DX
+rowloop:
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ  BX, BX
+	TESTQ DX, DX
+	JZ    extract
+chunk:
+	VMOVUPS (SI)(BX*1), Y8
+	VMOVUPS (DI)(BX*1), Y4
+	VMULPS  Y8, Y4, Y4
+	VADDPS  Y4, Y0, Y0
+	VMOVUPS (R8)(BX*1), Y5
+	VMULPS  Y8, Y5, Y5
+	VADDPS  Y5, Y1, Y1
+	VMOVUPS (R9)(BX*1), Y6
+	VMULPS  Y8, Y6, Y6
+	VADDPS  Y6, Y2, Y2
+	VMOVUPS (R10)(BX*1), Y7
+	VMULPS  Y8, Y7, Y7
+	VADDPS  Y7, Y3, Y3
+	ADDQ    $32, BX
+	CMPQ    BX, DX
+	JLT     chunk
+extract:
+	VEXTRACTF128 $1, Y0, X8
+	VEXTRACTF128 $1, Y1, X9
+	VEXTRACTF128 $1, Y2, X10
+	VEXTRACTF128 $1, Y3, X11
+	VZEROUPPER
+	MOVQ 0(SP), CX
+	CMPQ BX, CX
+	JGE  fold
+tailloop:
+	MOVSS (SI)(BX*1), X4
+	MOVSS (DI)(BX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X0
+	MOVSS (R8)(BX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X1
+	MOVSS (R9)(BX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X2
+	MOVSS (R10)(BX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X3
+	ADDQ  $4, BX
+	CMPQ  BX, CX
+	JLT   tailloop
+fold:
+	ADDPS    X8, X0
+	ADDPS    X9, X1
+	ADDPS    X10, X2
+	ADDPS    X11, X3
+	MOVAPS   X0, X8
+	UNPCKLPS X1, X0
+	UNPCKHPS X1, X8
+	MOVAPS   X2, X9
+	UNPCKLPS X3, X2
+	UNPCKHPS X3, X9
+	MOVAPS   X0, X10
+	MOVLHPS  X2, X0
+	MOVHLPS  X10, X2
+	MOVAPS   X8, X10
+	MOVLHPS  X9, X8
+	MOVHLPS  X10, X9
+	ADDPS    X8, X0
+	ADDPS    X9, X2
+	ADDPS    X2, X0
+	MOVSS    (BP), X1
+	SHUFPS   $0x00, X1, X1
+	ADDPS    X12, X1
+	ADDPS    X0, X0
+	SUBPS    X0, X1
+	MOVAPS   X1, X2
+	CMPPS    X13, X2, $1
+	ANDNPS   X1, X2
+	CVTPS2PD X2, X0
+	MOVAPS   X2, X1
+	MOVHLPS  X1, X1
+	CVTPS2PD X1, X1
+	MOVSD    X0, (R11)
+	UNPCKHPD X0, X0
+	MOVSD    X0, (R11)(R12*1)
+	MOVSD    X1, (R13)
+	UNPCKHPD X1, X1
+	MOVSD    X1, (R13)(R12*1)
+	ADDQ $8, R11
+	ADDQ $8, R13
+	ADDQ $4, BP
+	ADDQ CX, SI
+	DECQ AX
+	JNZ  rowloop
+done:
+	MOVQ 8(SP), BP
+	RET

@@ -1,17 +1,20 @@
 // Package vec provides the small dense-vector kernels the rest of the
 // repository is built on: distance metrics, norms, and rank/argsort helpers.
 //
-// Everything operates on []float64 and is allocation-free unless the
-// function's contract says otherwise. The hot paths (SquaredL2, Dot) are
-// written with 4-way manual unrolling, which the Go compiler turns into
-// reasonable scalar code; they are the inner loops of every nearest-neighbor
-// scan in the repository.
+// Everything operates on []float64 (with opt-in float32 storage variants
+// for the bandwidth-bound scans) and is allocation-free unless the
+// function's contract says otherwise. The two per-test-point hot paths are
+// hardware-shaped: the squared-L2 scan runs as a norm-precompute GEMV
+// sweep over the flat training matrix (SqL2NormDotBatch, SSE2 kernels on
+// amd64 with bit-identical portable fallbacks — see dot_kernels.go), and
+// the α-ordering argsort is an LSD radix sort on the distance bit patterns
+// (ArgsortDistInto) instead of a comparison sort.
 package vec
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 )
 
 // Metric identifies a distance function on feature vectors.
@@ -194,55 +197,11 @@ func DistancesFlat(m Metric, flat []float64, n, dim int, q []float64, out []floa
 	return out
 }
 
-// sqL2BlockTile is the number of train rows per cache tile of SqL2Block. At
-// 64 rows a tile of dim≤128 float64 features stays within a typical L2
-// cache, so every test row in the pass reads the tile from cache instead of
-// memory.
-const sqL2BlockTile = 64
-
-// SqL2Block computes the squared-L2 distance tile between every row of the
-// row-major nTest×dim matrix test and every row of the row-major nTrain×dim
-// matrix train, storing dst[i*nTrain+j] = ‖test_i − train_j‖². The train
-// matrix is walked in tiles of rows so each tile is read from cache once per
-// pass over the test rows — the blocked execution pattern that makes the
-// streaming distance producer cache-friendly. dst must have nTest*nTrain
-// capacity; the (possibly re-sliced) buffer is returned.
-func SqL2Block(dst, test []float64, nTest int, train []float64, nTrain, dim int) []float64 {
-	if len(test) != nTest*dim {
-		panic(fmt.Sprintf("vec: test buffer has %d values, want %d×%d", len(test), nTest, dim))
-	}
-	if len(train) != nTrain*dim {
-		panic(fmt.Sprintf("vec: train buffer has %d values, want %d×%d", len(train), nTrain, dim))
-	}
-	if cap(dst) < nTest*nTrain {
-		dst = make([]float64, nTest*nTrain)
-	}
-	dst = dst[:nTest*nTrain]
-	for j0 := 0; j0 < nTrain; j0 += sqL2BlockTile {
-		j1 := j0 + sqL2BlockTile
-		if j1 > nTrain {
-			j1 = nTrain
-		}
-		for i := 0; i < nTest; i++ {
-			q := test[i*dim : (i+1)*dim]
-			row := dst[i*nTrain : (i+1)*nTrain]
-			for j := j0; j < j1; j++ {
-				row[j] = SqL2(train[j*dim:(j+1)*dim], q)
-			}
-		}
-	}
-	return dst
-}
-
 // Argsort returns the permutation that sorts dist ascending. Ties are broken
-// by index so the result is deterministic.
+// by index so the result is deterministic. It is ArgsortDistInto with a
+// fresh index buffer.
 func Argsort(dist []float64) []int {
-	idx := make([]int, len(dist))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return dist[idx[a]] < dist[idx[b]] })
-	return idx
+	return ArgsortDistInto(nil, dist)
 }
 
 // ArgsortBy returns indices 0..n-1 ordered ascending by key(i), ties broken
@@ -254,35 +213,26 @@ func ArgsortBy(n int, key func(int) float64) []int {
 // ArgsortByInto is ArgsortBy writing into idx (reallocated only when too
 // short), so hot loops can reuse one index buffer across calls. The ordering
 // — ascending by key, ties broken by index — is identical to ArgsortBy's.
+// The keys are materialized once and handed to the radix argsort, so the
+// closure is invoked exactly n times instead of O(n log n) times from a
+// comparison sort.
 func ArgsortByInto(idx []int, n int, key func(int) float64) []int {
-	if cap(idx) < n {
-		idx = make([]int, n)
+	buf := keyBufPool.Get().(*keyBuf)
+	if cap(buf.keys) < n {
+		buf.keys = make([]float64, n)
 	}
-	idx = idx[:n]
-	for i := range idx {
-		idx[i] = i
+	keys := buf.keys[:n]
+	for i := range keys {
+		keys[i] = key(i)
 	}
-	sort.Sort(&argsorter{idx: idx, key: key})
+	idx = ArgsortDistInto(idx, keys)
+	keyBufPool.Put(buf)
 	return idx
 }
 
-// argsorter sorts an index permutation by (key, index) without the closure
-// allocations of sort.SliceStable. The strict total order makes the result
-// identical to a stable sort on key alone.
-type argsorter struct {
-	idx []int
-	key func(int) float64
-}
+type keyBuf struct{ keys []float64 }
 
-func (a *argsorter) Len() int      { return len(a.idx) }
-func (a *argsorter) Swap(i, j int) { a.idx[i], a.idx[j] = a.idx[j], a.idx[i] }
-func (a *argsorter) Less(i, j int) bool {
-	ki, kj := a.key(a.idx[i]), a.key(a.idx[j])
-	if ki != kj {
-		return ki < kj
-	}
-	return a.idx[i] < a.idx[j]
-}
+var keyBufPool = sync.Pool{New: func() any { return new(keyBuf) }}
 
 // Mean returns the arithmetic mean of a; it returns 0 for an empty slice.
 func Mean(a []float64) float64 {

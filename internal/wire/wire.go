@@ -47,6 +47,7 @@ type ValueRequest struct {
 	Algorithm string   `json:"algorithm,omitempty"`
 	K         int      `json:"k,omitempty"`
 	Metric    string   `json:"metric,omitempty"`
+	Precision string   `json:"precision,omitempty"`
 	Workers   int      `json:"workers,omitempty"`
 	BatchSize int      `json:"batchSize,omitempty"`
 	Train     *Payload `json:"train,omitempty"`
@@ -63,7 +64,7 @@ type ValueRequest struct {
 // every other key belongs to the method's parameters. Matching is
 // case-insensitive, like encoding/json's own field matching.
 var envelopeFields = map[string]bool{
-	"algorithm": true, "k": true, "metric": true,
+	"algorithm": true, "k": true, "metric": true, "precision": true,
 	"workers": true, "batchsize": true,
 	"train": true, "test": true, "trainref": true, "testref": true,
 }

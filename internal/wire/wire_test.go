@@ -13,7 +13,8 @@ import (
 // struct on the way in.
 func TestValueRequestRoundTrip(t *testing.T) {
 	req := ValueRequest{
-		K: 3, Metric: "l2", TrainRef: "0123456789abcdef", TestRef: "fedcba9876543210",
+		K: 3, Metric: "l2", Precision: "float32",
+		TrainRef: "0123456789abcdef", TestRef: "fedcba9876543210",
 		Params: knnshapley.MCParams{Eps: 0.1, Delta: 0.2, Seed: 7, Heuristic: true},
 	}
 	raw, err := json.Marshal(req)
@@ -35,7 +36,8 @@ func TestValueRequestRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.K != 3 || back.TrainRef != req.TrainRef || back.Algorithm != "montecarlo" {
+	if back.K != 3 || back.TrainRef != req.TrainRef || back.Algorithm != "montecarlo" ||
+		back.Precision != "float32" {
 		t.Fatalf("envelope %+v", back)
 	}
 	mc, ok := back.Params.(knnshapley.MCParams)

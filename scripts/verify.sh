@@ -3,12 +3,15 @@
 # and examples), build, tests (including the method-registry Validate
 # tables, the Evaluate equivalence suite and the <1µs dispatch-overhead
 # gate), race passes over the execution engine, the job manager, the
-# dataset registry and the context-cancellation paths, fuzz smoke runs
-# over the decode/storage surfaces, a serving benchmark of the
+# dataset registry and the context-cancellation paths, a race pass over
+# the distance/argsort kernels and their callers (vec, knn, kheap), a
+# GOAMD64=v3 cross-build of the assembly, fuzz smoke runs over the
+# decode/storage surfaces, a serving benchmark of the
 # upload-once/value-many registry path, a method-discovery end-to-end run
 # (a real svserver answering "svcli methods"), and a short svbench smoke
-# emitting a BENCH_4.json snapshot (to $BENCH_SMOKE, default
-# /tmp/BENCH_4.json) that includes the evaluate_dispatch record.
+# (to $BENCH_SMOKE, default /tmp/BENCH_5.json) diffed against the
+# committed BENCH_5.json baseline — records that got more than 4x slower
+# fail the run.
 # Run from anywhere; operates on the repo root. CI
 # (.github/workflows/ci.yml) runs exactly this script.
 set -euo pipefail
@@ -23,7 +26,12 @@ fi
 
 go vet ./...
 go build ./...
+# The hand-written kernels must assemble and pass under the highest
+# microarchitecture level too (VEX availability differs; the runtime AVX
+# dispatch must not depend on GOAMD64).
+GOAMD64=v3 go build ./...
 go test ./...
+go test -race ./internal/vec ./internal/knn ./internal/kheap
 go test -race ./internal/core
 go test -race ./internal/jobs
 go test -race ./internal/registry
@@ -76,10 +84,13 @@ for name in exact truncated montecarlo baseline sellers sellersmc composite lsh 
 done
 kill "$svpid"
 
-# Perf smoke: the machine-readable engine micro-benchmarks, capped at
-# N=1e4 so the sweep stays seconds. Written OUTSIDE the repo (override with
-# BENCH_SMOKE; CI uploads it as an artifact) so the committed full-sweep
-# BENCH_4.json trajectory point is never clobbered by smoke numbers —
-# regenerate that one deliberately with:
-#   go run ./cmd/svbench -benchjson BENCH_4.json
-go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_4.json}" -benchmax 10000
+# Perf smoke + regression gate: the machine-readable engine
+# micro-benchmarks, capped at N=1e4 so the sweep stays seconds, diffed
+# against the committed full-sweep baseline. -threshold 4 absorbs
+# loaded-machine noise while still catching order-of-magnitude
+# regressions; records under 10µs are reported but never enforced.
+# Written OUTSIDE the repo (override with BENCH_SMOKE; CI uploads it as
+# an artifact) so the committed BENCH_5.json trajectory point is never
+# clobbered by smoke numbers — regenerate that one deliberately with:
+#   go run ./cmd/svbench -benchjson BENCH_5.json
+go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_5.json}" -benchmax 10000 -compare BENCH_5.json -threshold 4

@@ -42,6 +42,24 @@ func ParseMetric(name string) (Metric, error) {
 	}
 }
 
+// Precision selects the storage/compute width of the distance scan: Float64
+// (the default, bit-exact across platforms and batch sizes) or Float32
+// (half the scan bandwidth and twice the SIMD width, with distances — and
+// hence values of the distance-weighted utilities — accurate to
+// single-precision rounding; neighbor orderings and unweighted values are
+// unchanged except for near-tie rank flips at that same scale).
+type Precision = knn.Precision
+
+// Exported distance-scan precisions.
+const (
+	Float64 = knn.Float64
+	Float32 = knn.Float32
+)
+
+// ParsePrecision maps a wire precision name ("float64", "float32", or ""
+// for the Float64 default) onto its Precision.
+func ParsePrecision(name string) (Precision, error) { return knn.ParsePrecision(name) }
+
 // WeightFunc maps a neighbor distance to its vote weight in weighted KNN.
 type WeightFunc = knn.WeightFunc
 
@@ -121,6 +139,12 @@ type Config struct {
 	// engine streams test points in batches, so peak memory is
 	// BatchSize·N distances rather than Ntest·N (0 = 64).
 	BatchSize int
+	// Precision selects the distance-scan compute mode: Float64 (default,
+	// bit-exact) or Float32 (the training matrix is stored and scanned in
+	// single precision — roughly half the memory bandwidth and twice the
+	// SIMD width, with distances accurate to single-precision rounding; see
+	// the Performance section of the package documentation).
+	Precision Precision
 }
 
 func (c Config) kind(train *Dataset) knn.Kind {
@@ -136,22 +160,22 @@ func (c Config) kind(train *Dataset) knn.Kind {
 	}
 }
 
-func (c Config) testPoints(train, test *Dataset) ([]*knn.TestPoint, error) {
+func (c Config) testPoints(train, test *Dataset, pre *knn.Precomp) ([]*knn.TestPoint, error) {
 	if c.K <= 0 {
 		return nil, fmt.Errorf("knnshapley: Config.K = %d, want >= 1", c.K)
 	}
-	return knn.BuildTestPoints(c.kind(train), c.K, c.Weight, c.Metric, train, test)
+	return knn.BuildTestPointsPre(c.kind(train), c.K, c.Weight, c.Metric, train, test, pre)
 }
 
 // stream validates the configuration and returns a batched test-point
 // producer: distances are computed one engine batch at a time (with the
-// blocked vec.SqL2Block kernel on contiguous datasets) instead of eagerly
-// materializing the Ntest×N matrix.
-func (c Config) stream(train, test *Dataset) (*knn.Stream, error) {
+// norm-precompute GEMV kernel on contiguous datasets, reusing pre when
+// non-nil) instead of eagerly materializing the Ntest×N matrix.
+func (c Config) stream(train, test *Dataset, pre *knn.Precomp) (*knn.Stream, error) {
 	if c.K <= 0 {
 		return nil, fmt.Errorf("knnshapley: Config.K = %d, want >= 1", c.K)
 	}
-	return knn.NewStream(c.kind(train), c.K, c.Weight, c.Metric, train, test)
+	return knn.NewStreamPre(c.kind(train), c.K, c.Weight, c.Metric, train, test, pre)
 }
 
 func (c Config) engine() core.EngineConfig {

@@ -1,0 +1,29 @@
+package knnshapley
+
+import "knnshapley/internal/kheap"
+
+// TopIndices returns the indices of the min(k, len(values)) largest values
+// in descending order, ties broken by ascending index. It is the ranking
+// helper for "most valuable points" reports: partial selection via a
+// bounded heap, O(N + k log k), deterministic where sort.Slice on a
+// greater-than comparator is not. Values must not be NaN.
+func TopIndices(values []float64, k int) []int {
+	if k > len(values) {
+		k = len(values)
+	}
+	if k <= 0 {
+		return nil
+	}
+	neg := make([]float64, len(values))
+	for i, v := range values {
+		neg[i] = -v
+	}
+	return kheap.TopK(neg, k)
+}
+
+// BottomIndices returns the indices of the min(k, len(values)) smallest
+// values in ascending order, ties broken by ascending index — the
+// "least valuable / most harmful points" counterpart of TopIndices.
+func BottomIndices(values []float64, k int) []int {
+	return kheap.TopK(values, k)
+}

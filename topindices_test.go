@@ -1,0 +1,23 @@
+package knnshapley
+
+import "testing"
+
+func TestTopIndices(t *testing.T) {
+	sv := []float64{0.3, -0.1, 0.5, 0.3, 0.0}
+	if got := TopIndices(sv, 3); got[0] != 2 || got[1] != 0 || got[2] != 3 {
+		t.Fatalf("TopIndices = %v, want [2 0 3]", got)
+	}
+	if got := TopIndices(sv, 99); len(got) != len(sv) || got[len(got)-1] != 1 {
+		t.Fatalf("TopIndices k>n = %v", got)
+	}
+	if TopIndices(sv, 0) != nil || TopIndices(nil, 5) != nil {
+		t.Fatal("empty selections should be nil")
+	}
+}
+
+func TestBottomIndices(t *testing.T) {
+	sv := []float64{0.3, -0.1, 0.5, -0.1, 0.0}
+	if got := BottomIndices(sv, 3); got[0] != 1 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("BottomIndices = %v, want [1 3 4]", got)
+	}
+}

@@ -31,6 +31,14 @@ func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 // memory is BatchSize·N distances (default 64).
 func WithBatchSize(n int) Option { return func(c *Config) { c.BatchSize = n } }
 
+// WithPrecision selects the distance-scan compute mode (default Float64).
+// WithPrecision(Float32) stores and scans the training matrix in single
+// precision — about half the memory traffic and twice the SIMD lanes on the
+// bandwidth-bound scan — at the cost of single-precision rounding in the
+// distances (see the Performance section of the package documentation for
+// the tolerance contract).
+func WithPrecision(p Precision) Option { return func(c *Config) { c.Precision = p } }
+
 // withConfig replays a legacy Config wholesale — the adapter the deprecated
 // free functions use to construct their one-shot Valuer.
 func withConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
@@ -115,6 +123,9 @@ type Valuer struct {
 
 	fpOnce sync.Once
 	fp     uint64
+
+	preOnce sync.Once
+	pre     *knn.Precomp
 }
 
 // New constructs a valuation session over train. The training set is
@@ -133,6 +144,9 @@ func New(train *Dataset, opts ...Option) (*Valuer, error) {
 	}
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("knnshapley: Config.K = %d, want >= 1 (set WithK)", cfg.K)
+	}
+	if cfg.Precision != Float64 && cfg.Precision != Float32 {
+		return nil, fmt.Errorf("knnshapley: unknown precision %v", cfg.Precision)
 	}
 	if train == nil {
 		return nil, errors.New("knnshapley: nil training set")
@@ -199,12 +213,23 @@ func (v *Valuer) checkTest(test *Dataset) error {
 	return nil
 }
 
+// precomp returns the session's distance-scan precomputation (training-row
+// norms, plus the float32 training copy in Float32 mode), built once on
+// first use and shared by every stream of every request. It is nil when the
+// fast path does not apply (non-Euclidean metric).
+func (v *Valuer) precomp() *knn.Precomp {
+	v.preOnce.Do(func() {
+		v.pre = knn.NewPrecomp(v.train, v.cfg.Metric, v.cfg.Precision)
+	})
+	return v.pre
+}
+
 // stream validates test and returns the batched test-point producer.
 func (v *Valuer) stream(test *Dataset) (*knn.Stream, error) {
 	if err := v.checkTest(test); err != nil {
 		return nil, err
 	}
-	return v.cfg.stream(v.train, test)
+	return v.cfg.stream(v.train, test, v.precomp())
 }
 
 // testPoints validates test and materializes every test point eagerly, for
@@ -213,7 +238,7 @@ func (v *Valuer) testPoints(test *Dataset) ([]*knn.TestPoint, error) {
 	if err := v.checkTest(test); err != nil {
 		return nil, err
 	}
-	return v.cfg.testPoints(v.train, test)
+	return v.cfg.testPoints(v.train, test, v.precomp())
 }
 
 // checkOwners validates a seller assignment against the training set.
