@@ -9,7 +9,11 @@ import (
 	"time"
 
 	"knnshapley"
+	"net/http/httptest"
+
+	"knnshapley/internal/cluster"
 	"knnshapley/internal/dataset"
+	"knnshapley/internal/jobs"
 	"knnshapley/internal/registry"
 	"knnshapley/internal/vec"
 	"knnshapley/internal/wire"
@@ -190,6 +194,12 @@ func runBenchJSON(path string, maxN int) error {
 			return fmt.Errorf("wire n=%d: %w", n, err)
 		}
 		rep.Results = append(rep.Results, wireRecs...)
+
+		shardRec, err := benchSharded(n, train, test)
+		if err != nil {
+			return fmt.Errorf("sharded n=%d: %w", n, err)
+		}
+		rep.Results = append(rep.Results, shardRec)
 	}
 
 	// Dispatch cost of the declarative entry point: Valuer.Evaluate's
@@ -287,6 +297,61 @@ func benchDispatch() ([]benchRecord, error) {
 			NsPerOp: wrappedNs, TotalNs: wrappedNs * reps},
 		{Name: "evaluate_dispatch", N: iters,
 			NsPerOp: dispatchTotal / iters, TotalNs: dispatchTotal},
+	}, nil
+}
+
+// benchSharded measures the scatter-gather serving path end to end: three
+// in-process worker peers behind real HTTP servers, one coordinator, and an
+// exact valuation split into per-peer shards and merged bit-identically. The
+// warm-up request pushes both datasets (upload-once, like wire_byref); the
+// timed requests are pure by-ref scatter-gather, so NsPerOp is what one
+// distributed valuation costs per test point and BytesOnWire is the gathered
+// shard-report bytes per request — the exact method ships full per-shard
+// neighbor rankings, which is the dominant wire cost of the merge protocol.
+func benchSharded(n int, train, test *dataset.Dataset) (benchRecord, error) {
+	var cleanups []func()
+	defer func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}()
+	var urls []string
+	for i := 0; i < 3; i++ {
+		reg, err := registry.New(registry.Config{})
+		if err != nil {
+			return benchRecord{}, err
+		}
+		mgr := jobs.New(jobs.Config{Workers: 2})
+		srv := httptest.NewServer(cluster.NewWorker(reg, mgr).Handler())
+		cleanups = append(cleanups, srv.Close, mgr.Close)
+		urls = append(urls, srv.URL)
+	}
+	c := cluster.New(cluster.Config{
+		Peers:          urls,
+		HealthInterval: -1,
+		PollInterval:   2 * time.Millisecond,
+	})
+	cleanups = append(cleanups, c.Close)
+
+	ctx := context.Background()
+	req := cluster.Request{Train: train, Test: test, Method: "exact", K: benchK}
+	if _, err := c.Evaluate(ctx, req); err != nil { // warm up; pushes datasets
+		return benchRecord{}, err
+	}
+
+	const reps = 3
+	baseBytes := c.BytesOnWire()
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if _, err := c.Evaluate(ctx, req); err != nil {
+			return benchRecord{}, err
+		}
+	}
+	total := time.Since(start).Nanoseconds()
+	return benchRecord{
+		Name: "wire_sharded", N: n, Dim: train.Dim(), NTest: benchNTest,
+		NsPerOp: total / (reps * benchNTest), TotalNs: total,
+		BytesOnWire: (c.BytesOnWire() - baseBytes) / reps,
 	}, nil
 }
 

@@ -34,6 +34,12 @@
 //	svcli -train train.csv -test test.csv -k 5 -server http://localhost:8080
 //	svcli -train train.csv -test test.csv -k 5 -algo exact -server http://localhost:8080 -async
 //
+// -peers takes a comma-separated list of svserver base URLs instead of
+// -server: svcli probes each /healthz in order and sends the request to the
+// first healthy one, so a cluster of svservers can be addressed without
+// deciding up front which node is alive. All remote calls share one pooled
+// keep-alive HTTP client with bounded dial and header timeouts.
+//
 // Local and remote runs build the same parameter set, so a remote valuation
 // reproduces the local one bit for bit (identical requests are answered
 // from the server's result cache, marked "served from result cache"). On
@@ -86,6 +92,7 @@ import (
 	"time"
 
 	knnshapley "knnshapley"
+	"knnshapley/internal/cluster"
 	"knnshapley/internal/wire"
 )
 
@@ -127,10 +134,17 @@ func main() {
 		top        = flag.Int("top", 0, "print only the top-n values, descending")
 		timeout    = flag.Duration("timeout", 0, "valuation deadline (0 = none)")
 		serverURL  = flag.String("server", "", "svserver base URL; compute remotely instead of in-process")
+		peers      = flag.String("peers", "", "comma-separated svserver base URLs; the first healthy one serves the request (failover alternative to -server)")
 		async      = flag.Bool("async", false, "with -server: enqueue a job and poll instead of waiting synchronously")
 		poll       = flag.Duration("poll", 250*time.Millisecond, "with -async: status poll interval")
 	)
 	flag.Parse()
+	if *peers != "" {
+		if *serverURL != "" {
+			fatalf("-server and -peers are mutually exclusive")
+		}
+		*serverURL = firstHealthyPeer(*peers)
+	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
@@ -225,6 +239,40 @@ func main() {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "svcli: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// firstHealthyPeer probes the comma-separated URLs in order and returns the
+// first whose GET /healthz answers 200 — client-side failover across the
+// members of a valuation cluster.
+func firstHealthyPeer(list string) string {
+	var tried []string
+	for _, raw := range strings.Split(list, ",") {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			continue
+		}
+		tried = append(tried, u)
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/healthz", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := httpClient.Do(req)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svcli: peer %s unreachable: %v\n", u, err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return u
+		}
+		fmt.Fprintf(os.Stderr, "svcli: peer %s unhealthy: HTTP %d\n", u, resp.StatusCode)
+	}
+	fatalf("no healthy peer among %s", strings.Join(tried, ", "))
+	return ""
 }
 
 // parseIndexList splits "0,0,1,2" into indices.
@@ -745,16 +793,23 @@ func cancelJob(base, id string) {
 	if err != nil {
 		return
 	}
-	if resp, err := http.DefaultClient.Do(req); err == nil {
+	if resp, err := httpClient.Do(req); err == nil {
 		resp.Body.Close()
 	}
 }
+
+// httpClient is the one configured client every remote call shares: pooled
+// keep-alive connections (the async poll loop reuses one instead of dialing
+// per tick) with bounded dial and response-header waits so a dead server
+// fails fast — http.DefaultClient has neither. Overall deadlines stay with
+// the per-request contexts.
+var httpClient = cluster.NewHTTPClient()
 
 // doJSON executes the request, decodes its JSON body into out (when the
 // body is decodable) and returns the HTTP status plus the raw body so
 // error paths can report the server's message verbatim.
 func doJSON(req *http.Request, out any) (int, []byte) {
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := httpClient.Do(req)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svcli:", err)
 		os.Exit(1)

@@ -25,6 +25,10 @@
 //	GET    /methods          — discover the served methods + param schemas
 //	GET    /healthz          — liveness probe
 //	GET    /statz            — job-manager and registry counters
+//	GET    /metrics          — the same counters in Prometheus text format
+//	GET    /cluster/statz    — coordinator/worker cluster counters
+//	POST   /shard/jobs       — enqueue one shard sub-job (cluster internal)
+//	GET    /shard/jobs/{id}/result — binary shard report (cluster internal)
 //
 // # Dataset registry
 //
@@ -118,6 +122,41 @@
 // job so the worker is released. An aborted valuation returns a JSON error
 // with "canceled": true and the nginx-style 499 status (504 on a server
 // deadline).
+//
+// # Cluster mode
+//
+// Every svserver is a capable cluster worker: the shard endpoints are always
+// mounted, so any instance can compute shard sub-jobs against its own
+// registry and job manager. Starting one instance with
+//
+//	svserver -coordinator -peers http://w1:8080,http://w2:8080,http://w3:8080
+//
+// turns it into the scatter-gather front of the fleet. Exact and truncated
+// classification valuations submitted to the coordinator are split into one
+// training-row shard per healthy peer; each shard is a content-addressed
+// sub-dataset placed on the consistent-hash ring (so the same shard lands on
+// the same peers valuation after valuation, keeping their registries warm),
+// pushed only if the peer does not already hold it, and computed remotely as
+// an async job returning the shard's sorted neighbor lists. The coordinator
+// k-way-merges those lists into the global neighbor ordering and replays the
+// KNN-Shapley recursion over it — the same float operations in the same
+// order as a local run, so distributed values are bit-identical to
+// single-node ones (and share the same result-cache entries). Other methods,
+// regression datasets and inline-payload requests run locally as before.
+//
+// Failure behavior: each shard is assigned a ring-ordered owner preference
+// list (-replicas deep, then every remaining peer as a last resort). A peer
+// that dies mid-job is marked down, its shard re-pushed and re-run on the
+// next owner, and the health prober re-admits it when it returns. When no
+// peer is healthy at submission time the valuation falls back to local
+// single-node execution — degraded, never unavailable. GET /cluster/statz
+// reports peer health and the valuation/reassignment/fallback counters;
+// GET /metrics exposes the same as Prometheus text on coordinator and
+// workers alike.
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains in-flight
+// HTTP requests for -drain-timeout, then shuts the job manager down
+// (canceling still-running jobs) and exits.
 package main
 
 import (
@@ -130,10 +169,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"knnshapley"
+	"knnshapley/internal/cluster"
 	"knnshapley/internal/jobs"
 	"knnshapley/internal/registry"
 	"knnshapley/internal/wire"
@@ -157,6 +200,11 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "dataset registry directory (empty = a fresh temp dir)")
 		memBudget  = flag.Int64("mem-budget", 0, "bytes of decoded datasets kept in memory (0 = 256 MiB)")
 		diskBudget = flag.Int64("disk-budget", 4<<30, "bytes of datasets kept on disk before LRU reclaim of unpinned ones (0 = unbounded)")
+
+		coordinator  = flag.Bool("coordinator", false, "scatter exact/truncated valuations across -peers instead of computing locally")
+		peersFlag    = flag.String("peers", "", "comma-separated worker base URLs for -coordinator mode")
+		replicas     = flag.Int("replicas", 0, "ring owners each shard is placed on (0 = 2)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	dir := *dataDir
@@ -178,9 +226,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.mgr.Close()
 	if n := len(srv.reg.List()); n > 0 {
 		log.Printf("svserver: recovered %d datasets from %s", n, dir)
+	}
+	if *coordinator {
+		urls := splitPeers(*peersFlag)
+		if len(urls) == 0 {
+			log.Fatal("svserver: -coordinator requires -peers")
+		}
+		srv.coord = cluster.New(cluster.Config{Peers: urls, Replicas: *replicas})
+		defer srv.coord.Close()
+		log.Printf("svserver: coordinating over %d peers: %s", len(urls), strings.Join(urls, ", "))
+	} else if *peersFlag != "" {
+		log.Fatal("svserver: -peers requires -coordinator")
 	}
 	// Explicit timeouts so slow clients cannot pin connections open
 	// indefinitely while trickling large bodies (no WriteTimeout: big
@@ -199,7 +257,42 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("svserver listening on %s", ln.Addr())
-	log.Fatal(hs.Serve(ln))
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops accepting
+	// connections and drains in-flight requests for -drain-timeout; the job
+	// manager then cancels whatever is still running. A second signal kills
+	// the process the usual way (NotifyContext restores default handling
+	// once stopped).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		srv.mgr.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("svserver: signal received, draining for up to %s", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("svserver: drain incomplete: %v", err)
+	}
+	srv.mgr.Close()
+	log.Printf("svserver: shutdown complete")
+}
+
+// splitPeers parses the -peers flag: comma-separated URLs, blanks ignored.
+func splitPeers(s string) []string {
+	var urls []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			urls = append(urls, p)
+		}
+	}
+	return urls
 }
 
 // server carries the per-process configuration of the daemon.
@@ -208,6 +301,14 @@ type server struct {
 	timeout time.Duration
 	mgr     *jobs.Manager
 	reg     *registry.Registry
+
+	// worker serves shard sub-jobs (always mounted — any svserver can be a
+	// cluster peer); coord is non-nil only in -coordinator mode and scatters
+	// distributable valuations across the fleet. fallbacks counts
+	// coordinator valuations degraded to local execution by ErrNoPeers.
+	worker    *cluster.Worker
+	coord     *cluster.Coordinator
+	fallbacks atomic.Int64
 }
 
 // newServer builds a server with its own job manager and dataset registry.
@@ -216,7 +317,9 @@ func newServer(maxBody int64, timeout time.Duration, jcfg jobs.Config, rcfg regi
 	if err != nil {
 		return nil, err
 	}
-	return &server{maxBody: maxBody, timeout: timeout, mgr: jobs.New(jcfg), reg: reg}, nil
+	s := &server{maxBody: maxBody, timeout: timeout, mgr: jobs.New(jcfg), reg: reg}
+	s.worker = cluster.NewWorker(s.reg, s.mgr)
+	return s, nil
 }
 
 // routes wires the endpoint table.
@@ -234,6 +337,9 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /methods", s.handleMethods)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /cluster/statz", s.handleClusterStatz)
+	s.worker.Mount(mux)
 	return mux
 }
 
@@ -283,6 +389,74 @@ func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"reportEntries": st.ReportEntries, "valuerEntries": st.ValuerEntries,
 		"registry": registryStats(s.reg.Stats()),
 	})
+}
+
+// handleClusterStatz is GET /cluster/statz: on a coordinator, peer health
+// and the scatter counters; on a plain worker, just its shard-job count.
+func (s *server) handleClusterStatz(w http.ResponseWriter, r *http.Request) {
+	st := wire.ClusterStatz{}
+	if s.coord != nil {
+		st = s.coord.Statz()
+		st.Fallbacks = s.fallbacks.Load()
+	}
+	st.ShardJobs = s.worker.ShardJobs()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics is GET /metrics: the /statz and /cluster/statz counters in
+// the Prometheus text exposition format, hand-rendered — the counters
+// already exist, only the spelling changes, and a client dependency for
+// twenty gauge lines would be the heavier artifact.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	js := s.mgr.Stats()
+	gauge("svserver_jobs_retained", "Jobs currently retained (any state).", js.Jobs)
+	gauge("svserver_jobs_queued", "Jobs waiting to run.", js.Queued)
+	gauge("svserver_jobs_running", "Jobs currently executing.", js.Running)
+	counter("svserver_job_cache_hits_total", "Jobs served from the result cache.", js.CacheHits)
+	counter("svserver_job_runs_total", "Valuation executions.", js.Runs)
+	counter("svserver_valuer_builds_total", "Valuer sessions constructed.", js.ValuerBuilds)
+	gauge("svserver_report_cache_entries", "Result-cache occupancy.", js.ReportEntries)
+	gauge("svserver_valuer_cache_entries", "Session-cache occupancy.", js.ValuerEntries)
+	rs := s.reg.Stats()
+	gauge("svserver_registry_datasets", "Datasets stored.", rs.Datasets)
+	gauge("svserver_registry_resident", "Datasets decoded in memory.", rs.Resident)
+	gauge("svserver_registry_mem_bytes", "Bytes of decoded datasets resident.", rs.MemBytes)
+	gauge("svserver_registry_disk_bytes", "Bytes of datasets on disk.", rs.DiskBytes)
+	counter("svserver_registry_hits_total", "Registry lookups served from memory.", rs.Hits)
+	counter("svserver_registry_misses_total", "Registry lookups that missed memory.", rs.Misses)
+	counter("svserver_registry_loads_total", "Datasets reloaded from disk.", rs.Loads)
+	counter("svserver_registry_evictions_total", "Datasets evicted from memory.", rs.Evictions)
+	counter("svserver_registry_puts_total", "Dataset uploads stored.", rs.Puts)
+	counter("svserver_registry_reuploads_total", "Idempotent re-uploads.", rs.Reuploads)
+	counter("svserver_registry_deletes_total", "Dataset deletions.", rs.Deletes)
+	counter("svserver_registry_reclaims_total", "Disk-budget reclaims.", rs.Reclaims)
+	counter("svserver_shard_jobs_total", "Cluster shard sub-jobs accepted by this worker.", s.worker.ShardJobs())
+	if s.coord != nil {
+		cs := s.coord.Statz()
+		counter("svserver_cluster_valuations_total", "Valuations completed via scatter-gather.", cs.Valuations)
+		counter("svserver_cluster_reassignments_total", "Shards reassigned to a replica after a peer failure.", cs.Reassignments)
+		counter("svserver_cluster_fallbacks_total", "Valuations degraded to local execution (no healthy peers).", s.fallbacks.Load())
+		counter("svserver_cluster_wire_bytes_total", "Shard-report bytes gathered from peers.", s.coord.BytesOnWire())
+		for _, p := range cs.Peers {
+			h := 0
+			if p.Healthy {
+				h = 1
+			}
+			fmt.Fprintf(&b, "svserver_cluster_peer_healthy{peer=%q} %d\n", p.URL, h)
+			fmt.Fprintf(&b, "svserver_cluster_peer_shards_total{peer=%q} %d\n", p.URL, p.Shards)
+			fmt.Fprintf(&b, "svserver_cluster_peer_failures_total{peer=%q} %d\n", p.URL, p.Failures)
+			fmt.Fprintf(&b, "svserver_cluster_peer_retries_total{peer=%q} %d\n", p.URL, p.Retries)
+		}
+	}
+	fmt.Fprint(w, b.String())
 }
 
 // registryStats maps the registry counters onto the wire type.
@@ -496,6 +670,13 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeRunError(w, err)
 		return
 	}
+	if rep == nil {
+		// A cluster shard sub-job: its result is a binary ShardReport, not a
+		// valuation Report.
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("job %s is a shard sub-job; fetch GET /shard/jobs/%s/result", snap.ID, snap.ID))
+		return
+	}
 	meta, _ := job.Meta().(jobMeta)
 	writeJSON(w, http.StatusOK, buildResponse(rep, meta, snap.CacheHit))
 }
@@ -681,6 +862,25 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 	run := func(ctx context.Context) (*knnshapley.Report, error) {
 		return v.Evaluate(ctx, knnshapley.Request{Params: p, Test: test})
 	}
+	// In coordinator mode, distributable methods scatter across the fleet
+	// instead. The cache key stays the local one on purpose: the merge is
+	// bit-identical to local execution, so both paths may share entries.
+	// ErrNoPeers degrades to the local run — a lone coordinator still
+	// answers, just without fan-out.
+	if s.coord != nil {
+		if creq, ok := clusterRequest(p, req, v, train, test, trainH.ID(), testH.ID()); ok {
+			local := run
+			run = func(ctx context.Context) (*knnshapley.Report, error) {
+				rep, err := s.coord.Evaluate(ctx, creq)
+				if errors.Is(err, cluster.ErrNoPeers) {
+					s.fallbacks.Add(1)
+					log.Printf("svserver: no healthy peers, valuing locally")
+					return local(ctx)
+				}
+				return rep, err
+			}
+		}
+	}
 	return &jobs.Spec{
 		CacheKey:   cacheKey,
 		TotalUnits: test.N(),
@@ -691,6 +891,39 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 		},
 		OnFinish: release,
 	}, http.StatusOK, nil
+}
+
+// clusterRequest maps a valuation onto the cluster request shape, reporting
+// whether the method is distributable at all: the sharded merge reproduces
+// exact and truncated classification valuations bit-identically; everything
+// else (Monte-Carlo permutations, seller games, ANN indexes, regression)
+// stays single-node.
+func clusterRequest(p knnshapley.Method, req *valueRequest, v *knnshapley.Valuer,
+	train, test *knnshapley.Dataset, trainID, testID string) (cluster.Request, bool) {
+	if train.IsRegression() || test.IsRegression() {
+		return cluster.Request{}, false
+	}
+	creq := cluster.Request{
+		Train: train, Test: test,
+		TrainID: trainID, TestID: testID,
+		K: v.K(), MetricName: req.Metric,
+		Workers: req.Workers, BatchSize: req.BatchSize,
+	}
+	switch tp := p.(type) {
+	case knnshapley.ExactParams, *knnshapley.ExactParams:
+		creq.Method = "exact"
+	case knnshapley.TruncatedParams:
+		creq.Method, creq.Eps = "truncated", tp.Eps
+	case *knnshapley.TruncatedParams:
+		creq.Method, creq.Eps = "truncated", tp.Eps
+	default:
+		return cluster.Request{}, false
+	}
+	// Both parses were validated when the spec was built; the errors cannot
+	// recur here.
+	creq.Metric, _ = knnshapley.ParseMetric(req.Metric)
+	creq.Precision, _ = knnshapley.ParsePrecision(req.Precision)
+	return creq, true
 }
 
 // buildResponse renders a Report in the wire format. A cache-hit job

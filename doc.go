@@ -178,9 +178,25 @@
 // for the wire format, examples/jobqueue for the job manager driven
 // in-process, and examples/registry for the upload-once/value-many stack.
 //
+// # Cluster mode: sharded scatter-gather valuation
+//
+// Several svservers compose into one service (internal/cluster): a
+// coordinator (svserver -coordinator -peers=...) places content-addressed
+// dataset shards on worker peers with a consistent-hash ring, pushes
+// missing datasets by fingerprint (idempotent), fans an exact or
+// truncated valuation out as per-shard sub-jobs over the by-ref wire
+// protocol, and k-way-merges the shards' sorted neighbor lists under the
+// engine's exact ordering before replaying the KNN-Shapley recurrence —
+// so distributed values are bit-identical to a single-node run and share
+// its result cache. Failed peers are probed, marked down and their
+// shards reassigned; with no peers healthy the coordinator computes
+// locally. GET /cluster/statz reports the topology and GET /metrics
+// exposes every counter as Prometheus text. See the cmd/svserver package
+// comment for the protocol details.
+//
 // See the examples/ directory for runnable end-to-end scenarios (data
 // debugging, data markets, streaming valuation) and cmd/svbench for the
 // harness that regenerates every table and figure of the paper's evaluation
 // (plus -benchjson for the machine-readable perf trajectory, including the
-// inline-vs-by-ref wire comparison).
+// inline-vs-by-ref wire comparison and the sharded scatter-gather record).
 package knnshapley

@@ -50,6 +50,24 @@ func exactClassSVInto(tp *knn.TestPoint, s *Scratch, dst []float64) {
 	}
 }
 
+// ExactClassFromRankingInto runs the Theorem 1 recursion over an externally
+// produced full neighbor ranking (every training index exactly once, by
+// ascending (distance, index)) with per-rank correctness indicators, writing
+// into a zeroed dst of length len(ranking). The arithmetic is op-for-op the
+// expression of exactClassSVInto — same base case, same difference term —
+// so a ranking equal to the single-node α ordering yields bit-identical
+// values. This is the merge-side half of the distributed exact valuation:
+// the cluster coordinator k-way-merges shard-local sorted neighbor lists
+// into the global ranking and replays the recursion here.
+func ExactClassFromRankingInto(ranking []int, correct []bool, k int, dst []float64) {
+	n := len(ranking)
+	if n == 0 {
+		return
+	}
+	dst[ranking[n-1]] = ind(correct[n-1]) / float64(max(n, k))
+	recurseUp(dst, ranking, correct, k, n-1)
+}
+
 // ExactClassSVMulti computes exact Shapley values for the multi-test-point
 // utility (Eq. 8): the average of the per-test-point values, dispatched
 // through the shared Engine. This is the full Algorithm 1.

@@ -72,6 +72,16 @@ func TruncatedFromRanking(ranking []int, correct []bool, n, k int, eps float64) 
 	return truncatedFromRanking(ranking, correct, n, k, eps)
 }
 
+// TruncatedFromRankingInto is TruncatedFromRanking writing into a zeroed sv
+// of length n, for callers that reuse one buffer per test point (the cluster
+// coordinator's merge loop). Only the first K* ranking entries are consulted
+// when the ranking extends past K*, so a merged ranking longer than the
+// single-node K* prefix — the shape a k-way shard merge produces — runs the
+// identical recursion over the identical prefix.
+func TruncatedFromRankingInto(ranking []int, correct []bool, n, k int, eps float64, sv []float64) {
+	truncatedFromRankingInto(ranking, correct, n, k, eps, sv)
+}
+
 // truncatedFromRanking runs the Theorem 2 recursion given the neighbor
 // ranking (training indices by ascending distance; only the first K* entries
 // are consulted) and the per-rank correctness indicators. n is the full

@@ -73,6 +73,13 @@ type Spec struct {
 	// passing it straight into a Valuer method is all a caller needs to do
 	// for progress to flow.
 	Run func(ctx context.Context) (*knnshapley.Report, error)
+	// RunAny is the generic alternative to Run for jobs whose result is not
+	// a valuation Report — the cluster worker's shard sub-jobs return binary
+	// neighbor-list reports through it. Exactly one of Run and RunAny must
+	// be set (Run wins if both are). RunAny results bypass the Report result
+	// cache (set CacheKey to "" for such jobs) and are retrieved with
+	// Job.Value instead of Job.Report.
+	RunAny func(ctx context.Context) (any, error)
 	// Meta is opaque caller context retained with the job (e.g. the HTTP
 	// layer's response metadata); retrieve it with Job.Meta.
 	Meta any
@@ -143,6 +150,7 @@ type Job struct {
 	mu       sync.Mutex
 	state    State
 	report   *knnshapley.Report
+	value    any // RunAny result, for jobs that bypass the Report path
 	err      error
 	cacheHit bool
 	canceled bool // cancellation requested (possibly while still queued)
@@ -216,6 +224,24 @@ func (j *Job) Report() (*knnshapley.Report, error) {
 		return nil, fmt.Errorf("jobs: job %s is %s", j.id, j.state)
 	case j.err != nil:
 		return nil, j.err
+	default:
+		return j.report, nil
+	}
+}
+
+// Value returns the result of a RunAny job, with the same pending/terminal
+// semantics as Report. For a Run job it returns the Report (as any), so
+// generic callers need not know which kind they polled.
+func (j *Job) Value() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case !j.state.Terminal():
+		return nil, fmt.Errorf("jobs: job %s is %s", j.id, j.state)
+	case j.err != nil:
+		return nil, j.err
+	case j.value != nil:
+		return j.value, nil
 	default:
 		return j.report, nil
 	}
@@ -536,7 +562,18 @@ func (m *Manager) runJob(job *Job) {
 	job.mu.Unlock()
 
 	m.runs.Add(1)
-	rep, err := job.spec.Run(knnshapley.ContextWithProgress(ctx, job.observe))
+	runCtx := knnshapley.ContextWithProgress(ctx, job.observe)
+	var rep *knnshapley.Report
+	var val any
+	var err error
+	switch {
+	case job.spec.Run != nil:
+		rep, err = job.spec.Run(runCtx)
+	case job.spec.RunAny != nil:
+		val, err = job.spec.RunAny(runCtx)
+	default:
+		err = errors.New("jobs: spec has neither Run nor RunAny")
+	}
 	cancel()
 	now := m.now()
 
@@ -544,6 +581,7 @@ func (m *Manager) runJob(job *Job) {
 	requested := job.canceled
 	switch {
 	case err == nil:
+		job.value = val
 		job.finishLocked(StateDone, rep, nil, now)
 	case requested || errors.Is(err, context.Canceled):
 		// Explicit DELETE or manager shutdown; either way the caller asked.

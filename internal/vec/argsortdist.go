@@ -71,11 +71,15 @@ func argsortSmall(idx []int, dist []float64) ([]int, bool) {
 // zeroing, scratch traffic) loses to a plain insertion sort.
 const radixMinN = 64
 
-// distKeyBits maps v onto bits whose unsigned order equals the (v, ties
+// DistKeyBits maps v onto bits whose unsigned order equals the (v, ties
 // pending) comparison order for all floats: negative values flip entirely,
 // non-negative values set the sign bit. Adding 0 first normalizes -0 to +0
-// so the two zeros map to one key and ties resolve by index.
-func distKeyBits(v float64) uint64 {
+// so the two zeros map to one key and ties resolve by index. It is exported
+// as the comparison key for anything that must reproduce this package's
+// total order externally — the cluster coordinator's k-way neighbor merge
+// orders shard-local lists by (DistKeyBits(dist), index) so the merged
+// ranking equals a single ArgsortDistInto over the unsharded distances.
+func DistKeyBits(v float64) uint64 {
 	b := math.Float64bits(v + 0)
 	if b>>63 != 0 {
 		return ^b
@@ -83,15 +87,15 @@ func distKeyBits(v float64) uint64 {
 	return b | 1<<63
 }
 
-// insertionArgsortBits sorts idx ascending by (distKeyBits(dist[i]), i).
+// insertionArgsortBits sorts idx ascending by (DistKeyBits(dist[i]), i).
 func insertionArgsortBits(idx []int, dist []float64) {
 	for i := 1; i < len(idx); i++ {
 		x := idx[i]
-		kx := distKeyBits(dist[x])
+		kx := DistKeyBits(dist[x])
 		j := i
 		for ; j > 0; j-- {
 			y := idx[j-1]
-			ky := distKeyBits(dist[y])
+			ky := DistKeyBits(dist[y])
 			if ky < kx || (ky == kx && y < x) {
 				break
 			}
@@ -123,7 +127,7 @@ func (s *distSortScratch) sort(idx []int, dist []float64) {
 	// Key extraction plus all eight digit histograms in one pass.
 	var hist [8][256]uint32
 	for i := 0; i < n; i++ {
-		k := distKeyBits(dist[i])
+		k := DistKeyBits(dist[i])
 		keys[i] = k
 		idx[i] = i
 		hist[0][k&0xff]++

@@ -16,7 +16,7 @@ func refArgsort(dist []float64) []int {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		return distKeyBits(dist[idx[a]]) < distKeyBits(dist[idx[b]])
+		return DistKeyBits(dist[idx[a]]) < DistKeyBits(dist[idx[b]])
 	})
 	return idx
 }

@@ -245,3 +245,71 @@ type ErrorResponse struct {
 	Error    string `json:"error"`
 	Canceled bool   `json:"canceled,omitempty"`
 }
+
+// ShardRequest is the body of POST /shard/jobs: one sub-job of a sharded
+// valuation, addressed entirely by registry references (the coordinator
+// pushes the shard and test datasets first; content addressing makes the
+// push idempotent). The worker computes, for every test row, its sorted
+// list of the Limit nearest shard-local training rows — distances, global
+// training indices and correctness flags — and serves it back as a binary
+// ShardReport (GET /shard/jobs/{id}/result). Status and cancellation reuse
+// the ordinary job endpoints (GET/DELETE /jobs/{id}).
+type ShardRequest struct {
+	// TrainRef and TestRef are registry IDs of the shard's training rows and
+	// the (full or partitioned) test set.
+	TrainRef string `json:"trainRef"`
+	TestRef  string `json:"testRef"`
+	// K, Metric and Precision are the session knobs of the parent valuation;
+	// they shape distances and hence the reported neighbor order.
+	K         int    `json:"k"`
+	Metric    string `json:"metric,omitempty"`
+	Precision string `json:"precision,omitempty"`
+	// Limit is how many neighbors per test point the shard reports: the
+	// shard size for an exact merge, min(K*, shard size) for a truncated
+	// one. 0 means the full shard.
+	Limit int `json:"limit,omitempty"`
+	// GlobalOffset is the global index of the shard's first training row in
+	// the unsharded training set; reported indices are global, so the
+	// coordinator's merge needs no per-shard translation.
+	GlobalOffset int `json:"globalOffset,omitempty"`
+	// GlobalN is the unsharded training-set size (echoed in the report as a
+	// merge cross-check).
+	GlobalN int `json:"globalN"`
+	// TestOffset is the global index of the first test row (test-partition
+	// mode; 0 when the shard sees the whole test set).
+	TestOffset int `json:"testOffset,omitempty"`
+	// Workers and BatchSize are forwarded engine knobs (0 = defaults).
+	Workers   int `json:"workers,omitempty"`
+	BatchSize int `json:"batchSize,omitempty"`
+}
+
+// PeerStatus is one peer's health and traffic as the coordinator sees it
+// (GET /cluster/statz).
+type PeerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Shards counts sub-jobs completed on this peer; Failures counts
+	// sub-job attempts that errored (transport or job failure); Retries
+	// counts re-submissions after such failures.
+	Shards   int64  `json:"shards"`
+	Failures int64  `json:"failures"`
+	Retries  int64  `json:"retries"`
+	LastErr  string `json:"lastError,omitempty"`
+}
+
+// ClusterStatz is the body of GET /cluster/statz.
+type ClusterStatz struct {
+	// Coordinator reports whether this process fans valuations out to peers
+	// (false = worker-only role; Peers is then empty).
+	Coordinator bool         `json:"coordinator"`
+	Peers       []PeerStatus `json:"peers,omitempty"`
+	// Valuations counts scatter-gather runs completed by the coordinator;
+	// Fallbacks counts valuations that ran single-node because no peer was
+	// healthy; Reassignments counts shards moved to a replica peer after
+	// their primary failed.
+	Valuations    int64 `json:"valuations"`
+	Fallbacks     int64 `json:"fallbacks"`
+	Reassignments int64 `json:"reassignments"`
+	// ShardJobs counts shard sub-jobs served by this process as a worker.
+	ShardJobs int64 `json:"shardJobs"`
+}

@@ -26,9 +26,12 @@ func ContextWithProgress(ctx context.Context, fn Progress) context.Context {
 	return context.WithValue(ctx, progressKey{}, fn)
 }
 
-// progressFrom extracts the Progress callback installed by
-// ContextWithProgress, or nil.
-func progressFrom(ctx context.Context) Progress {
+// ProgressFrom extracts the Progress callback installed by
+// ContextWithProgress, or nil. It is exported for execution layers outside
+// this package (the cluster coordinator) that run valuations without going
+// through a Valuer method but still want the job manager's per-batch
+// progress plumbing to work unchanged.
+func ProgressFrom(ctx context.Context) Progress {
 	if ctx == nil {
 		return nil
 	}

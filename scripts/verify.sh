@@ -3,15 +3,17 @@
 # and examples), build, tests (including the method-registry Validate
 # tables, the Evaluate equivalence suite and the <1µs dispatch-overhead
 # gate), race passes over the execution engine, the job manager, the
-# dataset registry and the context-cancellation paths, a race pass over
-# the distance/argsort kernels and their callers (vec, knn, kheap), a
-# GOAMD64=v3 cross-build of the assembly, fuzz smoke runs over the
-# decode/storage surfaces, a serving benchmark of the
-# upload-once/value-many registry path, a method-discovery end-to-end run
-# (a real svserver answering "svcli methods"), and a short svbench smoke
-# (to $BENCH_SMOKE, default /tmp/BENCH_5.json) diffed against the
-# committed BENCH_5.json baseline — records that got more than 4x slower
-# fail the run.
+# dataset registry, the cluster coordinator and the context-cancellation
+# paths, a race pass over the distance/argsort kernels and their callers
+# (vec, knn, kheap), a GOAMD64=v3 cross-build of the assembly, fuzz smoke
+# runs over the decode/storage/shard-codec surfaces, a serving benchmark
+# of the upload-once/value-many registry path, a method-discovery
+# end-to-end run (a real svserver answering "svcli methods"), a
+# multi-process cluster end-to-end run (three workers + coordinator,
+# by-ref scatter-gather bit-identical to in-process, one worker SIGKILLed
+# mid-job, SIGTERM drain), and a short svbench smoke (to $BENCH_SMOKE,
+# default /tmp/BENCH_6.json) diffed against the committed BENCH_6.json
+# baseline — records that got more than 4x slower fail the run.
 # Run from anywhere; operates on the repo root. CI
 # (.github/workflows/ci.yml) runs exactly this script.
 set -euo pipefail
@@ -35,6 +37,7 @@ go test -race ./internal/vec ./internal/knn ./internal/kheap
 go test -race ./internal/core
 go test -race ./internal/jobs
 go test -race ./internal/registry
+go test -race ./internal/cluster
 go test -run TestCancel -race ./...
 go test -run 'TestJob|TestStatz|TestDataset|TestValueByRef|TestValueRef|TestQueuedCancel|TestMethods' -race ./cmd/svserver
 go test -run 'TestEvaluate|TestParams' -race .
@@ -44,6 +47,8 @@ go test -run 'TestEvaluate|TestParams' -race .
 go test -run '^$' -fuzz FuzzFlatRoundTrip -fuzztime 10s ./internal/dataset
 go test -run '^$' -fuzz FuzzBinaryCodec -fuzztime 10s ./internal/dataset
 go test -run '^$' -fuzz FuzzDecodeValueRequest -fuzztime 10s ./cmd/svserver
+go test -run '^$' -fuzz FuzzShardReportCodec -fuzztime 10s ./internal/cluster
+go test -run '^$' -fuzz FuzzShardRequestJSON -fuzztime 10s ./internal/cluster
 
 # Serving smoke: the upload-once/value-many comparison through the real
 # HTTP handlers (inline re-ships and re-fingerprints the payload each call;
@@ -84,13 +89,103 @@ for name in exact truncated montecarlo baseline sellers sellersmc composite lsh 
 done
 kill "$svpid"
 
+# Cluster end-to-end: three svserver workers plus one coordinator, all real
+# processes; a by-ref valuation scattered into per-peer shards and merged
+# must print output bit-identical to the same valuation run in-process (%g
+# is shortest-round-trip formatting, so identical text means identical
+# float64 bits). The sync run reaches the coordinator through svcli -peers
+# failover past a dead URL. A second, larger async valuation gets one
+# worker SIGKILLed while in flight; the coordinator must reassign its
+# shards and still answer bit-identically. Finally a SIGTERMed worker must
+# drain and log a clean shutdown.
+cldir=$(mktemp -d)
+clpids=()
+cluster_cleanup() { kill "${clpids[@]}" 2>/dev/null || true; rm -rf "$cldir"; }
+trap 'cleanup; cluster_cleanup' EXIT
+
+awk 'BEGIN{srand(7); for(r=0;r<100000;r++){for(c=0;c<16;c++)printf "%.6f,", rand()*2-1; print int(rand()*3)}}' >"$cldir/train.csv"
+awk 'BEGIN{srand(8); for(r=0;r<64;r++){for(c=0;c<16;c++)printf "%.6f,", rand()*2-1; print int(rand()*3)}}' >"$cldir/test.csv"
+
+wait_addr() {
+    local a=""
+    for _ in $(seq 1 100); do
+        a=$(sed -n 's/.*svserver listening on \(.*\)$/\1/p' "$1" | head -n1)
+        [ -n "$a" ] && break
+        sleep 0.1
+    done
+    if [ -z "$a" ]; then
+        echo "svserver did not start:" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    printf '%s' "$a"
+}
+
+peers=""
+worker_pids=()
+for i in 1 2 3; do
+    mkdir -p "$cldir/w$i"
+    "$bindir/svserver" -addr 127.0.0.1:0 -data-dir "$cldir/w$i" >"$cldir/w$i.log" 2>&1 &
+    clpids+=($!)
+    worker_pids+=($!)
+done
+for i in 1 2 3; do
+    peers="$peers,http://$(wait_addr "$cldir/w$i.log")"
+done
+peers=${peers#,}
+mkdir -p "$cldir/coord"
+"$bindir/svserver" -addr 127.0.0.1:0 -data-dir "$cldir/coord" \
+    -coordinator -peers "$peers" >"$cldir/coord.log" 2>&1 &
+clpids+=($!)
+caddr=$(wait_addr "$cldir/coord.log")
+
+"$bindir/svcli" -train "$cldir/train.csv" -test "$cldir/test.csv" -k 5 -algo exact \
+    >"$cldir/local5.csv"
+"$bindir/svcli" -train "$cldir/train.csv" -test "$cldir/test.csv" -k 5 -algo exact \
+    -peers "http://127.0.0.1:1,http://$caddr" -by-ref >"$cldir/cluster5.csv"
+if ! cmp -s "$cldir/local5.csv" "$cldir/cluster5.csv"; then
+    echo "cluster valuation differs from the in-process run:" >&2
+    diff "$cldir/local5.csv" "$cldir/cluster5.csv" >&2 | head >&2
+    exit 1
+fi
+
+"$bindir/svcli" -train "$cldir/train.csv" -test "$cldir/test.csv" -k 4 -algo exact \
+    >"$cldir/local4.csv"
+"$bindir/svcli" -train "$cldir/train.csv" -test "$cldir/test.csv" -k 4 -algo exact \
+    -server "http://$caddr" -by-ref -async -poll 50ms >"$cldir/cluster4.csv" &
+clipid=$!
+sleep 0.4
+kill -9 "${worker_pids[0]}"
+if ! wait "$clipid"; then
+    echo "cluster valuation failed after a worker was killed mid-job" >&2
+    cat "$cldir/coord.log" >&2
+    exit 1
+fi
+if ! cmp -s "$cldir/local4.csv" "$cldir/cluster4.csv"; then
+    echo "post-kill cluster valuation differs from the in-process run" >&2
+    exit 1
+fi
+
+kill -TERM "${worker_pids[1]}"
+for _ in $(seq 1 100); do
+    grep -q "shutdown complete" "$cldir/w2.log" && break
+    sleep 0.1
+done
+if ! grep -q "shutdown complete" "$cldir/w2.log"; then
+    echo "svserver did not drain cleanly on SIGTERM:" >&2
+    cat "$cldir/w2.log" >&2
+    exit 1
+fi
+cluster_cleanup
+trap cleanup EXIT
+
 # Perf smoke + regression gate: the machine-readable engine
 # micro-benchmarks, capped at N=1e4 so the sweep stays seconds, diffed
 # against the committed full-sweep baseline. -threshold 4 absorbs
 # loaded-machine noise while still catching order-of-magnitude
 # regressions; records under 10µs are reported but never enforced.
 # Written OUTSIDE the repo (override with BENCH_SMOKE; CI uploads it as
-# an artifact) so the committed BENCH_5.json trajectory point is never
+# an artifact) so the committed BENCH_6.json trajectory point is never
 # clobbered by smoke numbers — regenerate that one deliberately with:
-#   go run ./cmd/svbench -benchjson BENCH_5.json
-go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_5.json}" -benchmax 10000 -compare BENCH_5.json -threshold 4
+#   go run ./cmd/svbench -benchjson BENCH_6.json
+go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_6.json}" -benchmax 10000 -compare BENCH_6.json -threshold 4

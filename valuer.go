@@ -187,7 +187,7 @@ func (v *Valuer) Fingerprint() uint64 {
 // a per-batch progress hook reporting against total test points.
 func (v *Valuer) engine(ctx context.Context, total int) core.EngineConfig {
 	ec := v.cfg.engine()
-	if fn := progressFrom(ctx); fn != nil {
+	if fn := ProgressFrom(ctx); fn != nil {
 		ec.Progress = func(done int) { fn(done, total) }
 	}
 	return ec
