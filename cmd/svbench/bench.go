@@ -14,6 +14,7 @@ import (
 	"knnshapley/internal/cluster"
 	"knnshapley/internal/dataset"
 	"knnshapley/internal/jobs"
+	"knnshapley/internal/journal"
 	"knnshapley/internal/registry"
 	"knnshapley/internal/vec"
 	"knnshapley/internal/wire"
@@ -32,6 +33,10 @@ type benchRecord struct {
 	NsPerOp     int64  `json:"nsPerOp"`
 	TotalNs     int64  `json:"totalNs"`
 	BytesOnWire int64  `json:"bytesOnWire,omitempty"`
+	// BaselineNsPerOp is the same measurement with the feature under test
+	// switched off (journal_overhead: submit→done latency without a journal)
+	// so the record carries its own overhead ratio.
+	BaselineNsPerOp int64 `json:"baselineNsPerOp,omitempty"`
 }
 
 // benchReport is the BENCH_1.json schema.
@@ -212,6 +217,15 @@ func runBenchJSON(path string, maxN int) error {
 	}
 	rep.Results = append(rep.Results, dispatchRecs...)
 
+	// Durability tax of the write-ahead job journal: the same submit→done
+	// job latency with and without the journal in its batched-fsync mode
+	// (size-independent, so measured once at the smallest sweep size).
+	journalRec, err := benchJournal()
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	rep.Results = append(rep.Results, journalRec)
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -352,6 +366,97 @@ func benchSharded(n int, train, test *dataset.Dataset) (benchRecord, error) {
 		Name: "wire_sharded", N: n, Dim: train.Dim(), NTest: benchNTest,
 		NsPerOp: total / (reps * benchNTest), TotalNs: total,
 		BytesOnWire: (c.BytesOnWire() - baseBytes) / reps,
+	}, nil
+}
+
+// benchJournal measures what the write-ahead job journal costs a submitted
+// job end to end: submit→done latency of a small exact valuation through the
+// job manager with the journal in its batched-fsync mode ("journal_overhead",
+// NsPerOp) against the identical run with no journal (BaselineNsPerOp). The
+// acceptance bar is < 5% overhead — the journal's submit record is a single
+// buffered append whose fsync the group-commit ticker absorbs off the
+// submit path.
+func benchJournal() (benchRecord, error) {
+	train := dataset.MNISTLike(1000, 1)
+	test := dataset.MNISTLike(benchNTest, 2)
+	v, err := knnshapley.New(train, knnshapley.WithK(benchK))
+	if err != nil {
+		return benchRecord{}, err
+	}
+	ctx := context.Background()
+	run := func(ctx context.Context) (*knnshapley.Report, error) { return v.Exact(ctx, test) }
+
+	dir, err := os.MkdirTemp("", "svbench-journal-")
+	if err != nil {
+		return benchRecord{}, err
+	}
+	defer os.RemoveAll(dir)
+	// The server's default group-commit interval. Shorter intervals trade
+	// overhead for a narrower durability window: each fsync blocks an OS
+	// thread for a device-flush (~200µs on cloud disks), and job-cycle
+	// wakeups occasionally strand behind it.
+	jw, _, err := journal.Open(journal.Config{Dir: dir, FsyncInterval: 25 * time.Millisecond})
+	if err != nil {
+		return benchRecord{}, err
+	}
+	defer jw.Close()
+	env, err := json.Marshal(wire.JobEnvelope{
+		V:          wire.JobEnvelopeVersion,
+		TotalUnits: benchNTest,
+		Request:    json.RawMessage(`{"algorithm":"exact","k":5,"trainRef":"svbench","testRef":"svbench"}`),
+	})
+	if err != nil {
+		return benchRecord{}, err
+	}
+
+	// Two long-lived managers — durable and baseline — measured in small
+	// alternating blocks so scheduler stalls and clock-speed drift land on
+	// both sides instead of skewing whichever mode ran second. Empty
+	// CacheKeys keep every job a real run.
+	mgrOff := jobs.New(jobs.Config{Workers: 1, QueueDepth: 4})
+	defer mgrOff.Close()
+	mgrOn := jobs.New(jobs.Config{Workers: 1, QueueDepth: 4, Journal: jw})
+	defer mgrOn.Close()
+	cycles := func(mgr *jobs.Manager, env []byte, n int) (int64, error) {
+		start := time.Now()
+		for r := 0; r < n; r++ {
+			j, err := mgr.Submit(jobs.Spec{Run: run, TotalUnits: benchNTest, Envelope: env})
+			if err != nil {
+				return 0, err
+			}
+			if _, err := mgr.Wait(ctx, j); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Nanoseconds(), nil
+	}
+	const (
+		blocks   = 6
+		perBlock = 25
+		reps     = blocks * perBlock
+	)
+	var onTotal, offTotal int64
+	if _, err := cycles(mgrOn, env, 1); err != nil { // warm up both paths
+		return benchRecord{}, err
+	}
+	if _, err := cycles(mgrOff, nil, 1); err != nil {
+		return benchRecord{}, err
+	}
+	for b := 0; b < blocks; b++ {
+		ns, err := cycles(mgrOn, env, perBlock)
+		if err != nil {
+			return benchRecord{}, err
+		}
+		onTotal += ns
+		if ns, err = cycles(mgrOff, nil, perBlock); err != nil {
+			return benchRecord{}, err
+		}
+		offTotal += ns
+	}
+
+	return benchRecord{
+		Name: "journal_overhead", N: train.N(), Dim: train.Dim(), NTest: benchNTest,
+		NsPerOp: onTotal / reps, TotalNs: onTotal, BaselineNsPerOp: offTotal / reps,
 	}, nil
 }
 

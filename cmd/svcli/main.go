@@ -34,6 +34,14 @@
 //	svcli -train train.csv -test test.csv -k 5 -server http://localhost:8080
 //	svcli -train train.csv -test test.csv -k 5 -algo exact -server http://localhost:8080 -async
 //
+// Async jobs can outlive the svcli process (and, on a journaled server,
+// the svserver process): -submit-only enqueues, prints the job ID on
+// stdout, and exits; -job reattaches to that ID later — polling if the job
+// is still live, fetching the result if it already finished:
+//
+//	id=$(svcli -train big.csv -test test.csv -k 5 -server http://host:8080 -by-ref -async -submit-only)
+//	svcli -job "$id" -server http://host:8080
+//
 // -peers takes a comma-separated list of svserver base URLs instead of
 // -server: svcli probes each /healthz in order and sends the request to the
 // first healthy one, so a cluster of svservers can be addressed without
@@ -137,6 +145,8 @@ func main() {
 		peers      = flag.String("peers", "", "comma-separated svserver base URLs; the first healthy one serves the request (failover alternative to -server)")
 		async      = flag.Bool("async", false, "with -server: enqueue a job and poll instead of waiting synchronously")
 		poll       = flag.Duration("poll", 250*time.Millisecond, "with -async: status poll interval")
+		submitOnly = flag.Bool("submit-only", false, "with -async: print the job ID to stdout after enqueue and exit without waiting")
+		jobID      = flag.String("job", "", "with -server: re-attach to an existing job ID (poll to completion, print its values)")
 	)
 	flag.Parse()
 	if *peers != "" {
@@ -144,6 +154,22 @@ func main() {
 			fatalf("-server and -peers are mutually exclusive")
 		}
 		*serverURL = firstHealthyPeer(*peers)
+	}
+	if *jobID != "" {
+		// Re-attachment: the job already exists server-side (submitted with
+		// -submit-only, or surviving a server restart via the job journal),
+		// so no datasets or method parameters are needed here.
+		if *serverURL == "" {
+			fatalf("-job needs -server (or -peers)")
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		printValues(attachJob(ctx, *serverURL, *jobID, *poll), *top)
+		return
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -216,17 +242,25 @@ func main() {
 		if *weighted {
 			fatalf("-weighted is not supported by the server wire format")
 		}
+		if *submitOnly && !*async {
+			fatalf("-submit-only needs -async")
+		}
 		sv = runRemote(ctx, *serverURL, remoteOptions{
 			k: *k, params: params, precision: *precision,
 			trainRef: *trainRef, testRef: *testRef, byRef: *byRef,
-			async: *async, poll: *poll,
+			async: *async, poll: *poll, submitOnly: *submitOnly,
 		}, train, test)
 	} else {
 		sv = runLocal(ctx, train, test, *k, *weighted, prec, params)
 	}
+	printValues(sv, *top)
+}
 
-	if *top > 0 {
-		for _, i := range knnshapley.TopIndices(sv, *top) {
+// printValues writes the "index,value" output lines, optionally only the
+// top-n most valuable points.
+func printValues(sv []float64, top int) {
+	if top > 0 {
+		for _, i := range knnshapley.TopIndices(sv, top) {
 			fmt.Printf("%d,%g\n", i, sv[i])
 		}
 		return
@@ -408,6 +442,7 @@ type remoteOptions struct {
 	byRef             bool
 	async             bool
 	poll              time.Duration
+	submitOnly        bool
 }
 
 // runRemote ships the valuation to an svserver and returns the values —
@@ -460,6 +495,38 @@ func runRemote(ctx context.Context, base string, opts remoteOptions, train, test
 		remoteFail("submit", status, st.Error, raw)
 	}
 	fmt.Fprintf(os.Stderr, "svcli: job %s enqueued\n", st.ID)
+	if opts.submitOnly {
+		// Fire-and-forget: the ID on stdout is the handle a later
+		// `svcli -job <id>` (even after a server restart — the job journal
+		// keeps the ID stable) uses to collect the values.
+		fmt.Println(st.ID)
+		os.Exit(0)
+	}
+	pollJob(ctx, base, &st, opts.poll)
+	return fetchJobResult(ctx, base, st)
+}
+
+// attachJob re-attaches to an existing job — one submitted with
+// -submit-only, possibly before a server restart (the write-ahead job
+// journal preserves IDs across crashes) — polls it to completion and
+// returns its values.
+func attachJob(ctx context.Context, base, id string, poll time.Duration) []float64 {
+	var st wire.JobStatus
+	if status, raw := getJSON(ctx, base+"/jobs/"+id, &st); status != http.StatusOK {
+		remoteFail("poll", status, st.Error, raw)
+	}
+	fmt.Fprintf(os.Stderr, "svcli: job %s %s %d/%d\n", st.ID, st.Status, st.Done, st.Total)
+	pollJob(ctx, base, &st, poll)
+	return fetchJobResult(ctx, base, st)
+}
+
+// pollJob polls GET /jobs/{id} every poll interval until st is terminal,
+// reporting progress on stderr. One timer is reused across iterations
+// (time.After would leak a timer per poll until it fires); Reset always
+// follows a consumed tick, so no Stop/drain dance is needed mid-loop.
+func pollJob(ctx context.Context, base string, st *wire.JobStatus, poll time.Duration) {
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
 	for !terminal(st.Status) {
 		select {
 		case <-ctx.Done():
@@ -467,15 +534,21 @@ func runRemote(ctx context.Context, base string, opts remoteOptions, train, test
 			cancelJob(base, st.ID)
 			fmt.Fprintf(os.Stderr, "\nsvcli: %v; job %s canceled\n", ctx.Err(), st.ID)
 			os.Exit(1)
-		case <-time.After(opts.poll):
+		case <-timer.C:
+			timer.Reset(poll)
 		}
-		if status, raw := getJSON(ctx, base+"/jobs/"+st.ID, &st); status != http.StatusOK {
+		if status, raw := getJSON(ctx, base+"/jobs/"+st.ID, st); status != http.StatusOK {
 			fmt.Fprintln(os.Stderr)
 			remoteFail("poll", status, st.Error, raw)
 		}
 		fmt.Fprintf(os.Stderr, "\rsvcli: job %s %s %d/%d", st.ID, st.Status, st.Done, st.Total)
 	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// fetchJobResult turns a terminal job status into values, exiting non-zero
+// for anything but a completed job.
+func fetchJobResult(ctx context.Context, base string, st wire.JobStatus) []float64 {
 	if st.Status != "done" {
 		fmt.Fprintf(os.Stderr, "svcli: job %s ended %s: %s\n", st.ID, st.Status, st.Error)
 		os.Exit(1)

@@ -44,7 +44,7 @@ func FuzzDecodeValueRequest(f *testing.F) {
 		QueueDepth: 4,
 		JobTimeout: 100 * time.Millisecond,
 		TTL:        time.Second,
-	}, registry.Config{Dir: f.TempDir()})
+	}, registry.Config{Dir: f.TempDir()}, nil)
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -9,7 +9,8 @@
 //
 //	svserver -addr :8080 -max-body 67108864 -request-timeout 60s \
 //	         -job-workers 2 -job-queue 64 -job-ttl 15m -job-cache 128 \
-//	         -data-dir /var/lib/svserver -mem-budget 268435456
+//	         -data-dir /var/lib/svserver -mem-budget 268435456 \
+//	         -journal -journal-fsync 25ms
 //
 // Endpoints:
 //
@@ -75,6 +76,29 @@
 // training-set ID, so repeated valuations of the same training data skip
 // re-validating and re-flattening it (and share lazily built LSH/k-d
 // indexes).
+//
+// # Crash durability
+//
+// With -journal (the default when -data-dir is set), every accepted job is
+// recorded in a write-ahead journal under -data-dir/journal before its 202
+// is returned, and every later state transition is appended as it happens
+// (internal/journal: length+CRC32-framed records in rotated, compacted
+// segment files). On startup the journal is replayed: jobs that were
+// queued or running when the process died are re-submitted under their
+// original IDs — progress restarts from zero, and a job whose dataset was
+// deleted in the meantime fails with a descriptive error instead of
+// silently vanishing — while terminal jobs still inside -job-ttl come back
+// as retrievable history (GET /jobs/{id} answers; a done job's result
+// body is not retained, so GET /jobs/{id}/result is 410 Gone). The replay
+// is visible as "replayed"/"restored" counters in /statz and /metrics.
+//
+// -journal-fsync picks the durability window: the default 25ms batches
+// fsyncs off the submit path (group commit; an accepted job can be lost if
+// the machine dies within that window), 0 fsyncs inline on submit and
+// terminal records before they are acknowledged, and a negative value
+// never fsyncs (tests). A graceful SIGTERM drain journals the remaining
+// jobs as canceled — honoring the shutdown rather than resurrecting its
+// victims — so only a hard kill leaves jobs for replay.
 //
 // # Request format and method discovery
 //
@@ -170,6 +194,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -178,6 +203,7 @@ import (
 	"knnshapley"
 	"knnshapley/internal/cluster"
 	"knnshapley/internal/jobs"
+	"knnshapley/internal/journal"
 	"knnshapley/internal/registry"
 	"knnshapley/internal/wire"
 )
@@ -201,6 +227,9 @@ func main() {
 		memBudget  = flag.Int64("mem-budget", 0, "bytes of decoded datasets kept in memory (0 = 256 MiB)")
 		diskBudget = flag.Int64("disk-budget", 4<<30, "bytes of datasets kept on disk before LRU reclaim of unpinned ones (0 = unbounded)")
 
+		journalOn    = flag.Bool("journal", true, "write-ahead job journal under -data-dir/journal; queued/running jobs replay after a crash")
+		journalFsync = flag.Duration("journal-fsync", 25*time.Millisecond, "journal group-commit interval (0 = fsync inline on submit/terminal records, <0 = never)")
+
 		coordinator  = flag.Bool("coordinator", false, "scatter exact/truncated valuations across -peers instead of computing locally")
 		peersFlag    = flag.String("peers", "", "comma-separated worker base URLs for -coordinator mode")
 		replicas     = flag.Int("replicas", 0, "ring owners each shard is placed on (0 = 2)")
@@ -216,18 +245,42 @@ func main() {
 		dir = tmp
 		log.Printf("svserver: dataset registry in %s (set -data-dir to persist across runs)", dir)
 	}
+	// The journal opens (and replays) before the job manager exists so no
+	// submission can race the replay; the replayed states are applied right
+	// after the server is up, before the listener accepts traffic.
+	var jw *journal.Writer
+	var replayStates []journal.JobState
+	if *journalOn {
+		ttl := *jobTTL
+		if ttl <= 0 {
+			ttl = 15 * time.Minute
+		}
+		var err error
+		jw, replayStates, err = journal.Open(journal.Config{
+			Dir:           filepath.Join(dir, "journal"),
+			FsyncInterval: *journalFsync,
+			Retain:        ttl,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	srv, err := newServer(*maxBody, *reqTimeout, jobs.Config{
 		Workers:    *jobWorkers,
 		QueueDepth: *jobQueue,
 		TTL:        *jobTTL,
 		CacheSize:  *jobCache,
 		JobTimeout: *jobTimeout,
-	}, registry.Config{Dir: dir, MemBudget: *memBudget, DiskBudget: *diskBudget})
+	}, registry.Config{Dir: dir, MemBudget: *memBudget, DiskBudget: *diskBudget}, jw)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if n := len(srv.reg.List()); n > 0 {
 		log.Printf("svserver: recovered %d datasets from %s", n, dir)
+	}
+	if jw != nil {
+		srv.replay(replayStates)
+		jw.PurgeReplayed()
 	}
 	if *coordinator {
 		urls := splitPeers(*peersFlag)
@@ -270,6 +323,9 @@ func main() {
 	select {
 	case err := <-serveErr:
 		srv.mgr.Close()
+		if jw != nil {
+			jw.Close()
+		}
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
@@ -280,7 +336,13 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		log.Printf("svserver: drain incomplete: %v", err)
 	}
+	// Close cancels the jobs still queued or running; each is journaled as
+	// canceled before the journal itself closes, so a graceful shutdown
+	// leaves nothing to replay — only SIGKILL does.
 	srv.mgr.Close()
+	if jw != nil {
+		jw.Close()
+	}
 	log.Printf("svserver: shutdown complete")
 }
 
@@ -309,17 +371,114 @@ type server struct {
 	worker    *cluster.Worker
 	coord     *cluster.Coordinator
 	fallbacks atomic.Int64
+
+	// journal is the write-ahead job journal (nil with -journal=false);
+	// buildSpec only attaches durable envelopes when it is present.
+	journal *journal.Writer
 }
 
 // newServer builds a server with its own job manager and dataset registry.
-func newServer(maxBody int64, timeout time.Duration, jcfg jobs.Config, rcfg registry.Config) (*server, error) {
+// A non-nil jw makes the job manager journal-backed: submissions built by
+// buildSpec carry durable envelopes, and replay() reinstalls what a crash
+// left behind.
+func newServer(maxBody int64, timeout time.Duration, jcfg jobs.Config, rcfg registry.Config, jw *journal.Writer) (*server, error) {
 	reg, err := registry.New(rcfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &server{maxBody: maxBody, timeout: timeout, mgr: jobs.New(jcfg), reg: reg}
+	if jw != nil {
+		jcfg.Journal = jw
+	}
+	s := &server{maxBody: maxBody, timeout: timeout, mgr: jobs.New(jcfg), reg: reg, journal: jw}
 	s.worker = cluster.NewWorker(s.reg, s.mgr)
 	return s, nil
+}
+
+// replay reinstalls journaled jobs after a restart: queued/running jobs are
+// re-submitted from their envelopes (progress restarts from zero — the
+// journal records submissions, not partial results), terminal jobs still
+// inside TTL come back as retrievable history, and anything older is
+// dropped. A job whose envelope no longer resolves — its dataset vanished
+// from the registry, or the envelope version is unknown — is restored as
+// failed with a descriptive error instead of replaying a corrupt run.
+func (s *server) replay(states []journal.JobState) {
+	now := time.Now()
+	ttl := s.mgr.TTL()
+	var resubmitted, restored, expired int
+	for _, js := range states {
+		if journal.Terminal(js.State) {
+			if now.Sub(js.Finished) > ttl {
+				expired++
+				continue
+			}
+			_, err := s.mgr.Restore(jobs.Restored{
+				ID:       js.ID,
+				State:    jobs.State(js.State),
+				Err:      js.Err,
+				Lost:     js.State == journal.StateDone,
+				Created:  js.Created,
+				Started:  js.Started,
+				Finished: js.Finished,
+				Envelope: js.Envelope,
+			})
+			if err != nil {
+				log.Printf("svserver: journal replay: restore %s: %v", js.ID, err)
+				continue
+			}
+			restored++
+			continue
+		}
+		// Queued or running: re-run from the envelope. "Running" is treated
+		// as queued — the lost process computed nothing durable, and a
+		// re-run is bit-identical by the engine's determinism contract.
+		if err := s.resubmit(js); err != nil {
+			log.Printf("svserver: journal replay: job %s: %v", js.ID, err)
+			if _, rerr := s.mgr.Restore(jobs.Restored{
+				ID:       js.ID,
+				State:    jobs.StateFailed,
+				Err:      fmt.Sprintf("replay after restart failed: %v", err),
+				Created:  js.Created,
+				Finished: now,
+				Envelope: js.Envelope,
+			}); rerr != nil {
+				log.Printf("svserver: journal replay: fail %s: %v", js.ID, rerr)
+			}
+			continue
+		}
+		resubmitted++
+	}
+	if len(states) > 0 {
+		log.Printf("svserver: journal replay: %d re-submitted, %d restored as history, %d expired",
+			resubmitted, restored, expired)
+	}
+}
+
+// resubmit re-creates one queued/running job from its journal envelope,
+// re-resolving the registry handles by dataset ID through the ordinary
+// buildSpec path.
+func (s *server) resubmit(js journal.JobState) error {
+	if len(js.Envelope) == 0 {
+		return errors.New("no spec envelope in the journal")
+	}
+	var env wire.JobEnvelope
+	if err := json.Unmarshal(js.Envelope, &env); err != nil {
+		return fmt.Errorf("decode job envelope: %v", err)
+	}
+	if env.V != wire.JobEnvelopeVersion {
+		return fmt.Errorf("job envelope version %d not supported", env.V)
+	}
+	var req valueRequest
+	if err := json.Unmarshal(env.Request, &req); err != nil {
+		return fmt.Errorf("decode journaled request: %v", err)
+	}
+	spec, _, err := s.buildSpec(&req)
+	if err != nil {
+		return err
+	}
+	if _, err := s.mgr.SubmitReplayed(js.ID, *spec); err != nil {
+		return err
+	}
+	return nil
 }
 
 // routes wires the endpoint table.
@@ -386,6 +545,8 @@ func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"jobs": st.Jobs, "queued": st.Queued, "running": st.Running,
 		"cacheHits": st.CacheHits, "runs": st.Runs,
 		"valuerBuilds":  st.ValuerBuilds,
+		"replayed":      st.Replayed,
+		"restored":      st.Restored,
 		"reportEntries": st.ReportEntries, "valuerEntries": st.ValuerEntries,
 		"registry": registryStats(s.reg.Stats()),
 	})
@@ -423,6 +584,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("svserver_job_cache_hits_total", "Jobs served from the result cache.", js.CacheHits)
 	counter("svserver_job_runs_total", "Valuation executions.", js.Runs)
 	counter("svserver_valuer_builds_total", "Valuer sessions constructed.", js.ValuerBuilds)
+	counter("svserver_jobs_replayed_total", "Journal-replayed jobs re-submitted after a restart.", js.Replayed)
+	counter("svserver_jobs_restored_total", "Journal-replayed terminal jobs restored as history.", js.Restored)
 	gauge("svserver_report_cache_entries", "Result-cache occupancy.", js.ReportEntries)
 	gauge("svserver_valuer_cache_entries", "Session-cache occupancy.", js.ValuerEntries)
 	rs := s.reg.Stats()
@@ -889,8 +1052,47 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 			algorithm: p.Name(), trainN: train.N(),
 			trainRef: trainH.ID(), testRef: testH.ID(),
 		},
+		Envelope: s.specEnvelope(req, p, cacheKey, trainH.ID(), testH.ID(), train.N(), test.N()),
 		OnFinish: release,
 	}, http.StatusOK, nil
+}
+
+// specEnvelope serializes the request for the write-ahead job journal: a
+// by-reference copy of the wire request (inline payloads were auto-
+// registered by resolveDataset, so the refs are the durable identity — the
+// envelope stays a few hundred bytes whatever the dataset size) inside a
+// versioned wire.JobEnvelope. Returns nil when the server runs without a
+// journal or the request cannot be serialized (the job is then memory-only,
+// which degrades durability, never submission).
+func (s *server) specEnvelope(req *valueRequest, p knnshapley.Method, cacheKey, trainID, testID string, trainN, testN int) []byte {
+	if s.journal == nil {
+		return nil
+	}
+	byref := *req
+	byref.Params = p
+	byref.Train, byref.Test = nil, nil
+	byref.TrainRef, byref.TestRef = trainID, testID
+	reqJSON, err := json.Marshal(byref)
+	if err != nil {
+		log.Printf("svserver: journal: serialize request: %v", err)
+		return nil
+	}
+	metaJSON, _ := json.Marshal(map[string]any{
+		"algorithm": p.Name(), "trainN": trainN,
+		"trainRef": trainID, "testRef": testID,
+	})
+	env, err := json.Marshal(wire.JobEnvelope{
+		V:          wire.JobEnvelopeVersion,
+		CacheKey:   cacheKey,
+		TotalUnits: testN,
+		Request:    reqJSON,
+		Meta:       metaJSON,
+	})
+	if err != nil {
+		log.Printf("svserver: journal: serialize envelope: %v", err)
+		return nil
+	}
+	return env
 }
 
 // clusterRequest maps a valuation onto the cluster request shape, reporting
@@ -991,10 +1193,14 @@ func buildDataset(p *payload) (*knnshapley.Dataset, error) {
 }
 
 // writeRunError maps a job's terminal error onto the /value error
-// conventions: 499 for a canceled run, 504 for a lapsed deadline, 422 for a
-// valuation the engine rejected.
+// conventions: 499 for a canceled run, 504 for a lapsed deadline, 410 for a
+// result the restart lost, 422 for a valuation the engine rejected.
 func writeRunError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, jobs.ErrResultLost):
+		// The job finished before a restart: its history survived the crash
+		// but its report did not — the values are Gone, resubmit to recompute.
+		writeError(w, http.StatusGone, err.Error())
 	case errors.Is(err, context.Canceled):
 		writeCanceled(w, statusClientClosedRequest, "valuation canceled: "+err.Error())
 	case errors.Is(err, context.DeadlineExceeded):

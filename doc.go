@@ -178,6 +178,17 @@
 // for the wire format, examples/jobqueue for the job manager driven
 // in-process, and examples/registry for the upload-once/value-many stack.
 //
+// The job queue is crash-durable: a write-ahead journal (internal/journal)
+// records every accepted submission — as a self-contained envelope of
+// method, canonical parameters and dataset refs — and every state
+// transition, in CRC-framed, rotated, compacted segment files under the
+// server's data directory. After a crash the journal replays: interrupted
+// jobs are re-submitted under their original IDs (recomputing
+// bit-identical values against the same content-addressed datasets), and
+// finished jobs inside the retention TTL come back as queryable history. A
+// graceful shutdown drains and journals the remaining jobs as canceled, so
+// only a hard kill leaves work to resurrect.
+//
 // # Cluster mode: sharded scatter-gather valuation
 //
 // Several svservers compose into one service (internal/cluster): a

@@ -481,6 +481,16 @@ func encodeOnce(buf *[]byte, d *dataset.Dataset) ([]byte, error) {
 // down. onProgress fires after each poll that advanced the shard.
 func (c *Coordinator) runShard(ctx context.Context, sh *shard, req *Request, onProgress func()) (*ShardReport, error) {
 	var lastErr error
+	// One reused timer across the backoff iterations: time.After would leak
+	// a timer per attempt until it fires, which adds up under many in-flight
+	// shards with long backoffs. Reset is safe because the loop only comes
+	// back around after the timer fired.
+	var retry *time.Timer
+	defer func() {
+		if retry != nil {
+			retry.Stop()
+		}
+	}()
 	owner := 0
 	for attempt := 0; attempt < c.cfg.Retries+len(sh.owners); attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -519,10 +529,15 @@ func (c *Coordinator) runShard(ctx context.Context, sh *shard, req *Request, onP
 			c.reassignments.Add(1)
 		}
 		backoff := c.cfg.Backoff << uint(min(attempt, 6))
+		if retry == nil {
+			retry = time.NewTimer(backoff)
+		} else {
+			retry.Reset(backoff)
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(backoff):
+		case <-retry.C:
 		}
 	}
 	return nil, fmt.Errorf("cluster: shard %d failed on every owner: %w", sh.index, lastErr)
@@ -561,6 +576,11 @@ func (c *Coordinator) tryShardOn(ctx context.Context, p *peer, sh *shard, onProg
 	if err != nil {
 		return nil, err
 	}
+	// One reused poll timer for the whole loop (time.After would leak one
+	// timer per poll until it fires); every Reset happens after the previous
+	// tick was consumed, so no drain dance is needed.
+	poll := time.NewTimer(c.cfg.PollInterval)
+	defer poll.Stop()
 	for {
 		select {
 		case <-ctx.Done():
@@ -570,7 +590,8 @@ func (c *Coordinator) tryShardOn(ctx context.Context, p *peer, sh *shard, onProg
 			p.cancelJob(cctx, jobID)
 			cancel()
 			return nil, ctx.Err()
-		case <-time.After(c.cfg.PollInterval):
+		case <-poll.C:
+			poll.Reset(c.cfg.PollInterval)
 		}
 		st, err := p.jobStatus(ctx, jobID)
 		if err != nil {

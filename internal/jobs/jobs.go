@@ -15,12 +15,24 @@
 // memory of what it already computed. cmd/svserver exposes this manager over
 // HTTP as POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result and
 // DELETE /jobs/{id}.
+//
+// Two hardening layers round the manager out. Retention is enforced by a
+// background sweeper goroutine (ticking at TTL/4, stopped by Close) as well
+// as on Submit/Get access, so an idle server releases expired terminal jobs
+// — and the datasets their Meta pins — without waiting for the next
+// request. And the manager is journal-aware: jobs submitted with a spec
+// Envelope have every state transition mirrored to a Config.Journal
+// write-ahead sink (internal/journal implements it), and the replay half —
+// SubmitReplayed and Restore — reinstalls journaled jobs after a restart
+// under their original IDs.
 package jobs
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +66,12 @@ var (
 	ErrQueueFull = errors.New("jobs: queue full")
 	// ErrClosed rejects work after Close.
 	ErrClosed = errors.New("jobs: manager closed")
+	// ErrResultLost marks a done job restored from the journal after a
+	// restart: the journal preserves job history, not reports, so the
+	// values must be recomputed by resubmitting the request.
+	ErrResultLost = errors.New("jobs: result not retained across restart")
+	// ErrDuplicateID rejects a replay submission whose ID is already held.
+	ErrDuplicateID = errors.New("jobs: duplicate job id")
 )
 
 // Spec describes one valuation job.
@@ -83,6 +101,13 @@ type Spec struct {
 	// Meta is opaque caller context retained with the job (e.g. the HTTP
 	// layer's response metadata); retrieve it with Job.Meta.
 	Meta any
+	// Envelope is the job's durable spec: an opaque, self-contained
+	// serialization (conventionally a wire.JobEnvelope) from which the
+	// submission can be re-created after a process restart. A non-empty
+	// Envelope opts the job into Config.Journal — every state transition is
+	// journaled — while an empty one keeps it memory-only (e.g. cluster
+	// shard sub-jobs, which the coordinator re-drives itself).
+	Envelope []byte
 	// OnFinish, if set, runs exactly once when the job reaches a terminal
 	// state — done, failed or canceled, including the paths that never
 	// invoke Run (a result-cache hit at Submit, a cancellation while still
@@ -112,8 +137,27 @@ type Config struct {
 	// JobTimeout bounds one job's run time (0 = unbounded); an exceeded
 	// deadline fails the job.
 	JobTimeout time.Duration
+	// SweepInterval is the background TTL sweeper's tick (default TTL/4).
+	// The sweeper runs on the real clock; expiry decisions use Now.
+	SweepInterval time.Duration
+	// Journal, if set, receives the state transitions of every job
+	// submitted with a non-empty Spec.Envelope — the write-ahead hook that
+	// makes jobs replayable after a crash (internal/journal implements it).
+	Journal Journal
 	// Now overrides the clock, for TTL tests.
 	Now func() time.Time
+}
+
+// Journal is the write-ahead sink for job state transitions. The submit and
+// terminal records are the durable ones (a crash between them replays the
+// job from its envelope); Running is advisory — a lost running record
+// replays as queued, which re-runs identically. Implementations must be
+// safe for concurrent use and must not call back into the Manager; they are
+// invoked with manager or job locks held.
+type Journal interface {
+	Submitted(id string, at time.Time, envelope []byte)
+	Running(id string, at time.Time)
+	Finished(id string, state string, errMsg string, at time.Time)
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +198,7 @@ type Job struct {
 	err      error
 	cacheHit bool
 	canceled bool // cancellation requested (possibly while still queued)
+	lost     bool // done, but the report predates a restart (journal replay)
 	cancel   context.CancelFunc
 	created  time.Time
 	started  time.Time
@@ -161,7 +206,8 @@ type Job struct {
 
 	doneCh chan struct{} // closed exactly once, on reaching a terminal state
 
-	finishOnce sync.Once // guards Spec.OnFinish
+	finishOnce  sync.Once // guards Spec.OnFinish
+	journalOnce sync.Once // guards the journal's terminal record
 }
 
 // finalize runs Spec.OnFinish exactly once. Callers invoke it only after
@@ -224,6 +270,8 @@ func (j *Job) Report() (*knnshapley.Report, error) {
 		return nil, fmt.Errorf("jobs: job %s is %s", j.id, j.state)
 	case j.err != nil:
 		return nil, j.err
+	case j.lost:
+		return nil, fmt.Errorf("jobs: job %s finished before a server restart: %w", j.id, ErrResultLost)
 	default:
 		return j.report, nil
 	}
@@ -240,6 +288,8 @@ func (j *Job) Value() (any, error) {
 		return nil, fmt.Errorf("jobs: job %s is %s", j.id, j.state)
 	case j.err != nil:
 		return nil, j.err
+	case j.lost:
+		return nil, fmt.Errorf("jobs: job %s finished before a server restart: %w", j.id, ErrResultLost)
 	case j.value != nil:
 		return j.value, nil
 	default:
@@ -309,6 +359,8 @@ type Manager struct {
 	runs         atomic.Int64 // Spec.Run invocations, i.e. cache misses
 	hits         atomic.Int64 // jobs answered from the result cache
 	valuerBuilds atomic.Int64 // Valuer sessions constructed
+	replayed     atomic.Int64 // journal-replayed jobs re-submitted to run again
+	restored     atomic.Int64 // journal-replayed terminal jobs kept as history
 }
 
 // valuerEntry caches one session build, errors included; the sync.Once
@@ -337,7 +389,67 @@ func New(cfg Config) *Manager {
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
+	interval := cfg.SweepInterval
+	if interval <= 0 {
+		interval = cfg.TTL / 4
+	}
+	m.wg.Add(1)
+	go m.sweeper(interval)
 	return m
+}
+
+// sweeper enforces TTL retention on idle managers: without it, terminal
+// jobs (and whatever their Meta pins) would linger until the next
+// Submit/Get happened to trigger sweepLocked. The ticker runs on the real
+// clock; the expiry decisions inside sweepLocked use the injected Now.
+func (m *Manager) sweeper(interval time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case <-t.C:
+			m.mu.Lock()
+			if !m.closed {
+				m.sweepLocked(m.now())
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// journaled reports whether j's transitions go to the write-ahead journal.
+func (m *Manager) journaled(j *Job) bool {
+	return m.cfg.Journal != nil && len(j.spec.Envelope) > 0
+}
+
+// journalSubmit writes the durable submit record.
+func (m *Manager) journalSubmit(j *Job, at time.Time) {
+	if m.journaled(j) {
+		m.cfg.Journal.Submitted(j.id, at, j.spec.Envelope)
+	}
+}
+
+// journalFinish writes the durable terminal record, exactly once per job.
+func (m *Manager) journalFinish(j *Job) {
+	if !m.journaled(j) {
+		return
+	}
+	j.mu.Lock()
+	state, jerr, fin := j.state, j.err, j.finished
+	j.mu.Unlock()
+	if !state.Terminal() {
+		return
+	}
+	j.journalOnce.Do(func() {
+		var msg string
+		if jerr != nil {
+			msg = jerr.Error()
+		}
+		m.cfg.Journal.Finished(j.id, string(state), msg, fin)
+	})
 }
 
 func (m *Manager) now() time.Time { return m.cfg.Now() }
@@ -383,8 +495,12 @@ func (m *Manager) Submit(spec Spec) (job *Job, err error) {
 			// The job carries a copy marked as a hit, with the (near-zero)
 			// lookup duration instead of the original run's — replaying the
 			// old wall-clock time would misreport what this request cost.
-			// The cached report itself stays pristine for later audits.
+			// The cached report itself stays pristine for later audits,
+			// which requires deep-copying the slice fields: a shallow copy
+			// would share the Values backing array, letting one caller's
+			// mutation corrupt every future hit.
 			hit := *rep
+			hit.Values = append([]float64(nil), rep.Values...)
 			hit.CacheHit = true
 			hit.Duration = m.now().Sub(now)
 			job.mu.Lock()
@@ -394,17 +510,159 @@ func (m *Manager) Submit(spec Spec) (job *Job, err error) {
 			job.finishLocked(StateDone, &hit, nil, now)
 			job.mu.Unlock()
 			m.jobs[job.id] = job
+			// Journal the hit as submit + done so a restart restores it as
+			// history (the report itself is not journaled — re-polling the
+			// result after a restart gets ErrResultLost).
+			m.journalSubmit(job, now)
+			m.journalFinish(job)
 			return job, nil
 		}
 	}
 	select {
 	case m.queue <- job:
 		m.jobs[job.id] = job
+		// Journaled after the enqueue succeeded but before Submit returns:
+		// an accepted submission is durable, a queue-full rejection leaves
+		// no trace to replay. A crash in between means the caller never saw
+		// the job id — consistent either way.
+		m.journalSubmit(job, now)
 		return job, nil
 	default:
 		return nil, ErrQueueFull
 	}
 }
+
+// SubmitReplayed re-submits a journal-replayed job under its original id,
+// so clients polling GET /jobs/{id} across the restart find it again. It
+// skips the result-cache lookup (a fresh process has an empty cache; the
+// run must actually happen) and re-journals the submission so the new
+// journal is self-contained. Errors: ErrClosed, ErrDuplicateID and
+// ErrQueueFull. Like Submit, Spec.OnFinish fires even on rejection.
+func (m *Manager) SubmitReplayed(id string, spec Spec) (job *Job, err error) {
+	now := m.now()
+	j := &Job{
+		id:      id,
+		spec:    spec,
+		state:   StateQueued,
+		created: now,
+		doneCh:  make(chan struct{}),
+	}
+	j.total.Store(int64(spec.TotalUnits))
+	defer func() {
+		if err != nil {
+			j.finalize()
+		}
+	}()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := m.jobs[id]; ok {
+		return nil, ErrDuplicateID
+	}
+	m.bumpSeq(id)
+	select {
+	case m.queue <- j:
+		m.jobs[id] = j
+		m.replayed.Add(1)
+		m.journalSubmit(j, now)
+		return j, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Restored describes a journal-replayed job that is installed directly in a
+// terminal state: either it finished before the restart (done/failed/
+// canceled inside TTL — kept as retrievable history) or replay itself
+// failed it (e.g. its dataset vanished from the registry).
+type Restored struct {
+	ID    string
+	State State  // must be terminal
+	Err   string // failure/cancellation message, if any
+	// Lost marks a done job whose report predates the restart: the job's
+	// history is retrievable but Report/Value return ErrResultLost.
+	// Failed/canceled restores reproduce their Err instead.
+	Lost                       bool
+	Created, Started, Finished time.Time
+	Meta                       any
+	Envelope                   []byte
+}
+
+// Restore installs a terminal job from the journal. The job is immediately
+// done/failed/canceled, counts toward Stats.Restored, and is re-journaled
+// so the restart doubles as journal compaction.
+func (m *Manager) Restore(r Restored) (*Job, error) {
+	if !r.State.Terminal() {
+		return nil, fmt.Errorf("jobs: Restore requires a terminal state, got %q", r.State)
+	}
+	now := m.now()
+	fin := r.Finished
+	if fin.IsZero() {
+		fin = now
+	}
+	j := &Job{
+		id: r.ID,
+		spec: Spec{
+			Meta:     r.Meta,
+			Envelope: r.Envelope,
+		},
+		state:    r.State,
+		created:  r.Created,
+		started:  r.Started,
+		finished: fin,
+		lost:     r.Lost && r.State == StateDone,
+		doneCh:   make(chan struct{}),
+	}
+	if r.Err != "" {
+		j.err = errors.New(r.Err)
+	}
+	close(j.doneCh)
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := m.jobs[r.ID]; ok {
+		m.mu.Unlock()
+		return nil, ErrDuplicateID
+	}
+	m.bumpSeq(r.ID)
+	m.jobs[r.ID] = j
+	m.restored.Add(1)
+	m.journalSubmit(j, j.created)
+	m.mu.Unlock()
+
+	m.journalFinish(j)
+	j.finalize()
+	return j, nil
+}
+
+// bumpSeq advances the id sequence past a replayed "jNNNNNN" id so fresh
+// submissions never collide with replayed ones. Foreign id shapes are
+// ignored. Callers hold m.mu.
+func (m *Manager) bumpSeq(id string) {
+	s, ok := strings.CutPrefix(id, "j")
+	if !ok {
+		return
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := m.seq.Load()
+		if cur >= n || m.seq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// TTL returns the effective terminal-job retention period.
+func (m *Manager) TTL() time.Duration { return m.cfg.TTL }
 
 // Get returns a retained job by id.
 func (m *Manager) Get(id string) (*Job, bool) {
@@ -427,7 +685,8 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 	j.requestCancel(m.now())
 	if j.Snapshot().State.Terminal() {
 		// Canceled while still queued: the worker will never touch this job,
-		// so its release hook fires here.
+		// so its release hook and terminal journal record fire here.
+		m.journalFinish(j)
 		j.finalize()
 	}
 	return j, true
@@ -478,6 +737,9 @@ type Stats struct {
 	CacheHits, Runs int64
 	// ValuerBuilds counts sessions constructed (cache misses of Valuer).
 	ValuerBuilds int64
+	// Replayed counts journal-replayed jobs re-submitted to run again;
+	// Restored counts journal-replayed terminal jobs kept as history.
+	Replayed, Restored int64
 	// ReportEntries and ValuerEntries are current cache occupancies.
 	ReportEntries, ValuerEntries int
 }
@@ -491,6 +753,8 @@ func (m *Manager) Stats() Stats {
 		CacheHits:     m.hits.Load(),
 		Runs:          m.runs.Load(),
 		ValuerBuilds:  m.valuerBuilds.Load(),
+		Replayed:      m.replayed.Load(),
+		Restored:      m.restored.Load(),
 		ReportEntries: m.reports.len(),
 		ValuerEntries: m.valuers.len(),
 	}
@@ -559,8 +823,12 @@ func (m *Manager) runJob(job *Job) {
 	job.cancel = cancel
 	job.state = StateRunning
 	job.started = m.now()
+	started := job.started
 	job.mu.Unlock()
 
+	if m.journaled(job) {
+		m.cfg.Journal.Running(job.id, started)
+	}
 	m.runs.Add(1)
 	runCtx := knnshapley.ContextWithProgress(ctx, job.observe)
 	var rep *knnshapley.Report
@@ -593,6 +861,8 @@ func (m *Manager) runJob(job *Job) {
 		job.finishLocked(StateFailed, nil, err, now)
 	}
 	job.mu.Unlock()
+
+	m.journalFinish(job)
 
 	// Populate the result cache outside job.mu (lock order: m.mu alone).
 	if err == nil && job.spec.CacheKey != "" && rep != nil {

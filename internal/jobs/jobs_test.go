@@ -136,11 +136,20 @@ func TestResultCacheHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The hit is a marked copy of the cached report: same values, CacheHit
-	// set, and the (near-zero) lookup duration instead of the original
-	// run's wall-clock time.
-	if &secondRep.Values[0] != &firstRep.Values[0] {
-		t.Fatal("cache hit recomputed or copied the values")
+	// The hit is a marked deep copy of the cached report: identical values
+	// in a distinct backing array (so a caller mutating its copy cannot
+	// corrupt the cached entry), CacheHit set, and the (near-zero) lookup
+	// duration instead of the original run's wall-clock time.
+	if len(secondRep.Values) != len(firstRep.Values) {
+		t.Fatalf("cache hit has %d values, want %d", len(secondRep.Values), len(firstRep.Values))
+	}
+	for i := range firstRep.Values {
+		if secondRep.Values[i] != firstRep.Values[i] {
+			t.Fatalf("cache hit value %d = %g, want %g", i, secondRep.Values[i], firstRep.Values[i])
+		}
+	}
+	if &secondRep.Values[0] == &firstRep.Values[0] {
+		t.Fatal("cache hit shares its Values backing array with the cached report")
 	}
 	if !secondRep.CacheHit {
 		t.Fatal("cached report not marked CacheHit")
@@ -528,5 +537,312 @@ func TestOnFinishOnRunningCancel(t *testing.T) {
 	}
 	if got := finished.Load(); got != 1 {
 		t.Fatalf("OnFinish ran %d times after running-cancel, want 1", got)
+	}
+}
+
+// The background sweeper releases expired terminal jobs on an idle manager
+// — no Submit or Get required. Expiry decisions use the injected clock; the
+// ticker runs on the real one.
+func TestBackgroundSweeper(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	m := New(Config{
+		Workers:       1,
+		TTL:           time.Minute,
+		SweepInterval: 2 * time.Millisecond,
+		Now:           clock,
+	})
+	defer m.Close()
+	job, err := m.Submit(Spec{Run: func(ctx context.Context) (*knnshapley.Report, error) {
+		return &knnshapley.Report{Method: "sweep"}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, StateDone)
+
+	// Still inside TTL: the sweeper must leave it alone. (Stats does not
+	// sweep, so it observes without interfering.)
+	time.Sleep(10 * time.Millisecond)
+	if st := m.Stats(); st.Jobs != 1 {
+		t.Fatalf("%d jobs retained inside TTL, want 1", st.Jobs)
+	}
+
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Stats().Jobs == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("expired job still retained after %v of background sweeping", 5*time.Second)
+}
+
+// The mutation-then-rehit regression: a caller mutating its cache-hit copy
+// must not corrupt the cached entry later hits are served from.
+func TestCacheHitMutationDoesNotCorruptCache(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	spec := Spec{
+		CacheKey: "mutate-me",
+		Run: func(ctx context.Context) (*knnshapley.Report, error) {
+			return &knnshapley.Report{Method: "m", Values: []float64{1, 2, 3}}, nil
+		},
+	}
+	first, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondRep, err := second.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondRep.Values[0] = -999 // a badly behaved caller
+
+	third, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thirdRep, err := third.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{1, 2, 3}; thirdRep.Values[0] != want[0] ||
+		thirdRep.Values[1] != want[1] || thirdRep.Values[2] != want[2] {
+		t.Fatalf("third hit saw %v: the second hit's mutation reached the cache", thirdRep.Values)
+	}
+}
+
+// recordingJournal captures the Journal hook calls for assertion.
+type recordingJournal struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (r *recordingJournal) add(e string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+func (r *recordingJournal) Submitted(id string, at time.Time, envelope []byte) {
+	r.add("submit:" + id + ":" + string(envelope))
+}
+func (r *recordingJournal) Running(id string, at time.Time) { r.add("running:" + id) }
+func (r *recordingJournal) Finished(id string, state string, errMsg string, at time.Time) {
+	r.add("finish:" + id + ":" + state)
+}
+
+func (r *recordingJournal) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.events...)
+}
+
+// Jobs with a Spec.Envelope journal every state transition; jobs without
+// one (e.g. cluster shard sub-jobs) stay memory-only. A cache hit journals
+// submit + done with no running record.
+func TestJournalHooks(t *testing.T) {
+	rec := &recordingJournal{}
+	m := New(Config{Workers: 1, Journal: rec})
+	defer m.Close()
+
+	spec := Spec{
+		CacheKey: "journaled",
+		Envelope: []byte("env"),
+		Run: func(ctx context.Context) (*knnshapley.Report, error) {
+			return &knnshapley.Report{Method: "j"}, nil
+		},
+	}
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	id := job.ID()
+	want := []string{"submit:" + id + ":env", "running:" + id, "finish:" + id + ":done"}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(rec.snapshot()) >= len(want) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := rec.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("journal events %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("journal event %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// A cache hit: submit + finish, no running (nothing ran).
+	hit, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hid := hit.ID()
+	got = rec.snapshot()[len(want):]
+	wantHit := []string{"submit:" + hid + ":env", "finish:" + hid + ":done"}
+	if len(got) != 2 || got[0] != wantHit[0] || got[1] != wantHit[1] {
+		t.Fatalf("cache-hit journal events %v, want %v", got, wantHit)
+	}
+
+	// No envelope → memory-only: nothing new is journaled.
+	plain, err := m.Submit(Spec{Run: func(ctx context.Context) (*knnshapley.Report, error) {
+		return &knnshapley.Report{}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), plain); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if got := rec.snapshot(); len(got) != len(want)+len(wantHit) {
+		t.Fatalf("envelope-less job reached the journal: %v", got)
+	}
+}
+
+// A journaled job canceled while still queued gets its terminal record from
+// the canceling caller (the worker never touches it).
+func TestJournalQueuedCancel(t *testing.T) {
+	rec := &recordingJournal{}
+	m := New(Config{Workers: 1, Journal: rec})
+	defer m.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker, err := m.Submit(blockingSpec(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit(Spec{
+		Envelope: []byte("q"),
+		Run: func(ctx context.Context) (*knnshapley.Report, error) {
+			return &knnshapley.Report{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Cancel(queued.ID()); !ok {
+		t.Fatal("cancel failed")
+	}
+	got := rec.snapshot()
+	want := []string{"submit:" + queued.ID() + ":q", "finish:" + queued.ID() + ":canceled"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("journal events %v, want %v", got, want)
+	}
+	close(release)
+	waitState(t, blocker, StateDone)
+}
+
+// SubmitReplayed re-submits under the original ID, re-journals, rejects
+// duplicates, and bumps the ID sequence so fresh submissions never collide.
+func TestSubmitReplayed(t *testing.T) {
+	rec := &recordingJournal{}
+	m := New(Config{Workers: 1, Journal: rec})
+	defer m.Close()
+	spec := Spec{
+		Envelope: []byte("env"),
+		Run: func(ctx context.Context) (*knnshapley.Report, error) {
+			return &knnshapley.Report{Method: "replayed"}, nil
+		},
+	}
+	job, err := m.SubmitReplayed("j000041", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID() != "j000041" {
+		t.Fatalf("replayed job ID %s, want j000041", job.ID())
+	}
+	if _, err := m.Wait(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SubmitReplayed("j000041", spec); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate replay error %v, want ErrDuplicateID", err)
+	}
+	fresh, err := m.Submit(Spec{Run: func(ctx context.Context) (*knnshapley.Report, error) {
+		return &knnshapley.Report{}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID() != "j000042" {
+		t.Fatalf("post-replay submission got ID %s, want j000042 (sequence bumped past the replayed ID)", fresh.ID())
+	}
+	if st := m.Stats(); st.Replayed != 1 {
+		t.Fatalf("Stats.Replayed = %d, want 1", st.Replayed)
+	}
+}
+
+// Restore installs terminal history: a done job whose report the restart
+// lost answers ErrResultLost, a failed one reproduces its message, and a
+// non-terminal state is rejected.
+func TestRestore(t *testing.T) {
+	base := time.Unix(1000, 0)
+	// A clock pinned just after the restored timestamps, so the TTL sweep
+	// in Get does not expire the history mid-test.
+	m := New(Config{Workers: 1, Now: func() time.Time { return base.Add(time.Minute) }})
+	defer m.Close()
+
+	done, err := m.Restore(Restored{
+		ID: "j000001", State: StateDone, Lost: true,
+		Created: base, Started: base.Add(time.Second), Finished: base.Add(2 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := done.Snapshot(); s.State != StateDone || !s.Finished.Equal(base.Add(2*time.Second)) {
+		t.Fatalf("restored snapshot %+v", s)
+	}
+	if _, err := done.Report(); !errors.Is(err, ErrResultLost) {
+		t.Fatalf("restored done job Report error %v, want ErrResultLost", err)
+	}
+	if _, err := done.Value(); !errors.Is(err, ErrResultLost) {
+		t.Fatalf("restored done job Value error %v, want ErrResultLost", err)
+	}
+
+	failed, err := m.Restore(Restored{
+		ID: "j000002", State: StateFailed, Err: "dataset vanished",
+		Created: base, Finished: base.Add(time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := failed.Report(); err == nil || err.Error() != "dataset vanished" {
+		t.Fatalf("restored failed job Report error %v, want the persisted message", err)
+	}
+
+	if _, err := m.Restore(Restored{ID: "j000003", State: StateRunning}); err == nil {
+		t.Fatal("Restore accepted a non-terminal state")
+	}
+	if _, err := m.Restore(Restored{ID: "j000001", State: StateDone}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate restore error %v, want ErrDuplicateID", err)
+	}
+	if st := m.Stats(); st.Restored != 2 || st.Jobs != 2 {
+		t.Fatalf("stats restored=%d jobs=%d, want 2 and 2", st.Restored, st.Jobs)
+	}
+
+	// Restored history obeys the same TTL as everything else.
+	if _, ok := m.Get("j000001"); !ok {
+		t.Fatal("restored job not retrievable")
 	}
 }

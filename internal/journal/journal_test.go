@@ -1,0 +1,275 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// openT opens a journal in dir, failing the test on error.
+func openT(t *testing.T, cfg Config) (*Writer, []JobState) {
+	t.Helper()
+	w, states, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, states
+}
+
+// segFiles lists the wal-*.knjl files currently in dir.
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.knjl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+// The round trip: records written by one Writer replay as the expected job
+// states in the next Open — queued for a bare submit, running/terminal as
+// recorded, with envelopes, errors and timestamps intact.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(1000, 0)
+	w, states := openT(t, Config{Dir: dir})
+	if len(states) != 0 {
+		t.Fatalf("fresh journal replayed %d states", len(states))
+	}
+	w.Submitted("j000001", base, []byte("env-1"))
+	w.Submitted("j000002", base.Add(time.Second), []byte("env-2"))
+	w.Running("j000002", base.Add(2*time.Second))
+	w.Submitted("j000003", base.Add(3*time.Second), []byte("env-3"))
+	w.Running("j000003", base.Add(4*time.Second))
+	w.Finished("j000003", StateFailed, "engine exploded", base.Add(5*time.Second))
+	w.Close()
+
+	_, states = openT(t, Config{Dir: dir})
+	if len(states) != 3 {
+		t.Fatalf("replayed %d states, want 3", len(states))
+	}
+	// Sorted by Created: j000001, j000002, j000003.
+	if s := states[0]; s.ID != "j000001" || s.State != StateQueued || string(s.Envelope) != "env-1" {
+		t.Fatalf("state[0] = %+v", s)
+	}
+	if s := states[1]; s.ID != "j000002" || s.State != StateRunning ||
+		string(s.Envelope) != "env-2" || !s.Started.Equal(base.Add(2*time.Second)) {
+		t.Fatalf("state[1] = %+v", s)
+	}
+	if s := states[2]; s.ID != "j000003" || s.State != StateFailed ||
+		s.Err != "engine exploded" || !s.Finished.Equal(base.Add(5*time.Second)) {
+		t.Fatalf("state[2] = %+v", s)
+	}
+}
+
+// A re-submission of an already-terminal job (the replay path re-running a
+// queued job) reopens it: the latest submit record wins.
+func TestResubmitReopens(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(1000, 0)
+	w, _ := openT(t, Config{Dir: dir})
+	w.Submitted("j1", base, []byte("old"))
+	w.Finished("j1", StateDone, "", base.Add(time.Second))
+	w.Submitted("j1", base.Add(2*time.Second), []byte("new"))
+	w.Close()
+
+	states := openStates(t, dir)
+	if len(states) != 1 || states[0].State != StateQueued || string(states[0].Envelope) != "new" {
+		t.Fatalf("states = %+v, want one queued job with the new envelope", states)
+	}
+}
+
+// openStates replays dir and closes the writer immediately.
+func openStates(t *testing.T, dir string) []JobState {
+	t.Helper()
+	w, states := openT(t, Config{Dir: dir})
+	w.Close()
+	return states
+}
+
+// A torn final record — the residue of a crash mid-append — is truncated
+// away on Open: every whole record before it replays, the journal keeps
+// working, and the next Open sees a clean file.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(1000, 0)
+	w, _ := openT(t, Config{Dir: dir})
+	w.Submitted("j1", base, []byte("env"))
+	w.Finished("j1", StateDone, "", base.Add(time.Second))
+	w.Close()
+
+	// Append garbage that parses as a plausible frame header with a body
+	// that never arrives.
+	path := segFiles(t, dir)[0]
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], 100) // promises 100 bytes
+	f.Write(frame[:])
+	f.Write([]byte("torn"))
+	f.Close()
+
+	w2, states := openT(t, Config{Dir: dir})
+	defer w2.Close()
+	if len(states) != 1 || states[0].State != StateDone {
+		t.Fatalf("states = %+v, want the one done job", states)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != clean.Size() {
+		t.Fatalf("torn segment is %d bytes after Open, want truncated back to %d", st.Size(), clean.Size())
+	}
+}
+
+// A corrupt record mid-file (CRC mismatch) stops that segment's replay at
+// the last good record without failing Open.
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(1000, 0)
+	w, _ := openT(t, Config{Dir: dir})
+	w.Submitted("j1", base, []byte("env1"))
+	w.Submitted("j2", base.Add(time.Second), []byte("env2"))
+	w.Close()
+
+	// Flip a byte in the middle of the file (inside j1's or j2's payload).
+	path := segFiles(t, dir)[0]
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, states := openT(t, Config{Dir: dir})
+	defer w2.Close()
+	if len(states) != 1 || states[0].ID != "j1" {
+		t.Fatalf("states = %+v, want only the record before the corruption", states)
+	}
+}
+
+// Segments rotate at MaxSegmentBytes, and a closed segment whose every job
+// is terminal and past Retain is compacted away — while segments still
+// holding live or recent jobs survive.
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	w, _ := openT(t, Config{
+		Dir:             dir,
+		MaxSegmentBytes: 256, // rotate every couple of records
+		Retain:          time.Minute,
+		Now:             clock,
+		FsyncInterval:   -1, // no fsync noise in the test
+	})
+	defer w.Close()
+
+	// Terminal old jobs spread across several rotated segments.
+	env := bytes.Repeat([]byte("e"), 64)
+	for i := 0; i < 8; i++ {
+		id := string(rune('a' + i))
+		w.Submitted(id, now, env)
+		w.Finished(id, StateDone, "", now)
+	}
+	before := len(segFiles(t, dir))
+	if before < 3 {
+		t.Fatalf("expected several segments after 8 jobs at 256-byte rotation, got %d", before)
+	}
+
+	// Nothing is past Retain yet: rotation must not have deleted anything
+	// replayable. Now age everything out and force more rotations.
+	now = now.Add(2 * time.Minute)
+	for i := 0; i < 8; i++ {
+		id := string(rune('p' + i))
+		w.Submitted(id, now, env)
+		w.Finished(id, StateDone, "", now)
+	}
+	after := segFiles(t, dir)
+	// The early segments (jobs a..h, terminal and aged out) must be gone.
+	for _, p := range after {
+		if filepath.Base(p) == segName(1) {
+			t.Fatalf("segment 1 survived compaction: %v", after)
+		}
+	}
+}
+
+// PurgeReplayed deletes exactly the pre-Open segments once the server has
+// re-journaled the replayed jobs, leaving the fresh segment intact.
+func TestPurgeReplayed(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(1000, 0)
+	w, _ := openT(t, Config{Dir: dir})
+	w.Submitted("j1", base, []byte("env"))
+	w.Close()
+	if n := len(segFiles(t, dir)); n != 1 {
+		t.Fatalf("%d segments before reopen, want 1", n)
+	}
+
+	w2, states := openT(t, Config{Dir: dir})
+	defer w2.Close()
+	if len(states) != 1 {
+		t.Fatalf("replayed %d states, want 1", len(states))
+	}
+	if n := len(segFiles(t, dir)); n != 2 {
+		t.Fatalf("%d segments after reopen, want old + fresh", n)
+	}
+	// Re-journal the replayed job, then purge: only the fresh segment stays.
+	w2.Submitted("j1", base, states[0].Envelope)
+	w2.PurgeReplayed()
+	paths := segFiles(t, dir)
+	if len(paths) != 1 || filepath.Base(paths[0]) != segName(2) {
+		t.Fatalf("segments after purge = %v, want only the fresh one", paths)
+	}
+
+	// And the purged journal still replays the re-journaled job.
+	w2.Close()
+	w3, states := openT(t, Config{Dir: dir})
+	defer w3.Close()
+	if len(states) != 1 || states[0].ID != "j1" || string(states[0].Envelope) != "env" {
+		t.Fatalf("states after purge+reopen = %+v", states)
+	}
+}
+
+// The batched-fsync mode still lands records in the file (durability is
+// what the ticker adds; the bytes must flush on Close at the latest).
+func TestBatchedModePersistsOnClose(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openT(t, Config{Dir: dir, FsyncInterval: time.Hour})
+	w.Submitted("j1", time.Unix(1000, 0), []byte("env"))
+	w.Close()
+	states := openStates(t, dir)
+	if len(states) != 1 || states[0].ID != "j1" {
+		t.Fatalf("states = %+v, want the buffered submit flushed by Close", states)
+	}
+}
+
+// Finished rejects non-terminal states rather than corrupting the log.
+func TestFinishedRejectsNonTerminal(t *testing.T) {
+	dir := t.TempDir()
+	var logged bool
+	w, _ := openT(t, Config{
+		Dir:  dir,
+		Logf: func(string, ...any) { logged = true },
+	})
+	w.Finished("j1", StateRunning, "", time.Unix(1000, 0))
+	w.Finished("j1", "bogus", "", time.Unix(1000, 0))
+	w.Close()
+	if !logged {
+		t.Fatal("non-terminal Finished not logged")
+	}
+	if states := openStates(t, dir); len(states) != 0 {
+		t.Fatalf("states = %+v, want none", states)
+	}
+}

@@ -1,0 +1,155 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// rec is one decoded journal record.
+type rec struct {
+	kind     byte
+	id       string
+	at       time.Time
+	envelope []byte // kindSubmit
+	state    string // kindState
+	errMsg   string // kindState, terminal
+}
+
+// readSegmentFile decodes one segment. The returned offset is the length of
+// the valid prefix (header plus whole records); tornErr is non-nil when the
+// file ends in anything but a clean record boundary.
+func readSegmentFile(path string) ([]rec, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return readSegment(f)
+}
+
+// readSegment decodes a segment stream. It never fails hard and never
+// panics, whatever the bytes: decoding stops at the first torn or corrupt
+// record, returning every record before it, the offset of the valid prefix,
+// and a diagnostic error (nil for a clean EOF on a record boundary). This
+// is the property FuzzJournalDecode pins.
+func readSegment(r io.Reader) ([]rec, int64, error) {
+	br := bufio.NewReader(r)
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("journal: short segment header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != segMagic {
+		return nil, 0, fmt.Errorf("journal: bad segment magic %x", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != segVersion {
+		return nil, 0, fmt.Errorf("journal: unsupported segment version %d", v)
+	}
+	var recs []rec
+	good := int64(segHeaderLen)
+	for {
+		var frame [8]byte
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err == io.EOF {
+				return recs, good, nil // clean boundary
+			}
+			return recs, good, fmt.Errorf("journal: torn record frame: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(frame[:4])
+		if n == 0 || n > maxRecordBytes {
+			return recs, good, fmt.Errorf("journal: implausible record length %d", n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return recs, good, fmt.Errorf("journal: torn record payload: %w", err)
+		}
+		if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(frame[4:]) {
+			return recs, good, fmt.Errorf("journal: record CRC mismatch")
+		}
+		rc, err := decodeRecord(payload)
+		if err != nil {
+			return recs, good, err
+		}
+		recs = append(recs, rc)
+		good += int64(len(frame)) + int64(n)
+	}
+}
+
+// decodeRecord parses one CRC-verified payload.
+func decodeRecord(p []byte) (rec, error) {
+	if len(p) < 2 {
+		return rec{}, fmt.Errorf("journal: record too short")
+	}
+	kind, idLen := p[0], int(p[1])
+	p = p[2:]
+	if len(p) < idLen+8 {
+		return rec{}, fmt.Errorf("journal: record shorter than its id")
+	}
+	rc := rec{kind: kind, id: string(p[:idLen])}
+	p = p[idLen:]
+	rc.at = time.Unix(0, int64(binary.LittleEndian.Uint64(p[:8])))
+	p = p[8:]
+	switch kind {
+	case kindSubmit:
+		if len(p) < 4 {
+			return rec{}, fmt.Errorf("journal: submit record missing envelope length")
+		}
+		n := int(binary.LittleEndian.Uint32(p[:4]))
+		if n != len(p)-4 {
+			return rec{}, fmt.Errorf("journal: envelope length %d does not match payload", n)
+		}
+		rc.envelope = append([]byte(nil), p[4:]...)
+	case kindState:
+		if len(p) < 3 {
+			return rec{}, fmt.Errorf("journal: state record too short")
+		}
+		state, ok := byteStates[p[0]]
+		if !ok {
+			return rec{}, fmt.Errorf("journal: unknown state byte %d", p[0])
+		}
+		rc.state = state
+		n := int(binary.LittleEndian.Uint16(p[1:3]))
+		if n != len(p)-3 {
+			return rec{}, fmt.Errorf("journal: error length %d does not match payload", n)
+		}
+		rc.errMsg = string(p[3:])
+	default:
+		return rec{}, fmt.Errorf("journal: unknown record kind %d", kind)
+	}
+	return rc, nil
+}
+
+// applyRecord folds one record into the replay state. Submit records create
+// (or, for a re-submission, reset) the job; state records advance it.
+// Orphan state records — their submit lost to corruption or compaction —
+// still materialize terminal history, but such a job has no envelope and
+// cannot be re-run.
+func applyRecord(jobs map[string]*JobState, rc rec) {
+	js, ok := jobs[rc.id]
+	if !ok {
+		js = &JobState{ID: rc.id, State: StateQueued, Created: rc.at}
+		jobs[rc.id] = js
+	}
+	switch rc.kind {
+	case kindSubmit:
+		js.State = StateQueued
+		js.Envelope = rc.envelope
+		js.Created = rc.at
+		js.Started, js.Finished = time.Time{}, time.Time{}
+		js.Err = ""
+	case kindState:
+		switch rc.state {
+		case StateRunning:
+			js.State = StateRunning
+			js.Started = rc.at
+		default:
+			js.State = rc.state
+			js.Finished = rc.at
+			js.Err = rc.errMsg
+		}
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package journal
+
+import "os"
+
+// preallocate is a no-op where fallocate is unavailable; datasync falls back
+// to a full fsync. Appends are then slower (each sync commits the size
+// change) but exactly as durable.
+func preallocate(f *os.File, size int64) error { return nil }
+
+func datasync(f *os.File) error { return f.Sync() }

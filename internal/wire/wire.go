@@ -60,6 +60,31 @@ type ValueRequest struct {
 	Params knnshapley.Method `json:"-"`
 }
 
+// JobEnvelope is the durable form of one job submission, journaled by the
+// write-ahead job journal (internal/journal) and replayed after a restart.
+// Request is the wire JSON of a by-reference ValueRequest — datasets by
+// registry ID, never inline, so the envelope stays a few hundred bytes and
+// replay re-resolves the (directory-scan-recovered) registry by ID. Meta is
+// opaque serving-layer context carried along verbatim.
+type JobEnvelope struct {
+	// V versions the envelope format; replay rejects versions it does not
+	// know rather than guessing.
+	V int `json:"v"`
+	// CacheKey is the job's result-cache key, preserved so a replayed run
+	// repopulates the same cache slot.
+	CacheKey string `json:"cacheKey,omitempty"`
+	// TotalUnits is the progress denominator of the original submission.
+	TotalUnits int `json:"totalUnits,omitempty"`
+	// Request is the by-ref ValueRequest JSON to re-submit.
+	Request json.RawMessage `json:"request"`
+	// Meta is opaque tenant/serving context (svserver stores its response
+	// metadata here).
+	Meta json.RawMessage `json:"meta,omitempty"`
+}
+
+// JobEnvelopeVersion is the version current writers stamp into JobEnvelope.V.
+const JobEnvelopeVersion = 1
+
 // envelopeFields are the top-level JSON keys owned by the request envelope;
 // every other key belongs to the method's parameters. Matching is
 // case-insensitive, like encoding/json's own field matching.

@@ -11,9 +11,12 @@
 # end-to-end run (a real svserver answering "svcli methods"), a
 # multi-process cluster end-to-end run (three workers + coordinator,
 # by-ref scatter-gather bit-identical to in-process, one worker SIGKILLed
-# mid-job, SIGTERM drain), and a short svbench smoke (to $BENCH_SMOKE,
-# default /tmp/BENCH_6.json) diffed against the committed BENCH_6.json
-# baseline — records that got more than 4x slower fail the run.
+# mid-job, SIGTERM drain), a crash-durability end-to-end run (svserver
+# SIGKILLed mid-job, restarted on the same data dir; the write-ahead job
+# journal must replay the job under its original ID with a bit-identical
+# result), and a short svbench smoke (to $BENCH_SMOKE, default
+# /tmp/BENCH_7.json) diffed against the committed BENCH_7.json baseline —
+# records that got more than 4x slower fail the run.
 # Run from anywhere; operates on the repo root. CI
 # (.github/workflows/ci.yml) runs exactly this script.
 set -euo pipefail
@@ -36,10 +39,11 @@ go test ./...
 go test -race ./internal/vec ./internal/knn ./internal/kheap
 go test -race ./internal/core
 go test -race ./internal/jobs
+go test -race ./internal/journal
 go test -race ./internal/registry
 go test -race ./internal/cluster
 go test -run TestCancel -race ./...
-go test -run 'TestJob|TestStatz|TestDataset|TestValueByRef|TestValueRef|TestQueuedCancel|TestMethods' -race ./cmd/svserver
+go test -run 'TestJob|TestStatz|TestDataset|TestValueByRef|TestValueRef|TestQueuedCancel|TestMethods|TestReplay' -race ./cmd/svserver
 go test -run 'TestEvaluate|TestParams' -race .
 
 # Fuzz smoke: ten seconds per decode/storage surface. New crashers land in
@@ -49,6 +53,7 @@ go test -run '^$' -fuzz FuzzBinaryCodec -fuzztime 10s ./internal/dataset
 go test -run '^$' -fuzz FuzzDecodeValueRequest -fuzztime 10s ./cmd/svserver
 go test -run '^$' -fuzz FuzzShardReportCodec -fuzztime 10s ./internal/cluster
 go test -run '^$' -fuzz FuzzShardRequestJSON -fuzztime 10s ./internal/cluster
+go test -run '^$' -fuzz FuzzJournalDecode -fuzztime 10s ./internal/journal
 
 # Serving smoke: the upload-once/value-many comparison through the real
 # HTTP handlers (inline re-ships and re-fingerprints the payload each call;
@@ -179,13 +184,58 @@ fi
 cluster_cleanup
 trap cleanup EXIT
 
+# Crash-durability end-to-end: an async by-ref exact valuation is submitted
+# to a real svserver, the process SIGKILLed mid-job, and a new process
+# started on the same data dir. The restarted server must log the journal
+# replay, re-run the job under its original ID, and "svcli -job" must fetch
+# a result bit-identical to an uninterrupted local run (%g is
+# shortest-round-trip formatting, so identical text means identical float64
+# bits). SIGKILL, not SIGTERM: a graceful shutdown drains and journals jobs
+# as canceled, so only a hard crash exercises replay.
+jdir=$(mktemp -d)
+jpid=""
+journal_cleanup() { kill -9 "$jpid" 2>/dev/null || true; rm -rf "$jdir"; }
+trap 'cleanup; journal_cleanup' EXIT
+mkdir -p "$jdir/data"
+awk 'BEGIN{srand(11); for(r=0;r<100000;r++){for(c=0;c<16;c++)printf "%.6f,", rand()*2-1; print int(rand()*3)}}' >"$jdir/train.csv"
+awk 'BEGIN{srand(12); for(r=0;r<64;r++){for(c=0;c<16;c++)printf "%.6f,", rand()*2-1; print int(rand()*3)}}' >"$jdir/test.csv"
+"$bindir/svcli" -train "$jdir/train.csv" -test "$jdir/test.csv" -k 5 -algo exact \
+    >"$jdir/local.csv"
+
+"$bindir/svserver" -addr 127.0.0.1:0 -data-dir "$jdir/data" >"$jdir/sv1.log" 2>&1 &
+jpid=$!
+jaddr=$(wait_addr "$jdir/sv1.log")
+jobid=$("$bindir/svcli" -train "$jdir/train.csv" -test "$jdir/test.csv" -k 5 -algo exact \
+    -server "http://$jaddr" -by-ref -async -submit-only)
+sleep 0.4
+kill -9 "$jpid"
+wait "$jpid" 2>/dev/null || true
+
+"$bindir/svserver" -addr 127.0.0.1:0 -data-dir "$jdir/data" >"$jdir/sv2.log" 2>&1 &
+jpid=$!
+jaddr=$(wait_addr "$jdir/sv2.log")
+if ! grep -q "journal replay: 1 re-submitted" "$jdir/sv2.log"; then
+    echo "restarted svserver did not replay the journaled job:" >&2
+    cat "$jdir/sv2.log" >&2
+    exit 1
+fi
+"$bindir/svcli" -job "$jobid" -server "http://$jaddr" -poll 50ms >"$jdir/restart.csv"
+if ! cmp -s "$jdir/local.csv" "$jdir/restart.csv"; then
+    echo "replayed job $jobid differs from the uninterrupted run:" >&2
+    diff "$jdir/local.csv" "$jdir/restart.csv" | head >&2
+    exit 1
+fi
+kill "$jpid"
+journal_cleanup
+trap cleanup EXIT
+
 # Perf smoke + regression gate: the machine-readable engine
 # micro-benchmarks, capped at N=1e4 so the sweep stays seconds, diffed
 # against the committed full-sweep baseline. -threshold 4 absorbs
 # loaded-machine noise while still catching order-of-magnitude
 # regressions; records under 10µs are reported but never enforced.
 # Written OUTSIDE the repo (override with BENCH_SMOKE; CI uploads it as
-# an artifact) so the committed BENCH_6.json trajectory point is never
+# an artifact) so the committed BENCH_7.json trajectory point is never
 # clobbered by smoke numbers — regenerate that one deliberately with:
-#   go run ./cmd/svbench -benchjson BENCH_6.json
-go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_6.json}" -benchmax 10000 -compare BENCH_6.json -threshold 4
+#   go run ./cmd/svbench -benchjson BENCH_7.json
+go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_7.json}" -benchmax 10000 -compare BENCH_7.json -threshold 4
