@@ -91,9 +91,10 @@ func runBenchJSON(path string, maxN int) error {
 		if err != nil {
 			return fmt.Errorf("exact n=%d: %w", n, err)
 		}
+		exactNsPerOp := ns / benchNTest
 		rep.Results = append(rep.Results, benchRecord{
 			Name: "exact", N: n, Dim: train.Dim(), NTest: benchNTest,
-			NsPerOp: ns / benchNTest, TotalNs: ns,
+			NsPerOp: exactNsPerOp, TotalNs: ns,
 		})
 
 		// Same exact valuation in the float32 compute mode: half the scan
@@ -200,11 +201,20 @@ func runBenchJSON(path string, maxN int) error {
 		}
 		rep.Results = append(rep.Results, wireRecs...)
 
-		shardRec, err := benchSharded(n, train, test)
+		shardRecs, err := benchSharded(n, train, test)
 		if err != nil {
 			return fmt.Errorf("sharded n=%d: %w", n, err)
 		}
-		rep.Results = append(rep.Results, shardRec)
+		rep.Results = append(rep.Results, shardRecs...)
+
+		// Incremental revaluation after a delta: what re-valuing a versioned
+		// child costs against the cached parent ranking, vs the from-scratch
+		// exact scan at the same N (BaselineNsPerOp).
+		deltaRecs, err := benchDelta(n, train, test, exactNsPerOp)
+		if err != nil {
+			return fmt.Errorf("delta n=%d: %w", n, err)
+		}
+		rep.Results = append(rep.Results, deltaRecs...)
 	}
 
 	// Dispatch cost of the declarative entry point: Valuer.Evaluate's
@@ -322,7 +332,10 @@ func benchDispatch() ([]benchRecord, error) {
 // distributed valuation costs per test point and BytesOnWire is the gathered
 // shard-report bytes per request — the exact method ships full per-shard
 // neighbor rankings, which is the dominant wire cost of the merge protocol.
-func benchSharded(n int, train, test *dataset.Dataset) (benchRecord, error) {
+// Two records over the same worker set: "wire_sharded" with the default
+// gzip report transfer, "wire_sharded_nogzip" with compression disabled, so
+// the report carries the on-wire bytes before and after compression.
+func benchSharded(n int, train, test *dataset.Dataset) ([]benchRecord, error) {
 	var cleanups []func()
 	defer func() {
 		for i := len(cleanups) - 1; i >= 0; i-- {
@@ -333,40 +346,161 @@ func benchSharded(n int, train, test *dataset.Dataset) (benchRecord, error) {
 	for i := 0; i < 3; i++ {
 		reg, err := registry.New(registry.Config{})
 		if err != nil {
-			return benchRecord{}, err
+			return nil, err
 		}
 		mgr := jobs.New(jobs.Config{Workers: 2})
 		srv := httptest.NewServer(cluster.NewWorker(reg, mgr).Handler())
 		cleanups = append(cleanups, srv.Close, mgr.Close)
 		urls = append(urls, srv.URL)
 	}
-	c := cluster.New(cluster.Config{
-		Peers:          urls,
-		HealthInterval: -1,
-		PollInterval:   2 * time.Millisecond,
-	})
-	cleanups = append(cleanups, c.Close)
 
-	ctx := context.Background()
-	req := cluster.Request{Train: train, Test: test, Method: "exact", K: benchK}
-	if _, err := c.Evaluate(ctx, req); err != nil { // warm up; pushes datasets
-		return benchRecord{}, err
-	}
+	run := func(name string, nogzip bool) (benchRecord, error) {
+		c := cluster.New(cluster.Config{
+			Peers:             urls,
+			HealthInterval:    -1,
+			PollInterval:      2 * time.Millisecond,
+			DisableReportGzip: nogzip,
+		})
+		defer c.Close()
 
-	const reps = 3
-	baseBytes := c.BytesOnWire()
-	start := time.Now()
-	for r := 0; r < reps; r++ {
-		if _, err := c.Evaluate(ctx, req); err != nil {
+		ctx := context.Background()
+		req := cluster.Request{Train: train, Test: test, Method: "exact", K: benchK}
+		if _, err := c.Evaluate(ctx, req); err != nil { // warm up; pushes datasets
 			return benchRecord{}, err
 		}
+
+		const reps = 3
+		baseBytes := c.BytesOnWire()
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := c.Evaluate(ctx, req); err != nil {
+				return benchRecord{}, err
+			}
+		}
+		total := time.Since(start).Nanoseconds()
+		return benchRecord{
+			Name: name, N: n, Dim: train.Dim(), NTest: benchNTest,
+			NsPerOp: total / (reps * benchNTest), TotalNs: total,
+			BytesOnWire: (c.BytesOnWire() - baseBytes) / reps,
+		}, nil
 	}
-	total := time.Since(start).Nanoseconds()
-	return benchRecord{
-		Name: "wire_sharded", N: n, Dim: train.Dim(), NTest: benchNTest,
-		NsPerOp: total / (reps * benchNTest), TotalNs: total,
-		BytesOnWire: (c.BytesOnWire() - baseBytes) / reps,
-	}, nil
+
+	gz, err := run("wire_sharded", false)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := run("wire_sharded_nogzip", true)
+	if err != nil {
+		return nil, err
+	}
+	return []benchRecord{gz, raw}, nil
+}
+
+// benchDelta measures the incremental revaluation path: the parent ranking
+// is built and cached untimed, then for each ΔN a chain of versioned
+// children is derived via registry.ApplyDelta (append ΔN rows each) and the
+// revaluation of each child — the O(ΔN·D + N) scan-patch-replay riding the
+// previous version's cached ranking, the arrival-stream workload — is
+// timed. NsPerOp is per test point per revaluation; BaselineNsPerOp carries
+// the from-scratch exact per-point cost measured at the same N earlier in
+// the sweep, so each record is its own speedup ratio.
+func benchDelta(n int, train, test *dataset.Dataset, exactNsPerOp int64) ([]benchRecord, error) {
+	reg, err := registry.New(registry.Config{})
+	if err != nil {
+		return nil, err
+	}
+	ph, _, err := reg.Put(train)
+	if err != nil {
+		return nil, err
+	}
+	defer ph.Release()
+	th, _, err := reg.Put(test)
+	if err != nil {
+		return nil, err
+	}
+	defer th.Release()
+
+	// Every chained version is retained, and each entry's accounted bytes
+	// conservatively double-count the shared base, so give the cache enough
+	// budget that no link of a chain is evicted mid-measurement (an eviction
+	// would silently degrade a patch to a from-scratch scan — checked below).
+	inc := cluster.NewIncremental(cluster.NewRankCache(4<<30), reg)
+	ctx := context.Background()
+	baseReq := cluster.Request{
+		Train: ph.Dataset(), Test: th.Dataset(),
+		TrainID: ph.ID(), TestID: th.ID(),
+		Method: "exact", K: benchK,
+	}
+	if _, err := inc.Values(ctx, baseReq); err != nil { // build parent entry, untimed
+		return nil, err
+	}
+	// Prime the patch path (allocator, page faults) on a throwaway child, the
+	// same warm-up convention every timeOp measurement in the sweep follows.
+	warm, _, _, err := reg.ApplyDelta(ph.ID(), registry.Delta{Append: dataset.MNISTLike(1, 99)})
+	if err != nil {
+		return nil, err
+	}
+	wreq := baseReq
+	wreq.Train, wreq.TrainID = warm.Dataset(), warm.ID()
+	if _, err := inc.Values(ctx, wreq); err != nil {
+		warm.Release()
+		return nil, err
+	}
+	warm.Release()
+
+	// Each repetition patches a fresh chain of versions (re-valuing an
+	// already-seen ID would be a pure cache hit, not the patch path the
+	// record is named for); min-of-reps discards GC interference, same as
+	// a mid-measurement collection would never survive `go test -bench`.
+	const chain = 3
+	const reps = 3
+	var recs []benchRecord
+	for i, dn := range []int{1, 10, 1000} {
+		var best int64
+		for rep := 0; rep < reps; rep++ {
+			parent := ph.ID()
+			var handles []*registry.Handle
+			for r := 0; r < chain; r++ {
+				// Distinct content per link and per repetition.
+				app := dataset.MNISTLike(dn, uint64(1000+100*i+10*rep+r))
+				ch, _, _, err := reg.ApplyDelta(parent, registry.Delta{Append: app})
+				if err != nil {
+					return nil, err
+				}
+				handles = append(handles, ch)
+				parent = ch.ID()
+			}
+			runtime.GC()
+			ns, err := timeOp(func() error {
+				for _, ch := range handles {
+					creq := baseReq
+					creq.Train, creq.TrainID = ch.Dataset(), ch.ID()
+					if _, err := inc.Values(ctx, creq); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			for _, ch := range handles {
+				ch.Release()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("delta dn=%d: %w", dn, err)
+			}
+			if rep == 0 || ns < best {
+				best = ns
+			}
+		}
+		recs = append(recs, benchRecord{
+			Name: fmt.Sprintf("delta_append_dn%d", dn), N: n, Dim: train.Dim(),
+			NTest: benchNTest, NsPerOp: best / (chain * benchNTest), TotalNs: best,
+			BaselineNsPerOp: exactNsPerOp,
+		})
+	}
+	if st := inc.Stats(); st.FromScratch != 1 || st.Patches != 3*reps*chain+1 { // +1 for the warm-up child
+		return nil, fmt.Errorf("delta bench did not stay on the patch path: %+v", st)
+	}
+	return recs, nil
 }
 
 // benchJournal measures what the write-ahead job journal costs a submitted

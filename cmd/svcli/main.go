@@ -63,6 +63,8 @@
 //	svcli datasets -server http://localhost:8080                      # list stored datasets
 //	svcli datasets -server http://localhost:8080 -id a1b2c3d4e5f60718 # one dataset's metadata
 //	svcli datasets -server http://localhost:8080 -delete a1b2c3d4e5f60718
+//	svcli delta -server http://localhost:8080 -id a1b2... -append new.csv -remove 3,17
+//	                                                  # prints the derived child's ID
 //
 //	svcli -train-ref a1b2... -test-ref 18f7... -k 5 -server http://localhost:8080
 //	svcli -train big.csv -test test.csv -k 5 -server http://localhost:8080 -by-ref
@@ -74,6 +76,13 @@
 // datasets are — and -by-ref uploads the local CSVs first (a no-op after
 // the first run) and then submits by reference. Repeated valuations of one
 // training set this way send its bytes exactly once.
+//
+// "svcli delta" edits a stored training set server-side: it PUTs an
+// append/remove delta against /datasets/{id}/delta and prints the child's
+// content-addressed ID, which pipes straight into -train-ref. The server
+// records the lineage, so valuing the child reuses the parent's cached
+// neighbor rankings and costs O(ΔN) — the cheap way to track a stream of
+// arriving points without re-valuing from scratch each batch.
 //
 // An -async run that hits -timeout cancels its job (DELETE /jobs/{id}) so
 // the daemon stops computing, then exits non-zero. Identical resubmissions
@@ -112,6 +121,9 @@ func main() {
 			return
 		case "datasets":
 			runDatasets(os.Args[2:])
+			return
+		case "delta":
+			runDelta(os.Args[2:])
 			return
 		case "methods":
 			runMethods(os.Args[2:])
@@ -731,6 +743,78 @@ func runUpload(args []string) {
 	fmt.Println(up.ID)
 }
 
+// runDelta is the "svcli delta" subcommand: derive a versioned child of an
+// uploaded dataset by removing rows and/or appending new ones, without
+// re-shipping the parent. Prints the child's ID on stdout — the same
+// contract as upload, so the ID pipes straight into -train-ref. On a
+// server that holds the parent's neighbor rankings warm, valuing the child
+// costs O(ΔN) instead of a full rescan.
+func runDelta(args []string) {
+	fs := flag.NewFlagSet("delta", flag.ExitOnError)
+	var (
+		serverURL  = fs.String("server", "", "svserver base URL (required)")
+		id         = fs.String("id", "", "parent dataset ID (required)")
+		appendPath = fs.String("append", "", "CSV of rows to append (features..., response)")
+		appendRef  = fs.String("append-ref", "", "registry ID of an uploaded dataset holding the rows to append")
+		removeList = fs.String("remove", "", "comma-separated parent row indices to remove")
+		regression = fs.Bool("regression", false, "treat the append CSV's response column as a regression target")
+		timeout    = fs.Duration("timeout", time.Minute, "request deadline")
+	)
+	fs.Parse(args)
+	if *serverURL == "" || *id == "" {
+		fmt.Fprintln(os.Stderr, "svcli delta: -server and -id are required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *appendPath != "" && *appendRef != "" {
+		fmt.Fprintln(os.Stderr, "svcli delta: give -append or -append-ref, not both")
+		os.Exit(2)
+	}
+	dreq := wire.DeltaRequest{AppendRef: *appendRef}
+	remove, err := parseIndexList("-remove", *removeList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli delta:", err)
+		os.Exit(2)
+	}
+	dreq.Remove = remove
+	if *appendPath != "" {
+		dreq.Append = toWire(mustRead(*appendPath, *regression))
+	}
+	if dreq.Append == nil && dreq.AppendRef == "" && len(dreq.Remove) == 0 {
+		fmt.Fprintln(os.Stderr, "svcli delta: nothing to do — give -append, -append-ref or -remove")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	body, err := json.Marshal(dreq)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		*serverURL+"/datasets/"+*id+"/delta", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svcli:", err)
+		os.Exit(1)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp struct {
+		wire.DeltaResponse
+		Error string `json:"error"`
+	}
+	status, raw := doJSON(req, &resp)
+	if status != http.StatusCreated && status != http.StatusOK {
+		remoteFail("delta", status, resp.Error, raw)
+	}
+	verb := "derived"
+	if !resp.Created {
+		verb = "already stored:"
+	}
+	fmt.Fprintf(os.Stderr, "svcli: %s %s from %s (+%d/-%d rows, now %d×%d)\n",
+		verb, resp.ID, *id, resp.Appended, resp.Removed, resp.Rows, resp.Dim)
+	fmt.Println(resp.ID)
+}
+
 // runDatasets is the "svcli datasets" subcommand: list, stat or delete.
 func runDatasets(args []string) {
 	fs := flag.NewFlagSet("datasets", flag.ExitOnError)
@@ -797,6 +881,9 @@ func printDataset(info wire.DatasetInfo) {
 	name := ""
 	if info.Name != "" {
 		name = " name=" + info.Name
+	}
+	if info.Parent != "" {
+		name += " parent=" + info.Parent
 	}
 	fmt.Printf("%s rows=%d dim=%d %s bytes=%d tier=%s refs=%d%s\n",
 		info.ID, info.Rows, info.Dim, kind, info.Bytes, tier, info.Refs, name)

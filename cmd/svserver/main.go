@@ -16,8 +16,9 @@
 //
 //	POST   /datasets         — upload a dataset (JSON or binary), get its ID
 //	GET    /datasets         — list stored datasets
-//	GET    /datasets/{id}    — dataset metadata
+//	GET    /datasets/{id}    — dataset metadata (with lineage parent, if any)
 //	DELETE /datasets/{id}    — delete (deferred while jobs hold it)
+//	PUT    /datasets/{id}/delta — derive a versioned child (append/remove rows)
 //	POST   /jobs             — enqueue a valuation job (202 + job status)
 //	GET    /jobs/{id}        — poll job status and progress
 //	GET    /jobs/{id}/result — fetch the report of a done job
@@ -54,6 +55,35 @@
 // bytes regardless of dataset size, resolves its datasets by ID without
 // re-validating or re-fingerprinting them, and lands on the warm Valuer
 // session for that training set.
+//
+// # Versioned datasets and incremental valuation
+//
+// PUT /datasets/{id}/delta derives a new dataset from a stored one without
+// re-uploading it: the body names parent rows to remove and/or rows to
+// append ({"append": {payload} | "appendRef": "<id>", "remove": [i, ...]}).
+// The child is stored under its ordinary content fingerprint — byte-for-byte
+// what a direct upload of the edited dataset would mint, so re-derivations
+// are idempotent (200 instead of 201) — plus a recorded lineage edge
+// ("parent" in the response and in GET /datasets/{child}).
+//
+// Lineage is what makes revaluation cheap. Exact and truncated
+// classification valuations keep each (train, test, k, metric, precision)
+// pair's full neighbor ordering in a byte-budgeted rank cache
+// (-rank-cache-budget); when a valuation names a dataset whose lineage
+// parent is cached, only the ΔN appended rows are distance-scanned and
+// merged into the parent's ordering — O(ΔN·log N + N) instead of the full
+// O(N·D) rescan — and removals tombstone in place. The replayed values are
+// bit-identical to a from-scratch run (same floats, same order), so the
+// incremental path shares result-cache entries with the engine and the
+// cluster merge. The "incremental"/"rankCache" blocks of /statz (and the
+// svserver_incremental_*/svserver_rank_cache_* series of /metrics) show
+// from-scratch builds vs O(ΔN) patches.
+//
+// Deltas ride the journaled job queue (envelope kind "delta"): a delta
+// accepted before a crash re-applies on replay, and completed deltas have
+// their lineage edges rebuilt at startup, so the incremental path survives
+// restarts. Lineage lost anyway (TTL-expired journal, deleted parent) only
+// costs speed — the valuation falls back to a full rescan.
 //
 // # Job lifecycle
 //
@@ -195,6 +225,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -202,6 +233,7 @@ import (
 
 	"knnshapley"
 	"knnshapley/internal/cluster"
+	"knnshapley/internal/core"
 	"knnshapley/internal/jobs"
 	"knnshapley/internal/journal"
 	"knnshapley/internal/registry"
@@ -226,6 +258,7 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "dataset registry directory (empty = a fresh temp dir)")
 		memBudget  = flag.Int64("mem-budget", 0, "bytes of decoded datasets kept in memory (0 = 256 MiB)")
 		diskBudget = flag.Int64("disk-budget", 4<<30, "bytes of datasets kept on disk before LRU reclaim of unpinned ones (0 = unbounded)")
+		rankBudget = flag.Int64("rank-cache-budget", 0, "bytes of cached neighbor rankings for incremental delta valuation (0 = 256 MiB, negative disables caching)")
 
 		journalOn    = flag.Bool("journal", true, "write-ahead job journal under -data-dir/journal; queued/running jobs replay after a crash")
 		journalFsync = flag.Duration("journal-fsync", 25*time.Millisecond, "journal group-commit interval (0 = fsync inline on submit/terminal records, <0 = never)")
@@ -277,6 +310,11 @@ func main() {
 	}
 	if n := len(srv.reg.List()); n > 0 {
 		log.Printf("svserver: recovered %d datasets from %s", n, dir)
+	}
+	if *rankBudget != 0 {
+		// Re-point at a cache with the requested budget before any traffic.
+		// A negative budget admits nothing, so every valuation rescans.
+		srv.inc = cluster.NewIncremental(cluster.NewRankCache(*rankBudget), srv.reg)
 	}
 	if jw != nil {
 		srv.replay(replayStates)
@@ -375,6 +413,12 @@ type server struct {
 	// journal is the write-ahead job journal (nil with -journal=false);
 	// buildSpec only attaches durable envelopes when it is present.
 	journal *journal.Writer
+
+	// inc is the incremental evaluator: cached neighbor rankings keyed on
+	// (train, test, k, metric, precision), so valuing a delta-derived
+	// dataset costs O(ΔN) instead of a full rescan. Used on the local path
+	// for the same methods the coordinator can scatter.
+	inc *cluster.Incremental
 }
 
 // newServer builds a server with its own job manager and dataset registry.
@@ -391,6 +435,7 @@ func newServer(maxBody int64, timeout time.Duration, jcfg jobs.Config, rcfg regi
 	}
 	s := &server{maxBody: maxBody, timeout: timeout, mgr: jobs.New(jcfg), reg: reg, journal: jw}
 	s.worker = cluster.NewWorker(s.reg, s.mgr)
+	s.inc = cluster.NewIncremental(cluster.NewRankCache(0), reg)
 	return s, nil
 }
 
@@ -410,6 +455,13 @@ func (s *server) replay(states []journal.JobState) {
 			if now.Sub(js.Finished) > ttl {
 				expired++
 				continue
+			}
+			// A completed delta left its child dataset on disk, but the
+			// lineage edge died with the process; re-applying the delta
+			// (idempotent — content addressing mints the same child) restores
+			// it, so post-restart valuations keep the O(ΔN) path.
+			if js.State == journal.StateDone {
+				s.reapplyDelta(js.ID, js.Envelope)
 			}
 			_, err := s.mgr.Restore(jobs.Restored{
 				ID:       js.ID,
@@ -467,18 +519,55 @@ func (s *server) resubmit(js journal.JobState) error {
 	if env.V != wire.JobEnvelopeVersion {
 		return fmt.Errorf("job envelope version %d not supported", env.V)
 	}
-	var req valueRequest
-	if err := json.Unmarshal(env.Request, &req); err != nil {
-		return fmt.Errorf("decode journaled request: %v", err)
+	switch env.Kind {
+	case "", wire.JobKindValue:
+		var req valueRequest
+		if err := json.Unmarshal(env.Request, &req); err != nil {
+			return fmt.Errorf("decode journaled request: %v", err)
+		}
+		spec, _, err := s.buildSpec(&req)
+		if err != nil {
+			return err
+		}
+		if _, err := s.mgr.SubmitReplayed(js.ID, *spec); err != nil {
+			return err
+		}
+		return nil
+	case wire.JobKindDelta:
+		var dj wire.DeltaJob
+		if err := json.Unmarshal(env.Request, &dj); err != nil {
+			return fmt.Errorf("decode journaled delta: %v", err)
+		}
+		spec, _, err := s.deltaSpec(dj.Parent, dj.AppendRef, dj.Remove)
+		if err != nil {
+			return err
+		}
+		if _, err := s.mgr.SubmitReplayed(js.ID, *spec); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("job envelope kind %q not supported", env.Kind)
 	}
-	spec, _, err := s.buildSpec(&req)
-	if err != nil {
-		return err
+}
+
+// reapplyDelta re-applies a journaled, already-completed delta to rebuild
+// its in-memory lineage edge after a restart. Best effort: content
+// addressing makes the re-application idempotent, and a failure (the parent
+// or append dataset has since been deleted) only costs the incremental path
+// for that child, never correctness.
+func (s *server) reapplyDelta(id string, envelope []byte) {
+	var env wire.JobEnvelope
+	if len(envelope) == 0 || json.Unmarshal(envelope, &env) != nil || env.Kind != wire.JobKindDelta {
+		return
 	}
-	if _, err := s.mgr.SubmitReplayed(js.ID, *spec); err != nil {
-		return err
+	var dj wire.DeltaJob
+	if err := json.Unmarshal(env.Request, &dj); err != nil {
+		return
 	}
-	return nil
+	if _, err := s.applyDelta(dj.Parent, dj.AppendRef, dj.Remove); err != nil {
+		log.Printf("svserver: journal replay: lineage of delta job %s not restored: %v", id, err)
+	}
 }
 
 // routes wires the endpoint table.
@@ -493,6 +582,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /datasets", s.handleDatasetList)
 	mux.HandleFunc("GET /datasets/{id}", s.handleDatasetStat)
 	mux.HandleFunc("DELETE /datasets/{id}", s.handleDatasetDelete)
+	mux.HandleFunc("PUT /datasets/{id}/delta", s.handleDatasetDelta)
 	mux.HandleFunc("GET /methods", s.handleMethods)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
@@ -548,7 +638,9 @@ func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"replayed":      st.Replayed,
 		"restored":      st.Restored,
 		"reportEntries": st.ReportEntries, "valuerEntries": st.ValuerEntries,
-		"registry": registryStats(s.reg.Stats()),
+		"registry":    registryStats(s.reg.Stats()),
+		"incremental": s.inc.Stats(),
+		"rankCache":   s.inc.Cache().Stats(),
 	})
 }
 
@@ -601,6 +693,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("svserver_registry_reuploads_total", "Idempotent re-uploads.", rs.Reuploads)
 	counter("svserver_registry_deletes_total", "Dataset deletions.", rs.Deletes)
 	counter("svserver_registry_reclaims_total", "Disk-budget reclaims.", rs.Reclaims)
+	counter("svserver_registry_deltas_total", "Versioned datasets minted by delta application.", rs.Deltas)
+	is := s.inc.Stats()
+	counter("svserver_incremental_fromscratch_total", "Neighbor rankings built by a full scan.", is.FromScratch)
+	counter("svserver_incremental_patches_total", "Neighbor rankings derived by an O(ΔN) append patch.", is.Patches)
+	counter("svserver_incremental_removals_total", "Neighbor rankings derived by a removal remap.", is.Removals)
+	counter("svserver_incremental_replays_total", "Valuations replayed from cached rankings.", is.Replays)
+	rcs := s.inc.Cache().Stats()
+	gauge("svserver_rank_cache_entries", "Cached neighbor-ranking entries.", rcs.Entries)
+	gauge("svserver_rank_cache_bytes", "Bytes of cached neighbor rankings.", rcs.Bytes)
+	counter("svserver_rank_cache_hits_total", "Rank-cache lookups served.", rcs.Hits)
+	counter("svserver_rank_cache_misses_total", "Rank-cache lookups missed.", rcs.Misses)
+	counter("svserver_rank_cache_evictions_total", "Rank-cache entries evicted by the byte budget.", rcs.Evictions)
 	counter("svserver_shard_jobs_total", "Cluster shard sub-jobs accepted by this worker.", s.worker.ShardJobs())
 	if s.coord != nil {
 		cs := s.coord.Statz()
@@ -639,12 +743,14 @@ func registryStats(st registry.Stats) wire.RegistryStats {
 		Reuploads:  st.Reuploads,
 		Deletes:    st.Deletes,
 		Reclaims:   st.Reclaims,
+		Deltas:     st.Deltas,
 	}
 }
 
-// datasetInfo maps one registry entry onto the wire type.
-func datasetInfo(info registry.Info) wire.DatasetInfo {
-	return wire.DatasetInfo{
+// datasetInfo maps one registry entry onto the wire type, attaching the
+// parent ID for datasets minted by a delta.
+func (s *server) datasetInfo(info registry.Info) wire.DatasetInfo {
+	di := wire.DatasetInfo{
 		ID:         info.ID,
 		Name:       info.Name,
 		Rows:       info.Rows,
@@ -657,6 +763,10 @@ func datasetInfo(info registry.Info) wire.DatasetInfo {
 		Refs:       info.Refs,
 		CreatedAt:  info.CreatedAt,
 	}
+	if lin, ok := s.reg.LineageOf(info.ID); ok {
+		di.Parent = lin.Parent
+	}
+	return di
 }
 
 // handleDatasetUpload is POST /datasets: store the body's dataset under its
@@ -710,14 +820,14 @@ func (s *server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	if created {
 		status = http.StatusCreated
 	}
-	writeJSON(w, status, wire.UploadResponse{DatasetInfo: datasetInfo(info), Created: created})
+	writeJSON(w, status, wire.UploadResponse{DatasetInfo: s.datasetInfo(info), Created: created})
 }
 
 func (s *server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 	infos := s.reg.List()
 	resp := wire.DatasetListResponse{Datasets: make([]wire.DatasetInfo, len(infos))}
 	for i, info := range infos {
-		resp.Datasets[i] = datasetInfo(info)
+		resp.Datasets[i] = s.datasetInfo(info)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -745,7 +855,7 @@ func (s *server) handleDatasetStat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, datasetInfo(info))
+	writeJSON(w, http.StatusOK, s.datasetInfo(info))
 }
 
 func (s *server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
@@ -754,6 +864,166 @@ func (s *server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDatasetDelta is PUT /datasets/{id}/delta: derive a new versioned
+// dataset from {id} by removing the named parent rows and appending new
+// ones. The append rows arrive inline (the usual payload shape, auto-
+// registered exactly like inline valuation payloads) or by reference to an
+// already uploaded dataset. The child is stored under its ordinary content
+// fingerprint with a recorded lineage edge, so a later valuation of the
+// child discovers the O(ΔN) incremental path. The application runs as a
+// journaled job (envelope kind "delta"): after a crash, pending deltas
+// re-apply on replay and completed ones have their lineage edge rebuilt.
+// 201 marks new child content, 200 an idempotent re-derivation.
+func (s *server) handleDatasetDelta(w http.ResponseWriter, r *http.Request) {
+	var dreq wire.DeltaRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dreq); err != nil {
+		writeError(w, http.StatusBadRequest, "decode delta: "+err.Error())
+		return
+	}
+	appendRef := dreq.AppendRef
+	switch {
+	case dreq.Append != nil && appendRef != "":
+		writeError(w, http.StatusBadRequest, "append: give an inline payload or a ref, not both")
+		return
+	case dreq.Append == nil && appendRef == "" && len(dreq.Remove) == 0:
+		writeError(w, http.StatusBadRequest, "empty delta: nothing to append or remove")
+		return
+	case dreq.Append != nil:
+		d, err := buildDataset(dreq.Append)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "append: "+err.Error())
+			return
+		}
+		if d.N() == 0 {
+			writeError(w, http.StatusBadRequest, "append: empty dataset")
+			return
+		}
+		h, _, err := s.reg.Put(d)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "append: "+err.Error())
+			return
+		}
+		defer h.Release()
+		appendRef = h.ID()
+	}
+	spec, status, err := s.deltaSpec(r.PathValue("id"), appendRef, dreq.Remove)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	job, err := s.submit(w, spec)
+	if err != nil {
+		return
+	}
+	// Deltas are registry materializations, not valuations — fast enough to
+	// answer synchronously even though they ride the (journaled) job queue.
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		s.mgr.Cancel(job.ID())
+		writeCanceled(w, statusClientClosedRequest, "canceled: client closed the connection")
+		return
+	}
+	v, err := job.Value()
+	if err != nil {
+		if errors.Is(err, registry.ErrNotFound) {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := v.(*wire.DeltaResponse)
+	status = http.StatusOK
+	if resp.Created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, resp)
+}
+
+// deltaSpec builds the job spec for one delta application: the parent and
+// the append dataset (when any) are pinned for the job's lifetime, the
+// envelope carries the by-reference wire.DeltaJob so a crash replays it,
+// and the run applies the delta through the registry. The int is the HTTP
+// status for a non-nil error.
+func (s *server) deltaSpec(parent, appendRef string, remove []int) (*jobs.Spec, int, error) {
+	ph, err := s.reg.Get(parent)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, registry.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		return nil, status, fmt.Errorf("parent: %w", err)
+	}
+	release := ph.Release
+	if appendRef != "" {
+		ah, err := s.reg.Get(appendRef)
+		if err != nil {
+			ph.Release()
+			status := http.StatusInternalServerError
+			if errors.Is(err, registry.ErrNotFound) {
+				status = http.StatusNotFound
+			}
+			return nil, status, fmt.Errorf("append: %w", err)
+		}
+		release = func() { ph.Release(); ah.Release() }
+	}
+	var env []byte
+	if s.journal != nil {
+		reqJSON, err := json.Marshal(wire.DeltaJob{Parent: parent, AppendRef: appendRef, Remove: remove})
+		if err == nil {
+			env, err = json.Marshal(wire.JobEnvelope{
+				V:       wire.JobEnvelopeVersion,
+				Kind:    wire.JobKindDelta,
+				Request: reqJSON,
+			})
+		}
+		if err != nil {
+			log.Printf("svserver: journal: serialize delta: %v", err)
+			env = nil
+		}
+	}
+	return &jobs.Spec{
+		TotalUnits: 1,
+		RunAny: func(ctx context.Context) (any, error) {
+			return s.applyDelta(parent, appendRef, remove)
+		},
+		Envelope: env,
+		OnFinish: release,
+	}, http.StatusOK, nil
+}
+
+// applyDelta resolves the append rows and applies the delta, rendering the
+// child's wire metadata.
+func (s *server) applyDelta(parent, appendRef string, remove []int) (*wire.DeltaResponse, error) {
+	var app *knnshapley.Dataset
+	if appendRef != "" {
+		ah, err := s.reg.Get(appendRef)
+		if err != nil {
+			return nil, fmt.Errorf("append: %w", err)
+		}
+		defer ah.Release()
+		app = ah.Dataset()
+	}
+	ch, lin, created, err := s.reg.ApplyDelta(parent, registry.Delta{Append: app, Remove: remove})
+	if err != nil {
+		return nil, err
+	}
+	defer ch.Release()
+	info, err := s.reg.Stat(ch.ID())
+	if err != nil {
+		return nil, err
+	}
+	return &wire.DeltaResponse{
+		DatasetInfo: s.datasetInfo(info),
+		Created:     created,
+		Appended:    lin.Appended,
+		Removed:     len(lin.Removed),
+	}, nil
 }
 
 // decodeRequest parses one valuation request body.
@@ -1025,6 +1295,19 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 	run := func(ctx context.Context) (*knnshapley.Report, error) {
 		return v.Evaluate(ctx, knnshapley.Request{Params: p, Test: test})
 	}
+	// On a single node, the methods the coordinator could scatter route
+	// through the incremental evaluator instead: it keeps the full neighbor
+	// ordering per (train, test, k, metric, precision) in a budgeted cache,
+	// so valuing a delta-derived dataset costs O(ΔN) — and a cold run costs
+	// one ranked scan with values bit-identical to the engine's, so the
+	// shared result cache stays coherent across both paths.
+	if s.coord == nil {
+		if creq, ok := clusterRequest(p, req, v, train, test, trainH.ID(), testH.ID()); ok {
+			run = func(ctx context.Context) (*knnshapley.Report, error) {
+				return s.incrementalReport(ctx, creq)
+			}
+		}
+	}
 	// In coordinator mode, distributable methods scatter across the fleet
 	// instead. The cache key stays the local one on purpose: the merge is
 	// bit-identical to local execution, so both paths may share entries.
@@ -1126,6 +1409,32 @@ func clusterRequest(p knnshapley.Method, req *valueRequest, v *knnshapley.Valuer
 	creq.Metric, _ = knnshapley.ParseMetric(req.Metric)
 	creq.Precision, _ = knnshapley.ParsePrecision(req.Precision)
 	return creq, true
+}
+
+// incrementalReport runs one valuation through the incremental evaluator
+// and renders the same Report shape the engine (and the cluster merge)
+// produce, so all three execution paths share result-cache entries.
+func (s *server) incrementalReport(ctx context.Context, creq cluster.Request) (*knnshapley.Report, error) {
+	start := time.Now()
+	values, err := s.inc.Values(ctx, creq)
+	if err != nil {
+		return nil, err
+	}
+	rep := &knnshapley.Report{
+		Values:     values,
+		Method:     creq.Method,
+		TestPoints: creq.Test.N(),
+		Duration:   time.Since(start),
+	}
+	if fp, err := strconv.ParseUint(creq.TrainID, 16, 64); err == nil {
+		rep.Fingerprint = fp
+	} else {
+		rep.Fingerprint = creq.Train.Fingerprint()
+	}
+	if creq.Method == "truncated" {
+		rep.KStar = core.KStar(creq.K, creq.Eps)
+	}
+	return rep, nil
 }
 
 // buildResponse renders a Report in the wire format. A cache-hit job

@@ -189,6 +189,34 @@
 // graceful shutdown drains and journals the remaining jobs as canceled, so
 // only a hard kill leaves work to resurrect.
 //
+// # Incremental valuation: dataset versions and O(ΔN) revaluation
+//
+// Datasets version: PUT /datasets/{id}/delta derives a child from a stored
+// parent by appending rows (inline or by registry ref) and/or removing
+// parent row indices. The child lands under its own content fingerprint
+// (identical content dedups regardless of edit path) and the derivation is
+// recorded as a lineage edge (parent ID, rows appended/removed), journaled
+// like a job so a restarted server re-derives the same children. "svcli
+// delta" drives the endpoint from CSVs.
+//
+// Valuing a versioned dataset is incremental (internal/cluster's
+// Incremental + RankCache): the first exact or truncated valuation caches
+// each test point's full sorted neighbor ranking, keyed on (train ID, test
+// ID, K*, metric, precision), together with a precomputed index→run table.
+// A later valuation of a descendant walks the lineage chain to the nearest
+// cached ancestor and patches it — appended rows are distance-scanned
+// (ΔN·d work), merged into the sorted lists under the engine's exact
+// comparison key as a sparse overlay; removals filter the lists — and the
+// KNN-Shapley recurrence is replayed by computing one value per
+// equal-correctness run and streaming the values back through the cached
+// run table, a sequential O(N) gather rather than a fresh O(N·d) scan and
+// O(N log N) sort. Incremental values are bit-identical to valuing the
+// child from scratch (pinned across append/remove/mixed edits and both
+// methods); BENCH_8.json measures re-valuing after a 10-row append at
+// N=1e5 at ~68× faster than the from-scratch scan. See examples/streaming
+// for the arrival-stream shape of a data market driven through the delta
+// API.
+//
 // # Cluster mode: sharded scatter-gather valuation
 //
 // Several svservers compose into one service (internal/cluster): a
@@ -209,5 +237,6 @@
 // debugging, data markets, streaming valuation) and cmd/svbench for the
 // harness that regenerates every table and figure of the paper's evaluation
 // (plus -benchjson for the machine-readable perf trajectory, including the
-// inline-vs-by-ref wire comparison and the sharded scatter-gather record).
+// inline-vs-by-ref wire comparison, the sharded scatter-gather records and
+// the incremental delta_append records).
 package knnshapley

@@ -57,11 +57,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("job %s submitted (N=%d, %d test points)\n", job.ID(), train.N(), test.N())
+	poll := time.NewTimer(150 * time.Millisecond) // reused across iterations, not a fresh time.After per tick
+	defer poll.Stop()
 	for done := false; !done; {
 		select {
 		case <-job.Done():
 			done = true
-		case <-time.After(150 * time.Millisecond):
+		case <-poll.C:
+			poll.Reset(150 * time.Millisecond)
 		}
 		s := job.Snapshot()
 		fmt.Printf("  %-8s %3d/%3d test points\n", s.State, s.Done, s.Total)

@@ -1,10 +1,15 @@
-// Streaming valuation: test queries arrive in mini-batches (the document-
-// retrieval scenario of Section 1/C1.2) and each training point's value is
-// updated on the fly. Sorting the full training set per query would be too
-// slow, so the session's LSH backend retrieves only the K* = max{K, ⌈1/ε⌉}
-// nearest neighbors per query (Theorems 2–4). The expensive part — tuning
-// and building the index — happens once, on the first LSH call; every later
-// batch reuses the session's cached index.
+// Streaming valuation via the delta API: sellers join a long-running data
+// market in mini-batches (the arrival stream of Section 1's marketplace
+// setting) and every seller's Shapley value is refreshed after each arrival.
+// Re-valuing from scratch would pay the full O(Ntest·N·d) distance scan per
+// batch; instead each batch is applied as a versioned dataset delta
+// (registry.ApplyDelta records the lineage edge) and the incremental
+// evaluator scans only the ΔN new points, merges them into the cached
+// neighbor rankings, and replays the KNN-Shapley recurrence — O(ΔN·d + N)
+// per revaluation, bit-identical to a from-scratch run (checked at the end).
+//
+// This is the in-process shape of what cmd/svserver serves over HTTP as
+// PUT /datasets/{id}/delta followed by a by-ref valuation of the child ID.
 //
 // Run with: go run ./examples/streaming
 package main
@@ -13,77 +18,107 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math"
 	"time"
 
 	knnshapley "knnshapley"
+	"knnshapley/internal/cluster"
+	"knnshapley/internal/registry"
 )
 
 func main() {
-	train := knnshapley.SynthDeep(20000, 1)
+	base := knnshapley.SynthDeep(20000, 1)
 	queries := knnshapley.SynthDeep(100, 2)
+	const k = 2
+	const batch = 10 // sellers per arrival
+	const rounds = 8
 
-	valuer, err := knnshapley.New(train, knnshapley.WithK(2))
+	reg, err := registry.New(registry.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	bh, _, err := reg.Put(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qh, _, err := reg.Put(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inc := cluster.NewIncremental(cluster.NewRankCache(0), reg)
 	ctx := context.Background()
-	const eps, delta = 0.1, 0.1
-	const seed = 42
-	const batch = 10
 
-	// Stream the queries in arrival-order mini-batches, accumulating values.
-	// The first call pays for index construction; the rest ride the cache.
-	acc := make([]float64, train.N())
+	// Open the market: one full scan builds the neighbor-rank cache entry
+	// every later arrival patches against.
+	req := cluster.Request{
+		Train: bh.Dataset(), Test: qh.Dataset(),
+		TrainID: bh.ID(), TestID: qh.ID(),
+		Method: "exact", K: k,
+	}
 	start := time.Now()
-	var indexTime time.Duration
-	for lo := 0; lo < queries.N(); lo += batch {
-		hi := min(lo+batch, queries.N())
-		part := queries.Subset(rangeInts(lo, hi))
-		rep, err := valuer.LSH(ctx, part, eps, delta, seed)
+	prev, err := inc.Values(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullScan := time.Since(start)
+	fmt.Printf("market open: %d sellers valued from scratch in %v\n",
+		base.N(), fullScan.Round(time.Millisecond))
+
+	// Stream arrivals: each batch is a delta append, and the revaluation
+	// rides the O(ΔN) patch path off the previous version's cached ranking.
+	cur := bh
+	var patchTotal time.Duration
+	for r := 0; r < rounds; r++ {
+		arrivals := knnshapley.SynthDeep(batch, uint64(100+r))
+		child, lin, _, err := reg.ApplyDelta(cur.ID(), registry.Delta{Append: arrivals})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if lo == 0 {
-			indexTime = rep.Duration
-			fmt.Printf("first batch (incl. index build over %d points): %v (K* = %d)\n",
-				train.N(), rep.Duration.Round(time.Millisecond), rep.KStar)
+		creq := req
+		creq.Train, creq.TrainID = child.Dataset(), child.ID()
+		t := time.Now()
+		vals, err := inc.Values(ctx, creq)
+		if err != nil {
+			log.Fatal(err)
 		}
-		for j, v := range rep.Values {
-			acc[j] += v * float64(hi-lo)
-		}
-	}
-	perQuery := (time.Since(start) - indexTime) / time.Duration(queries.N())
-	for j := range acc {
-		acc[j] /= float64(queries.N())
-	}
-	fmt.Printf("valued %d streaming queries, %v per query after the first batch\n",
-		queries.N(), perQuery.Round(time.Microsecond))
+		patch := time.Since(t)
+		patchTotal += patch
 
-	// Compare against the exact (full-sort) values on the same stream.
-	exactRep, err := valuer.Exact(ctx, queries)
+		// Value drift among incumbents, and what the newcomers captured.
+		var drift, newcomers float64
+		for j, v := range vals[:len(prev)] {
+			drift = math.Max(drift, math.Abs(v-prev[j]))
+		}
+		for _, v := range vals[len(prev):] {
+			newcomers += v
+		}
+		fmt.Printf("  +%2d sellers → %d (version %s…): revalued in %v, "+
+			"max incumbent drift %.5f, newcomers Σv %.4f\n",
+			lin.Appended, child.Dataset().N(), child.ID()[:8],
+			patch.Round(time.Microsecond), drift, newcomers)
+
+		prev = vals
+		cur.Release()
+		cur = child
+	}
+	defer cur.Release()
+
+	// The contract that makes the shortcut safe: the incremental values are
+	// bit-identical to valuing the final market from scratch.
+	exact, err := knnshapley.Exact(cur.Dataset(), queries, knnshapley.Config{K: k})
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact := exactRep.Values
-	exactTime := exactRep.Duration / time.Duration(queries.N())
-	var maxErr float64
-	for j := range acc {
-		if d := acc[j] - exact[j]; d > maxErr {
-			maxErr = d
-		} else if -d > maxErr {
-			maxErr = -d
+	for j := range exact {
+		if math.Float64bits(exact[j]) != math.Float64bits(prev[j]) {
+			log.Fatalf("value %d diverged: %v != %v", j, exact[j], prev[j])
 		}
 	}
-	fmt.Printf("exact valuation: %v per query\n", exactTime.Round(time.Microsecond))
-	fmt.Printf("max |ŝ−s| = %.4f (ε budget %.2f), speed-up ×%.1f\n",
-		maxErr, eps, float64(exactTime)/float64(perQuery))
-}
-
-// rangeInts returns the indices lo..hi-1.
-func rangeInts(lo, hi int) []int {
-	idx := make([]int, hi-lo)
-	for i := range idx {
-		idx[i] = lo + i
-	}
-	return idx
+	st := inc.Stats()
+	perPatch := patchTotal / rounds
+	fmt.Printf("bit-identical to from-scratch over %d sellers ✓ "+
+		"(%d full scan, %d patches)\n", cur.Dataset().N(), st.FromScratch, st.Patches)
+	fmt.Printf("%v per arrival vs %v from scratch — ×%.0f\n",
+		perPatch.Round(time.Microsecond), fullScan.Round(time.Millisecond),
+		float64(fullScan)/float64(perPatch))
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -40,6 +41,7 @@ func NewHTTPClient() *http.Client {
 type peer struct {
 	url    string
 	hc     *http.Client
+	noGzip bool
 	tokens chan struct{} // per-peer in-flight bound
 
 	mu      sync.Mutex
@@ -55,8 +57,8 @@ type peer struct {
 // (healthyPeers runs one when no peer is verified yet), so a cluster whose
 // peers are all unreachable degrades to ErrNoPeers immediately instead of
 // burning a retry budget against dead sockets.
-func newPeer(url string, hc *http.Client, inflight int) *peer {
-	p := &peer{url: strings.TrimRight(url, "/"), hc: hc,
+func newPeer(url string, hc *http.Client, inflight int, noGzip bool) *peer {
+	p := &peer{url: strings.TrimRight(url, "/"), hc: hc, noGzip: noGzip,
 		tokens: make(chan struct{}, inflight)}
 	for i := 0; i < inflight; i++ {
 		p.tokens <- struct{}{}
@@ -263,11 +265,17 @@ func (p *peer) cancelJob(ctx context.Context, id string) {
 	}
 }
 
-// fetchReport retrieves and decodes the binary shard report.
+// fetchReport retrieves and decodes the binary shard report. The explicit
+// Accept-Encoding header (rather than Go's transparent decompression) keeps
+// the counting reader on the raw body, so BytesOnWire reports what actually
+// crossed the network — compressed when the worker compressed.
 func (p *peer) fetchReport(ctx context.Context, id string) (*ShardReport, int64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/shard/jobs/"+id+"/result", nil)
 	if err != nil {
 		return nil, 0, err
+	}
+	if !p.noGzip {
+		req.Header.Set("Accept-Encoding", "gzip")
 	}
 	resp, err := p.hc.Do(req)
 	if err != nil {
@@ -279,7 +287,16 @@ func (p *peer) fetchReport(ctx context.Context, id string) (*ShardReport, int64,
 		return nil, 0, p.httpError(resp, "fetch shard report "+id)
 	}
 	cr := &countingReader{r: resp.Body}
-	sr, err := ReadShardReport(cr)
+	var body io.Reader = cr
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(cr)
+		if err != nil {
+			return nil, cr.n, transient(fmt.Errorf("open gzip report body: %w", err))
+		}
+		defer zr.Close()
+		body = zr
+	}
+	sr, err := ReadShardReport(body)
 	if err != nil {
 		return nil, cr.n, transient(err)
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"knnshapley/internal/core"
 )
 
 // ShardReport is one shard sub-job's result: for every test point the shard
@@ -30,8 +32,9 @@ type ShardReport struct {
 	Dist [][]float64
 }
 
-// correctBit marks a neighbor whose label matches the test point's.
-const correctBit = uint32(1) << 31
+// correctBit marks a neighbor whose label matches the test point's. It is
+// core.CorrectBit — the replay kernels consume packed report entries as-is.
+const correctBit = core.CorrectBit
 
 // PackIndex packs a global training index and its correctness flag into one
 // uint32 report entry.

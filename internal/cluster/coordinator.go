@@ -49,6 +49,10 @@ type Config struct {
 	// negative disables background probing (probes then happen only on
 	// demand, at scatter start over peers marked down).
 	HealthInterval time.Duration
+	// DisableReportGzip turns off Accept-Encoding on shard-report fetches,
+	// so reports cross the wire uncompressed (the before/after comparison in
+	// svbench; also an escape hatch if a proxy mangles encodings).
+	DisableReportGzip bool
 	// Client overrides the pooled HTTP client (tests).
 	Client *http.Client
 }
@@ -135,7 +139,7 @@ func New(cfg Config) *Coordinator {
 		stopCh: make(chan struct{}),
 	}
 	for _, u := range cfg.Peers {
-		p := newPeer(u, cfg.Client, cfg.MaxInFlight)
+		p := newPeer(u, cfg.Client, cfg.MaxInFlight, cfg.DisableReportGzip)
 		c.peers[p.url] = p
 		c.order = append(c.order, p)
 	}

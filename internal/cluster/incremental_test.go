@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"knnshapley"
+	"knnshapley/internal/dataset"
+	"knnshapley/internal/registry"
+)
+
+// fullReport computes the complete single-shard report incremental caching
+// starts from.
+func fullReport(t *testing.T, train, test *dataset.Dataset, k int) *ShardReport {
+	t.Helper()
+	sr, err := ComputeShardReport(context.Background(), train, test, ShardParams{K: k, GlobalN: train.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// deltaReport ranks the appended tail rows of child against test with the
+// offsets PatchAppend expects.
+func deltaReport(t *testing.T, child, test *dataset.Dataset, k, appended int) *ShardReport {
+	t.Helper()
+	tail := sliceRows(child, child.N()-appended, child.N())
+	sr, err := ComputeShardReport(context.Background(), tail, test, ShardParams{
+		K: k, GlobalOffset: child.N() - appended, GlobalN: child.N(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// appendRows builds parent+extra as one contiguous dataset (the registry's
+// delta-append semantics).
+func appendRows(parent, extra *dataset.Dataset) *dataset.Dataset {
+	child := parent.Clone()
+	child.X = append(child.X, extra.X...)
+	child.Labels = append(child.Labels, extra.Labels...)
+	if extra.Classes > child.Classes {
+		child.Classes = extra.Classes
+	}
+	child.Flatten()
+	return child
+}
+
+func requireSameValueBits(t *testing.T, want, got []float64, what string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d values, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: value[%d] = %v (bits %#x), want %v (bits %#x)",
+				what, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// singleNodeValues is the ground truth: a fresh Valuer over the full dataset.
+func singleNodeValues(t *testing.T, train, test *dataset.Dataset, k int, method string, eps float64) []float64 {
+	t.Helper()
+	v, err := knnshapley.New(train, knnshapley.WithK(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *knnshapley.Report
+	if method == "truncated" {
+		rep, err = v.Truncated(context.Background(), test, eps)
+	} else {
+		rep, err = v.Exact(context.Background(), test)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Values
+}
+
+// TestRankEntryPatchAppendMatchesFromScratch pins the structural property
+// under everything else: a patched entry is indistinguishable — values,
+// either method — from an entry built from scratch on the grown dataset,
+// including chained patches and the flatten path.
+func TestRankEntryPatchAppendMatchesFromScratch(t *testing.T) {
+	const k = 5
+	test := knnshapley.SynthMNIST(9, 2)
+	cur := knnshapley.SynthMNIST(83, 1)
+	e, err := NewRankEntry(fullReport(t, cur, test, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step, dn := range []int{1, 7, 1, 29} {
+		cur = appendRows(cur, knnshapley.SynthMNIST(dn, uint64(10+step)))
+		if e, err = e.PatchAppend(deltaReport(t, cur, test, k, dn)); err != nil {
+			t.Fatal(err)
+		}
+		scratch, err := NewRankEntry(fullReport(t, cur, test, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []struct {
+			method string
+			eps    float64
+		}{{"exact", 0}, {"truncated", 0.3}, {"truncated", 0.009}} {
+			want, err := scratch.Values(m.method, k, m.eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Values(m.method, k, m.eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameValueBits(t, want, got, m.method)
+		}
+		// The spliced view must equal the scratch ranking entry for entry —
+		// ordering, correctness bits and flips, not just values.
+		for tp := 0; tp < e.ntest; tp++ {
+			r := 0
+			e.splice(tp, func(v uint32, d float64) {
+				if v != scratch.base.idx[tp][r] || d != scratch.base.dist[tp][r] {
+					t.Fatalf("step %d: test point %d rank %d: spliced (%#x, %v), scratch (%#x, %v)",
+						step, tp, r, v, d, scratch.base.idx[tp][r], scratch.base.dist[tp][r])
+				}
+				r++
+			})
+			if len(e.flips[tp]) != len(scratch.flips[tp]) {
+				t.Fatalf("step %d: test point %d: %d flips, scratch %d", step, tp, len(e.flips[tp]), len(scratch.flips[tp]))
+			}
+			for i := range e.flips[tp] {
+				if e.flips[tp][i] != scratch.flips[tp][i] {
+					t.Fatalf("step %d: test point %d flip %d: %d, scratch %d", step, tp, i, e.flips[tp][i], scratch.flips[tp][i])
+				}
+			}
+		}
+	}
+	if !e.Patched() {
+		t.Fatal("entry lost its overlay without crossing the flatten threshold")
+	}
+
+	// A delta past the flatten threshold materializes into a fresh base.
+	big := appendRows(cur, knnshapley.SynthMNIST(1100, 99))
+	flat, err := e.PatchAppend(deltaReport(t, big, test, k, 1100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Patched() {
+		t.Fatalf("overlay of %d insertions survived threshold %d", 1100, e.flattenThreshold())
+	}
+	scratch, err := NewRankEntry(fullReport(t, big, test, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := scratch.Values("exact", k, 0)
+	got, _ := flat.Values("exact", k, 0)
+	requireSameValueBits(t, want, got, "flattened exact")
+}
+
+// TestRankEntryWithRemovedMatchesFromScratch pins removal compaction, alone
+// and stacked on a patched entry.
+func TestRankEntryWithRemovedMatchesFromScratch(t *testing.T) {
+	const k = 3
+	test := knnshapley.SynthMNIST(5, 21)
+	parent := knnshapley.SynthMNIST(60, 20)
+	e, err := NewRankEntry(fullReport(t, parent, test, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch first so removal exercises the spliced walk.
+	child := appendRows(parent, knnshapley.SynthMNIST(6, 22))
+	if e, err = e.PatchAppend(deltaReport(t, child, test, k, 6)); err != nil {
+		t.Fatal(err)
+	}
+	removed := []int{0, 17, 39, 64, 65}
+	kept := make([]int, 0, child.N())
+	ri := 0
+	for i := 0; i < child.N(); i++ {
+		if ri < len(removed) && removed[ri] == i {
+			ri++
+			continue
+		}
+		kept = append(kept, i)
+	}
+	after := &dataset.Dataset{Classes: child.Classes}
+	for _, i := range kept {
+		after.X = append(after.X, child.X[i])
+		after.Labels = append(after.Labels, child.Labels[i])
+	}
+	after.Flatten()
+
+	got, err := e.WithRemoved(removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := NewRankEntry(fullReport(t, after, test, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []struct {
+		method string
+		eps    float64
+	}{{"exact", 0}, {"truncated", 0.05}} {
+		w, _ := scratch.Values(m.method, k, m.eps)
+		g, _ := got.Values(m.method, k, m.eps)
+		requireSameValueBits(t, w, g, "removed "+m.method)
+	}
+
+	if _, err := e.WithRemoved(make([]int, child.N())); err == nil {
+		t.Fatal("removing everything succeeded")
+	}
+	if _, err := e.WithRemoved([]int{5, 5}); err == nil {
+		t.Fatal("duplicate removal accepted")
+	}
+}
+
+// TestIncrementalDeltaSequenceMatchesSingleNode is the end-to-end property:
+// any sequence of registry deltas (appends, removes, mixed), valued through
+// the incremental orchestrator, yields values bit-identical to a fresh
+// single-node Valuer on the final dataset — for both methods — while the
+// counters show only delta work after the first build.
+func TestIncrementalDeltaSequenceMatchesSingleNode(t *testing.T) {
+	reg, err := registry.New(registry.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncremental(NewRankCache(0), reg)
+	test := knnshapley.SynthMNIST(7, 101)
+	const k = 5
+
+	cur := knnshapley.SynthMNIST(70, 100)
+	h, _, err := reg.Put(cur.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	curID := h.ID()
+	h.Release()
+
+	rng := rand.New(rand.NewPCG(9, 9))
+	value := func(method string, eps float64) []float64 {
+		t.Helper()
+		got, err := inc.Values(context.Background(), Request{
+			Train: cur, Test: test, TrainID: curID,
+			Method: method, Eps: eps, K: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	requireSameValueBits(t, singleNodeValues(t, cur, test, k, "exact", 0), value("exact", 0), "seed exact")
+	if st := inc.Stats(); st.FromScratch != 1 || st.Patches != 0 {
+		t.Fatalf("after seed valuation: %+v", st)
+	}
+
+	steps := []registry.Delta{
+		{Append: knnshapley.SynthMNIST(1, 201)},
+		{Remove: []int{3, 40, 69}},
+		{Append: knnshapley.SynthMNIST(12, 202), Remove: []int{0, 5}},
+		{Append: knnshapley.SynthMNIST(2, 203)},
+	}
+	for i, d := range steps {
+		h, _, _, err := reg.ApplyDelta(curID, d)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		cur, curID = h.Dataset(), h.ID()
+		h.Release()
+		requireSameValueBits(t, singleNodeValues(t, cur, test, k, "exact", 0), value("exact", 0), "exact")
+		requireSameValueBits(t, singleNodeValues(t, cur, test, k, "truncated", 0.04), value("truncated", 0.04), "truncated")
+	}
+	st := inc.Stats()
+	if st.FromScratch != 1 {
+		t.Fatalf("delta steps rebuilt from scratch: %+v", st)
+	}
+	if st.Patches != int64(len(steps)) {
+		t.Fatalf("patches = %d, want %d: %+v", st.Patches, len(steps), st)
+	}
+	// 1 seed + len(steps) × (exact replay + truncated replay off the same
+	// entry).
+	if want := int64(1 + 2*len(steps)); st.Replays != want {
+		t.Fatalf("replays = %d, want %d", st.Replays, want)
+	}
+
+	// Longer randomized tail: value only at the end, so intermediate entries
+	// chain patch-on-patched.
+	for step := 0; step < 6; step++ {
+		var d registry.Delta
+		switch {
+		case cur.N() > 10 && rng.IntN(2) == 0:
+			d.Remove = []int{rng.IntN(cur.N())}
+		default:
+			d.Append = knnshapley.SynthMNIST(1+rng.IntN(4), uint64(300+step))
+		}
+		h, _, _, err := reg.ApplyDelta(curID, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, curID = h.Dataset(), h.ID()
+		h.Release()
+		requireSameValueBits(t, singleNodeValues(t, cur, test, k, "exact", 0), value("exact", 0), "random tail")
+	}
+	if st := inc.Stats(); st.FromScratch != 1 {
+		t.Fatalf("random tail rebuilt from scratch: %+v", st)
+	}
+}
+
+// TestIncrementalFallsBackWithoutParent pins the degradation contract: an
+// evicted (or never-built) parent entry silently becomes a from-scratch
+// build with identical values.
+func TestIncrementalFallsBackWithoutParent(t *testing.T) {
+	reg, err := registry.New(registry.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncremental(NewRankCache(0), reg)
+	test := knnshapley.SynthMNIST(4, 51)
+	parent := knnshapley.SynthMNIST(30, 50)
+	h, _, err := reg.Put(parent.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentID := h.ID()
+	h.Release()
+
+	ch, _, _, err := reg.ApplyDelta(parentID, registry.Delta{Append: knnshapley.SynthMNIST(3, 52)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Release()
+	child := ch.Dataset()
+
+	// No parent entry cached: lineage exists but cannot help.
+	got, err := inc.Values(context.Background(), Request{Train: child, Test: test, TrainID: ch.ID(), Method: "exact", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameValueBits(t, singleNodeValues(t, child, test, 5, "exact", 0), got, "orphan child")
+	if st := inc.Stats(); st.FromScratch != 1 || st.Patches != 0 {
+		t.Fatalf("orphan child stats %+v", st)
+	}
+}
+
+func TestRankCacheLRUAndStats(t *testing.T) {
+	mk := func(n int) *RankEntry {
+		return &RankEntry{n: n, ntest: 1, bytes: int64(n)}
+	}
+	c := NewRankCache(100)
+	c.Put("a", mk(40))
+	c.Put("b", mk(40))
+	if c.Get("a") == nil { // refresh a
+		t.Fatal("a missing")
+	}
+	c.Put("c", mk(40)) // evicts b (LRU)
+	if c.Get("b") != nil {
+		t.Fatal("b survived eviction")
+	}
+	if c.Get("a") == nil || c.Get("c") == nil {
+		t.Fatal("a or c evicted out of order")
+	}
+	c.Put("a", mk(10)) // replace shrinks bytes
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 50 || st.Evictions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hit/miss %+v", st)
+	}
+	// Oversized entries are not retained but do not error.
+	c.Put("huge", mk(1000))
+	if c.Get("huge") != nil {
+		t.Fatal("oversized entry retained")
+	}
+	if got := NewRankKey("t1", "t2", 5, "", ""); got != NewRankKey("t1", "t2", 5, "l2", "float64") {
+		t.Fatalf("default normalization broken: %q", got)
+	}
+}

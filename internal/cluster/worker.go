@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -236,10 +237,41 @@ func (w *Worker) handleShardResult(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rw.Header().Set("Content-Type", "application/octet-stream")
+	// Reports compress well (packed indices are near-sequential, distances
+	// share exponent bytes), so gzip when the caller accepts it and the body
+	// is big enough to beat the frame overhead. BestSpeed: the gather path is
+	// latency-sensitive and level 9 buys little on float-heavy payloads.
+	if acceptsGzip(r) && sr.EncodedBytes() > gzipMinReportBytes {
+		rw.Header().Set("Content-Encoding", "gzip")
+		zw, _ := gzip.NewWriterLevel(rw, gzip.BestSpeed)
+		_, werr := sr.WriteTo(zw)
+		if err := zw.Close(); werr == nil {
+			werr = err
+		}
+		if werr != nil {
+			log.Printf("cluster: stream shard report %s: %v", id, werr)
+		}
+		return
+	}
 	rw.Header().Set("Content-Length", strconv.FormatInt(sr.EncodedBytes(), 10))
 	if _, err := sr.WriteTo(rw); err != nil {
 		log.Printf("cluster: stream shard report %s: %v", id, err)
 	}
+}
+
+// gzipMinReportBytes is the size below which compressing a shard report is
+// not worth the CPU and header overhead.
+const gzipMinReportBytes = 4096
+
+// acceptsGzip reports whether the request advertises gzip support.
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc = strings.TrimSpace(enc)
+		if enc == "gzip" || strings.HasPrefix(enc, "gzip;") {
+			return true
+		}
+	}
+	return false
 }
 
 // Handler returns a self-contained worker mux — the shard endpoints plus the

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randPacked builds a packed ranking: a random permutation of [0,n) with
+// correctness density p.
+func randPacked(rng *rand.Rand, n int, p float64) []uint32 {
+	l := make([]uint32, n)
+	for r, id := range rng.Perm(n) {
+		l[r] = uint32(id)
+		if rng.Float64() < p {
+			l[r] |= CorrectBit
+		}
+	}
+	return l
+}
+
+// unpackRanking splits a packed list into the (ranking, correct) pair the
+// reference recursions take.
+func unpackRanking(l []uint32) ([]int, []bool) {
+	ranking := make([]int, len(l))
+	correct := make([]bool, len(l))
+	for r, v := range l {
+		ranking[r] = int(v &^ CorrectBit)
+		correct[r] = v&CorrectBit != 0
+	}
+	return ranking, correct
+}
+
+// refAccumulate runs the reference recursion into a zeroed vector and adds it
+// to acc — the cluster merge loop's exact operation sequence.
+func refAccumulate(l []uint32, k int, eps float64, truncated bool, acc []float64) {
+	ranking, correct := unpackRanking(l)
+	dst := make([]float64, len(acc))
+	if truncated {
+		TruncatedFromRankingInto(ranking, correct, len(acc), k, eps, dst)
+	} else {
+		ExactClassFromRankingInto(ranking, correct, k, dst)
+	}
+	for j, v := range dst {
+		acc[j] += v
+	}
+}
+
+func requireSameBits(t *testing.T, want, got []float64, what string) {
+	t.Helper()
+	for j := range want {
+		if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+			t.Fatalf("%s: acc[%d] = %x, want %x", what, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+		}
+	}
+}
+
+func TestReplayPackedMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 2, 3, 7, 64, 257, 1000} {
+		for _, p := range []float64{0, 0.1, 0.5, 1} {
+			for _, k := range []int{1, 5, 100} {
+				want := make([]float64, n)
+				got := make([]float64, n)
+				terms := Terms(k, n)
+				for tp := 0; tp < 3; tp++ {
+					l := randPacked(rng, n, p)
+					refAccumulate(l, k, 0, false, want)
+					ReplayPacked(l, FlipsOfPacked(l), float64(max(n, k)), terms, got)
+				}
+				requireSameBits(t, want, got, "exact")
+			}
+		}
+	}
+}
+
+func TestReplayPackedPrefixMatchesTruncated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, n := range []int{1, 5, 99, 400} {
+		for _, eps := range []float64{0.5, 0.05, 0.009} {
+			for _, k := range []int{1, 7} {
+				kStar := KStar(k, eps)
+				want := make([]float64, n)
+				got := make([]float64, n)
+				terms := Terms(k, n)
+				for tp := 0; tp < 3; tp++ {
+					l := randPacked(rng, n, 0.3)
+					refAccumulate(l, k, eps, true, want)
+					flips := FlipsOfPacked(l)
+					if kStar >= n {
+						ReplayPacked(l, flips, float64(n), terms, got)
+					} else {
+						ReplayPackedPrefix(l, TrimFlips(flips, kStar), kStar, terms, got)
+					}
+				}
+				requireSameBits(t, want, got, "truncated")
+			}
+		}
+	}
+}
+
+// spliceOverlay materializes the child ranking a (base, overlay) pair
+// represents, for checking the overlay kernels against the plain ones.
+func spliceOverlay(base []uint32, opos []int32, oidx []uint32) []uint32 {
+	n := len(base) + len(opos)
+	merged := make([]uint32, 0, n)
+	oi := 0
+	for r := 0; r < n; r++ {
+		if oi < len(opos) && int(opos[oi]) == r {
+			merged = append(merged, oidx[oi])
+			oi++
+		} else {
+			merged = append(merged, base[r-oi])
+		}
+	}
+	return merged
+}
+
+// randOverlay builds m insertions at distinct random child ranks of a child
+// list of length baseN+m, indices continuing past baseN.
+func randOverlay(rng *rand.Rand, baseN, m int) ([]int32, []uint32) {
+	n := baseN + m
+	seen := make(map[int32]bool, m)
+	pos := make([]int32, 0, m)
+	for len(pos) < m {
+		p := int32(rng.IntN(n))
+		if !seen[p] {
+			seen[p] = true
+			pos = append(pos, p)
+		}
+	}
+	for i := 1; i < len(pos); i++ {
+		for j := i; j > 0 && pos[j] < pos[j-1]; j-- {
+			pos[j], pos[j-1] = pos[j-1], pos[j]
+		}
+	}
+	idx := make([]uint32, m)
+	for j := range idx {
+		idx[j] = uint32(baseN + j)
+		if rng.Float64() < 0.5 {
+			idx[j] |= CorrectBit
+		}
+	}
+	return pos, idx
+}
+
+func TestReplayPackedOverlayMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, baseN := range []int{1, 10, 200} {
+		for _, m := range []int{1, 3, 17} {
+			n := baseN + m
+			k := 4
+			terms := Terms(k, n)
+			base := randPacked(rng, baseN, 0.4)
+			opos, oidx := randOverlay(rng, baseN, m)
+			merged := spliceOverlay(base, opos, oidx)
+			flips := FlipsOfPacked(merged)
+
+			want := make([]float64, n)
+			got := make([]float64, n)
+			for rep := 0; rep < 2; rep++ {
+				ReplayPacked(merged, flips, float64(max(n, k)), terms, want)
+				ReplayPackedOverlay(base, opos, oidx, flips, float64(max(n, k)), terms, got)
+			}
+			requireSameBits(t, want, got, "overlay exact")
+
+			for _, limit := range []int{1, n / 2, n - 1} {
+				if limit <= 0 || limit >= n {
+					continue
+				}
+				want = make([]float64, n)
+				got = make([]float64, n)
+				tf := TrimFlips(flips, limit)
+				ReplayPackedPrefix(merged, tf, limit, terms, want)
+				ReplayPackedOverlayPrefix(base, opos, oidx, tf, limit, terms, got)
+				requireSameBits(t, want, got, "overlay prefix")
+			}
+		}
+	}
+}
+
+func TestTermsMatchesRecurrence(t *testing.T) {
+	for _, k := range []int{1, 3, 9} {
+		terms := Terms(k, 50)
+		if len(terms) < 51 {
+			t.Fatalf("Terms(%d, 50) has %d entries", k, len(terms))
+		}
+		for i := 1; i <= 50; i++ {
+			minKi := float64(min(k, i))
+			want := (1.0 - 0.0) / float64(k) * minKi / float64(i)
+			if math.Float64bits(terms[i]) != math.Float64bits(want) {
+				t.Fatalf("Terms(%d)[%d] = %x, want %x", k, i, math.Float64bits(terms[i]), math.Float64bits(want))
+			}
+			// IEEE negation is exact, so one table serves downward flips too.
+			down := (0.0 - 1.0) / float64(k) * minKi / float64(i)
+			if math.Float64bits(-terms[i]) != math.Float64bits(down) {
+				t.Fatalf("-Terms(%d)[%d] != downward term", k, i)
+			}
+		}
+	}
+	// Growth keeps earlier entries stable.
+	small := append([]float64(nil), Terms(5, 10)...)
+	grown := Terms(5, 1000)
+	for i := range small {
+		if math.Float64bits(small[i]) != math.Float64bits(grown[i]) {
+			t.Fatalf("Terms growth changed entry %d", i)
+		}
+	}
+	// The per-K retention bound holds.
+	for k := 100; k < 100+2*termsMaxK; k++ {
+		Terms(k, 4)
+	}
+	termsMu.Lock()
+	nk := len(termsByK)
+	termsMu.Unlock()
+	if nk > termsMaxK {
+		t.Fatalf("terms cache holds %d tables, bound %d", nk, termsMaxK)
+	}
+}
+
+func TestTrimFlips(t *testing.T) {
+	fl := []int32{1, 4, 9, 30}
+	cases := []struct {
+		limit int
+		want  int
+	}{{1, 0}, {2, 1}, {4, 1}, {5, 2}, {31, 4}, {100, 4}}
+	for _, c := range cases {
+		if got := len(TrimFlips(fl, c.limit)); got != c.want {
+			t.Errorf("TrimFlips(limit=%d) kept %d, want %d", c.limit, got, c.want)
+		}
+	}
+	if got := TrimFlips(nil, 5); len(got) != 0 {
+		t.Errorf("TrimFlips(nil) = %v", got)
+	}
+}

@@ -1,0 +1,202 @@
+package registry
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"knnshapley/internal/dataset"
+)
+
+// putTest stores d and returns its ID with the handle released.
+func putTest(t *testing.T, r *Registry, d *dataset.Dataset) string {
+	t.Helper()
+	h, _, err := r.Put(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	return h.ID()
+}
+
+func TestApplyDeltaAppend(t *testing.T) {
+	r := newTestRegistry(t, 1<<20)
+	parent := testData(t, 10, 3, 1)
+	parentID := putTest(t, r, parent.Clone())
+	app := testData(t, 4, 3, 2)
+
+	h, lin, created, err := r.ApplyDelta(parentID, Delta{Append: app.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if !created {
+		t.Fatal("append delta reported existing content")
+	}
+	if lin.Parent != parentID || lin.Appended != 4 || len(lin.Removed) != 0 {
+		t.Fatalf("lineage %+v", lin)
+	}
+	child := h.Dataset()
+	if child.N() != 14 {
+		t.Fatalf("child has %d rows, want 14", child.N())
+	}
+	// Direct construction of the post-delta content must mint the same ID:
+	// that is what lets versioned IDs share every fingerprint-keyed cache.
+	direct := parent.Clone()
+	direct.X = append(direct.X, app.X...)
+	direct.Labels = append(direct.Labels, app.Labels...)
+	direct.Flatten()
+	if got := ID(direct.Fingerprint()); got != h.ID() {
+		t.Fatalf("delta child ID %s, direct build %s", h.ID(), got)
+	}
+	got, ok := r.LineageOf(h.ID())
+	if !ok || got.Parent != parentID {
+		t.Fatalf("LineageOf = %+v, %v", got, ok)
+	}
+	if st := r.Stats(); st.Deltas != 1 {
+		t.Fatalf("Deltas = %d, want 1", st.Deltas)
+	}
+}
+
+func TestApplyDeltaRemoveAndMixed(t *testing.T) {
+	r := newTestRegistry(t, 1<<20)
+	parent := testData(t, 8, 2, 3)
+	parentID := putTest(t, r, parent.Clone())
+
+	// Remove in shuffled order; normalization should sort.
+	h, lin, _, err := r.ApplyDelta(parentID, Delta{Remove: []int{5, 0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if want := []int{0, 3, 5}; len(lin.Removed) != 3 || lin.Removed[0] != want[0] || lin.Removed[1] != want[1] || lin.Removed[2] != want[2] {
+		t.Fatalf("Removed = %v, want %v", lin.Removed, want)
+	}
+	child := h.Dataset()
+	if child.N() != 5 {
+		t.Fatalf("child has %d rows, want 5", child.N())
+	}
+	// Survivors keep original order: rows 1,2,4,6,7.
+	for ci, pi := range []int{1, 2, 4, 6, 7} {
+		if child.Labels[ci] != parent.Labels[pi] || child.X[ci][0] != parent.X[pi][0] {
+			t.Fatalf("survivor %d != parent row %d", ci, pi)
+		}
+	}
+
+	// Mixed: remove + append in one delta on the child.
+	app := testData(t, 2, 2, 4)
+	h2, lin2, _, err := r.ApplyDelta(h.ID(), Delta{Append: app, Remove: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if h2.Dataset().N() != 6 || lin2.Appended != 2 || len(lin2.Removed) != 1 {
+		t.Fatalf("mixed child N=%d lineage %+v", h2.Dataset().N(), lin2)
+	}
+}
+
+func TestApplyDeltaValidation(t *testing.T) {
+	r := newTestRegistry(t, 1<<20)
+	parent := testData(t, 5, 3, 7)
+	parentID := putTest(t, r, parent)
+
+	cases := []struct {
+		name string
+		d    Delta
+		want string
+	}{
+		{"empty", Delta{}, "empty delta"},
+		{"out of range", Delta{Remove: []int{5}}, "outside"},
+		{"negative", Delta{Remove: []int{-1}}, "outside"},
+		{"duplicate", Delta{Remove: []int{2, 2}}, "repeated"},
+		{"dim mismatch", Delta{Append: testData(t, 2, 4, 8)}, "dim"},
+		{"empties dataset", Delta{Remove: []int{0, 1, 2, 3, 4}}, "empty"},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := r.ApplyDelta(parentID, tc.d); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	if _, _, _, err := r.ApplyDelta("0000000000000000", Delta{Remove: []int{0}}); err == nil {
+		t.Error("unknown parent accepted")
+	}
+
+	// Regression/classification kind mismatch.
+	reg := dataset.FromFlat([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	reg.Targets = []float64{0.5, 1.5}
+	if _, _, _, err := r.ApplyDelta(parentID, Delta{Append: reg}); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Errorf("kind mismatch err = %v", err)
+	}
+}
+
+func TestApplyDeltaIdempotentAndSequence(t *testing.T) {
+	r := newTestRegistry(t, 1<<20)
+	parentID := putTest(t, r, testData(t, 6, 2, 11))
+	app := testData(t, 2, 2, 12)
+
+	h1, _, created1, err := r.ApplyDelta(parentID, Delta{Append: app.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Release()
+	h2, _, created2, err := r.ApplyDelta(parentID, Delta{Append: app.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if !created1 || created2 {
+		t.Fatalf("created = %v, %v; want true, false", created1, created2)
+	}
+	if h1.ID() != h2.ID() {
+		t.Fatalf("same delta minted %s then %s", h1.ID(), h2.ID())
+	}
+
+	// A random append/remove sequence lands on the same ID as building the
+	// final content directly (the cache-composition property).
+	rng := rand.New(rand.NewPCG(42, 43))
+	cur := testData(t, 10, 2, 20)
+	curID := putTest(t, r, cur.Clone())
+	for step := 0; step < 5; step++ {
+		var d Delta
+		if cur.N() > 3 && rng.IntN(2) == 0 {
+			d.Remove = []int{rng.IntN(cur.N())}
+		} else {
+			d.Append = testData(t, 1+rng.IntN(3), 2, 100+uint64(step))
+		}
+		h, _, _, err := r.ApplyDelta(curID, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = h.Dataset()
+		curID = h.ID()
+		h.Release()
+	}
+	if got := ID(cur.Fingerprint()); got != curID {
+		t.Fatalf("sequence ID %s, content hashes to %s", curID, got)
+	}
+}
+
+func TestApplyDeltaRegression(t *testing.T) {
+	r := newTestRegistry(t, 1<<20)
+	parent := dataset.FromFlat([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 4, 2)
+	parent.Targets = []float64{0.1, 0.2, 0.3, 0.4}
+	parentID := putTest(t, r, parent.Clone())
+
+	app := dataset.FromFlat([]float64{9, 10}, 1, 2)
+	app.Targets = []float64{0.9}
+	h, _, _, err := r.ApplyDelta(parentID, Delta{Append: app, Remove: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	child := h.Dataset()
+	if child.N() != 4 || !child.IsRegression() {
+		t.Fatalf("child N=%d regression=%v", child.N(), child.IsRegression())
+	}
+	want := []float64{0.1, 0.3, 0.4, 0.9}
+	for i, w := range want {
+		if child.Targets[i] != w {
+			t.Fatalf("Targets = %v, want %v", child.Targets, want)
+		}
+	}
+}

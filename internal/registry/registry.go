@@ -113,6 +113,8 @@ type Stats struct {
 	// content already held, Deletes successful Delete calls, Reclaims
 	// datasets removed by disk-budget pressure.
 	Puts, Reuploads, Deletes, Reclaims int64
+	// Deltas counts versioned datasets minted by ApplyDelta.
+	Deltas int64
 	// DiskBudget echoes the configured disk bound (0 = unbounded).
 	DiskBudget int64
 }
@@ -143,9 +145,11 @@ type Registry struct {
 	resident  *list.List // front = most recently used *entry
 	memBytes  int64
 	diskBytes int64
+	lineage   map[string]Lineage // child ID → derivation, for versioned datasets
 
 	hits, misses, loads, evictions     int64
 	puts, reuploads, deletes, reclaims int64
+	deltas                             int64
 }
 
 // New opens a registry. With a disk tier configured the directory is created
@@ -158,6 +162,7 @@ func New(cfg Config) (*Registry, error) {
 		cfg:      cfg,
 		entries:  make(map[string]*entry),
 		resident: list.New(),
+		lineage:  make(map[string]Lineage),
 	}
 	if cfg.Dir == "" {
 		return r, nil
@@ -616,6 +621,7 @@ func (r *Registry) Stats() Stats {
 		Reuploads:  r.reuploads,
 		Deletes:    r.deletes,
 		Reclaims:   r.reclaims,
+		Deltas:     r.deltas,
 		DiskBudget: r.cfg.DiskBudget,
 	}
 }

@@ -70,6 +70,9 @@ type JobEnvelope struct {
 	// V versions the envelope format; replay rejects versions it does not
 	// know rather than guessing.
 	V int `json:"v"`
+	// Kind selects what Request decodes to on replay: "" (historical
+	// envelopes) or "value" for a ValueRequest, "delta" for a DeltaJob.
+	Kind string `json:"kind,omitempty"`
 	// CacheKey is the job's result-cache key, preserved so a replayed run
 	// repopulates the same cache slot.
 	CacheKey string `json:"cacheKey,omitempty"`
@@ -84,6 +87,12 @@ type JobEnvelope struct {
 
 // JobEnvelopeVersion is the version current writers stamp into JobEnvelope.V.
 const JobEnvelopeVersion = 1
+
+// Job envelope kinds: what JobEnvelope.Request decodes to on replay.
+const (
+	JobKindValue = "value" // a valuation request ("" in historical envelopes)
+	JobKindDelta = "delta" // a DeltaJob — one dataset delta application
+)
 
 // envelopeFields are the top-level JSON keys owned by the request envelope;
 // every other key belongs to the method's parameters. Matching is
@@ -223,6 +232,9 @@ type DatasetInfo struct {
 	OnDisk     bool      `json:"onDisk"`
 	Refs       int       `json:"refs"`
 	CreatedAt  time.Time `json:"createdAt"`
+	// Parent is the dataset this one was derived from via PUT
+	// /datasets/{id}/delta, when the registry has a lineage record for it.
+	Parent string `json:"parent,omitempty"`
 }
 
 // UploadResponse is the body of POST /datasets: the stored dataset's
@@ -231,6 +243,38 @@ type DatasetInfo struct {
 type UploadResponse struct {
 	DatasetInfo
 	Created bool `json:"created"`
+}
+
+// DeltaRequest is the body of PUT /datasets/{id}/delta: edit the dataset at
+// {id} by removing rows and/or appending new ones. Appended rows come inline
+// (Append) or by registry reference (AppendRef) — never both; Remove lists
+// parent row indices to drop (applied before the append, so indices are in
+// the parent's coordinates). The result is stored as an ordinary
+// content-addressed dataset whose ID a direct upload of the same content
+// would also mint, with the derivation recorded as lineage.
+type DeltaRequest struct {
+	Append    *Payload `json:"append,omitempty"`
+	AppendRef string   `json:"appendRef,omitempty"`
+	Remove    []int    `json:"remove,omitempty"`
+}
+
+// DeltaResponse is the reply to PUT /datasets/{id}/delta: the child
+// dataset's info (its Parent field set to {id}), whether the content was new
+// to the registry, and the recorded edit sizes.
+type DeltaResponse struct {
+	DatasetInfo
+	Created  bool `json:"created"`
+	Appended int  `json:"appended,omitempty"`
+	Removed  int  `json:"removed,omitempty"`
+}
+
+// DeltaJob is the journaled form of one delta application (JobEnvelope.Kind
+// "delta"): everything by reference, so replay re-resolves the recovered
+// registry. AppendRef is empty for a pure removal.
+type DeltaJob struct {
+	Parent    string `json:"parent"`
+	AppendRef string `json:"appendRef,omitempty"`
+	Remove    []int  `json:"remove,omitempty"`
 }
 
 // DatasetListResponse is the body of GET /datasets.
@@ -254,6 +298,7 @@ type RegistryStats struct {
 	Reuploads  int64 `json:"reuploads"`
 	Deletes    int64 `json:"deletes"`
 	Reclaims   int64 `json:"reclaims"`
+	Deltas     int64 `json:"deltas"`
 }
 
 // MethodsResponse is the body of GET /methods: the machine-readable schema

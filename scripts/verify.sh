@@ -14,9 +14,12 @@
 # mid-job, SIGTERM drain), a crash-durability end-to-end run (svserver
 # SIGKILLed mid-job, restarted on the same data dir; the write-ahead job
 # journal must replay the job under its original ID with a bit-identical
-# result), and a short svbench smoke (to $BENCH_SMOKE, default
-# /tmp/BENCH_7.json) diffed against the committed BENCH_7.json baseline —
-# records that got more than 4x slower fail the run.
+# result), an incremental-delta end-to-end run (upload, value, append rows
+# via PUT /datasets/{id}/delta, re-value; bit-identical to from-scratch
+# with /metrics proving the O(ΔN) patch path ran), and a short svbench
+# smoke (to $BENCH_SMOKE, default /tmp/BENCH_8.json) diffed against the
+# committed BENCH_8.json baseline — records that got more than 4x slower
+# fail the run.
 # Run from anywhere; operates on the repo root. CI
 # (.github/workflows/ci.yml) runs exactly this script.
 set -euo pipefail
@@ -51,6 +54,7 @@ go test -run 'TestEvaluate|TestParams' -race .
 go test -run '^$' -fuzz FuzzFlatRoundTrip -fuzztime 10s ./internal/dataset
 go test -run '^$' -fuzz FuzzBinaryCodec -fuzztime 10s ./internal/dataset
 go test -run '^$' -fuzz FuzzDecodeValueRequest -fuzztime 10s ./cmd/svserver
+go test -run '^$' -fuzz FuzzDecodeDeltaRequest -fuzztime 10s ./cmd/svserver
 go test -run '^$' -fuzz FuzzShardReportCodec -fuzztime 10s ./internal/cluster
 go test -run '^$' -fuzz FuzzShardRequestJSON -fuzztime 10s ./internal/cluster
 go test -run '^$' -fuzz FuzzJournalDecode -fuzztime 10s ./internal/journal
@@ -229,13 +233,58 @@ kill "$jpid"
 journal_cleanup
 trap cleanup EXIT
 
+# Incremental delta end-to-end: upload a training set, value it by ref
+# (one full scan builds the cached neighbor rankings), derive a child via
+# "svcli delta -append", and re-value the child by ref. The child's values
+# must be bit-identical to an in-process run over the concatenated CSV
+# (%g round-trips float64 bits), and /metrics must show exactly one full
+# scan and one O(ΔN) patch — a second full scan means the revaluation
+# missed the incremental path.
+ddir=$(mktemp -d)
+dpid=""
+delta_cleanup() { kill "$dpid" 2>/dev/null || true; rm -rf "$ddir"; }
+trap 'cleanup; delta_cleanup' EXIT
+mkdir -p "$ddir/data"
+awk 'BEGIN{srand(21); for(r=0;r<20000;r++){for(c=0;c<16;c++)printf "%.6f,", rand()*2-1; print int(rand()*3)}}' >"$ddir/train.csv"
+awk 'BEGIN{srand(22); for(r=0;r<10;r++){for(c=0;c<16;c++)printf "%.6f,", rand()*2-1; print int(rand()*3)}}' >"$ddir/extra.csv"
+awk 'BEGIN{srand(23); for(r=0;r<16;r++){for(c=0;c<16;c++)printf "%.6f,", rand()*2-1; print int(rand()*3)}}' >"$ddir/test.csv"
+cat "$ddir/train.csv" "$ddir/extra.csv" >"$ddir/combined.csv"
+"$bindir/svcli" -train "$ddir/combined.csv" -test "$ddir/test.csv" -k 5 -algo exact \
+    >"$ddir/local.csv"
+
+"$bindir/svserver" -addr 127.0.0.1:0 -data-dir "$ddir/data" >"$ddir/sv.log" 2>&1 &
+dpid=$!
+daddr=$(wait_addr "$ddir/sv.log")
+tid=$("$bindir/svcli" upload -server "http://$daddr" -data "$ddir/train.csv")
+"$bindir/svcli" -train-ref "$tid" -test "$ddir/test.csv" -k 5 -algo exact \
+    -server "http://$daddr" >/dev/null
+cid=$("$bindir/svcli" delta -server "http://$daddr" -id "$tid" -append "$ddir/extra.csv")
+"$bindir/svcli" -train-ref "$cid" -test "$ddir/test.csv" -k 5 -algo exact \
+    -server "http://$daddr" >"$ddir/delta.csv"
+if ! cmp -s "$ddir/local.csv" "$ddir/delta.csv"; then
+    echo "delta-derived valuation differs from the from-scratch run:" >&2
+    diff "$ddir/local.csv" "$ddir/delta.csv" | head >&2
+    exit 1
+fi
+metrics=$(curl -sf "http://$daddr/metrics")
+for want in "svserver_incremental_fromscratch_total 1" "svserver_incremental_patches_total 1"; do
+    if ! grep -q "^$want\$" <<<"$metrics"; then
+        echo "delta E2E: expected \"$want\" in /metrics:" >&2
+        grep "^svserver_incremental" <<<"$metrics" >&2
+        exit 1
+    fi
+done
+kill "$dpid"
+delta_cleanup
+trap cleanup EXIT
+
 # Perf smoke + regression gate: the machine-readable engine
 # micro-benchmarks, capped at N=1e4 so the sweep stays seconds, diffed
 # against the committed full-sweep baseline. -threshold 4 absorbs
 # loaded-machine noise while still catching order-of-magnitude
 # regressions; records under 10µs are reported but never enforced.
 # Written OUTSIDE the repo (override with BENCH_SMOKE; CI uploads it as
-# an artifact) so the committed BENCH_7.json trajectory point is never
+# an artifact) so the committed BENCH_8.json trajectory point is never
 # clobbered by smoke numbers — regenerate that one deliberately with:
-#   go run ./cmd/svbench -benchjson BENCH_7.json
-go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_7.json}" -benchmax 10000 -compare BENCH_7.json -threshold 4
+#   go run ./cmd/svbench -benchjson BENCH_8.json
+go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_8.json}" -benchmax 10000 -compare BENCH_8.json -threshold 4
