@@ -1,0 +1,202 @@
+package knnshapley
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"knnshapley/internal/core"
+	"knnshapley/internal/planner"
+)
+
+func init() {
+	Register(AutoParams{})
+}
+
+// PlanEstimate is one method's predicted cost in a planner decision.
+type PlanEstimate struct {
+	// Method names the estimated algorithm.
+	Method string `json:"method"`
+	// PerPointNs is the predicted per-test-point cost; BuildNs the one-time
+	// index cost (the reload estimate when the index is already persisted);
+	// TotalNs what the decision ranked.
+	PerPointNs float64 `json:"perPointNs"`
+	BuildNs    float64 `json:"buildNs,omitempty"`
+	TotalNs    float64 `json:"totalNs"`
+	// Eligible reports whether the method could serve the workload; Reason
+	// says why not (or notes a persisted index).
+	Eligible bool   `json:"eligible"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// PlanDecision records how algo=auto chose its method — the audit trail the
+// Report carries so a caller can see why their workload ran the way it did.
+type PlanDecision struct {
+	// Method is the chosen algorithm.
+	Method string `json:"method"`
+	// Fallback marks a cheaper-looking method rejected for being within the
+	// cost model's uncertainty margin; Extrapolated a workload outside the
+	// calibration hull.
+	Fallback     bool `json:"fallback,omitempty"`
+	Extrapolated bool `json:"extrapolated,omitempty"`
+	// Reason is the one-line justification.
+	Reason string `json:"reason"`
+	// Estimates holds every method's prediction, cheapest eligible first.
+	Estimates []PlanEstimate `json:"estimates,omitempty"`
+}
+
+// planDecision converts the planner's verdict to the exported mirror.
+func planDecision(d planner.Decision) *PlanDecision {
+	out := &PlanDecision{
+		Method:       d.Method,
+		Fallback:     d.Fallback,
+		Extrapolated: d.Extrapolated,
+		Reason:       d.Reason,
+		Estimates:    make([]PlanEstimate, len(d.Estimates)),
+	}
+	for i, e := range d.Estimates {
+		out.Estimates[i] = PlanEstimate(e)
+	}
+	return out
+}
+
+// AutoParams runs the cost-based method planner: it predicts the wall-clock
+// cost of every method that can serve the session's workload at the
+// requested tolerance — from a committed calibration grid, rescaled to the
+// host by a one-time micro-probe, and aware of already-persisted ANN
+// indexes — then runs the cheapest, falling back to exact whenever the
+// predicted win is within the model's uncertainty. The report's Plan field
+// records the decision and every estimate behind it.
+//
+// The tolerance fields bound what the planner may pick, never what the
+// chosen method delivers: eps = 0 demands exact values, delta = 0 restricts
+// the choice to the zero-failure-probability methods (exact, truncated,
+// kd), and any chosen method is run at exactly the requested (eps, delta).
+type AutoParams struct {
+	// Eps is the max per-point approximation error the caller tolerates
+	// (0 = none: exact values).
+	Eps float64 `json:"eps,omitempty"`
+	// Delta is the allowed failure probability (0 = none: only (eps,0)
+	// methods may be picked).
+	Delta float64 `json:"delta,omitempty"`
+	// Seed drives whichever randomized method the planner picks.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Name implements Method.
+func (AutoParams) Name() string { return "auto" }
+
+// Schema implements Method.
+func (AutoParams) Schema() MethodSchema {
+	return MethodSchema{
+		Name:        "auto",
+		Description: "Cost-based planner: picks the cheapest method meeting the (eps,delta) tolerance from calibrated cost curves and persisted-index state; falls back to exact when uncertain.",
+		Params: []ParamSpec{
+			{Name: "eps", Type: "float", Min: fptr(0),
+				Doc: "max approximation error tolerated (0 = demand exact values)"},
+			{Name: "delta", Type: "float", Min: fptr(0), Max: fptr(1), Exclusive: true,
+				Doc: "failure probability tolerated (0 = restrict to (eps,0) methods)"},
+			{Name: "seed", Type: "uint",
+				Doc: "seed for whichever randomized method is picked"},
+		},
+	}
+}
+
+// Validate implements Method.
+func (p AutoParams) Validate() error {
+	if p.Eps < 0 {
+		return fmt.Errorf("eps = %g, want >= 0", p.Eps)
+	}
+	if p.Delta < 0 || p.Delta >= 1 {
+		return fmt.Errorf("delta = %g, want in [0,1)", p.Delta)
+	}
+	return nil
+}
+
+// CacheKey implements Method. Two auto requests with equal tolerances are
+// the same computation: whichever method the planner picks satisfies the
+// requested (eps, delta), so a cached result remains within tolerance even
+// if index-persistence state would steer a fresh run elsewhere.
+func (p AutoParams) CacheKey() string {
+	return fmt.Sprintf("eps=%g|delta=%g|seed=%d", p.Eps, p.Delta, p.Seed)
+}
+
+// lshIndexReady reports whether the session could serve an LSH request at
+// (eps, delta, seed) without building: a live session index or a persisted
+// artifact under the canonical key.
+func (v *Valuer) lshIndexReady(eps, delta float64, seed uint64) bool {
+	v.mu.Lock()
+	_, live := v.lsh[lshKey{eps: eps, delta: delta, seed: seed}]
+	v.mu.Unlock()
+	if live {
+		return true
+	}
+	cfg := core.LSHConfig{K: v.cfg.K, Eps: eps, Delta: delta, Seed: seed}
+	return v.HasPersistedIndex("lsh", cfg.LSHIndexKey())
+}
+
+// kdIndexReady reports whether the session could serve a k-d request
+// without building. The persisted tree is (K, eps)-independent, so any live
+// session tree or the single per-dataset artifact counts.
+func (v *Valuer) kdIndexReady() bool {
+	v.mu.Lock()
+	live := len(v.kd) > 0
+	v.mu.Unlock()
+	if live {
+		return true
+	}
+	return v.HasPersistedIndex("kd", core.KDIndexKey(0))
+}
+
+// Run implements Method: plan, delegate to the chosen method's params, and
+// stamp the decision into the report.
+func (p AutoParams) Run(ctx context.Context, v *Valuer, test *Dataset) (*Report, error) {
+	start := time.Now()
+	if err := v.checkTest(test); err != nil {
+		return nil, err
+	}
+	w := planner.Workload{
+		N: v.train.N(), Dim: v.train.Dim(), NTest: test.N(), K: v.cfg.K,
+		Eps: p.Eps, Delta: p.Delta,
+		Weighted:     v.cfg.Weight != nil,
+		Regression:   v.train.IsRegression(),
+		L2:           v.cfg.Metric == L2,
+		KDIndexReady: v.kdIndexReady(),
+	}
+	// Probe LSH readiness only when LSH could serve the request at all —
+	// the canonical key needs a positive eps (K* = max{K, ⌈1/eps⌉}).
+	if p.Eps > 0 && p.Delta > 0 {
+		w.LSHIndexReady = v.lshIndexReady(p.Eps, p.Delta, p.Seed)
+	}
+	decision := planner.Plan(w)
+
+	var delegate Method
+	switch decision.Method {
+	case planner.MethodExact:
+		delegate = ExactParams{}
+	case planner.MethodTruncated:
+		delegate = TruncatedParams{Eps: p.Eps}
+	case planner.MethodMonteCarlo:
+		mc := MCParams{Eps: p.Eps, Delta: p.Delta, Seed: p.Seed}
+		if v.cfg.Weight != nil || v.train.IsRegression() {
+			// Non-default utility kinds need an explicit per-step range; the
+			// utilities are normalized to [0,1], so r = 1 is always sound
+			// (just conservative in budget).
+			mc.RangeHalfWidth = 1
+		}
+		delegate = mc
+	case planner.MethodLSH:
+		delegate = LSHParams{Eps: p.Eps, Delta: p.Delta, Seed: p.Seed}
+	case planner.MethodKD:
+		delegate = KDParams{Eps: p.Eps}
+	default:
+		return nil, fmt.Errorf("knnshapley: planner picked unknown method %q", decision.Method)
+	}
+	rep, err := delegate.Run(ctx, v, test)
+	if err != nil {
+		return nil, err
+	}
+	rep.Plan = planDecision(decision)
+	rep.Duration = time.Since(start)
+	return rep, nil
+}

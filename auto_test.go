@@ -1,0 +1,176 @@
+package knnshapley
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// lowDimDataset builds an n×dim classification set — the planner tests need
+// dimensions the synthetic generators don't offer.
+func lowDimDataset(t *testing.T, n, dim int, seed uint64) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0xabcd))
+	x := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range x {
+		row := make([]float64, dim)
+		for d := range row {
+			row[d] = rng.NormFloat64()
+		}
+		x[i] = row
+		labels[i] = rng.IntN(4)
+	}
+	d, err := NewClassificationDataset(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestAutoEpsZeroIsExact: with no tolerance given, auto must produce exact
+// values — bit-identical to a direct Exact call — and say so in the plan.
+func TestAutoEpsZeroIsExact(t *testing.T) {
+	train := SynthGist(400, 1)
+	test := SynthGist(8, 2)
+	v, err := New(train, WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	auto, err := v.Evaluate(ctx, Request{Params: AutoParams{}, Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Method != "exact" {
+		t.Fatalf("auto with eps=0 ran %q, want exact", auto.Method)
+	}
+	if auto.Plan == nil || auto.Plan.Method != "exact" {
+		t.Fatalf("plan not recorded: %+v", auto.Plan)
+	}
+	exact, err := v.Exact(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact.Values {
+		if auto.Values[i] != exact.Values[i] {
+			t.Fatalf("auto(eps=0) diverged from exact at %d", i)
+		}
+	}
+	if exact.Plan != nil {
+		t.Fatal("direct method carries a plan")
+	}
+}
+
+// TestAutoWithinTolerance: whatever auto picks, its values stay within the
+// requested eps of exact per point — the tolerance contract.
+func TestAutoWithinTolerance(t *testing.T) {
+	train := lowDimDataset(t, 1200, 4, 3)
+	test := lowDimDataset(t, 12, 4, 4)
+	v, err := New(train, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const eps = 0.1
+	auto, err := v.Evaluate(ctx, Request{Params: AutoParams{Eps: eps, Seed: 1}, Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Plan == nil {
+		t.Fatal("no plan recorded")
+	}
+	if auto.Plan.Method != auto.Method {
+		t.Fatalf("plan says %q but report ran %q", auto.Plan.Method, auto.Method)
+	}
+	// delta=0: the planner must not have picked a method with a failure
+	// probability.
+	if auto.Method == "lsh" || auto.Method == "montecarlo" {
+		t.Fatalf("delta=0 tolerance violated: auto ran %q", auto.Method)
+	}
+	exact, err := v.Exact(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact.Values {
+		if diff := math.Abs(auto.Values[i] - exact.Values[i]); diff > eps {
+			t.Fatalf("value %d off by %g > eps %g (method %s)", i, diff, eps, auto.Method)
+		}
+	}
+}
+
+// TestAutoPrefersPersistedIndex: with a k-d tree already persisted for a
+// low-dimension dataset, auto flips from the scan to the index and reloads
+// rather than rebuilds.
+func TestAutoPrefersPersistedIndex(t *testing.T) {
+	store, err := OpenIndexDir(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := lowDimDataset(t, 4000, 4, 5)
+	test := lowDimDataset(t, 32, 4, 6)
+	ctx := context.Background()
+
+	// Session 1: build and persist the tree via a direct KD call.
+	v1, err := New(train, WithK(5), WithIndexStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v1.KD(ctx, test, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if v1.IndexBuilds() != 1 {
+		t.Fatalf("setup: %d builds, want 1", v1.IndexBuilds())
+	}
+
+	// Session 2: auto sees the persisted tree, picks kd, and reloads.
+	v2, err := New(train, WithK(5), WithIndexStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v2.Evaluate(ctx, Request{Params: AutoParams{Eps: 0.1, Seed: 1}, Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "kd" {
+		t.Fatalf("auto with persisted tree ran %q, want kd (%s)", rep.Method, rep.Plan.Reason)
+	}
+	if v2.IndexBuilds() != 0 || v2.IndexLoads() != 1 {
+		t.Fatalf("builds=%d loads=%d, want 0/1", v2.IndexBuilds(), v2.IndexLoads())
+	}
+
+	// Without the store, the same workload stays on the scan: building the
+	// tree for one small request costs more than it saves.
+	v3, err := New(train, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep3, err := v3.Evaluate(ctx, Request{Params: AutoParams{Eps: 0.1, Seed: 1}, Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Method != "truncated" {
+		t.Fatalf("cold auto ran %q, want truncated (%s)", rep3.Method, rep3.Plan.Reason)
+	}
+}
+
+// TestAutoWeightedRoutesToMonteCarlo: weighted utilities have no ranking
+// approximation and exact costs ~N^K; with a statistical tolerance, auto
+// must pick Monte-Carlo.
+func TestAutoWeightedRoutesToMonteCarlo(t *testing.T) {
+	train := SynthGist(500, 11)
+	test := SynthGist(4, 12)
+	v, err := New(train, WithK(2), WithWeight(InverseDistance(0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.Evaluate(context.Background(),
+		Request{Params: AutoParams{Eps: 0.5, Delta: 0.2, Seed: 3}, Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "montecarlo" {
+		t.Fatalf("weighted auto ran %q, want montecarlo (%s)", rep.Method, rep.Plan.Reason)
+	}
+}

@@ -65,6 +65,9 @@
 //	svcli datasets -server http://localhost:8080 -delete a1b2c3d4e5f60718
 //	svcli delta -server http://localhost:8080 -id a1b2... -append new.csv -remove 3,17
 //	                                                  # prints the derived child's ID
+//	svcli indexes -server http://localhost:8080                        # list persisted ANN indexes
+//	svcli indexes -server http://localhost:8080 -build a1b2... -kind kd # pre-build an index (async job)
+//	svcli indexes -server http://localhost:8080 -delete a1b2....kd.0123456789abcdef
 //
 //	svcli -train-ref a1b2... -test-ref 18f7... -k 5 -server http://localhost:8080
 //	svcli -train big.csv -test test.csv -k 5 -server http://localhost:8080 -by-ref
@@ -124,6 +127,9 @@ func main() {
 			return
 		case "delta":
 			runDelta(os.Args[2:])
+			return
+		case "indexes":
+			runIndexes(os.Args[2:])
 			return
 		case "methods":
 			runMethods(os.Args[2:])
@@ -813,6 +819,97 @@ func runDelta(args []string) {
 	fmt.Fprintf(os.Stderr, "svcli: %s %s from %s (+%d/-%d rows, now %d×%d)\n",
 		verb, resp.ID, *id, resp.Appended, resp.Removed, resp.Rows, resp.Dim)
 	fmt.Println(resp.ID)
+}
+
+// runIndexes is the "svcli indexes" subcommand: list the server's persisted
+// ANN indexes, build one ahead of time, or delete one.
+//
+//	svcli indexes -server http://host:8080                          # list
+//	svcli indexes -server http://host:8080 -build <datasetID> -kind kd
+//	svcli indexes -server http://host:8080 -delete <indexID>
+//
+// -build enqueues an async index job (POST /indexes) and polls it to
+// completion, printing whether the server built the index from scratch or
+// reloaded a persisted artifact — the explicit way to pay an index's
+// construction cost off the query path so a later `-algo auto` valuation
+// finds it amortized.
+func runIndexes(args []string) {
+	fs := flag.NewFlagSet("indexes", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "", "svserver base URL (required)")
+		build     = fs.String("build", "", "dataset ID to build an index over (POST /indexes)")
+		kind      = fs.String("kind", "kd", `index family to build: "kd" or "lsh"`)
+		k         = fs.Int("k", 0, "neighbor count the index is tuned for (0 = server default)")
+		eps       = fs.Float64("eps", 0.1, "approximation error target the index is tuned for")
+		delta     = fs.Float64("delta", 0.1, "failure probability (lsh only)")
+		seed      = fs.Uint64("seed", 1, "LSH hash-draw seed")
+		del       = fs.String("delete", "", "delete one persisted index by ID")
+		poll      = fs.Duration("poll", 250*time.Millisecond, "build-job status poll interval")
+		timeout   = fs.Duration("timeout", 5*time.Minute, "request deadline")
+	)
+	fs.Parse(args)
+	if *serverURL == "" {
+		fmt.Fprintln(os.Stderr, "svcli indexes: -server is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch {
+	case *build != "":
+		req := wire.IndexRequest{Dataset: *build, Kind: *kind, K: *k, Eps: *eps, Delta: *delta, Seed: *seed}
+		var st wire.JobStatus
+		if status, raw := postJSON(ctx, *serverURL+"/indexes", req, &st); status != http.StatusAccepted {
+			remoteFail("index build", status, st.Error, raw)
+		}
+		fmt.Fprintf(os.Stderr, "svcli: index job %s enqueued\n", st.ID)
+		pollJob(ctx, *serverURL, &st, *poll)
+		if st.Status != "done" {
+			fmt.Fprintf(os.Stderr, "svcli: index job %s ended %s: %s\n", st.ID, st.Status, st.Error)
+			os.Exit(1)
+		}
+		var res struct {
+			wire.IndexJobResult
+			Error string `json:"error"`
+		}
+		if status, raw := getJSON(ctx, *serverURL+"/jobs/"+st.ID+"/result", &res); status != http.StatusOK {
+			remoteFail("index result", status, res.Error, raw)
+		}
+		how := "already live"
+		switch {
+		case res.Built:
+			how = "built"
+		case res.Loaded:
+			how = "reloaded"
+		}
+		fmt.Fprintf(os.Stderr, "svcli: %s index %s over %s (%d bytes, %s)\n",
+			res.Kind, how, res.Dataset, res.Bytes, res.Key)
+		fmt.Println(res.ID)
+	case *del != "":
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, *serverURL+"/indexes/"+*del, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svcli:", err)
+			os.Exit(1)
+		}
+		var er wire.ErrorResponse
+		if status, raw := doJSON(req, &er); status != http.StatusNoContent {
+			remoteFail("index delete", status, er.Error, raw)
+		}
+		fmt.Fprintf(os.Stderr, "svcli: deleted index %s\n", *del)
+	default:
+		var list struct {
+			wire.IndexListResponse
+			Error string `json:"error"`
+		}
+		if status, raw := getJSON(ctx, *serverURL+"/indexes", &list); status != http.StatusOK {
+			remoteFail("index list", status, list.Error, raw)
+		}
+		for _, info := range list.Indexes {
+			fmt.Printf("%s dataset=%s kind=%s bytes=%d key=%q\n",
+				info.ID, info.Dataset, info.Kind, info.Bytes, info.Key)
+		}
+	}
 }
 
 // runDatasets is the "svcli datasets" subcommand: list, stat or delete.

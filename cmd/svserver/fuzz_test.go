@@ -45,7 +45,7 @@ func FuzzDecodeValueRequest(f *testing.F) {
 		QueueDepth: 4,
 		JobTimeout: 100 * time.Millisecond,
 		TTL:        time.Second,
-	}, registry.Config{Dir: f.TempDir()}, nil)
+	}, registry.Config{Dir: f.TempDir()}, registry.IndexConfig{}, nil)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func FuzzDecodeDeltaRequest(f *testing.F) {
 		QueueDepth: 4,
 		JobTimeout: 100 * time.Millisecond,
 		TTL:        time.Second,
-	}, registry.Config{Dir: f.TempDir()}, nil)
+	}, registry.Config{Dir: f.TempDir()}, registry.IndexConfig{}, nil)
 	if err != nil {
 		f.Fatal(err)
 	}

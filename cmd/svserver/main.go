@@ -19,6 +19,10 @@
 //	GET    /datasets/{id}    — dataset metadata (with lineage parent, if any)
 //	DELETE /datasets/{id}    — delete (deferred while jobs hold it)
 //	PUT    /datasets/{id}/delta — derive a versioned child (append/remove rows)
+//	POST   /indexes          — build/reload one ANN index as an async job
+//	GET    /indexes          — list persisted indexes
+//	GET    /indexes/{id}     — one persisted index's metadata
+//	DELETE /indexes/{id}     — delete a persisted index
 //	POST   /jobs             — enqueue a valuation job (202 + job status)
 //	GET    /jobs/{id}        — poll job status and progress
 //	GET    /jobs/{id}/result — fetch the report of a done job
@@ -84,6 +88,37 @@
 // their lineage edges rebuilt at startup, so the incremental path survives
 // restarts. Lineage lost anyway (TTL-expired journal, deleted parent) only
 // costs speed — the valuation falls back to a full rescan.
+//
+// # Index persistence and the auto planner
+//
+// Valuer sessions build their ANN indexes (p-stable LSH tables, k-d trees)
+// lazily, and every server session is attached to a persistent index store
+// under -index-dir (default <data-dir>/indexes, LRU-bounded by
+// -index-disk-budget): a freshly built index is serialized beside its
+// dataset, keyed on the dataset's content fingerprint plus the canonical
+// build parameters, and a later session — including one in a restarted
+// process — reloads the bytes instead of re-tuning and rebuilding, which is
+// orders of magnitude cheaper at N=1e5. DELETE /datasets/{id} cascades into
+// the store, so a deleted dataset never orphans index files.
+//
+// POST /indexes ({"dataset": "<id>", "kind": "lsh"|"kd", "k", "eps",
+// "delta", "seed"}) pays that build cost explicitly, off the query path, as
+// an ordinary async journaled job: 202 + job status, progress via
+// GET /jobs/{id}, the persisted artifact's metadata via
+// GET /jobs/{id}/result, and crash replay from the write-ahead journal
+// (envelope kind "index"). GET /indexes lists the store;
+// DELETE /indexes/{id} evicts one artifact.
+//
+// The "auto" algorithm closes the loop: its cost-based planner predicts
+// every eligible method's wall-clock from committed calibration curves —
+// rescaled to the host by a one-time micro-probe, and aware of which
+// indexes are already persisted — then runs the cheapest method meeting the
+// requested (eps, delta), falling back to exact when the predicted win is
+// within the model's uncertainty. The decision (and every estimate behind
+// it) rides the result as "plan"; the "planner" block of /statz and the
+// svserver_planner_* series of /metrics count picks, fallbacks and
+// extrapolations, and the "indexes" block / svserver_index_store_* series
+// show builds persisted vs reloaded.
 //
 // # Job lifecycle
 //
@@ -236,6 +271,7 @@ import (
 	"knnshapley/internal/core"
 	"knnshapley/internal/jobs"
 	"knnshapley/internal/journal"
+	"knnshapley/internal/planner"
 	"knnshapley/internal/registry"
 	"knnshapley/internal/wire"
 )
@@ -247,18 +283,20 @@ const statusClientClosedRequest = 499
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		maxBody    = flag.Int64("max-body", 64<<20, "maximum request body in bytes")
-		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline for the synchronous /value path (0 = none)")
-		jobWorkers = flag.Int("job-workers", 0, "concurrent valuation jobs (0 = 2)")
-		jobQueue   = flag.Int("job-queue", 0, "queued-job bound before 429 (0 = 64)")
-		jobTTL     = flag.Duration("job-ttl", 0, "terminal-job retention (0 = 15m)")
-		jobCache   = flag.Int("job-cache", 0, "result-cache entries (0 = 128)")
-		jobTimeout = flag.Duration("job-timeout", 0, "per-job compute deadline (0 = none)")
-		dataDir    = flag.String("data-dir", "", "dataset registry directory (empty = a fresh temp dir)")
-		memBudget  = flag.Int64("mem-budget", 0, "bytes of decoded datasets kept in memory (0 = 256 MiB)")
-		diskBudget = flag.Int64("disk-budget", 4<<30, "bytes of datasets kept on disk before LRU reclaim of unpinned ones (0 = unbounded)")
-		rankBudget = flag.Int64("rank-cache-budget", 0, "bytes of cached neighbor rankings for incremental delta valuation (0 = 256 MiB, negative disables caching)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxBody     = flag.Int64("max-body", 64<<20, "maximum request body in bytes")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline for the synchronous /value path (0 = none)")
+		jobWorkers  = flag.Int("job-workers", 0, "concurrent valuation jobs (0 = 2)")
+		jobQueue    = flag.Int("job-queue", 0, "queued-job bound before 429 (0 = 64)")
+		jobTTL      = flag.Duration("job-ttl", 0, "terminal-job retention (0 = 15m)")
+		jobCache    = flag.Int("job-cache", 0, "result-cache entries (0 = 128)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job compute deadline (0 = none)")
+		dataDir     = flag.String("data-dir", "", "dataset registry directory (empty = a fresh temp dir)")
+		memBudget   = flag.Int64("mem-budget", 0, "bytes of decoded datasets kept in memory (0 = 256 MiB)")
+		diskBudget  = flag.Int64("disk-budget", 4<<30, "bytes of datasets kept on disk before LRU reclaim of unpinned ones (0 = unbounded)")
+		rankBudget  = flag.Int64("rank-cache-budget", 0, "bytes of cached neighbor rankings for incremental delta valuation (0 = 256 MiB, negative disables caching)")
+		indexDir    = flag.String("index-dir", "", "persisted ANN index directory (empty = <data-dir>/indexes)")
+		indexBudget = flag.Int64("index-disk-budget", 1<<30, "bytes of persisted ANN indexes before LRU reclaim (0 = unbounded)")
 
 		journalOn    = flag.Bool("journal", true, "write-ahead job journal under -data-dir/journal; queued/running jobs replay after a crash")
 		journalFsync = flag.Duration("journal-fsync", 25*time.Millisecond, "journal group-commit interval (0 = fsync inline on submit/terminal records, <0 = never)")
@@ -298,18 +336,26 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	idxDir := *indexDir
+	if idxDir == "" {
+		idxDir = filepath.Join(dir, "indexes")
+	}
 	srv, err := newServer(*maxBody, *reqTimeout, jobs.Config{
 		Workers:    *jobWorkers,
 		QueueDepth: *jobQueue,
 		TTL:        *jobTTL,
 		CacheSize:  *jobCache,
 		JobTimeout: *jobTimeout,
-	}, registry.Config{Dir: dir, MemBudget: *memBudget, DiskBudget: *diskBudget}, jw)
+	}, registry.Config{Dir: dir, MemBudget: *memBudget, DiskBudget: *diskBudget},
+		registry.IndexConfig{Dir: idxDir, DiskBudget: *indexBudget}, jw)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if n := len(srv.reg.List()); n > 0 {
 		log.Printf("svserver: recovered %d datasets from %s", n, dir)
+	}
+	if n := len(srv.indexes.List()); n > 0 {
+		log.Printf("svserver: recovered %d persisted indexes from %s", n, idxDir)
 	}
 	if *rankBudget != 0 {
 		// Re-point at a cache with the requested budget before any traffic.
@@ -402,6 +448,12 @@ type server struct {
 	mgr     *jobs.Manager
 	reg     *registry.Registry
 
+	// indexes persists serialized ANN indexes beside their datasets; every
+	// Valuer session is built with it attached, so index builds amortize
+	// across sessions AND process restarts, and POST /indexes can pay the
+	// build cost explicitly, off the query path.
+	indexes *registry.IndexStore
+
 	// worker serves shard sub-jobs (always mounted — any svserver can be a
 	// cluster peer); coord is non-nil only in -coordinator mode and scatters
 	// distributable valuations across the fleet. fallbacks counts
@@ -425,15 +477,22 @@ type server struct {
 // A non-nil jw makes the job manager journal-backed: submissions built by
 // buildSpec carry durable envelopes, and replay() reinstalls what a crash
 // left behind.
-func newServer(maxBody int64, timeout time.Duration, jcfg jobs.Config, rcfg registry.Config, jw *journal.Writer) (*server, error) {
+func newServer(maxBody int64, timeout time.Duration, jcfg jobs.Config, rcfg registry.Config, icfg registry.IndexConfig, jw *journal.Writer) (*server, error) {
 	reg, err := registry.New(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	if icfg.Dir == "" {
+		icfg.Dir = filepath.Join(rcfg.Dir, "indexes")
+	}
+	idx, err := registry.NewIndexStore(icfg)
 	if err != nil {
 		return nil, err
 	}
 	if jw != nil {
 		jcfg.Journal = jw
 	}
-	s := &server{maxBody: maxBody, timeout: timeout, mgr: jobs.New(jcfg), reg: reg, journal: jw}
+	s := &server{maxBody: maxBody, timeout: timeout, mgr: jobs.New(jcfg), reg: reg, indexes: idx, journal: jw}
 	s.worker = cluster.NewWorker(s.reg, s.mgr)
 	s.inc = cluster.NewIncremental(cluster.NewRankCache(0), reg)
 	return s, nil
@@ -546,6 +605,19 @@ func (s *server) resubmit(js journal.JobState) error {
 			return err
 		}
 		return nil
+	case wire.JobKindIndex:
+		var ir wire.IndexRequest
+		if err := json.Unmarshal(env.Request, &ir); err != nil {
+			return fmt.Errorf("decode journaled index request: %v", err)
+		}
+		spec, _, err := s.indexSpec(&ir)
+		if err != nil {
+			return err
+		}
+		if _, err := s.mgr.SubmitReplayed(js.ID, *spec); err != nil {
+			return err
+		}
+		return nil
 	default:
 		return fmt.Errorf("job envelope kind %q not supported", env.Kind)
 	}
@@ -583,6 +655,10 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /datasets/{id}", s.handleDatasetStat)
 	mux.HandleFunc("DELETE /datasets/{id}", s.handleDatasetDelete)
 	mux.HandleFunc("PUT /datasets/{id}/delta", s.handleDatasetDelta)
+	mux.HandleFunc("POST /indexes", s.handleIndexSubmit)
+	mux.HandleFunc("GET /indexes", s.handleIndexList)
+	mux.HandleFunc("GET /indexes/{id}", s.handleIndexStat)
+	mux.HandleFunc("DELETE /indexes/{id}", s.handleIndexDelete)
 	mux.HandleFunc("GET /methods", s.handleMethods)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
@@ -639,9 +715,36 @@ func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"restored":      st.Restored,
 		"reportEntries": st.ReportEntries, "valuerEntries": st.ValuerEntries,
 		"registry":    registryStats(s.reg.Stats()),
+		"indexes":     indexStoreStats(s.indexes.Stats()),
+		"planner":     plannerStats(planner.Counters()),
 		"incremental": s.inc.Stats(),
 		"rankCache":   s.inc.Cache().Stats(),
 	})
+}
+
+// indexStoreStats maps the index-store counters onto the wire type.
+func indexStoreStats(st registry.IndexStats) wire.IndexStoreStats {
+	return wire.IndexStoreStats{
+		Indexes:    st.Indexes,
+		DiskBytes:  st.DiskBytes,
+		DiskBudget: st.DiskBudget,
+		Saves:      st.Saves,
+		Loads:      st.Loads,
+		Misses:     st.Misses,
+		Reclaims:   st.Reclaims,
+		Deletes:    st.Deletes,
+		Corrupt:    st.Corrupt,
+	}
+}
+
+// plannerStats maps the algo=auto planner counters onto the wire type.
+func plannerStats(st planner.Stats) wire.PlannerStats {
+	return wire.PlannerStats{
+		Plans:        st.Plans,
+		Picks:        st.Picks,
+		Fallbacks:    st.Fallbacks,
+		Extrapolated: st.Extrapolated,
+	}
 }
 
 // handleClusterStatz is GET /cluster/statz: on a coordinator, peer health
@@ -694,6 +797,22 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("svserver_registry_deletes_total", "Dataset deletions.", rs.Deletes)
 	counter("svserver_registry_reclaims_total", "Disk-budget reclaims.", rs.Reclaims)
 	counter("svserver_registry_deltas_total", "Versioned datasets minted by delta application.", rs.Deltas)
+	ix := s.indexes.Stats()
+	gauge("svserver_index_store_indexes", "Persisted ANN indexes stored.", ix.Indexes)
+	gauge("svserver_index_store_disk_bytes", "Bytes of persisted ANN indexes on disk.", ix.DiskBytes)
+	counter("svserver_index_store_saves_total", "ANN indexes persisted.", ix.Saves)
+	counter("svserver_index_store_loads_total", "ANN indexes reloaded instead of rebuilt.", ix.Loads)
+	counter("svserver_index_store_misses_total", "Index lookups that found nothing.", ix.Misses)
+	counter("svserver_index_store_reclaims_total", "Indexes reclaimed by the disk budget.", ix.Reclaims)
+	counter("svserver_index_store_deletes_total", "Indexes deleted (dataset cascade included).", ix.Deletes)
+	counter("svserver_index_store_corrupt_total", "Index containers that failed verification and were dropped.", ix.Corrupt)
+	ps := planner.Counters()
+	counter("svserver_planner_plans_total", "algo=auto planning decisions made.", ps.Plans)
+	counter("svserver_planner_fallbacks_total", "Planner decisions that fell back to exact within the uncertainty margin.", ps.Fallbacks)
+	counter("svserver_planner_extrapolated_total", "Planner decisions outside the calibration hull.", ps.Extrapolated)
+	for _, m := range []string{"exact", "truncated", "montecarlo", "lsh", "kd"} {
+		fmt.Fprintf(&b, "svserver_planner_picks_total{method=%q} %d\n", m, ps.Picks[m])
+	}
 	is := s.inc.Stats()
 	counter("svserver_incremental_fromscratch_total", "Neighbor rankings built by a full scan.", is.FromScratch)
 	counter("svserver_incremental_patches_total", "Neighbor rankings derived by an O(ΔN) append patch.", is.Patches)
@@ -859,7 +978,168 @@ func (s *server) handleDatasetStat(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.Delete(r.PathValue("id")); err != nil {
+	id := r.PathValue("id")
+	if err := s.reg.Delete(id); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	// Cascade: a deleted dataset must not orphan its persisted index files —
+	// they are keyed on its fingerprint, so nothing could ever load them once
+	// the dataset is gone.
+	if n := s.indexes.DeleteDataset(id); n > 0 {
+		log.Printf("svserver: deleted %d persisted indexes of dataset %s", n, id)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// indexInfo maps one index-store entry onto the wire type.
+func indexInfo(info registry.IndexInfo) wire.IndexInfo {
+	return wire.IndexInfo{
+		ID:        info.ID,
+		Dataset:   info.Dataset,
+		Kind:      info.Kind,
+		Key:       info.Key,
+		Bytes:     info.Bytes,
+		Refs:      info.Refs,
+		CreatedAt: info.CreatedAt,
+		LastUsed:  info.LastUsed,
+	}
+}
+
+// handleIndexSubmit is POST /indexes: build (or reload) one ANN index over
+// an uploaded dataset as an async journaled job — the explicit way to pay an
+// index's construction cost off the query path, so the first algo=auto
+// valuation that wants it finds the build already amortized. Answers 202
+// with the job's status; the finished job's GET /jobs/{id}/result carries
+// the persisted artifact's metadata.
+func (s *server) handleIndexSubmit(w http.ResponseWriter, r *http.Request) {
+	var req wire.IndexRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode index request: "+err.Error())
+		return
+	}
+	spec, status, err := s.indexSpec(&req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	job, err := s.submit(w, spec)
+	if err != nil {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statusResponse(job.Snapshot()))
+}
+
+// indexSpec validates one index request and turns it into a job spec: the
+// dataset is pinned for the job's lifetime, the envelope carries the
+// by-reference request (JobEnvelope kind "index") so a crash replays the
+// build, and the run drives the session's EnsureIndex — reload when the
+// store already holds the artifact, build-and-persist otherwise. The int is
+// the HTTP status for a non-nil error.
+func (s *server) indexSpec(req *wire.IndexRequest) (*jobs.Spec, int, error) {
+	switch req.Kind {
+	case "lsh", "kd":
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("index kind %q not supported (want lsh or kd)", req.Kind)
+	}
+	if req.K == 0 {
+		req.K = 5
+	}
+	if req.K < 0 {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("k = %d, want >= 1", req.K)
+	}
+	if req.Eps == 0 {
+		req.Eps = 0.1
+	}
+	if req.Delta == 0 && req.Kind == "lsh" {
+		req.Delta = 0.1
+	}
+	if req.Eps <= 0 {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("eps = %g, want > 0", req.Eps)
+	}
+	if req.Kind == "lsh" && (req.Delta <= 0 || req.Delta >= 1) {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("delta = %g, want in (0,1)", req.Delta)
+	}
+	h, err := s.reg.Get(req.Dataset)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, registry.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		return nil, status, fmt.Errorf("dataset: %w", err)
+	}
+	var env []byte
+	if s.journal != nil {
+		reqJSON, err := json.Marshal(req)
+		if err == nil {
+			env, err = json.Marshal(wire.JobEnvelope{
+				V:       wire.JobEnvelopeVersion,
+				Kind:    wire.JobKindIndex,
+				Request: reqJSON,
+			})
+		}
+		if err != nil {
+			log.Printf("svserver: journal: serialize index request: %v", err)
+			env = nil
+		}
+	}
+	dataset, kind := h.ID(), req.Kind
+	k, eps, delta, seed := req.K, req.Eps, req.Delta, req.Seed
+	train := h.Dataset()
+	return &jobs.Spec{
+		TotalUnits: 1,
+		RunAny: func(ctx context.Context) (any, error) {
+			// The build runs on the same cached session later valuations hit,
+			// so the in-memory index is warm immediately and the persisted
+			// artifact serves every session after the next restart.
+			v, err := s.sessionValuer(dataset, train, k, "", knnshapley.Float64, 0, 0)
+			if err != nil {
+				return nil, err
+			}
+			st, err := v.EnsureIndex(kind, eps, delta, seed)
+			if err != nil {
+				return nil, err
+			}
+			res := &wire.IndexJobResult{Built: st.Built, Loaded: st.Loaded}
+			if info, err := s.indexes.Stat(registry.IndexID(dataset, st.Kind, st.Key)); err == nil {
+				res.IndexInfo = indexInfo(info)
+			} else {
+				// Persisting is best-effort in the engine; surface the identity
+				// even when only the live session holds the index.
+				res.IndexInfo = wire.IndexInfo{
+					ID:      registry.IndexID(dataset, st.Kind, st.Key),
+					Dataset: dataset, Kind: st.Kind, Key: st.Key,
+				}
+			}
+			return res, nil
+		},
+		Envelope: env,
+		OnFinish: h.Release,
+	}, http.StatusOK, nil
+}
+
+func (s *server) handleIndexList(w http.ResponseWriter, r *http.Request) {
+	infos := s.indexes.List()
+	resp := wire.IndexListResponse{Indexes: make([]wire.IndexInfo, len(infos))}
+	for i, info := range infos {
+		resp.Indexes[i] = indexInfo(info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleIndexStat(w http.ResponseWriter, r *http.Request) {
+	info, err := s.indexes.Stat(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, indexInfo(info))
+}
+
+func (s *server) handleIndexDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.indexes.Delete(r.PathValue("id")); err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
@@ -1104,8 +1384,14 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if rep == nil {
-		// A cluster shard sub-job: its result is a binary ShardReport, not a
-		// valuation Report.
+		// A RunAny job: an index build's result is its JSON metadata; a
+		// cluster shard sub-job's is a binary ShardReport served elsewhere.
+		if val, err := job.Value(); err == nil {
+			if ir, ok := val.(*wire.IndexJobResult); ok {
+				writeJSON(w, http.StatusOK, ir)
+				return
+			}
+		}
 		writeError(w, http.StatusConflict,
 			fmt.Sprintf("job %s is a shard sub-job; fetch GET /shard/jobs/%s/result", snap.ID, snap.ID))
 		return
@@ -1208,6 +1494,33 @@ func (s *server) resolveDataset(ref string, inline *payload, side string) (*regi
 	}
 }
 
+// sessionValuer returns the cached Valuer session for (training content,
+// session options), building it on first use — one session per key, shared
+// by valuations and explicit index-build jobs. Every session carries the
+// server's persistent index store, so lazily built LSH/k-d indexes survive
+// the session cache, the process, and are visible to the algo=auto
+// planner's "already paid for?" probe. metricName is the raw wire spelling
+// (already validated by the caller); the registry ID is the content
+// fingerprint, so nothing is re-hashed here.
+func (s *server) sessionValuer(trainID string, train *knnshapley.Dataset, k int, metricName string, precision knnshapley.Precision, workers, batch int) (*knnshapley.Valuer, error) {
+	key := fmt.Sprintf("%s|k=%d|metric=%s|precision=%s|workers=%d|batch=%d",
+		trainID, k, metricName, precision, workers, batch)
+	return s.mgr.Valuer(key, func() (*knnshapley.Valuer, error) {
+		metric, err := knnshapley.ParseMetric(metricName)
+		if err != nil {
+			return nil, err
+		}
+		return knnshapley.New(train,
+			knnshapley.WithK(k),
+			knnshapley.WithMetric(metric),
+			knnshapley.WithPrecision(precision),
+			knnshapley.WithWorkers(workers),
+			knnshapley.WithBatchSize(batch),
+			knnshapley.WithIndexStore(knnshapley.WrapIndexStore(s.indexes)),
+		)
+	})
+}
+
 // buildSpec validates a request and turns it into a job spec. Both dataset
 // sides resolve to pinned registry handles (held until the job terminates,
 // via Spec.OnFinish); the Valuer session and the result cache are keyed on
@@ -1248,8 +1561,7 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 	}
 	release := func() { trainH.Release(); testH.Release() }
 
-	metric, err := knnshapley.ParseMetric(req.Metric)
-	if err != nil {
+	if _, err := knnshapley.ParseMetric(req.Metric); err != nil {
 		release()
 		return nil, http.StatusBadRequest, err
 	}
@@ -1259,22 +1571,8 @@ func (s *server) buildSpec(req *valueRequest) (*jobs.Spec, int, error) {
 		return nil, http.StatusBadRequest, err
 	}
 
-	// One session per (training content, session options): repeated
-	// requests over the same training set skip re-validating and
-	// re-flattening it and share lazily built ANN indexes. The registry ID
-	// already is the content fingerprint — nothing is re-hashed here.
 	train, test := trainH.Dataset(), testH.Dataset()
-	valuerKey := fmt.Sprintf("%s|k=%d|metric=%s|precision=%s|workers=%d|batch=%d",
-		trainH.ID(), req.K, req.Metric, precision, req.Workers, req.BatchSize)
-	v, err := s.mgr.Valuer(valuerKey, func() (*knnshapley.Valuer, error) {
-		return knnshapley.New(train,
-			knnshapley.WithK(req.K),
-			knnshapley.WithMetric(metric),
-			knnshapley.WithPrecision(precision),
-			knnshapley.WithWorkers(req.Workers),
-			knnshapley.WithBatchSize(req.BatchSize),
-		)
-	})
+	v, err := s.sessionValuer(trainH.ID(), train, req.K, req.Metric, precision, req.Workers, req.BatchSize)
 	if err != nil {
 		release()
 		return nil, http.StatusUnprocessableEntity, err
@@ -1454,6 +1752,7 @@ func buildResponse(rep *knnshapley.Report, meta jobMeta, cached bool) *valueResp
 		Cached:       cached || rep.CacheHit,
 		TrainRef:     meta.trainRef,
 		TestRef:      meta.testRef,
+		Plan:         rep.Plan,
 	}
 	if rep.Method == "composite" {
 		analyst := rep.Analyst

@@ -24,7 +24,7 @@ func newTestServer(t *testing.T, maxBody int64, timeout time.Duration) *server {
 
 func newTestServerCfg(t *testing.T, maxBody int64, timeout time.Duration, jcfg jobs.Config) *server {
 	t.Helper()
-	srv, err := newServer(maxBody, timeout, jcfg, registry.Config{Dir: t.TempDir()}, nil)
+	srv, err := newServer(maxBody, timeout, jcfg, registry.Config{Dir: t.TempDir()}, registry.IndexConfig{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -312,7 +312,7 @@ func TestQueuedCancelReleasesDatasetRefs(t *testing.T) {
 func benchServer(b *testing.B) *server {
 	b.Helper()
 	srv, err := newServer(64<<20, 0, jobs.Config{Workers: 2, QueueDepth: 64},
-		registry.Config{Dir: b.TempDir()}, nil)
+		registry.Config{Dir: b.TempDir()}, registry.IndexConfig{}, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

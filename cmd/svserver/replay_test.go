@@ -24,7 +24,7 @@ func replayServer(t *testing.T, dir string) (*server, []journal.JobState, *journ
 		t.Fatal(err)
 	}
 	srv, err := newServer(1<<20, 0, jobs.Config{Workers: 2, QueueDepth: 16},
-		registry.Config{Dir: dir}, jw)
+		registry.Config{Dir: dir}, registry.IndexConfig{}, jw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func replayServer(t *testing.T, dir string) (*server, []journal.JobState, *journ
 func uploadTestData(t *testing.T, dir string) (trainRef, testRef string, baseline []float64) {
 	t.Helper()
 	srv, err := newServer(1<<20, 0, jobs.Config{Workers: 2, QueueDepth: 16},
-		registry.Config{Dir: dir}, nil)
+		registry.Config{Dir: dir}, registry.IndexConfig{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

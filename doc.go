@@ -217,6 +217,36 @@
 // for the arrival-stream shape of a data market driven through the delta
 // API.
 //
+// # Index persistence and the algo=auto planner
+//
+// The LSH and k-d indexes behind the sublinear methods no longer die with
+// their session. A Valuer built WithIndexStore (OpenIndexDir for a
+// directory, or cmd/svserver's shared registry-side store) persists every
+// index it builds as a serialized, CRC-verified container keyed on the
+// training set's content fingerprint plus the index's canonical
+// parameters, and a later session — including one in a freshly restarted
+// process — reloads the artifact instead of rebuilding it. Reloading is a
+// sequential read and in-memory reconstruction, measured at a small
+// fraction of the build (BENCH_9.json index_build_* vs index_load_*);
+// EnsureIndex builds or reloads eagerly, which is what cmd/svserver's
+// POST /indexes exposes as a journaled background job. Artifacts are
+// refcounted, reclaimed least-recently-used under a disk budget, verified
+// on open (a corrupt file is dropped and rebuilt, never served), and
+// deleted when their dataset is deleted.
+//
+// On top of the store sits a planner: Request{Method: "auto"} (AutoParams
+// {Eps, Delta, Seed}) predicts the wall-clock cost of every method able to
+// serve the session's workload at the requested tolerance — interpolating
+// a committed calibration grid over (N, dim) log-log, rescaled to the host
+// by a one-time micro-probe, and charging LSH/k-d only the reload fraction
+// when their index is already persisted — then runs the cheapest. Within
+// the model's uncertainty margin it falls back to exact (more margin
+// demanded outside the calibration hull), eps = 0 demands exact values,
+// and delta = 0 restricts the choice to zero-failure-probability methods.
+// The Report's Plan field records the decision and every estimate behind
+// it; internal/planner's tests pin auto's pick to the empirically fastest
+// method across the whole calibration grid.
+//
 // # Cluster mode: sharded scatter-gather valuation
 //
 // Several svservers compose into one service (internal/cluster): a
@@ -237,6 +267,7 @@
 // debugging, data markets, streaming valuation) and cmd/svbench for the
 // harness that regenerates every table and figure of the paper's evaluation
 // (plus -benchjson for the machine-readable perf trajectory, including the
-// inline-vs-by-ref wire comparison, the sharded scatter-gather records and
-// the incremental delta_append records).
+// inline-vs-by-ref wire comparison, the sharded scatter-gather records,
+// the incremental delta_append records and the index build/load and
+// auto-planner records).
 package knnshapley

@@ -1,0 +1,176 @@
+// Package binio provides the buffered, CRC-summed binary primitives shared
+// by the index codecs (internal/lsh, internal/kdtree) and the registry's
+// index container: little-endian fixed-width fields with a running CRC-32
+// (IEEE) so every on-disk artifact is content-verified on load, the same
+// contract the dataset registry's .knnsb files follow.
+//
+// Both Writer and Reader are sticky-error: after the first failure every
+// later call is a no-op, so codecs can emit a field sequence without
+// checking each write and collect the first error once at the end.
+package binio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Writer buffers, counts and CRC-sums everything written through it.
+type Writer struct {
+	bw  *bufio.Writer
+	n   int64
+	crc uint32
+	err error
+}
+
+// NewWriter wraps w in a buffered, CRC-summing writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriter(w)} }
+
+func (w *Writer) put(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.bw.Write(p)
+	w.n += int64(n)
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, p[:n])
+	w.err = err
+}
+
+// U64 writes one little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.put(b[:])
+}
+
+// U32 writes one little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.put(b[:])
+}
+
+// F64 writes one float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes writes a raw byte block (no length prefix).
+func (w *Writer) Bytes(p []byte) { w.put(p) }
+
+// String writes a uint32 length prefix followed by the bytes of s.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.put([]byte(s))
+}
+
+// N returns the number of bytes written so far, CRC trailer included.
+func (w *Writer) N() int64 { return w.n }
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Finish appends the running CRC-32 trailer (itself excluded from the sum),
+// flushes, and returns the first error of the whole write sequence.
+func (w *Writer) Finish() error {
+	if w.err != nil {
+		return w.err
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], w.crc)
+	n, err := w.bw.Write(b[:])
+	w.n += int64(n)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Reader is the buffered, CRC-summing counterpart of Writer.
+type Reader struct {
+	br  *bufio.Reader
+	crc uint32
+	err error
+	b   [8]byte
+}
+
+// NewReader wraps r in a buffered, CRC-summing reader.
+func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReaderSize(r, 1<<16)} }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if _, err := io.ReadFull(r.br, r.b[:n]); err != nil {
+		r.err = err
+		return nil
+	}
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, r.b[:n])
+	return r.b[:n]
+}
+
+// U64 reads one little-endian uint64 (0 after the first error).
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// U32 reads one little-endian uint32 (0 after the first error).
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// F64 reads one float64 from its IEEE-754 bits (0 after the first error).
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// String reads a String-encoded field, rejecting length prefixes above max —
+// the chunked-decode guard that keeps a hostile prefix from forcing a giant
+// allocation before any content is verified.
+func (r *Reader) String(max int) string {
+	n := r.U32()
+	if r.err != nil {
+		return ""
+	}
+	if int64(n) > int64(max) {
+		r.err = fmt.Errorf("binio: string length %d exceeds limit %d", n, max)
+		return ""
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r.br, p); err != nil {
+		r.err = err
+		return ""
+	}
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, p)
+	return string(p)
+}
+
+// Err returns the first read error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Verify reads the 4-byte CRC trailer (excluded from the running sum) and
+// compares it against everything read so far, returning the first error of
+// the whole read sequence.
+func (r *Reader) Verify() error {
+	if r.err != nil {
+		return r.err
+	}
+	want := r.crc
+	if _, err := io.ReadFull(r.br, r.b[:4]); err != nil {
+		r.err = fmt.Errorf("binio: crc trailer: %w", err)
+		return r.err
+	}
+	if got := binary.LittleEndian.Uint32(r.b[:4]); got != want {
+		r.err = fmt.Errorf("binio: crc mismatch: stored %08x, computed %08x", got, want)
+	}
+	return r.err
+}

@@ -501,6 +501,11 @@ func (m *Manager) Submit(spec Spec) (job *Job, err error) {
 			// mutation corrupt every future hit.
 			hit := *rep
 			hit.Values = append([]float64(nil), rep.Values...)
+			if rep.Plan != nil {
+				plan := *rep.Plan
+				plan.Estimates = append([]knnshapley.PlanEstimate(nil), rep.Plan.Estimates...)
+				hit.Plan = &plan
+			}
 			hit.CacheHit = true
 			hit.Duration = m.now().Sub(now)
 			job.mu.Lock()

@@ -33,8 +33,11 @@ type Tree struct {
 	leaves [][]int
 }
 
+// DefaultLeafSize is the bucket size Build selects when given <= 0.
+const DefaultLeafSize = 16
+
 // Build constructs a tree over data with the given leaf bucket size
-// (<= 0 selects 16).
+// (<= 0 selects DefaultLeafSize).
 func Build(data [][]float64, leafSize int) (*Tree, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("kdtree: empty dataset")
@@ -46,7 +49,7 @@ func Build(data [][]float64, leafSize int) (*Tree, error) {
 		}
 	}
 	if leafSize <= 0 {
-		leafSize = 16
+		leafSize = DefaultLeafSize
 	}
 	t := &Tree{data: data, leafSize: leafSize}
 	idx := make([]int, len(data))

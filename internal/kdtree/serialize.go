@@ -1,0 +1,187 @@
+package kdtree
+
+import (
+	"fmt"
+	"io"
+
+	"knnshapley/internal/binio"
+)
+
+// Tree serialization, mirroring the LSH index codec: building a tree over
+// 1e5+ points costs a sort per level, so the registry's index store persists
+// trees beside their dataset and reloads them instead of rebuilding on
+// session-cache miss. The format stores the node arrays and leaf buckets
+// (the caller re-supplies the data vectors on load — they are the dataset's
+// own storage, not the tree's) and ends in a CRC-32 trailer so corruption is
+// caught on load.
+
+const (
+	treeMagic   = uint32(0x4b445452) // "KDTR"
+	treeVersion = 1
+
+	// maxLeafSize bounds the decoded bucket size before any allocation —
+	// Build's default is 16, and nothing sensible exceeds this.
+	maxLeafSize = 1 << 20
+)
+
+// WriteTo serializes the tree (excluding the data vectors) to w.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := binio.NewWriter(w)
+	hdr := []uint64{
+		uint64(treeMagic), treeVersion,
+		uint64(len(t.data)), uint64(len(t.data[0])),
+		uint64(t.leafSize), uint64(len(t.point)), uint64(len(t.leaves)),
+		uint64(uint32(t.root)),
+	}
+	for _, v := range hdr {
+		bw.U64(v)
+	}
+	for i := range t.point {
+		bw.U32(uint32(t.point[i]))
+		bw.U32(uint32(t.axis[i]))
+		bw.F64(t.split[i])
+		bw.U32(uint32(t.left[i]))
+		bw.U32(uint32(t.right[i]))
+	}
+	for _, leaf := range t.leaves {
+		bw.U32(uint32(len(leaf)))
+		for _, id := range leaf {
+			bw.U32(uint32(id))
+		}
+	}
+	err := bw.Finish()
+	return bw.N(), err
+}
+
+// ReadIndex deserializes a tree written by WriteTo, reattaching the data
+// vectors (which must be the same rows, in the same order, as at build
+// time). Every structural invariant of Build is re-checked — node and leaf
+// references in range and strictly forward (so a hostile file cannot form a
+// reference cycle), every point stored exactly once — and the CRC-32
+// trailer must match, so arbitrary bytes fail cleanly rather than producing
+// a tree that panics or loops at query time.
+func ReadIndex(r io.Reader, data [][]float64) (*Tree, error) {
+	br := binio.NewReader(r)
+	var hdr [8]uint64
+	for i := range hdr {
+		hdr[i] = br.U64()
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("kdtree: header: %w", err)
+	}
+	if uint32(hdr[0]) != treeMagic {
+		return nil, fmt.Errorf("kdtree: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != treeVersion {
+		return nil, fmt.Errorf("kdtree: unsupported version %d", hdr[1])
+	}
+	if hdr[2] != uint64(len(data)) {
+		return nil, fmt.Errorf("kdtree: tree built over %d rows, got %d", hdr[2], len(data))
+	}
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("kdtree: empty dataset")
+	}
+	dim := len(data[0])
+	if hdr[3] != uint64(dim) {
+		return nil, fmt.Errorf("kdtree: tree built over dim %d, got %d", hdr[3], dim)
+	}
+	if hdr[4] < 1 || hdr[4] > maxLeafSize {
+		return nil, fmt.Errorf("kdtree: implausible leaf size %d", hdr[4])
+	}
+	// Build stores one point per internal node and the rest in leaves; a
+	// strict binary tree has exactly one more leaf than internal nodes.
+	if hdr[5] > uint64(n) {
+		return nil, fmt.Errorf("kdtree: implausible node count %d for %d rows", hdr[5], n)
+	}
+	if hdr[6] != hdr[5]+1 {
+		return nil, fmt.Errorf("kdtree: %d leaves for %d internal nodes, want %d", hdr[6], hdr[5], hdr[5]+1)
+	}
+	numNodes, numLeaves := int(hdr[5]), int(hdr[6])
+	t := &Tree{
+		data:     data,
+		leafSize: int(hdr[4]),
+		point:    make([]int, numNodes),
+		axis:     make([]int, numNodes),
+		split:    make([]float64, numNodes),
+		left:     make([]int32, numNodes),
+		right:    make([]int32, numNodes),
+		leaves:   make([][]int, numLeaves),
+		root:     int32(uint32(hdr[7])),
+	}
+	// checkRef validates one child reference: a leaf index in range, or an
+	// internal node strictly after its parent (children are appended after
+	// their parent in Build, and forward-only references rule out cycles).
+	checkRef := func(ref int32, parent int) error {
+		if ref < 0 {
+			if int(^ref) >= numLeaves {
+				return fmt.Errorf("kdtree: leaf ref %d outside [0,%d)", ^ref, numLeaves)
+			}
+			return nil
+		}
+		if int(ref) >= numNodes {
+			return fmt.Errorf("kdtree: node ref %d outside [0,%d)", ref, numNodes)
+		}
+		if int(ref) <= parent {
+			return fmt.Errorf("kdtree: node ref %d does not follow parent %d", ref, parent)
+		}
+		return nil
+	}
+	if err := checkRef(t.root, -1); err != nil {
+		return nil, err
+	}
+	for i := 0; i < numNodes; i++ {
+		p, a := br.U32(), br.U32()
+		t.split[i] = br.F64()
+		left, right := int32(br.U32()), int32(br.U32())
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("kdtree: node %d: %w", i, err)
+		}
+		if p >= uint32(n) {
+			return nil, fmt.Errorf("kdtree: node %d point %d outside [0,%d)", i, p, n)
+		}
+		if a >= uint32(dim) {
+			return nil, fmt.Errorf("kdtree: node %d axis %d outside [0,%d)", i, a, dim)
+		}
+		if err := checkRef(left, i); err != nil {
+			return nil, err
+		}
+		if err := checkRef(right, i); err != nil {
+			return nil, err
+		}
+		t.point[i], t.axis[i] = int(p), int(a)
+		t.left[i], t.right[i] = left, right
+	}
+	// Leaves hold exactly the points not stored at internal nodes; the
+	// running bound doubles as the allocation guard for hostile sizes.
+	remaining := n - numNodes
+	for i := range t.leaves {
+		sz := int(br.U32())
+		if br.Err() == nil && sz > remaining {
+			return nil, fmt.Errorf("kdtree: leaf %d size %d exceeds %d unassigned points", i, sz, remaining)
+		}
+		leaf := make([]int, sz)
+		for j := range leaf {
+			id := br.U32()
+			if br.Err() == nil && id >= uint32(n) {
+				return nil, fmt.Errorf("kdtree: leaf %d id %d outside [0,%d)", i, id, n)
+			}
+			leaf[j] = int(id)
+		}
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("kdtree: leaf %d: %w", i, err)
+		}
+		t.leaves[i] = leaf
+		remaining -= sz
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("kdtree: %d points unaccounted for across leaves", remaining)
+	}
+	if err := br.Verify(); err != nil {
+		return nil, fmt.Errorf("kdtree: %w", err)
+	}
+	return t, nil
+}
+
+// LeafSize returns the bucket size the tree was built with.
+func (t *Tree) LeafSize() int { return t.leafSize }

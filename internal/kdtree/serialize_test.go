@@ -1,0 +1,135 @@
+package kdtree
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"knnshapley/internal/dataset"
+)
+
+func TestTreeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(500)
+		dim := 1 + rng.IntN(6)
+		leaf := 1 + rng.IntN(24)
+		d := dataset.GistLike(n, uint64(trial+1))
+		X := make([][]float64, n)
+		for i := range X {
+			X[i] = d.X[i][:dim]
+		}
+		tree, err := Build(X, leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		written, err := tree.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", written, buf.Len())
+		}
+		back, err := ReadIndex(bytes.NewReader(buf.Bytes()), X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.N() != tree.N() || back.LeafSize() != tree.LeafSize() {
+			t.Fatalf("shape changed: n=%d leaf=%d vs n=%d leaf=%d",
+				back.N(), back.LeafSize(), tree.N(), tree.LeafSize())
+		}
+		// The reloaded tree must be load-equivalent: identical neighbor sets
+		// (ids and distances, including tie-breaks) as the fresh build.
+		for qi := 0; qi < 10; qi++ {
+			q := make([]float64, dim)
+			for d := range q {
+				q[d] = rng.Float64() * 4
+			}
+			k := 1 + rng.IntN(12)
+			ids, dists := tree.Query(q, k)
+			gotIDs, gotDists := back.Query(q, k)
+			if len(ids) != len(gotIDs) {
+				t.Fatalf("result count changed: %d vs %d", len(gotIDs), len(ids))
+			}
+			for i := range ids {
+				if ids[i] != gotIDs[i] || dists[i] != gotDists[i] {
+					t.Fatalf("query diverged after reload: %v vs %v", gotIDs, ids)
+				}
+			}
+		}
+	}
+}
+
+func TestReadIndexValidation(t *testing.T) {
+	d := dataset.GistLike(80, 9)
+	tree, err := Build(d.X, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadIndex(bytes.NewReader(raw[:10]), d.X); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(raw), d.X[:10]); err == nil {
+		t.Error("wrong row count accepted")
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if _, err := ReadIndex(bytes.NewReader(bad), d.X); err == nil {
+		t.Error("bad magic accepted")
+	}
+	short := dataset.GistLike(80, 9)
+	for i := range short.X {
+		short.X[i] = short.X[i][:4]
+	}
+	if _, err := ReadIndex(bytes.NewReader(raw), short.X); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	// A flipped payload byte must fail the CRC even when it decodes to
+	// in-range values.
+	for _, off := range []int{70, len(raw) / 2, len(raw) - 8} {
+		corrupt := append([]byte(nil), raw...)
+		corrupt[off] ^= 0x01
+		if _, err := ReadIndex(bytes.NewReader(corrupt), d.X); err == nil {
+			t.Errorf("corrupt byte at %d accepted", off)
+		}
+	}
+}
+
+// FuzzReadIndex feeds arbitrary bytes to the decoder: it must never panic,
+// and anything it accepts must answer queries without panicking or looping.
+func FuzzReadIndex(f *testing.F) {
+	d := dataset.GistLike(60, 3)
+	tree, err := Build(d.X, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+	f.Add(raw)
+	f.Add(raw[:20])
+	f.Add(raw[:len(raw)-4])
+	mangled := append([]byte(nil), raw...)
+	mangled[80] ^= 0xff
+	f.Add(mangled)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		back, err := ReadIndex(bytes.NewReader(b), d.X)
+		if err != nil {
+			return
+		}
+		ids, _ := back.Query(d.X[0], 7)
+		for _, id := range ids {
+			if id < 0 || id >= len(d.X) {
+				t.Fatalf("decoded tree returned id %d outside [0,%d)", id, len(d.X))
+			}
+		}
+	})
+}

@@ -1,111 +1,106 @@
 package lsh
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"sync"
+
+	"knnshapley/internal/binio"
 )
 
 // Index serialization: building an index over millions of points costs
 // minutes (Figure 6), so a data market wants to build once and reload. The
 // format stores the parameters, every table's projections/offsets, and the
 // bucket maps; the caller re-supplies the data vectors on load (they are the
-// dataset's own storage, not the index's).
+// dataset's own storage, not the index's). Version 2 appended a CRC-32
+// trailer so the registry's index store can content-verify persisted
+// indexes the same way it verifies .knnsb dataset files.
 
-const indexMagic = uint32(0x4c534849) // "LSHI"
+const (
+	indexMagic   = uint32(0x4c534849) // "LSHI"
+	indexVersion = 2
+
+	// maxDecodeBits / maxDecodeTables bound the decoded layout before any
+	// allocation. Tune produces m = α·logN/log(1/f_h) hash bits (tens) and
+	// caps l at 512 tables; the limits are generous multiples of anything it
+	// can emit, small enough that a hostile header cannot force huge
+	// allocations.
+	maxDecodeBits   = 1 << 12
+	maxDecodeTables = 1 << 16
+)
 
 // WriteTo serializes the index (excluding the data vectors) to w.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	cw := &countWriter{w: bw}
-	dim := len(idx.data[0])
+	bw := binio.NewWriter(w)
 	hdr := []uint64{
-		uint64(indexMagic), 1,
+		uint64(indexMagic), indexVersion,
 		uint64(idx.params.M), uint64(idx.params.L),
 		math.Float64bits(idx.params.R), idx.params.Seed,
-		uint64(len(idx.data)), uint64(dim),
+		uint64(len(idx.data)), uint64(len(idx.data[0])),
 	}
 	for _, v := range hdr {
-		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
-			return cw.n, err
-		}
+		bw.U64(v)
 	}
 	for t := range idx.tables {
 		tb := &idx.tables[t]
 		for j := 0; j < idx.params.M; j++ {
 			for _, v := range tb.proj[j] {
-				if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
-					return cw.n, err
-				}
+				bw.F64(v)
 			}
-			if err := binary.Write(cw, binary.LittleEndian, tb.offset[j]); err != nil {
-				return cw.n, err
-			}
+			bw.F64(tb.offset[j])
 		}
-		if err := binary.Write(cw, binary.LittleEndian, uint64(len(tb.buckets))); err != nil {
-			return cw.n, err
-		}
+		bw.U64(uint64(len(tb.buckets)))
 		for key, ids := range tb.buckets {
-			if err := binary.Write(cw, binary.LittleEndian, key); err != nil {
-				return cw.n, err
-			}
-			if err := binary.Write(cw, binary.LittleEndian, uint64(len(ids))); err != nil {
-				return cw.n, err
-			}
+			bw.U64(key)
+			bw.U64(uint64(len(ids)))
 			for _, id := range ids {
-				if err := binary.Write(cw, binary.LittleEndian, uint32(id)); err != nil {
-					return cw.n, err
-				}
+				bw.U32(uint32(id))
 			}
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		return cw.n, err
-	}
-	return cw.n, nil
-}
-
-type countWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
+	err := bw.Finish()
+	return bw.N(), err
 }
 
 // ReadIndex deserializes an index written by WriteTo, reattaching the data
 // vectors (which must be the same rows, in the same order, as at build
-// time).
+// time). The decode is hardened against arbitrary bytes: table and bit
+// counts are capped before allocation, every bucket id must be in range,
+// each table must hash every point exactly once, and the CRC-32 trailer
+// must match what was read.
 func ReadIndex(r io.Reader, data [][]float64) (*Index, error) {
-	br := bufio.NewReader(r)
+	br := binio.NewReader(r)
 	var hdr [8]uint64
 	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, fmt.Errorf("lsh: header: %w", err)
-		}
+		hdr[i] = br.U64()
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("lsh: header: %w", err)
 	}
 	if uint32(hdr[0]) != indexMagic {
 		return nil, fmt.Errorf("lsh: bad magic %#x", hdr[0])
 	}
-	if hdr[1] != 1 {
+	if hdr[1] != indexVersion {
 		return nil, fmt.Errorf("lsh: unsupported version %d", hdr[1])
 	}
+	if hdr[2] > maxDecodeBits || hdr[3] > maxDecodeTables {
+		return nil, fmt.Errorf("lsh: implausible layout: %d hash bits × %d tables", hdr[2], hdr[3])
+	}
 	params := Params{M: int(hdr[2]), L: int(hdr[3]), R: math.Float64frombits(hdr[4]), Seed: hdr[5]}
-	n, dim := int(hdr[6]), int(hdr[7])
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
-	if len(data) != n {
-		return nil, fmt.Errorf("lsh: index built over %d rows, got %d", n, len(data))
+	if hdr[6] != uint64(len(data)) {
+		return nil, fmt.Errorf("lsh: index built over %d rows, got %d", hdr[6], len(data))
 	}
-	if len(data) > 0 && len(data[0]) != dim {
-		return nil, fmt.Errorf("lsh: index built over dim %d, got %d", dim, len(data[0]))
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("lsh: empty dataset")
+	}
+	dim := len(data[0])
+	if hdr[7] != uint64(dim) {
+		return nil, fmt.Errorf("lsh: index built over dim %d, got %d", hdr[7], dim)
 	}
 	idx := &Index{params: params, data: data, tables: make([]table, params.L)}
 	idx.scratch = sync.Pool{New: func() any {
@@ -120,47 +115,51 @@ func ReadIndex(r io.Reader, data [][]float64) (*Index, error) {
 		for j := 0; j < params.M; j++ {
 			w := make([]float64, dim)
 			for d := range w {
-				if err := binary.Read(br, binary.LittleEndian, &w[d]); err != nil {
-					return nil, fmt.Errorf("lsh: projection: %w", err)
-				}
+				w[d] = br.F64()
 			}
 			tb.proj[j] = w
-			if err := binary.Read(br, binary.LittleEndian, &tb.offset[j]); err != nil {
-				return nil, fmt.Errorf("lsh: offset: %w", err)
-			}
+			tb.offset[j] = br.F64()
 		}
-		var nb uint64
-		if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
-			return nil, fmt.Errorf("lsh: bucket count: %w", err)
+		nb := br.U64()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("lsh: table %d: %w", t, err)
 		}
-		if nb > uint64(n)+1 {
+		if nb > uint64(n) {
 			return nil, fmt.Errorf("lsh: implausible bucket count %d", nb)
 		}
+		// Build hashes every point into exactly one bucket per table; the
+		// running total doubles as the allocation bound for bucket sizes.
+		remaining := n
 		for b := uint64(0); b < nb; b++ {
-			var key, sz uint64
-			if err := binary.Read(br, binary.LittleEndian, &key); err != nil {
-				return nil, err
+			key := br.U64()
+			sz := br.U64()
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("lsh: table %d bucket: %w", t, err)
 			}
-			if err := binary.Read(br, binary.LittleEndian, &sz); err != nil {
-				return nil, err
-			}
-			if sz > uint64(n) {
-				return nil, fmt.Errorf("lsh: implausible bucket size %d", sz)
+			if sz > uint64(remaining) {
+				return nil, fmt.Errorf("lsh: bucket size %d exceeds %d unassigned points", sz, remaining)
 			}
 			ids := make([]int, sz)
 			for i := range ids {
-				var id uint32
-				if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
-					return nil, err
-				}
-				if int(id) >= n {
+				id := br.U32()
+				if br.Err() == nil && int(id) >= n {
 					return nil, fmt.Errorf("lsh: id %d outside [0,%d)", id, n)
 				}
 				ids[i] = int(id)
 			}
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("lsh: table %d bucket ids: %w", t, err)
+			}
 			tb.buckets[key] = ids
+			remaining -= int(sz)
+		}
+		if remaining != 0 {
+			return nil, fmt.Errorf("lsh: table %d leaves %d points unhashed", t, remaining)
 		}
 		idx.tables[t] = tb
+	}
+	if err := br.Verify(); err != nil {
+		return nil, fmt.Errorf("lsh: %w", err)
 	}
 	return idx, nil
 }

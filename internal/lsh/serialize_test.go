@@ -69,4 +69,46 @@ func TestReadIndexValidation(t *testing.T) {
 	if _, err := ReadIndex(bytes.NewReader(raw), short.X); err == nil {
 		t.Error("wrong dimension accepted")
 	}
+	// A flipped payload byte must fail the CRC even when it decodes to
+	// in-range values.
+	for _, off := range []int{70, len(raw) / 2, len(raw) - 8} {
+		corrupt := append([]byte(nil), raw...)
+		corrupt[off] ^= 0x01
+		if _, err := ReadIndex(bytes.NewReader(corrupt), d.X); err == nil {
+			t.Errorf("corrupt byte at %d accepted", off)
+		}
+	}
+}
+
+// FuzzReadIndex feeds arbitrary bytes to the decoder: it must never panic,
+// and anything it accepts must answer queries without panicking.
+func FuzzReadIndex(f *testing.F) {
+	d := dataset.GistLike(40, 11)
+	idx, err := Build(d.X, Params{M: 2, L: 2, R: 1, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+	f.Add(raw)
+	f.Add(raw[:20])
+	f.Add(raw[:len(raw)-4])
+	mangled := append([]byte(nil), raw...)
+	mangled[90] ^= 0xff
+	f.Add(mangled)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		back, err := ReadIndex(bytes.NewReader(b), d.X)
+		if err != nil {
+			return
+		}
+		res := back.Query(d.X[0], 5)
+		for _, id := range res.IDs {
+			if id < 0 || id >= len(d.X) {
+				t.Fatalf("decoded index returned id %d outside [0,%d)", id, len(d.X))
+			}
+		}
+	})
 }

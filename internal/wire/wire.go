@@ -92,6 +92,7 @@ const JobEnvelopeVersion = 1
 const (
 	JobKindValue = "value" // a valuation request ("" in historical envelopes)
 	JobKindDelta = "delta" // a DeltaJob — one dataset delta application
+	JobKindIndex = "index" // an IndexRequest — one ANN index build/load
 )
 
 // envelopeFields are the top-level JSON keys owned by the request envelope;
@@ -201,6 +202,10 @@ type ValueResponse struct {
 	Cached       bool      `json:"cached,omitempty"`
 	TrainRef     string    `json:"trainRef,omitempty"`
 	TestRef      string    `json:"testRef,omitempty"`
+	// Plan is the algo=auto planner's audit trail — which method actually ran
+	// and every cost estimate behind the choice. Nil for directly requested
+	// methods.
+	Plan *knnshapley.PlanDecision `json:"plan,omitempty"`
 }
 
 // JobStatus is the wire form of a job snapshot.
@@ -275,6 +280,81 @@ type DeltaJob struct {
 	Parent    string `json:"parent"`
 	AppendRef string `json:"appendRef,omitempty"`
 	Remove    []int  `json:"remove,omitempty"`
+}
+
+// IndexRequest is the body of POST /indexes: build (or reload) one ANN
+// index over an uploaded dataset, off the query path, as an async journaled
+// job. It doubles as the journaled form of the job (JobEnvelope.Kind
+// "index") — everything is by reference, so replay re-resolves the
+// recovered registry.
+type IndexRequest struct {
+	// Dataset is the registry ID of the training set to index.
+	Dataset string `json:"dataset"`
+	// Kind selects the index family: "lsh" or "kd".
+	Kind string `json:"kind"`
+	// K is the session's neighbor count (0 = the engine default); with Eps it
+	// sets K* = max{K, ⌈1/eps⌉}, which shapes the LSH tables.
+	K int `json:"k,omitempty"`
+	// Eps and Delta are the tolerance the index is tuned for (defaults
+	// 0.1/0.1; delta applies to "lsh" only). Seed drives the LSH hash draws.
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+}
+
+// IndexInfo is the wire form of one persisted index (GET /indexes,
+// GET /indexes/{id}).
+type IndexInfo struct {
+	// ID is "<datasetID>.<kind>.<keyhash>" — deterministic in the dataset
+	// fingerprint and canonical index parameters.
+	ID string `json:"id"`
+	// Dataset is the registry ID of the indexed training set; Kind the index
+	// family; Key the canonical build-parameter string.
+	Dataset string `json:"dataset"`
+	Kind    string `json:"kind"`
+	Key     string `json:"key"`
+	// Bytes is the container file size; Refs the outstanding handles.
+	Bytes     int64     `json:"bytes"`
+	Refs      int       `json:"refs,omitempty"`
+	CreatedAt time.Time `json:"createdAt"`
+	LastUsed  time.Time `json:"lastUsed"`
+}
+
+// IndexListResponse is the body of GET /indexes.
+type IndexListResponse struct {
+	Indexes []IndexInfo `json:"indexes"`
+}
+
+// IndexJobResult is the result body of a completed index job
+// (GET /jobs/{id}/result): the persisted artifact's metadata plus how the
+// job obtained it — Built from scratch, Loaded from the store, or neither
+// when the serving session already held it live.
+type IndexJobResult struct {
+	IndexInfo
+	Built  bool `json:"built"`
+	Loaded bool `json:"loaded"`
+}
+
+// IndexStoreStats is the "indexes" block of GET /statz.
+type IndexStoreStats struct {
+	Indexes    int   `json:"indexes"`
+	DiskBytes  int64 `json:"diskBytes"`
+	DiskBudget int64 `json:"diskBudget,omitempty"`
+	Saves      int64 `json:"saves"`
+	Loads      int64 `json:"loads"`
+	Misses     int64 `json:"misses"`
+	Reclaims   int64 `json:"reclaims"`
+	Deletes    int64 `json:"deletes"`
+	Corrupt    int64 `json:"corrupt"`
+}
+
+// PlannerStats is the "planner" block of GET /statz: how many algo=auto
+// decisions the process made and where they landed.
+type PlannerStats struct {
+	Plans        int64            `json:"plans"`
+	Picks        map[string]int64 `json:"picks,omitempty"`
+	Fallbacks    int64            `json:"fallbacks"`
+	Extrapolated int64            `json:"extrapolated"`
 }
 
 // DatasetListResponse is the body of GET /datasets.

@@ -16,10 +16,14 @@
 # journal must replay the job under its original ID with a bit-identical
 # result), an incremental-delta end-to-end run (upload, value, append rows
 # via PUT /datasets/{id}/delta, re-value; bit-identical to from-scratch
-# with /metrics proving the O(ΔN) patch path ran), and a short svbench
-# smoke (to $BENCH_SMOKE, default /tmp/BENCH_8.json) diffed against the
-# committed BENCH_8.json baseline — records that got more than 4x slower
-# fail the run.
+# with /metrics proving the O(ΔN) patch path ran), a planner/index-store
+# end-to-end run (algo=auto picks truncated cold, an explicit kd index
+# build job persists a .knnsi artifact, the restarted server recovers it,
+# auto flips to kd with /metrics proving the reload, and the dataset
+# delete cascades onto the artifact), and a short svbench smoke (to
+# $BENCH_SMOKE, default /tmp/BENCH_9.json) diffed against the committed
+# BENCH_9.json baseline — records that got more than 4x slower fail the
+# run.
 # Run from anywhere; operates on the repo root. CI
 # (.github/workflows/ci.yml) runs exactly this script.
 set -euo pipefail
@@ -45,6 +49,7 @@ go test -race ./internal/jobs
 go test -race ./internal/journal
 go test -race ./internal/registry
 go test -race ./internal/cluster
+go test -race ./internal/planner
 go test -run TestCancel -race ./...
 go test -run 'TestJob|TestStatz|TestDataset|TestValueByRef|TestValueRef|TestQueuedCancel|TestMethods|TestReplay' -race ./cmd/svserver
 go test -run 'TestEvaluate|TestParams' -race .
@@ -58,6 +63,8 @@ go test -run '^$' -fuzz FuzzDecodeDeltaRequest -fuzztime 10s ./cmd/svserver
 go test -run '^$' -fuzz FuzzShardReportCodec -fuzztime 10s ./internal/cluster
 go test -run '^$' -fuzz FuzzShardRequestJSON -fuzztime 10s ./internal/cluster
 go test -run '^$' -fuzz FuzzJournalDecode -fuzztime 10s ./internal/journal
+go test -run '^$' -fuzz FuzzReadIndex -fuzztime 10s ./internal/kdtree
+go test -run '^$' -fuzz FuzzReadIndex -fuzztime 10s ./internal/lsh
 
 # Serving smoke: the upload-once/value-many comparison through the real
 # HTTP handlers (inline re-ships and re-fingerprints the payload each call;
@@ -87,7 +94,7 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 methods_out=$("$bindir/svcli" methods -server "http://$addr")
-for name in exact truncated montecarlo baseline sellers sellersmc composite lsh kd utility; do
+for name in exact truncated montecarlo baseline sellers sellersmc composite lsh kd utility auto; do
     # Herestring, not a pipe: grep -q exiting on an early match would
     # SIGPIPE the writer and trip pipefail.
     if ! grep -q "^$name " <<<"$methods_out"; then
@@ -278,13 +285,94 @@ kill "$dpid"
 delta_cleanup
 trap cleanup EXIT
 
+# Planner + index-store end-to-end: N=1e4 dim-4 data sits exactly on a
+# calibration grid point where the cost model's verdict is unambiguous —
+# truncated wins cold (a k-d build does not amortize over 16 test points),
+# kd wins once its tree is persisted (reload ≈ 5% of the build). The host
+# micro-probe rescales every estimate by one scalar, so the picks are
+# machine-independent. The run drives: a cold algo=auto valuation
+# (planner counts a truncated pick), an explicit kd index-build job via
+# "svcli indexes -build" (a .knnsi artifact lands on disk), a server
+# restart (the store recovers the artifact), a warm auto valuation (the
+# planner flips to kd and the store's load counter proves the tree was
+# reloaded, not rebuilt), and a dataset delete (the artifact is cascaded
+# away).
+pdir=$(mktemp -d)
+ppid=""
+planner_cleanup() { kill "$ppid" 2>/dev/null || true; rm -rf "$pdir"; }
+trap 'cleanup; planner_cleanup' EXIT
+mkdir -p "$pdir/data"
+awk 'BEGIN{srand(31); for(r=0;r<10000;r++){for(c=0;c<4;c++)printf "%.6f,", rand()*2-1; print int(rand()*3)}}' >"$pdir/train.csv"
+awk 'BEGIN{srand(32); for(r=0;r<16;r++){for(c=0;c<4;c++)printf "%.6f,", rand()*2-1; print int(rand()*3)}}' >"$pdir/test.csv"
+
+"$bindir/svserver" -addr 127.0.0.1:0 -data-dir "$pdir/data" >"$pdir/sv1.log" 2>&1 &
+ppid=$!
+paddr=$(wait_addr "$pdir/sv1.log")
+tid=$("$bindir/svcli" upload -server "http://$paddr" -data "$pdir/train.csv")
+
+"$bindir/svcli" -train-ref "$tid" -test "$pdir/test.csv" -k 5 -algo auto -eps 0.1 \
+    -server "http://$paddr" >/dev/null
+pmetrics=$(curl -sf "http://$paddr/metrics")
+for want in 'svserver_planner_plans_total 1' 'svserver_planner_picks_total{method="truncated"} 1'; do
+    if ! grep -qF "$want" <<<"$pmetrics"; then
+        echo "planner E2E: expected \"$want\" in cold /metrics:" >&2
+        grep "^svserver_planner" <<<"$pmetrics" >&2
+        exit 1
+    fi
+done
+
+iid=$("$bindir/svcli" indexes -server "http://$paddr" -build "$tid" -kind kd -k 5)
+if ! "$bindir/svcli" indexes -server "http://$paddr" | grep -q "$iid"; then
+    echo "planner E2E: built index $iid missing from the index list" >&2
+    exit 1
+fi
+if ! ls "$pdir/data/indexes"/*.knnsi >/dev/null 2>&1; then
+    echo "planner E2E: no .knnsi artifact on disk after the build job" >&2
+    ls -la "$pdir/data/indexes" >&2 || true
+    exit 1
+fi
+
+kill "$ppid"
+wait "$ppid" 2>/dev/null || true
+"$bindir/svserver" -addr 127.0.0.1:0 -data-dir "$pdir/data" >"$pdir/sv2.log" 2>&1 &
+ppid=$!
+paddr=$(wait_addr "$pdir/sv2.log")
+if ! grep -q "recovered 1 persisted indexes" "$pdir/sv2.log"; then
+    echo "planner E2E: restarted svserver did not recover the persisted index:" >&2
+    cat "$pdir/sv2.log" >&2
+    exit 1
+fi
+"$bindir/svcli" -train-ref "$tid" -test "$pdir/test.csv" -k 5 -algo auto -eps 0.1 \
+    -server "http://$paddr" >/dev/null
+pmetrics=$(curl -sf "http://$paddr/metrics")
+if ! grep -qF 'svserver_planner_picks_total{method="kd"} 1' <<<"$pmetrics"; then
+    echo "planner E2E: auto did not flip to kd with the persisted index:" >&2
+    grep "^svserver_planner" <<<"$pmetrics" >&2
+    exit 1
+fi
+if ! grep -E '^svserver_index_store_loads_total [1-9]' <<<"$pmetrics" >/dev/null; then
+    echo "planner E2E: the warm kd run did not reload the persisted tree:" >&2
+    grep "^svserver_index_store" <<<"$pmetrics" >&2
+    exit 1
+fi
+
+curl -sf -X DELETE "http://$paddr/datasets/$tid" -o /dev/null
+if ls "$pdir/data/indexes"/*.knnsi >/dev/null 2>&1; then
+    echo "planner E2E: dataset delete left .knnsi artifacts behind:" >&2
+    ls -la "$pdir/data/indexes" >&2
+    exit 1
+fi
+kill "$ppid"
+planner_cleanup
+trap cleanup EXIT
+
 # Perf smoke + regression gate: the machine-readable engine
 # micro-benchmarks, capped at N=1e4 so the sweep stays seconds, diffed
 # against the committed full-sweep baseline. -threshold 4 absorbs
 # loaded-machine noise while still catching order-of-magnitude
 # regressions; records under 10µs are reported but never enforced.
 # Written OUTSIDE the repo (override with BENCH_SMOKE; CI uploads it as
-# an artifact) so the committed BENCH_8.json trajectory point is never
+# an artifact) so the committed BENCH_9.json trajectory point is never
 # clobbered by smoke numbers — regenerate that one deliberately with:
-#   go run ./cmd/svbench -benchjson BENCH_8.json
-go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_8.json}" -benchmax 10000 -compare BENCH_8.json -threshold 4
+#   go run ./cmd/svbench -benchjson BENCH_9.json
+go run ./cmd/svbench -benchjson "${BENCH_SMOKE:-/tmp/BENCH_9.json}" -benchmax 10000 -compare BENCH_9.json -threshold 4

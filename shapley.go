@@ -145,6 +145,10 @@ type Config struct {
 	// SIMD width, with distances accurate to single-precision rounding; see
 	// the Performance section of the package documentation).
 	Precision Precision
+	// Indexes, when non-nil, is the persistent index store the session
+	// reloads ANN indexes from (and persists fresh builds into) instead of
+	// rebuilding on every session-cache miss. See WithIndexStore.
+	Indexes IndexStore
 }
 
 func (c Config) kind(train *Dataset) knn.Kind {

@@ -1,9 +1,11 @@
 package knnshapley
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -78,6 +80,10 @@ type Report struct {
 	// computed; Duration is then the (near-zero) lookup time, not the
 	// original run's.
 	CacheHit bool
+	// Plan records the algo=auto planner's decision when this report came
+	// from the auto method (Method then names the delegate that actually
+	// ran); nil for directly requested methods.
+	Plan *PlanDecision
 }
 
 // lshKey identifies one cached LSH index build.
@@ -119,7 +125,8 @@ type Valuer struct {
 	mu          sync.Mutex
 	lsh         map[lshKey]*lshEntry
 	kd          map[float64]*kdEntry
-	indexBuilds int // ANN indexes constructed so far (tests assert reuse)
+	indexBuilds int // ANN indexes constructed from scratch (tests assert reuse)
+	indexLoads  int // ANN indexes reloaded from the persistent store
 
 	fpOnce sync.Once
 	fp     uint64
@@ -322,11 +329,130 @@ func (v *Valuer) Composite(ctx context.Context, test *Dataset, owners []int, m i
 	return v.Evaluate(ctx, Request{Params: CompositeParams{Owners: owners, M: m}, Test: test})
 }
 
+// DatasetID returns the 16-hex content fingerprint identifying the training
+// set — the same identifier the dataset registry files it under, and the
+// identity persisted indexes are keyed on.
+func (v *Valuer) DatasetID() string { return fmt.Sprintf("%016x", v.Fingerprint()) }
+
+// IndexStatus reports how EnsureIndex obtained its index.
+type IndexStatus struct {
+	// Kind is the index family ("lsh" or "kd"); Key the canonical parameter
+	// string the artifact is stored under.
+	Kind, Key string
+	// Built marks a from-scratch construction (persisted to the store when
+	// one is attached); Loaded a reload from the store. Neither set means the
+	// session already held the index live.
+	Built, Loaded bool
+}
+
+// EnsureIndex makes the named index available to the session ahead of any
+// valuation: it reloads a persisted artifact when the attached store holds
+// one, builds (and persists) it otherwise, and is a no-op when the session
+// already carries it live. This is the primitive behind a server's explicit
+// index-build jobs — paying the construction cost once, off the query path.
+//
+// Both kinds need eps > 0 (K* = max{K, ⌈1/eps⌉} shapes the LSH tables and
+// the k-d retrieval depth); "lsh" additionally needs delta in (0, 1). The
+// Built/Loaded attribution reads the session counters around the build, so
+// concurrent EnsureIndex calls may misattribute — the index itself is
+// guaranteed either way.
+func (v *Valuer) EnsureIndex(kind string, eps, delta float64, seed uint64) (IndexStatus, error) {
+	if eps <= 0 {
+		return IndexStatus{}, fmt.Errorf("knnshapley: index build needs eps > 0, got %g", eps)
+	}
+	builds, loads := v.IndexBuilds(), v.IndexLoads()
+	st := IndexStatus{Kind: kind}
+	switch kind {
+	case "lsh":
+		if delta <= 0 || delta >= 1 {
+			return IndexStatus{}, fmt.Errorf("knnshapley: lsh index build needs delta in (0,1), got %g", delta)
+		}
+		if _, err := v.lshValuer(eps, delta, seed); err != nil {
+			return IndexStatus{}, err
+		}
+		st.Key = core.LSHConfig{K: v.cfg.K, Eps: eps, Delta: delta, Seed: seed}.LSHIndexKey()
+	case "kd":
+		if _, err := v.kdValuer(eps); err != nil {
+			return IndexStatus{}, err
+		}
+		st.Key = core.KDIndexKey(0)
+	default:
+		return IndexStatus{}, fmt.Errorf("knnshapley: unknown index kind %q (want lsh or kd)", kind)
+	}
+	st.Built = v.IndexBuilds() > builds
+	st.Loaded = v.IndexLoads() > loads
+	return st, nil
+}
+
+// IndexBuilds reports how many ANN indexes the session constructed from
+// scratch; IndexLoads how many it reloaded from the persistent store. A
+// load is not a build: reloading skips tuning and construction entirely,
+// which is the point of attaching a store.
+func (v *Valuer) IndexBuilds() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.indexBuilds
+}
+
+// IndexLoads reports how many ANN indexes the session reloaded from the
+// persistent store instead of building.
+func (v *Valuer) IndexLoads() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.indexLoads
+}
+
+// HasPersistedIndex reports whether the session's store already holds an
+// index of the given kind ("lsh" or "kd") and canonical key for this
+// training set — the planner's "is the build already paid for?" probe.
+func (v *Valuer) HasPersistedIndex(kind, key string) bool {
+	if v.cfg.Indexes == nil {
+		return false
+	}
+	return v.cfg.Indexes.HasIndex(v.DatasetID(), kind, key)
+}
+
+// loadIndex hands the store's serialized bytes for (kind, key) to decode,
+// counting a successful reload. Failures fall back to a fresh build: a
+// corrupt or mismatched artifact must never fail the valuation.
+func (v *Valuer) loadIndex(kind, key string, decode func(io.Reader) error) bool {
+	if v.cfg.Indexes == nil {
+		return false
+	}
+	rc, ok := v.cfg.Indexes.GetIndex(v.DatasetID(), kind, key)
+	if !ok {
+		return false
+	}
+	defer rc.Close()
+	if decode(rc) != nil {
+		return false
+	}
+	v.mu.Lock()
+	v.indexLoads++
+	v.mu.Unlock()
+	return true
+}
+
+// saveIndex persists a freshly built index, best-effort: valuation already
+// succeeded with the in-memory index, so a failed save costs only the next
+// session's rebuild.
+func (v *Valuer) saveIndex(kind, key string, encode func(io.Writer) error) {
+	if v.cfg.Indexes == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if encode(&buf) != nil {
+		return
+	}
+	_ = v.cfg.Indexes.PutIndex(v.DatasetID(), kind, key, buf.Bytes())
+}
+
 // lshValuer returns the session's cached LSH index for (eps, delta, seed),
-// building it on first use. Index construction is the expensive part of the
-// sublinear approximation, which is exactly what the session exists to
-// amortize across calls; the mutex only guards the map, so an in-progress
-// build never blocks calls for other keys.
+// loading it from the persistent store or building it on first use. Index
+// construction is the expensive part of the sublinear approximation, which
+// is exactly what the session exists to amortize across calls; the mutex
+// only guards the map, so an in-progress build never blocks calls for other
+// keys.
 func (v *Valuer) lshValuer(eps, delta float64, seed uint64) (*core.LSHValuer, error) {
 	if v.cfg.Weight != nil {
 		return nil, errors.New("knnshapley: the LSH approximation applies to unweighted classification")
@@ -343,20 +469,33 @@ func (v *Valuer) lshValuer(eps, delta float64, seed uint64) (*core.LSHValuer, er
 	}
 	v.mu.Unlock()
 	e.once.Do(func() {
-		e.v, e.err = core.NewLSHValuer(v.train, core.LSHConfig{
+		cfg := core.LSHConfig{
 			K: v.cfg.K, Eps: eps, Delta: delta, Seed: seed, Workers: v.cfg.Workers,
-		})
+		}
+		storeKey := cfg.LSHIndexKey()
+		if v.loadIndex("lsh", storeKey, func(r io.Reader) error {
+			lv, err := core.NewLSHValuerFromEncoded(r, v.train, cfg)
+			if err == nil {
+				e.v = lv
+			}
+			return err
+		}) {
+			return
+		}
+		e.v, e.err = core.NewLSHValuer(v.train, cfg)
 		if e.err == nil {
 			v.mu.Lock()
 			v.indexBuilds++
 			v.mu.Unlock()
+			v.saveIndex("lsh", storeKey, e.v.EncodeIndex)
 		}
 	})
 	return e.v, e.err
 }
 
-// kdValuer returns the session's cached k-d tree for eps, building it on
-// first use.
+// kdValuer returns the session's cached k-d tree for eps, loading it from
+// the persistent store or building it on first use. The persisted tree is
+// (K, eps)-independent — one artifact per dataset serves every eps.
 func (v *Valuer) kdValuer(eps float64) (*core.KDValuer, error) {
 	if v.cfg.Weight != nil {
 		return nil, errors.New("knnshapley: the truncated approximation applies to unweighted classification")
@@ -372,11 +511,22 @@ func (v *Valuer) kdValuer(eps float64) (*core.KDValuer, error) {
 	}
 	v.mu.Unlock()
 	e.once.Do(func() {
+		storeKey := core.KDIndexKey(0)
+		if v.loadIndex("kd", storeKey, func(r io.Reader) error {
+			kv, err := core.NewKDValuerFromEncoded(r, v.train, v.cfg.K, eps)
+			if err == nil {
+				e.v = kv
+			}
+			return err
+		}) {
+			return
+		}
 		e.v, e.err = core.NewKDValuer(v.train, v.cfg.K, eps, 0)
 		if e.err == nil {
 			v.mu.Lock()
 			v.indexBuilds++
 			v.mu.Unlock()
+			v.saveIndex("kd", storeKey, e.v.EncodeIndex)
 		}
 	})
 	return e.v, e.err
